@@ -1,0 +1,33 @@
+//! # awdit-baselines — competitor isolation testers and reference oracles
+//!
+//! The AWDIT paper (Section 5) compares against every weak-isolation
+//! tester from recent literature. This crate rebuilds them (or faithful
+//! stand-ins preserving their algorithmic character) for the reproduction's
+//! experiments, plus two slow-but-obviously-correct oracles used for
+//! differential testing:
+//!
+//! | Module | Stands in for | Character |
+//! |---|---|---|
+//! | [`plume`] | Plume (Liu et al. 2024) | exhaustive TAP saturation, vector clocks, eager construction phase |
+//! | [`dbcop`] | DBCop (Biswas & Enea 2019) | bitset transitive closure, CC only |
+//! | [`sat`] | CausalC+/TCC-Mono/PolySI | commit order as SAT over `O(m³)` transitivity clauses (via `awdit-sat`) |
+//! | [`naive`] | — | exhaustive-saturation and brute-force permutation oracles |
+//!
+//! All checkers are *sound and complete* for their levels; they differ
+//! from AWDIT only in asymptotics, reproducing the performance spread of
+//! the paper's Figs. 7–8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbcop;
+pub mod testgen;
+pub mod naive;
+pub mod plume;
+pub mod sat;
+
+pub use dbcop::check_dbcop_cc;
+pub use naive::{check_bruteforce, check_naive, BRUTE_FORCE_LIMIT};
+pub use plume::{check_plume, PlumeChecker, PlumeStats};
+pub use sat::{check_sat, check_serializable_sat, DEFAULT_MAX_TXNS};
+pub use testgen::{random_noisy_history, random_plausible_history, GenParams};

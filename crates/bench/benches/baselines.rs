@@ -1,0 +1,59 @@
+//! Criterion benches comparing AWDIT against the baseline checkers (the
+//! micro-scale companion to the fig7 harness binary). Sizes are kept small
+//! enough for the slow baselines to terminate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use awdit_baselines::{check_dbcop_cc, check_plume, check_sat};
+use awdit_bench::make_history;
+use awdit_core::{check, IsolationLevel};
+use awdit_simdb::DbIsolation;
+use awdit_workloads::Benchmark;
+
+fn bench_cc_testers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc-testers-1024txn");
+    group.sample_size(10);
+    let h = make_history(DbIsolation::Causal, Benchmark::CTwitter, 25, 1024, 4);
+    group.bench_function("awdit", |b| {
+        b.iter(|| check(&h, IsolationLevel::Causal).is_consistent())
+    });
+    group.bench_function("plume-style", |b| {
+        b.iter(|| check_plume(&h, IsolationLevel::Causal))
+    });
+    group.bench_function("dbcop-style", |b| {
+        b.iter(|| check_dbcop_cc(&h))
+    });
+    group.finish();
+}
+
+fn bench_sat_small(c: &mut Criterion) {
+    // The SAT baseline needs far smaller inputs (O(m³) clauses).
+    let mut group = c.benchmark_group("cc-testers-128txn");
+    group.sample_size(10);
+    let h = make_history(DbIsolation::Causal, Benchmark::Rubis, 8, 128, 5);
+    group.bench_function("awdit", |b| {
+        b.iter(|| check(&h, IsolationLevel::Causal).is_consistent())
+    });
+    group.bench_function("sat-style", |b| {
+        b.iter(|| check_sat(&h, IsolationLevel::Causal, 1 << 20))
+    });
+    group.finish();
+}
+
+fn bench_rc_ra_vs_plume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rc-ra-2048txn");
+    group.sample_size(10);
+    let h = make_history(DbIsolation::ReadAtomic, Benchmark::TpcC, 25, 2048, 6);
+    for level in [IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic] {
+        group.bench_function(format!("awdit-{}", level.short_name()), |b| {
+            b.iter(|| check(&h, level).is_consistent())
+        });
+        group.bench_function(format!("plume-{}", level.short_name()), |b| {
+            b.iter(|| check_plume(&h, level))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc_testers, bench_sat_small, bench_rc_ra_vs_plume);
+criterion_main!(benches);

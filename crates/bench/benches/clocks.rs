@@ -1,0 +1,78 @@
+//! Criterion benches for the two clock data structures the paper's
+//! ecosystem uses: vector clocks (AWDIT) and tree clocks (Plume, after
+//! Mathur et al. ASPLOS 2022). Tree clocks win when joins change few
+//! entries; vector clocks win on dense all-entries-change workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use awdit_core::{TreeClock, VectorClock};
+
+/// A gossip schedule: (actor, peer) pairs plus increments.
+fn schedule(k: usize, steps: usize, seed: u64) -> Vec<(usize, Option<usize>)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let i = rng.gen_range(0..k);
+            if rng.gen_bool(0.5) {
+                (i, None) // increment
+            } else {
+                let mut j = rng.gen_range(0..k);
+                if j == i {
+                    j = (j + 1) % k;
+                }
+                (i, Some(j))
+            }
+        })
+        .collect()
+}
+
+fn run_vector(k: usize, sched: &[(usize, Option<usize>)]) -> u32 {
+    let mut clocks: Vec<VectorClock> = (0..k).map(|_| VectorClock::new(k)).collect();
+    for &(i, peer) in sched {
+        match peer {
+            None => {
+                let cur = clocks[i].get(i) + 1;
+                clocks[i].advance(i, cur);
+            }
+            Some(j) => {
+                let other = clocks[j].clone();
+                clocks[i].join(&other);
+            }
+        }
+    }
+    clocks.iter().map(|c| c.get(0)).sum()
+}
+
+fn run_tree(k: usize, sched: &[(usize, Option<usize>)]) -> u32 {
+    let mut clocks: Vec<TreeClock> = (0..k).map(|s| TreeClock::new(k, s as u32)).collect();
+    for &(i, peer) in sched {
+        match peer {
+            None => clocks[i].increment(),
+            Some(j) => {
+                let other = clocks[j].clone();
+                clocks[i].join(&other);
+            }
+        }
+    }
+    clocks.iter().map(|c| c.get(0)).sum()
+}
+
+fn bench_clock_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock-gossip");
+    group.sample_size(10);
+    for k in [16usize, 64, 256] {
+        let sched = schedule(k, 20_000, 0xC10C);
+        group.bench_with_input(BenchmarkId::new("vector", k), &sched, |b, s| {
+            b.iter(|| run_vector(k, s))
+        });
+        group.bench_with_input(BenchmarkId::new("tree", k), &sched, |b, s| {
+            b.iter(|| run_tree(k, s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_gossip);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the Section 4 lower-bound instances: the checkers
+//! on adversarial triangle-reduction histories, next to the `O(m^{3/2})`
+//! reference triangle counter on the source graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use awdit_core::{check, IsolationLevel};
+use awdit_reductions::{
+    general_reduction, ra_two_session_reduction, rc_one_session_reduction, UndirectedGraph,
+};
+
+fn adversarial_graph(n: usize) -> UndirectedGraph {
+    UndirectedGraph::random_bipartite(n, 0.08, 0xBE11)
+}
+
+fn bench_reduction_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial-check");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        let g = adversarial_graph(n);
+        let h_cc = general_reduction(&g);
+        let h_ra = ra_two_session_reduction(&g);
+        let h_rc = rc_one_session_reduction(&g);
+        group.bench_with_input(BenchmarkId::new("cc-general", n), &h_cc, |b, h| {
+            b.iter(|| check(h, IsolationLevel::Causal).is_consistent())
+        });
+        group.bench_with_input(BenchmarkId::new("ra-2session", n), &h_ra, |b, h| {
+            b.iter(|| check(h, IsolationLevel::ReadAtomic).is_consistent())
+        });
+        group.bench_with_input(BenchmarkId::new("rc-1session", n), &h_rc, |b, h| {
+            b.iter(|| check(h, IsolationLevel::ReadCommitted).is_consistent())
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangle_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle-count");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || adversarial_graph(n),
+                |mut g| g.count_triangles(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction-construct");
+    group.sample_size(10);
+    let g = adversarial_graph(400);
+    group.bench_function("general", |b| b.iter(|| general_reduction(&g)));
+    group.bench_function("ra-2session", |b| b.iter(|| ra_two_session_reduction(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduction_checking,
+    bench_triangle_counting,
+    bench_reduction_construction
+);
+criterion_main!(benches);

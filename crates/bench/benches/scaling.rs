@@ -1,0 +1,61 @@
+//! Criterion benches for the Fig. 9 scaling axes (transactions, sessions,
+//! transaction size) at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use awdit_bench::make_history;
+use awdit_core::{check, IsolationLevel};
+use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+use awdit_workloads::{Benchmark, Uniform};
+
+fn bench_txn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-txns-cc");
+    group.sample_size(10);
+    for txns in [1024usize, 2048, 4096, 8192] {
+        let h = make_history(DbIsolation::Causal, Benchmark::CTwitter, 50, txns, 7);
+        group.throughput(Throughput::Elements(h.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &h, |b, h| {
+            b.iter(|| check(h, IsolationLevel::Causal).is_consistent())
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-sessions");
+    group.sample_size(10);
+    for sessions in [10usize, 25, 50, 100] {
+        let h = make_history(DbIsolation::Causal, Benchmark::CTwitter, sessions, 4096, 8);
+        for level in [IsolationLevel::ReadAtomic, IsolationLevel::Causal] {
+            group.bench_with_input(
+                BenchmarkId::new(level.short_name(), sessions),
+                &h,
+                |b, h| b.iter(|| check(h, level).is_consistent()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_txn_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-txnsize-fixed-ops");
+    group.sample_size(10);
+    let total_ops = 65_536usize;
+    for size in [8usize, 16, 32, 64] {
+        let config = SimConfig::new(DbIsolation::Causal, 50, 9).with_max_lag(16);
+        let mut w = Uniform::new(2_000, size, 0.5);
+        let h = collect_history(config, &mut w, total_ops / size).expect("history builds");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &h, |b, h| {
+            b.iter(|| check(h, IsolationLevel::ReadAtomic).is_consistent())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_txn_scaling,
+    bench_session_scaling,
+    bench_txn_size_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Figure 7 — small-scale comparison of all isolation testers.
+//!
+//! The paper: Causal Consistency checking on CockroachDB histories (here:
+//! the causal simulator tier) for RUBiS, C-Twitter, and TPC-C, scaling
+//! transactions `2^10..2^15` at 50 sessions, 10-minute timeout. DBCop,
+//! CausalC+, TCC-Mono, and PolySI scale poorly; AWDIT and Plume finish
+//! almost instantly.
+//!
+//! Run: `cargo run --release -p awdit-bench --bin fig7 [--full] [--timeout SECS]`
+
+use std::sync::Arc;
+
+use awdit_baselines::{check_dbcop_cc, check_plume, check_sat, DEFAULT_MAX_TXNS};
+use awdit_bench::{fmt_result, make_history, run_with_timeout, BenchArgs};
+use awdit_core::{check, IsolationLevel};
+use awdit_simdb::DbIsolation;
+use awdit_workloads::Benchmark;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sessions = 50;
+    let exps: Vec<u32> = if args.full {
+        (10..=15).collect()
+    } else {
+        (7..=12).collect()
+    };
+    println!(
+        "Fig. 7 — CC checking, all testers, causal-tier database, {sessions} sessions"
+    );
+    println!(
+        "(timeout {:?}; SAT baseline encodes at most {DEFAULT_MAX_TXNS} txns — beyond that\n\
+         its O(m^3) clause set exceeds memory, reported as `too-big`)\n",
+        args.timeout
+    );
+    println!(
+        "{:<10} {:>8} | {:>10} {:>10} {:>10} {:>10}",
+        "workload", "txns", "AWDIT", "Plume", "DBCop", "SAT(mono)"
+    );
+
+    for bench in Benchmark::ALL {
+        // Once a tool times out it only gets worse at larger sizes: skip it
+        // from then on. (This also avoids leaving detached runaway threads
+        // burning CPU under later measurements.)
+        let mut plume_dead = false;
+        let mut dbcop_dead = false;
+        let mut sat_dead = false;
+        for &e in &exps {
+            let txns = 1usize << e;
+            let h = Arc::new(make_history(
+                DbIsolation::Causal,
+                bench,
+                sessions,
+                txns,
+                0xF16_7 + e as u64,
+            ));
+
+            let awdit_t = {
+                let h = Arc::clone(&h);
+                run_with_timeout(args.timeout, move || {
+                    check(&h, IsolationLevel::Causal).is_consistent()
+                })
+            };
+            let plume_t = if plume_dead {
+                None
+            } else {
+                let h = Arc::clone(&h);
+                let r = run_with_timeout(args.timeout, move || {
+                    check_plume(&h, IsolationLevel::Causal)
+                });
+                plume_dead = r.is_none();
+                r
+            };
+            let dbcop_t = if dbcop_dead {
+                None
+            } else {
+                let h = Arc::clone(&h);
+                let r = run_with_timeout(args.timeout, move || check_dbcop_cc(&h));
+                dbcop_dead = r.is_none();
+                r
+            };
+            let sat_t = if sat_dead {
+                None
+            } else {
+                let h = Arc::clone(&h);
+                let r = run_with_timeout(args.timeout, move || {
+                    check_sat(&h, IsolationLevel::Causal, DEFAULT_MAX_TXNS)
+                });
+                sat_dead = r.is_none();
+                r
+            };
+            // Sanity: everyone who finished must say "consistent".
+            for (name, v) in [
+                ("awdit", awdit_t.as_ref().map(|(v, _)| *v)),
+                ("plume", plume_t.as_ref().map(|(v, _)| *v)),
+                ("dbcop", dbcop_t.as_ref().map(|(v, _)| *v)),
+            ] {
+                if let Some(verdict) = v {
+                    assert!(verdict, "{name} disagreed on {bench} 2^{e}");
+                }
+            }
+            let sat_cell = match &sat_t {
+                Some((Some(v), d)) => {
+                    assert!(*v, "sat disagreed");
+                    fmt_result(Some(*d))
+                }
+                Some((None, _)) => "too-big".to_string(),
+                None => "TIMEOUT".to_string(),
+            };
+            println!(
+                "{:<10} {:>8} | {:>10} {:>10} {:>10} {:>10}",
+                bench.name(),
+                txns,
+                fmt_result(awdit_t.map(|(_, d)| d)),
+                fmt_result(plume_t.map(|(_, d)| d)),
+                fmt_result(dbcop_t.map(|(_, d)| d)),
+                sat_cell,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 7): AWDIT and Plume near-instant; DBCop \
+         and the SAT-based tester blow up within the small range."
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 9 — scalability of AWDIT along three axes.
+//!
+//! * left: time vs number of transactions (sessions fixed, bounded txns)
+//!   — expected linear for all three levels;
+//! * middle: time vs number of sessions (history size fixed) — expected
+//!   linear growth for CC (`O(n·k)`), flat for RC/RA;
+//! * right: time vs transaction size (total operations fixed) — expected
+//!   flat (near-linear behaviour of the `O(n^{3/2})` algorithms away from
+//!   the `√n` worst case).
+//!
+//! Run: `cargo run --release -p awdit-bench --bin fig9 [--full] [--axis txns|sessions|txnsize|all]`
+
+use awdit_bench::{make_history, time, BenchArgs};
+use awdit_core::{check, IsolationLevel};
+use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+use awdit_workloads::{Benchmark, Uniform};
+
+fn header(title: &str) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "x", "ops", "RC", "RA", "CC"
+    );
+}
+
+fn row(x: usize, h: &awdit_core::History) {
+    let mut cells = Vec::new();
+    for level in IsolationLevel::ALL {
+        let (ok, d) = time(|| check(h, level).is_consistent());
+        assert!(ok, "benchmark histories are consistent");
+        cells.push(format!("{:>9.3}s", d.as_secs_f64()));
+    }
+    println!(
+        "{:>10} {:>10} | {} {} {}",
+        x,
+        h.size(),
+        cells[0],
+        cells[1],
+        cells[2]
+    );
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let axis = args
+        .rest
+        .iter()
+        .position(|a| a == "--axis")
+        .and_then(|i| args.rest.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let scale = if args.full { 1 } else { 4 };
+
+    if axis == "txns" || axis == "all" {
+        // Paper: 0.5–1.25 × 10^5 txns, 100 sessions, C-Twitter (~7.6 ops).
+        header("Fig. 9 left — time vs transactions (100 sessions)");
+        for step in 1..=5 {
+            let txns = step * 25_000 / scale;
+            let h = make_history(DbIsolation::Causal, Benchmark::CTwitter, 100, txns, 91);
+            row(txns, &h);
+        }
+    }
+
+    if axis == "sessions" || axis == "all" {
+        // Paper: 10^5 txns fixed, sessions 25..100.
+        header("Fig. 9 middle — time vs sessions (fixed transactions)");
+        let txns = 100_000 / scale;
+        for sessions in [25, 50, 75, 100] {
+            let h = make_history(DbIsolation::Causal, Benchmark::CTwitter, sessions, txns, 92);
+            row(sessions, &h);
+        }
+    }
+
+    if axis == "txnsize" || axis == "all" {
+        // Paper: 10^6 ops fixed, 100 sessions, txn size 25..100 (custom
+        // Cobra-style workload).
+        header("Fig. 9 right — time vs transaction size (fixed total ops)");
+        let total_ops = 1_000_000 / scale;
+        for txn_size in [25, 50, 75, 100] {
+            let txns = total_ops / txn_size;
+            let config = SimConfig::new(DbIsolation::Causal, 100, 93).with_max_lag(16);
+            let mut w = Uniform::new(5_000, txn_size, 0.5);
+            let h = collect_history(config, &mut w, txns).expect("history builds");
+            row(txn_size, &h);
+        }
+    }
+
+    println!(
+        "\nExpected shape (paper Fig. 9): linear in transactions for all \
+         levels; sessions affect only CC; transaction size affects none."
+    );
+}

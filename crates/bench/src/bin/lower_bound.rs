@@ -1,0 +1,106 @@
+//! Section 4 — the lower-bound instances in practice.
+//!
+//! Generates the triangle-freeness reduction histories at growing sizes
+//! and measures AWDIT on them, alongside the reference `O(m^{3/2})`
+//! triangle counter on the source graphs. On these adversarial inputs the
+//! checker *cannot* be linear (Theorems 1.3–1.5) — the harness prints the
+//! observed growth exponent so the super-linear scaling is visible.
+//!
+//! Run: `cargo run --release -p awdit-bench --bin lower_bound [--full]`
+
+use awdit_bench::{time, BenchArgs};
+use awdit_core::{check, IsolationLevel};
+use awdit_reductions::{
+    general_reduction, ra_two_session_reduction, rc_one_session_reduction, UndirectedGraph,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: Vec<usize> = if args.full {
+        vec![200, 400, 800, 1600, 3200]
+    } else {
+        vec![100, 200, 400, 800]
+    };
+
+    println!("Sec. 4 — adversarial triangle-reduction instances (triangle-free,");
+    println!("so the checker must do the full `n^{{3/2}}`-hard work)\n");
+    println!(
+        "{:>7} {:>9} {:>10} | {:>10} {:>10} {:>10} {:>12}",
+        "nodes", "edges", "hist ops", "CC(gen)", "RA(2sess)", "RC(1sess)", "triangle-cnt"
+    );
+
+    let mut prev: Option<(usize, f64)> = None;
+    for &n in &sizes {
+        // Dense-ish bipartite graphs: triangle-free with m ≈ n^1.5 edges,
+        // the hard regime for the reduction.
+        let m_target = (n as f64).powf(1.35) as usize;
+        let mut g = bipartite_with_edges(n, m_target, 0xBEEF + n as u64);
+
+        let h_gen = general_reduction(&g);
+        let h_ra = ra_two_session_reduction(&g);
+        let h_rc = rc_one_session_reduction(&g);
+
+        let (ok_cc, d_cc) = time(|| check(&h_gen, IsolationLevel::Causal).is_consistent());
+        let (ok_ra, d_ra) = time(|| check(&h_ra, IsolationLevel::ReadAtomic).is_consistent());
+        let (ok_rc, d_rc) = time(|| check(&h_rc, IsolationLevel::ReadCommitted).is_consistent());
+        let (tri, d_tri) = time(|| g.count_triangles());
+        assert!(ok_cc && ok_ra && ok_rc, "triangle-free inputs are consistent");
+        assert_eq!(tri, 0);
+
+        println!(
+            "{:>7} {:>9} {:>10} | {:>9.3}s {:>9.3}s {:>9.3}s {:>11.3}s",
+            n,
+            g.num_edges(),
+            h_gen.size(),
+            d_cc.as_secs_f64(),
+            d_ra.as_secs_f64(),
+            d_rc.as_secs_f64(),
+            d_tri.as_secs_f64(),
+        );
+
+        if let Some((prev_ops, prev_t)) = prev {
+            let ops_ratio = h_gen.size() as f64 / prev_ops as f64;
+            let t_ratio = d_cc.as_secs_f64() / prev_t;
+            if prev_t > 1e-4 {
+                println!(
+                    "{:>40} growth exponent (CC vs ops): {:.2}",
+                    "",
+                    t_ratio.ln() / ops_ratio.ln()
+                );
+            }
+        }
+        prev = Some((h_gen.size(), d_cc.as_secs_f64()));
+    }
+
+    // And the detection side: planting a triangle flips every verdict.
+    println!("\nPlanted-triangle detection:");
+    let mut g = bipartite_with_edges(400, 3000, 7);
+    g.plant_triangle(99);
+    let h = general_reduction(&g);
+    for level in IsolationLevel::ALL {
+        let (ok, d) = time(|| check(&h, level).is_consistent());
+        assert!(!ok);
+        println!(
+            "  {:<4} violation found in {:.3}s",
+            level.short_name(),
+            d.as_secs_f64()
+        );
+    }
+}
+
+/// A random bipartite (hence triangle-free) graph with ~`m` edges.
+fn bipartite_with_edges(n: usize, m: usize, seed: u64) -> UndirectedGraph {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut g = UndirectedGraph::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let half = (n / 2).max(1);
+    let mut attempts = 0;
+    while g.num_edges() < m && attempts < 30 * m {
+        let a = rng.gen_range(0..half) as u32;
+        let b = (half + rng.gen_range(0..n - half)) as u32;
+        g.add_edge(a, b);
+        attempts += 1;
+    }
+    g
+}

@@ -1,0 +1,266 @@
+//! `awdit` — command-line interface to the AWDIT isolation tester
+//! reproduction.
+//!
+//! ```text
+//! awdit check [--isolation rc|ra|cc] [--format auto|native|plume|dbcop|cobra] FILE
+//! awdit stats FILE
+//! awdit convert --to FORMAT -o OUT FILE
+//! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
+//!                --sessions K --txns N --seed S [-o OUT] [--format FORMAT]
+//! ```
+
+use std::process::ExitCode;
+
+use awdit_core::{check_with, CheckOptions, HistoryStats, IsolationLevel, Verdict};
+use awdit_formats::{parse_auto, parse_history, write_history, Format};
+use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+use awdit_workloads::{Benchmark, Uniform};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("awdit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "shrink" => cmd_shrink(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (try `awdit help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "AWDIT — a weak database isolation tester (reproduction)
+
+USAGE:
+    awdit check [--isolation rc|ra|cc] [--format FMT] [--witnesses N] FILE
+    awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
+    awdit stats FILE
+    awdit convert --to FMT [-o OUT] FILE
+    awdit generate --benchmark NAME --db MODE --sessions K --txns N
+                   [--seed S] [--format FMT] [-o OUT]
+
+FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only)
+BENCHMARKS: tpcc, ctwitter, rubis, uniform
+DB MODES: ser, causal, ra, rc"
+    );
+}
+
+/// Pulls `--flag value` pairs out of an argument list; returns positionals.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                pairs.push((name.to_string(), value.clone()));
+            } else if a == "-o" {
+                let value = it.next().ok_or("flag -o needs a value")?;
+                pairs.push(("out".to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn load_history(path: &str, format: Option<&str>) -> Result<awdit_core::History, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    match format {
+        None | Some("auto") => parse_auto(&text).map_err(|e| format!("{path}: {e}")),
+        Some(f) => {
+            let fmt: Format = f.parse()?;
+            parse_history(&text, fmt).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("check: missing history file")?;
+    let level: IsolationLevel = flags
+        .get("isolation")
+        .unwrap_or("cc")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let max_cycles: usize = flags
+        .get("witnesses")
+        .map(|w| w.parse().map_err(|_| "bad --witnesses value".to_string()))
+        .transpose()?
+        .unwrap_or(16);
+    let history = load_history(path, flags.get("format"))?;
+    let stats = HistoryStats::of(&history);
+    let started = std::time::Instant::now();
+    let outcome = check_with(
+        &history,
+        level,
+        &CheckOptions {
+            max_cycles,
+            ..CheckOptions::default()
+        },
+    );
+    let elapsed = started.elapsed();
+    println!("history:  {stats}");
+    println!("level:    {level}");
+    println!("verdict:  {}", outcome.verdict());
+    println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    if outcome.verdict() == Verdict::Inconsistent {
+        println!("violations ({} shown):", outcome.violations().len());
+        for v in outcome.violations() {
+            println!("  - {v}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shrink(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("shrink: missing history file")?;
+    let level: IsolationLevel = flags
+        .get("isolation")
+        .unwrap_or("cc")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let history = load_history(path, flags.get("format"))?;
+    let Some(small) = awdit_core::shrink_history(&history, level) else {
+        println!("history satisfies {level}; nothing to shrink");
+        return Ok(ExitCode::SUCCESS);
+    };
+    eprintln!(
+        "shrunk {} -> {} transactions ({} -> {} ops)",
+        history.num_txns(),
+        small.num_txns(),
+        history.size(),
+        small.size()
+    );
+    let text = write_history(&small, Format::Native);
+    match flags.get("out") {
+        Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
+        None => print!("{text}"),
+    }
+    // Show the witness on the shrunk history.
+    let outcome = check_with(&small, level, &CheckOptions::default());
+    for v in outcome.violations().iter().take(3) {
+        eprintln!("witness: {v}");
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("stats: missing history file")?;
+    let history = load_history(path, flags.get("format"))?;
+    println!("{}", HistoryStats::of(&history));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("convert: missing history file")?;
+    let to: Format = flags.get("to").ok_or("convert: missing --to FORMAT")?.parse()?;
+    let history = load_history(path, flags.get("format"))?;
+    let text = write_history(&history, to);
+    match flags.get("out") {
+        Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let sessions: usize = flags
+        .get("sessions")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --sessions value".to_string())?;
+    let txns: usize = flags
+        .get("txns")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "bad --txns value".to_string())?;
+    let seed: u64 = flags
+        .get("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+    let db = match flags.get("db").unwrap_or("causal") {
+        "ser" | "serializable" => DbIsolation::Serializable,
+        "causal" | "cc" => DbIsolation::Causal,
+        "ra" => DbIsolation::ReadAtomic,
+        "rc" => DbIsolation::ReadCommitted,
+        other => return Err(format!("unknown db mode `{other}`")),
+    };
+    let config = SimConfig::new(db, sessions, seed);
+    let bench_name = flags.get("benchmark").unwrap_or("uniform");
+    let history = if bench_name == "uniform" {
+        let mut w = Uniform::default();
+        collect_history(config, &mut w, txns)
+    } else {
+        let bench: Benchmark = bench_name.parse()?;
+        let mut w = bench.build();
+        collect_history(config, &mut *w, txns)
+    }
+    .map_err(|e| format!("generation failed: {e}"))?;
+
+    let format: Format = flags.get("format").unwrap_or("native").parse()?;
+    let text = write_history(&history, format);
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            eprintln!("wrote {} ({})", out, HistoryStats::of(&history));
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}

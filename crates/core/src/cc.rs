@@ -1,0 +1,477 @@
+//! Causal Consistency (Algorithm 3): saturation of the minimal commit
+//! relation for the CC axiom in `O(n·k)` time.
+//!
+//! The CC axiom (Definition 2.8, Figure 3c): if `t3` reads `x` from `t1`,
+//! and `t2 ≠ t1` writes `x` with `t2 →(so ∪ wr)+→ t3` (happens-before),
+//! then `t2` must commit before `t1`. Only the *session-latest*
+//! happens-before writer of `x` per session needs a direct edge — earlier
+//! ones are ordered transitively through it (minimality).
+//!
+//! Happens-before is represented by per-transaction [`VectorClock`]s
+//! (`ComputeHB`): entry `s` of `t`'s clock counts the committed
+//! transactions of session `s` that happen before `t` (inclusive of `t`
+//! itself in its own session), which is exact because happens-before
+//! restricted to a session is prefix-closed.
+//!
+//! Two interchangeable strategies locate the latest visible writer in each
+//! session's `Writes_s'[x]` array:
+//!
+//! * [`CcStrategy::PointerScan`] — Algorithm 3 as written: monotone
+//!   pointers per `(session, key)`, re-scanned once per outer session, with
+//!   the full clock table materialized up front. `O(n·k)` time,
+//!   `O(m·k)` clock memory.
+//! * [`CcStrategy::BinarySearch`] — what the released AWDIT tool does
+//!   (Section 5): clocks are computed on the fly in one topological pass
+//!   and freed once their last reader is processed; writer lookups binary
+//!   search the write lists. `O(n·(k + log n))` time, live-clock memory
+//!   only.
+
+use crate::graph::{base_commit_graph, CommitGraph, Cycle, EdgeKind};
+use crate::index::HistoryIndex;
+use crate::types::SessionId;
+use crate::vector_clock::VectorClock;
+
+/// Strategy for the CC checker's visible-writer lookups. See the module
+/// docs for the trade-offs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CcStrategy {
+    /// Algorithm 3 verbatim: precomputed clock table + monotone pointer
+    /// scans.
+    PointerScan,
+    /// The released tool's variant: on-the-fly clocks + binary search.
+    #[default]
+    BinarySearch,
+}
+
+/// Saturates the minimal commit relation for Causal Consistency.
+///
+/// # Errors
+///
+/// If `so ∪ wr` itself is cyclic, happens-before is not well defined; the
+/// offending cycles (one per strongly connected component) are returned
+/// instead.
+pub fn saturate_cc(index: &HistoryIndex, strategy: CcStrategy) -> Result<CommitGraph, Vec<Cycle>> {
+    let g = base_commit_graph(index);
+    let topo = match g.topological_order() {
+        Some(t) => t,
+        None => return Err(g.find_cycles(usize::MAX)),
+    };
+    match strategy {
+        CcStrategy::PointerScan => Ok(pointer_scan(index, g, &topo)),
+        CcStrategy::BinarySearch => Ok(binary_search(index, g, &topo)),
+    }
+}
+
+/// `ComputeHB`: the full clock table, one vector clock per committed
+/// transaction, computed along a topological order of `so ∪ wr`.
+///
+/// Entry `s` of `clock[t]` is the number of committed transactions of
+/// session `s` that happen before `t` — counting `t` itself for its own
+/// session, i.e. the *inclusive* clock.
+pub fn compute_hb(index: &HistoryIndex, g: &CommitGraph, topo: &[u32]) -> Vec<VectorClock> {
+    let k = index.num_sessions();
+    let m = index.num_committed();
+    let mut clocks: Vec<VectorClock> = vec![VectorClock::new(0); m];
+    let mut session_clock: Vec<VectorClock> = vec![VectorClock::new(k); k];
+
+    // Writers joined per reader: collect wr predecessors from the base
+    // graph's *successor* lists by a reverse pass? Cheaper: readers pull
+    // from `ext_reads`, deduplicating writers on the fly.
+    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
+    for &t in topo {
+        let s = index.session_of(t) as usize;
+        let mut c = session_clock[s].clone();
+        for r in index.ext_reads(t) {
+            if writer_stamp[r.writer as usize] != t {
+                writer_stamp[r.writer as usize] = t;
+                c.join(&clocks[r.writer as usize]);
+            }
+        }
+        c.advance(s, index.committed_pos(t) + 1);
+        session_clock[s] = c.clone();
+        clocks[t as usize] = c;
+    }
+    let _ = g; // the base graph fixes the topological order's domain
+    clocks
+}
+
+/// Algorithm 3's main loop with monotone `lastWrite` pointers.
+fn pointer_scan(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
+    let k = index.num_sessions();
+    let clocks = compute_hb(index, &g, topo);
+
+    // Pointers into Writes_s'[x], keyed by (s', key); reset per outer
+    // session (the monotonicity that makes the scans amortize holds only
+    // while t3 advances within one session).
+    use std::collections::HashMap;
+    for s in 0..k as u32 {
+        let mut ptr: HashMap<(u32, crate::types::Key), usize> = HashMap::new();
+        for &t3 in index.session_committed(SessionId(s)) {
+            let clock = &clocks[t3 as usize];
+            for &(x, t1) in index.read_pairs(t3) {
+                // Only sessions that write x can contribute a last writer.
+                for &(s_prime, ref writes) in index.key_writes(x) {
+                    // Strict happens-before: own session excludes t3 itself
+                    // (its inclusive entry is pos+1).
+                    let bound = if s_prime == s {
+                        clock.get(s_prime as usize).saturating_sub(1)
+                    } else {
+                        clock.get(s_prime as usize)
+                    };
+                    let p = ptr.entry((s_prime, x)).or_insert(0);
+                    while *p < writes.len() && index.committed_pos(writes[*p]) < bound {
+                        *p += 1;
+                    }
+                    if *p > 0 {
+                        let t2 = writes[*p - 1];
+                        if t2 != t1 {
+                            g.add_edge(t2, t1, EdgeKind::Inferred(x));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The released tool's variant: clocks on the fly along the topological
+/// order, freed after their last reader; binary search for visible writers.
+fn binary_search(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
+    let k = index.num_sessions();
+    let m = index.num_committed();
+
+    // Number of distinct reader transactions per writer, so clocks can be
+    // freed eagerly.
+    let mut readers_left: Vec<u32> = vec![0; m];
+    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
+    for t in 0..m as u32 {
+        for r in index.ext_reads(t) {
+            if writer_stamp[r.writer as usize] != t {
+                writer_stamp[r.writer as usize] = t;
+                readers_left[r.writer as usize] += 1;
+            }
+        }
+    }
+
+    let mut clocks: Vec<Option<VectorClock>> = vec![None; m];
+    let mut session_clock: Vec<VectorClock> = vec![VectorClock::new(k); k];
+    let mut writer_stamp2: Vec<u32> = vec![u32::MAX; m];
+
+    for &t3 in topo {
+        let s = index.session_of(t3) as usize;
+        let mut c = std::mem::replace(&mut session_clock[s], VectorClock::new(0));
+        for r in index.ext_reads(t3) {
+            let w = r.writer as usize;
+            if writer_stamp2[w] != t3 {
+                writer_stamp2[w] = t3;
+                c.join(clocks[w].as_ref().expect("writer processed before reader"));
+                readers_left[w] -= 1;
+                if readers_left[w] == 0 {
+                    clocks[w] = None;
+                }
+            }
+        }
+        c.advance(s, index.committed_pos(t3) + 1);
+
+        // Inference for t3, immediately while its clock is at hand. Only
+        // sessions that write x are visited.
+        for &(x, t1) in index.read_pairs(t3) {
+            for &(s_prime, ref writes) in index.key_writes(x) {
+                let bound = if s_prime as usize == s {
+                    c.get(s_prime as usize).saturating_sub(1)
+                } else {
+                    c.get(s_prime as usize)
+                };
+                // Last writer with committed position < bound.
+                let cnt = writes.partition_point(|&w| index.committed_pos(w) < bound);
+                if cnt > 0 {
+                    let t2 = writes[cnt - 1];
+                    if t2 != t1 {
+                        g.add_edge(t2, t1, EdgeKind::Inferred(x));
+                    }
+                }
+            }
+        }
+
+        if readers_left[t3 as usize] > 0 {
+            clocks[t3 as usize] = Some(c.clone());
+        }
+        session_clock[s] = c;
+    }
+    g
+}
+
+/// Convenience wrapper: does the history's `so ∪ wr` relation contain a
+/// cycle? (Required to be acyclic by every isolation level.)
+pub fn causality_cycles(index: &HistoryIndex) -> Vec<Cycle> {
+    let g = base_commit_graph(index);
+    if g.topological_order().is_some() {
+        Vec::new()
+    } else {
+        g.find_cycles(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{History, HistoryBuilder};
+    use crate::ra::{check_repeatable_reads, saturate_ra};
+
+    fn cc_consistent(h: &History, strategy: CcStrategy) -> bool {
+        let index = HistoryIndex::new(h);
+        match saturate_cc(&index, strategy) {
+            Ok(g) => g.is_acyclic(),
+            Err(_) => false,
+        }
+    }
+
+    fn both_strategies_agree(h: &History) -> bool {
+        let a = cc_consistent(h, CcStrategy::PointerScan);
+        let b = cc_consistent(h, CcStrategy::BinarySearch);
+        assert_eq!(a, b, "strategies disagree");
+        a
+    }
+
+    /// Figure 1b: the motivating CC-inconsistent history.
+    #[test]
+    fn fig1b_cc_inconsistent() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let s3 = b.session();
+        let s4 = b.session();
+        let (x, y, z) = (0, 1, 2);
+        // s1: t1 = W(x,1); t2 = W(x,2); t3 = W(y,1) R(z,2)
+        b.begin(s1);
+        b.write(s1, x, 1);
+        b.commit(s1);
+        b.begin(s1);
+        b.write(s1, x, 2);
+        b.commit(s1);
+        b.begin(s1);
+        b.write(s1, y, 1);
+        b.read(s1, z, 2);
+        b.commit(s1);
+        // s2: t4 = W(x,3); t5 = W(z,1)
+        b.begin(s2);
+        b.write(s2, x, 3);
+        b.commit(s2);
+        b.begin(s2);
+        b.write(s2, z, 1);
+        b.commit(s2);
+        // s3: t6 = W(x,4) R(z,1) W(z,2)
+        b.begin(s3);
+        b.write(s3, x, 4);
+        b.read(s3, z, 1);
+        b.write(s3, z, 2);
+        b.commit(s3);
+        // s4: t7 = R(x,3) R(y,1)
+        b.begin(s4);
+        b.read(s4, x, 3);
+        b.read(s4, y, 1);
+        b.commit(s4);
+        let h = b.finish().unwrap();
+        assert!(!both_strategies_agree(&h), "Fig. 1b must violate CC");
+    }
+
+    /// Figure 4c violates CC: t4 observes t2 (via y written by t3 which
+    /// read x=2) but reads the older x=1.
+    #[test]
+    fn fig4c_cc_inconsistent() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let s3 = b.session();
+        let (x, y) = (0, 1);
+        b.begin(s1);
+        b.write(s1, x, 1); // t1
+        b.commit(s1);
+        b.begin(s1);
+        b.write(s1, x, 2); // t2
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, x, 2);
+        b.write(s2, y, 3); // t3
+        b.commit(s2);
+        b.begin(s3);
+        b.read(s3, y, 3);
+        b.read(s3, x, 1); // t4
+        b.commit(s3);
+        let h = b.finish().unwrap();
+        assert!(!both_strategies_agree(&h));
+        // ... while satisfying RA (Example 2.7).
+        let index = HistoryIndex::new(&h);
+        assert!(check_repeatable_reads(&index).is_empty());
+        assert!(saturate_ra(&index).is_acyclic());
+    }
+
+    /// Figure 4d satisfies CC (despite being non-serializable).
+    #[test]
+    fn fig4d_cc_consistent() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let s3 = b.session();
+        let x = 0;
+        // s1: t1 = W(x,1); t3 = R(x,2)
+        // s2: t2 = R(x,1) W(x,2)
+        // s3: t4 = R(x,1) W(x,3); t5 = R(x,3)
+        b.begin(s1);
+        b.write(s1, x, 1); // t1
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, x, 1);
+        b.write(s2, x, 2); // t2
+        b.commit(s2);
+        b.begin(s1);
+        b.read(s1, x, 2); // t3
+        b.commit(s1);
+        b.begin(s3);
+        b.read(s3, x, 1);
+        b.write(s3, x, 3); // t4
+        b.commit(s3);
+        b.begin(s3);
+        b.read(s3, x, 3); // t5
+        b.commit(s3);
+        let h = b.finish().unwrap();
+        assert!(both_strategies_agree(&h));
+    }
+
+    #[test]
+    fn causality_cycle_is_reported() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        // t1 reads t2's write; t2 reads t1's write: wr cycle.
+        b.begin(s1);
+        b.write(s1, 0, 1);
+        b.read(s1, 1, 2);
+        b.commit(s1);
+        b.begin(s2);
+        b.write(s2, 1, 2);
+        b.read(s2, 0, 1);
+        b.commit(s2);
+        let h = b.finish().unwrap();
+        let index = HistoryIndex::new(&h);
+        let cycles = causality_cycles(&index);
+        assert_eq!(cycles.len(), 1);
+        assert!(saturate_cc(&index, CcStrategy::PointerScan).is_err());
+        assert!(saturate_cc(&index, CcStrategy::BinarySearch).is_err());
+    }
+
+    #[test]
+    fn hb_clocks_are_monotone_along_sessions() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        b.begin(s1);
+        b.write(s1, 0, 1);
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, 0, 1);
+        b.commit(s2);
+        b.begin(s2);
+        b.write(s2, 1, 1);
+        b.commit(s2);
+        let h = b.finish().unwrap();
+        let index = HistoryIndex::new(&h);
+        let g = base_commit_graph(&index);
+        let topo = g.topological_order().unwrap();
+        let clocks = compute_hb(&index, &g, &topo);
+        let t_reader = index.dense_id(crate::types::TxnId::new(1, 0));
+        let t_next = index.dense_id(crate::types::TxnId::new(1, 1));
+        // The reader saw s1's first txn; its session successor inherits it.
+        assert_eq!(clocks[t_reader as usize].get(0), 1);
+        assert_eq!(clocks[t_next as usize].get(0), 1);
+        assert!(clocks[t_reader as usize].le(&clocks[t_next as usize]));
+    }
+
+    /// Transitive causality through a chain of sessions is caught: a reader
+    /// two wr-hops downstream of t_new must not read the value t_new
+    /// overwrote (t_old is pinned co-before t_new by t_old -wr-> t_new).
+    #[test]
+    fn transitive_causality_violation() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let s3 = b.session();
+        let s4 = b.session();
+        let (x, a, c) = (0, 1, 2);
+        b.begin(s1);
+        b.write(s1, x, 1); // t_old: x=1
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, x, 1); // t_new observes t_old, so t_old -co-> t_new
+        b.write(s2, x, 2);
+        b.write(s2, a, 1);
+        b.commit(s2);
+        b.begin(s3);
+        b.read(s3, a, 1); // observes t_new
+        b.write(s3, c, 1);
+        b.commit(s3);
+        b.begin(s4);
+        b.read(s4, c, 1); // hb-chain: t_new -> s3 -> here
+        b.read(s4, x, 1); // stale read of x: CC infers t_new -co-> t_old
+        b.commit(s4);
+        let h = b.finish().unwrap();
+        assert!(!both_strategies_agree(&h));
+        // RA can't see the two-hop chain: it accepts this history.
+        let index = HistoryIndex::new(&h);
+        assert!(check_repeatable_reads(&index).is_empty());
+        assert!(saturate_ra(&index).is_acyclic());
+    }
+
+    /// If the overwritten value's writer is merely concurrent with t_new
+    /// (no wr edge pinning it earlier), the commit order may reorder them
+    /// and the stale read is CC-consistent.
+    #[test]
+    fn concurrent_writers_may_be_reordered() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let s3 = b.session();
+        let (x, a) = (0, 1);
+        b.begin(s1);
+        b.write(s1, x, 1); // t_old, concurrent with t_new
+        b.commit(s1);
+        b.begin(s2);
+        b.write(s2, x, 2); // t_new
+        b.write(s2, a, 1);
+        b.commit(s2);
+        b.begin(s3);
+        b.read(s3, a, 1); // observes t_new
+        b.read(s3, x, 1); // reads t_old: co = t_new < t_old < ... witnesses
+        b.commit(s3);
+        let h = b.finish().unwrap();
+        assert!(both_strategies_agree(&h));
+    }
+
+    /// One-hop visibility is fine under CC when the read is the latest
+    /// causally visible write.
+    #[test]
+    fn latest_visible_writer_is_accepted() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        b.begin(s1);
+        b.write(s1, 0, 1);
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, 0, 1);
+        b.write(s2, 0, 2);
+        b.commit(s2);
+        b.begin(s1);
+        b.read(s1, 0, 2);
+        b.commit(s1);
+        let h = b.finish().unwrap();
+        assert!(both_strategies_agree(&h));
+    }
+
+    #[test]
+    fn empty_history_is_cc_consistent() {
+        let h = HistoryBuilder::new().finish().unwrap();
+        assert!(both_strategies_agree(&h));
+    }
+}

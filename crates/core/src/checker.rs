@@ -1,0 +1,411 @@
+//! The top-level consistency checker: Read Consistency first, then the
+//! level-specific saturation, then acyclicity with witness extraction.
+
+use crate::cc::{saturate_cc, CcStrategy};
+use crate::graph::CommitGraph;
+use crate::history::History;
+use crate::index::HistoryIndex;
+use crate::isolation::IsolationLevel;
+use crate::linearize::commit_order_from_graph;
+use crate::ra::{check_ra_single_session, check_repeatable_reads, saturate_ra};
+use crate::rc::saturate_rc;
+use crate::read_consistency::check_read_consistency;
+use crate::types::TxnId;
+use crate::witness::{Violation, WitnessCycle};
+
+/// Whether a history satisfies the isolation level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The history satisfies the level; a witnessing commit order exists.
+    Consistent,
+    /// The history violates the level; see the outcome's violations.
+    Inconsistent,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Consistent => f.write_str("consistent"),
+            Verdict::Inconsistent => f.write_str("inconsistent"),
+        }
+    }
+}
+
+/// Tuning knobs for [`check_with`].
+#[derive(Copy, Clone, Debug)]
+pub struct CheckOptions {
+    /// Which CC implementation variant to use (ignored for RC/RA).
+    pub cc_strategy: CcStrategy,
+    /// Produce a witnessing commit order on consistent histories
+    /// (an extra `O(n)` topological sort).
+    pub want_commit_order: bool,
+    /// Maximum number of commit-order/causality cycles to extract
+    /// (one per strongly connected component; Section 3.4).
+    pub max_cycles: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            cc_strategy: CcStrategy::default(),
+            want_commit_order: false,
+            max_cycles: 16,
+        }
+    }
+}
+
+/// Statistics about one check, for reports and benchmarks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CheckStats {
+    /// Committed transactions analyzed.
+    pub committed_txns: usize,
+    /// Total edges in the saturated commit graph (`so ∪ wr ∪ inferred`).
+    pub graph_edges: usize,
+    /// Inferred (non-`so ∪ wr`) edges added by saturation.
+    pub inferred_edges: usize,
+}
+
+/// The result of checking one history against one isolation level.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    level: IsolationLevel,
+    violations: Vec<Violation>,
+    commit_order: Option<Vec<TxnId>>,
+    stats: CheckStats,
+}
+
+impl Outcome {
+    /// The verdict: consistent iff no violation was found.
+    pub fn verdict(&self) -> Verdict {
+        if self.violations.is_empty() {
+            Verdict::Consistent
+        } else {
+            Verdict::Inconsistent
+        }
+    }
+
+    /// Shorthand for `verdict() == Verdict::Consistent`.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The level that was checked.
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// All violations found (empty iff consistent).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// A witnessing commit order, when the history is consistent and
+    /// [`CheckOptions::want_commit_order`] was set.
+    pub fn commit_order(&self) -> Option<&[TxnId]> {
+        self.commit_order.as_deref()
+    }
+
+    /// Statistics about the check.
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+}
+
+/// Checks `history` against `level` with default options.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::{check, HistoryBuilder, IsolationLevel, Verdict};
+///
+/// # fn main() -> Result<(), awdit_core::BuildError> {
+/// let mut b = HistoryBuilder::new();
+/// let s0 = b.session();
+/// let s1 = b.session();
+/// b.begin(s0);
+/// b.write(s0, 1, 10);
+/// b.commit(s0);
+/// b.begin(s1);
+/// b.read(s1, 1, 10);
+/// b.commit(s1);
+/// let history = b.finish()?;
+/// let outcome = check(&history, IsolationLevel::Causal);
+/// assert_eq!(outcome.verdict(), Verdict::Consistent);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(history: &History, level: IsolationLevel) -> Outcome {
+    check_with(history, level, &CheckOptions::default())
+}
+
+/// Checks `history` against `level` with explicit [`CheckOptions`].
+pub fn check_with(history: &History, level: IsolationLevel, opts: &CheckOptions) -> Outcome {
+    let mut violations: Vec<Violation> = check_read_consistency(history)
+        .into_iter()
+        .map(Violation::ReadConsistency)
+        .collect();
+
+    let index = HistoryIndex::new(history);
+    let mut stats = CheckStats {
+        committed_txns: index.num_committed(),
+        ..CheckStats::default()
+    };
+    let mut commit_order = None;
+
+    match level {
+        IsolationLevel::ReadCommitted => {
+            let g = saturate_rc(&index);
+            finish_graph(&index, g, level, opts, &mut violations, &mut commit_order, &mut stats);
+        }
+        IsolationLevel::ReadAtomic => {
+            if index.num_sessions() <= 1 {
+                // Theorem 1.6: linear-time single-session special case.
+                let vs = check_ra_single_session(&index);
+                let ok = vs.is_empty();
+                violations.extend(vs);
+                if ok && opts.want_commit_order {
+                    // With one session the commit order is the session order.
+                    commit_order = Some(
+                        index
+                            .txn_ids()
+                            .to_vec(),
+                    );
+                }
+            } else {
+                let rr = check_repeatable_reads(&index);
+                if rr.is_empty() {
+                    let g = saturate_ra(&index);
+                    finish_graph(
+                        &index,
+                        g,
+                        level,
+                        opts,
+                        &mut violations,
+                        &mut commit_order,
+                        &mut stats,
+                    );
+                } else {
+                    violations.extend(rr);
+                }
+            }
+        }
+        IsolationLevel::Causal => match saturate_cc(&index, opts.cc_strategy) {
+            Ok(g) => finish_graph(
+                &index,
+                g,
+                level,
+                opts,
+                &mut violations,
+                &mut commit_order,
+                &mut stats,
+            ),
+            Err(cycles) => {
+                for c in cycles.iter().take(opts.max_cycles) {
+                    violations.push(Violation::CausalityCycle(WitnessCycle::from_cycle(
+                        c, &index,
+                    )));
+                }
+            }
+        },
+    }
+
+    Outcome {
+        level,
+        violations,
+        commit_order,
+        stats,
+    }
+}
+
+fn finish_graph(
+    index: &HistoryIndex,
+    g: CommitGraph,
+    level: IsolationLevel,
+    opts: &CheckOptions,
+    violations: &mut Vec<Violation>,
+    commit_order: &mut Option<Vec<TxnId>>,
+    stats: &mut CheckStats,
+) {
+    stats.graph_edges = g.num_edges();
+    stats.inferred_edges = (0..g.num_nodes() as u32)
+        .map(|v| g.successors(v).iter().filter(|(_, k)| !k.is_base()).count())
+        .sum();
+    let cycles = g.find_cycles(opts.max_cycles);
+    if cycles.is_empty() {
+        if opts.want_commit_order {
+            *commit_order = commit_order_from_graph(index, &g);
+        }
+    } else {
+        for c in &cycles {
+            violations.push(Violation::CommitOrderCycle {
+                level,
+                cycle: WitnessCycle::from_cycle(c, index),
+            });
+        }
+    }
+}
+
+/// Checks a history against all three levels at once, weakest first.
+///
+/// Handy for reports: by monotonicity (`CC ⊑ RA ⊑ RC`), the verdict
+/// sequence is anti-monotone — once a level fails, all stronger levels
+/// fail.
+pub fn check_all_levels(history: &History) -> [Outcome; 3] {
+    [
+        check(history, IsolationLevel::ReadCommitted),
+        check(history, IsolationLevel::ReadAtomic),
+        check(history, IsolationLevel::Causal),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::linearize::validate_commit_order;
+    use crate::witness::ViolationKind;
+
+    fn level_separating_history() -> History {
+        // Fig. 4b: RC-consistent, RA-inconsistent.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        let (x, y) = (0, 1);
+        b.begin(s1);
+        b.write(s1, x, 1);
+        b.commit(s1);
+        b.begin(s1);
+        b.write(s1, x, 2);
+        b.write(s1, y, 2);
+        b.commit(s1);
+        b.begin(s2);
+        b.read(s2, x, 1);
+        b.read(s2, y, 2);
+        b.commit(s2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn verdicts_are_anti_monotone_in_strength() {
+        let h = level_separating_history();
+        let [rc, ra, cc] = check_all_levels(&h);
+        assert!(rc.is_consistent());
+        assert!(!ra.is_consistent());
+        assert!(!cc.is_consistent());
+    }
+
+    #[test]
+    fn commit_order_is_produced_and_validates() {
+        let h = level_separating_history();
+        let opts = CheckOptions {
+            want_commit_order: true,
+            ..CheckOptions::default()
+        };
+        let out = check_with(&h, IsolationLevel::ReadCommitted, &opts);
+        let order = out.commit_order().expect("consistent => order");
+        validate_commit_order(&h, IsolationLevel::ReadCommitted, order).unwrap();
+    }
+
+    #[test]
+    fn read_consistency_violations_flow_through() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.read(s, 0, 42);
+        b.commit(s);
+        let h = b.finish().unwrap();
+        for level in IsolationLevel::ALL {
+            let out = check(&h, level);
+            assert_eq!(out.verdict(), Verdict::Inconsistent);
+            assert_eq!(out.violations()[0].kind(), ViolationKind::ThinAirRead);
+        }
+    }
+
+    #[test]
+    fn single_session_ra_uses_fast_path_and_emits_order() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 0, 1);
+        b.commit(s);
+        b.begin(s);
+        b.read(s, 0, 1);
+        b.commit(s);
+        let h = b.finish().unwrap();
+        let opts = CheckOptions {
+            want_commit_order: true,
+            ..CheckOptions::default()
+        };
+        let out = check_with(&h, IsolationLevel::ReadAtomic, &opts);
+        assert!(out.is_consistent());
+        let order = out.commit_order().unwrap();
+        validate_commit_order(&h, IsolationLevel::ReadAtomic, order).unwrap();
+    }
+
+    #[test]
+    fn max_cycles_caps_witnesses() {
+        // Two independent RA violations in separate SCCs.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        for (base, sess_pair) in [(0u64, (s1, s2)), (10, (s2, s1))] {
+            let (sa, sb) = sess_pair;
+            let x = base;
+            let y = base + 1;
+            b.begin(sa);
+            b.write(sa, x, base + 1);
+            b.commit(sa);
+            b.begin(sa);
+            b.write(sa, x, base + 2);
+            b.write(sa, y, base + 2);
+            b.commit(sa);
+            b.begin(sb);
+            b.read(sb, x, base + 1);
+            b.read(sb, y, base + 2);
+            b.commit(sb);
+        }
+        let h = b.finish().unwrap();
+        let opts = CheckOptions {
+            max_cycles: 1,
+            ..CheckOptions::default()
+        };
+        let out = check_with(&h, IsolationLevel::ReadAtomic, &opts);
+        assert_eq!(out.violations().len(), 1);
+        let opts = CheckOptions {
+            max_cycles: 10,
+            ..CheckOptions::default()
+        };
+        let out = check_with(&h, IsolationLevel::ReadAtomic, &opts);
+        assert!(out.violations().len() >= 2);
+    }
+
+    #[test]
+    fn stats_count_inferred_edges() {
+        let h = level_separating_history();
+        let out = check(&h, IsolationLevel::ReadAtomic);
+        assert!(out.stats().inferred_edges >= 1);
+        assert!(out.stats().graph_edges > out.stats().inferred_edges);
+        assert_eq!(out.stats().committed_txns, 3);
+    }
+
+    #[test]
+    fn both_cc_strategies_give_same_verdict() {
+        let h = level_separating_history();
+        for strat in [CcStrategy::PointerScan, CcStrategy::BinarySearch] {
+            let opts = CheckOptions {
+                cc_strategy: strat,
+                ..CheckOptions::default()
+            };
+            let out = check_with(&h, IsolationLevel::Causal, &opts);
+            assert!(!out.is_consistent());
+        }
+    }
+
+    #[test]
+    fn empty_history_consistent_everywhere() {
+        let h = HistoryBuilder::new().finish().unwrap();
+        for level in IsolationLevel::ALL {
+            assert!(check(&h, level).is_consistent());
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The partial commit relation `co′` as a graph, plus cycle machinery.
+//!
+//! Each checker initializes `co′ = so ∪ wr` and saturates it with
+//! level-specific inferred edges (Definition 3.1). Consistency then reduces
+//! to acyclicity (Lemma 3.2):
+//!
+//! * if `co′` is acyclic, any topological order is a witnessing commit
+//!   order;
+//! * otherwise, every non-trivial strongly connected component yields a
+//!   cycle witnessing the violation (Section 3.4). Cycle extraction prefers
+//!   cycles with as few inferred (non-`so ∪ wr`) edges as possible, which
+//!   tends to surface the weakest — and therefore most serious — anomalies.
+
+use std::collections::VecDeque;
+
+use crate::index::HistoryIndex;
+use crate::types::{Key, SessionId};
+
+/// Label of a `co′` edge: how the ordering was established.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeKind {
+    /// Session order: consecutive committed transactions of one session.
+    SessionOrder,
+    /// Write–read order on `key`: the target reads the source's write.
+    WriteRead(Key),
+    /// An ordering inferred by the isolation level's axiom, on `key`.
+    Inferred(Key),
+}
+
+impl EdgeKind {
+    /// Whether the edge is part of `so ∪ wr` (as opposed to inferred).
+    #[inline]
+    pub fn is_base(self) -> bool {
+        !matches!(self, EdgeKind::Inferred(_))
+    }
+}
+
+/// A directed edge of the commit graph, in dense-transaction-id space.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source transaction (dense id).
+    pub from: u32,
+    /// Target transaction (dense id).
+    pub to: u32,
+    /// Provenance of the ordering.
+    pub kind: EdgeKind,
+}
+
+/// A cycle in the commit graph: a closed walk of edges
+/// (`edges[i].to == edges[i + 1].from`, wrapping around).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cycle {
+    /// The edges of the cycle, in order.
+    pub edges: Vec<Edge>,
+}
+
+impl Cycle {
+    /// Number of inferred (non-`so ∪ wr`) edges in the cycle.
+    pub fn inferred_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.kind.is_base()).count()
+    }
+
+    /// Transactions on the cycle, in order.
+    pub fn nodes(&self) -> Vec<u32> {
+        self.edges.iter().map(|e| e.from).collect()
+    }
+
+    /// Checks the closed-walk invariant (used by tests and witnesses).
+    pub fn is_closed(&self) -> bool {
+        !self.edges.is_empty()
+            && self
+                .edges
+                .iter()
+                .zip(self.edges.iter().cycle().skip(1))
+                .all(|(a, b)| a.to == b.from)
+    }
+}
+
+/// The partial commit relation `co′` over the committed transactions,
+/// stored as an adjacency list in dense-id space.
+#[derive(Clone, Debug)]
+pub struct CommitGraph {
+    adj: Vec<Vec<(u32, EdgeKind)>>,
+    num_edges: usize,
+}
+
+impl CommitGraph {
+    /// Creates a graph over `n` transactions with no edges.
+    pub fn new(n: usize) -> Self {
+        CommitGraph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes (committed transactions).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges added so far (duplicates counted).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the edge `from → to` with the given label.
+    #[inline]
+    pub fn add_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        self.adj[from as usize].push((to, kind));
+        self.num_edges += 1;
+    }
+
+    /// Successors of a node.
+    #[inline]
+    pub fn successors(&self, node: u32) -> &[(u32, EdgeKind)] {
+        &self.adj[node as usize]
+    }
+
+    /// Computes strongly connected components with an iterative Tarjan
+    /// algorithm. Returns one `Vec` of nodes per component, in reverse
+    /// topological order of the condensation.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let n = self.adj.len();
+        let mut index = vec![u32::MAX; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs = Vec::new();
+
+        // Explicit DFS stack: (node, next-successor-position).
+        let mut call_stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            call_stack.push((start, 0));
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                let vu = v as usize;
+                if *pos == 0 {
+                    index[vu] = next_index;
+                    lowlink[vu] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vu] = true;
+                }
+                let mut recursed = false;
+                while *pos < self.adj[vu].len() {
+                    let (w, _) = self.adj[vu][*pos];
+                    *pos += 1;
+                    let wu = w as usize;
+                    if index[wu] == u32::MAX {
+                        call_stack.push((w, 0));
+                        recursed = true;
+                        break;
+                    } else if on_stack[wu] {
+                        lowlink[vu] = lowlink[vu].min(index[wu]);
+                    }
+                }
+                if recursed {
+                    continue;
+                }
+                // v is finished.
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let pu = parent as usize;
+                    lowlink[pu] = lowlink[pu].min(lowlink[vu]);
+                }
+                if lowlink[vu] == index[vu] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Returns `true` if the graph has no cycle (self-loops included).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycles(1).is_empty()
+    }
+
+    /// A topological order of the nodes, or `None` if the graph is cyclic.
+    pub fn topological_order(&self) -> Option<Vec<u32>> {
+        let n = self.adj.len();
+        let mut indeg = vec![0u32; n];
+        for succs in &self.adj {
+            for &(w, _) in succs {
+                indeg[w as usize] += 1;
+            }
+        }
+        let mut queue: VecDeque<u32> = (0..n as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(w, _) in &self.adj[v as usize] {
+                indeg[w as usize] -= 1;
+                if indeg[w as usize] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Extracts up to `max` witness cycles, one per non-trivial SCC
+    /// (Section 3.4). Within each SCC the cycle is chosen to pass through an
+    /// inferred edge if one exists, closing it with a path that minimizes
+    /// the number of further inferred edges (0–1 BFS with `so ∪ wr` edges at
+    /// weight 0).
+    pub fn find_cycles(&self, max: usize) -> Vec<Cycle> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let n = self.adj.len();
+        let mut comp_of = vec![u32::MAX; n];
+        let sccs = self.sccs();
+        let mut cycles = Vec::new();
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                comp_of[v as usize] = ci as u32;
+            }
+        }
+        for (ci, comp) in sccs.iter().enumerate() {
+            if cycles.len() >= max {
+                break;
+            }
+            let trivial = comp.len() == 1 && {
+                let v = comp[0];
+                !self.adj[v as usize].iter().any(|&(w, _)| w == v)
+            };
+            if trivial {
+                continue;
+            }
+            // Collect candidate seed edges inside the component, preferring
+            // inferred edges (cycles must normally contain one, and seeding
+            // there lets the closing path minimize further inferred edges).
+            const MAX_SEEDS: usize = 16;
+            let mut seeds: Vec<Edge> = Vec::new();
+            let mut fallback: Option<Edge> = None;
+            'outer: for &v in comp {
+                for &(w, kind) in &self.adj[v as usize] {
+                    if comp_of[w as usize] == ci as u32 {
+                        if !kind.is_base() {
+                            seeds.push(Edge { from: v, to: w, kind });
+                            if seeds.len() >= MAX_SEEDS {
+                                break 'outer;
+                            }
+                        } else if fallback.is_none() {
+                            fallback = Some(Edge { from: v, to: w, kind });
+                        }
+                    }
+                }
+            }
+            if seeds.is_empty() {
+                seeds.push(fallback.expect("non-trivial SCC must contain an edge"));
+            }
+            // Evaluate each seed; keep the cycle with the fewest inferred
+            // edges (ties broken by length).
+            let mut best: Option<Vec<Edge>> = None;
+            let mut best_cost = (usize::MAX, usize::MAX);
+            for seed in seeds {
+                if seed.from == seed.to {
+                    best = Some(vec![seed]);
+                    break;
+                }
+                let path = self
+                    .cheapest_path_within(seed.to, seed.from, ci as u32, &comp_of)
+                    .expect("SCC nodes must be mutually reachable");
+                let mut edges = path;
+                edges.push(seed);
+                let cost = (
+                    edges.iter().filter(|e| !e.kind.is_base()).count(),
+                    edges.len(),
+                );
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = Some(edges);
+                }
+            }
+            let mut edges = best.expect("at least one seed evaluated");
+            // Rotate so the cycle starts at its smallest node: deterministic
+            // output for tests and stable reports.
+            let min_pos = edges
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.from)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            edges.rotate_left(min_pos);
+            cycles.push(Cycle { edges });
+        }
+        cycles
+    }
+
+    /// 0–1 BFS from `src` to `dst` staying inside component `ci`; inferred
+    /// edges cost 1, base edges cost 0. Returns the edge path.
+    fn cheapest_path_within(
+        &self,
+        src: u32,
+        dst: u32,
+        ci: u32,
+        comp_of: &[u32],
+    ) -> Option<Vec<Edge>> {
+        let n = self.adj.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut pred: Vec<Option<Edge>> = vec![None; n];
+        let mut dq: VecDeque<u32> = VecDeque::new();
+        dist[src as usize] = 0;
+        dq.push_front(src);
+        while let Some(v) = dq.pop_front() {
+            if v == dst {
+                break;
+            }
+            let dv = dist[v as usize];
+            for &(w, kind) in &self.adj[v as usize] {
+                if comp_of[w as usize] != ci {
+                    continue;
+                }
+                let cost = if kind.is_base() { 0 } else { 1 };
+                let nd = dv + cost;
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    pred[w as usize] = Some(Edge { from: v, to: w, kind });
+                    if cost == 0 {
+                        dq.push_front(w);
+                    } else {
+                        dq.push_back(w);
+                    }
+                }
+            }
+        }
+        if dist[dst as usize] == u32::MAX {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let e = pred[cur as usize]?;
+            cur = e.from;
+            edges.push(e);
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Builds the base commit relation `so ∪ wr` over the committed
+/// transactions: session-order edges between consecutive committed
+/// transactions of each session, plus one write–read edge per distinct
+/// `(writer, reader)` pair.
+pub fn base_commit_graph(index: &HistoryIndex) -> CommitGraph {
+    let m = index.num_committed();
+    let mut g = CommitGraph::new(m);
+    for s in 0..index.num_sessions() {
+        let list = index.session_committed(SessionId(s as u32));
+        for w in list.windows(2) {
+            g.add_edge(w[0], w[1], EdgeKind::SessionOrder);
+        }
+    }
+    // Deduplicate wr edges per (writer, reader) with a stamp array.
+    let mut stamp = vec![u32::MAX; m];
+    for d in 0..m as u32 {
+        for r in index.ext_reads(d) {
+            if stamp[r.writer as usize] != d {
+                stamp[r.writer as usize] = d;
+                g.add_edge(r.writer, d, EdgeKind::WriteRead(r.key));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> EdgeKind {
+        EdgeKind::Inferred(Key(i))
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = CommitGraph::new(0);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_order(), Some(vec![]));
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_topo_order() {
+        let mut g = CommitGraph::new(4);
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 2, EdgeKind::WriteRead(Key(0)));
+        g.add_edge(2, 3, k(1));
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_order(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn two_cycle_is_detected() {
+        let mut g = CommitGraph::new(2);
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 0, k(0));
+        assert!(!g.is_acyclic());
+        assert_eq!(g.topological_order(), None);
+        let cycles = g.find_cycles(10);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].is_closed());
+        assert_eq!(cycles[0].edges.len(), 2);
+        assert_eq!(cycles[0].inferred_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = CommitGraph::new(1);
+        g.add_edge(0, 0, k(0));
+        assert!(!g.is_acyclic());
+        let cycles = g.find_cycles(10);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].edges.len(), 1);
+        assert!(cycles[0].is_closed());
+    }
+
+    #[test]
+    fn one_cycle_per_scc() {
+        let mut g = CommitGraph::new(6);
+        // SCC 1: 0 <-> 1; SCC 2: 2 -> 3 -> 4 -> 2; node 5 isolated.
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 0, k(0));
+        g.add_edge(2, 3, EdgeKind::SessionOrder);
+        g.add_edge(3, 4, EdgeKind::WriteRead(Key(0)));
+        g.add_edge(4, 2, k(1));
+        g.add_edge(5, 0, EdgeKind::SessionOrder);
+        let cycles = g.find_cycles(10);
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert!(c.is_closed());
+        }
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = cycles.iter().map(|c| c.edges.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn cycle_extraction_prefers_few_inferred_edges() {
+        let mut g = CommitGraph::new(4);
+        // Two ways back from 1 to 0: direct inferred edge, or a base path
+        // 1 -> 2 -> 3 -> 0. The seed edge is inferred (0 -> 1 is base,
+        // 1 -> 0 inferred); closing path should use base edges only...
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 0, k(9));
+        g.add_edge(1, 2, k(1));
+        g.add_edge(2, 3, k(2));
+        g.add_edge(3, 0, k(3));
+        let cycles = g.find_cycles(1);
+        assert_eq!(cycles.len(), 1);
+        // Best cycle: base edge 0->1 plus inferred 1->0 (1 inferred edge).
+        assert_eq!(cycles[0].inferred_count(), 1);
+        assert_eq!(cycles[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn max_limits_cycle_count() {
+        let mut g = CommitGraph::new(4);
+        g.add_edge(0, 1, k(0));
+        g.add_edge(1, 0, k(0));
+        g.add_edge(2, 3, k(0));
+        g.add_edge(3, 2, k(0));
+        assert_eq!(g.find_cycles(1).len(), 1);
+        assert_eq!(g.find_cycles(0).len(), 0);
+        assert_eq!(g.find_cycles(5).len(), 2);
+    }
+
+    #[test]
+    fn sccs_cover_all_nodes() {
+        let mut g = CommitGraph::new(5);
+        g.add_edge(0, 1, k(0));
+        g.add_edge(1, 2, k(0));
+        g.add_edge(2, 0, k(0));
+        g.add_edge(3, 4, k(0));
+        let sccs = g.sccs();
+        let mut all: Vec<u32> = sccs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn large_path_graph_does_not_overflow_stack() {
+        // Iterative Tarjan must handle deep graphs.
+        let n = 200_000;
+        let mut g = CommitGraph::new(n);
+        for i in 0..(n as u32 - 1) {
+            g.add_edge(i, i + 1, EdgeKind::SessionOrder);
+        }
+        assert!(g.is_acyclic());
+        assert_eq!(g.sccs().len(), n);
+    }
+}

@@ -1,0 +1,647 @@
+//! Histories: sessions of transactions with a resolved write–read relation.
+//!
+//! A [`History`] follows Definition 2.2 of the paper: a set of transactions
+//! partitioned into sessions (the session order `so` totally orders each
+//! session), where each transaction either committed or aborted, together
+//! with a write–read relation `wr` pairing every read with the unique write
+//! producing its value. `wr` is not stored explicitly: the unique-value
+//! assumption lets the [`HistoryBuilder`] resolve each read to its source
+//! write once, at construction time.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::op::{Op, ReadSource};
+use crate::types::{Key, OpLoc, SessionId, TxnId, Value};
+
+/// A transaction: a `po`-ordered list of operations plus a commit flag.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    ops: Vec<Op>,
+    committed: bool,
+}
+
+impl Transaction {
+    /// The operations of the transaction in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Whether the transaction committed (as opposed to aborted).
+    #[inline]
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Number of operations in the transaction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the transaction has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// An immutable transaction history, ready for isolation checking.
+///
+/// Construct one with [`HistoryBuilder`]. The history owns an interning table
+/// mapping dense [`Key`]s back to the user-facing `u64` key names.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::HistoryBuilder;
+///
+/// # fn main() -> Result<(), awdit_core::BuildError> {
+/// let mut b = HistoryBuilder::new();
+/// let s = b.session();
+/// b.begin(s);
+/// b.write(s, 100, 1);
+/// b.commit(s);
+/// b.begin(s);
+/// b.read(s, 100, 1);
+/// b.commit(s);
+/// let history = b.finish()?;
+/// assert_eq!(history.num_sessions(), 1);
+/// assert_eq!(history.size(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct History {
+    sessions: Vec<Vec<Transaction>>,
+    key_names: Vec<u64>,
+    size: usize,
+}
+
+impl History {
+    /// Number of sessions, `k`.
+    #[inline]
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of distinct keys appearing in the history, `ℓ`.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.key_names.len()
+    }
+
+    /// Total number of operations, `n` (the *size* of the history).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The transactions of session `s`, in session order.
+    #[inline]
+    pub fn session(&self, s: SessionId) -> &[Transaction] {
+        &self.sessions[s.index()]
+    }
+
+    /// Iterates over all sessions.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &[Transaction])> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, txns)| (SessionId(i as u32), txns.as_slice()))
+    }
+
+    /// Looks up a transaction by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not denote a transaction of this history.
+    #[inline]
+    pub fn txn(&self, id: TxnId) -> &Transaction {
+        &self.sessions[id.session as usize][id.index as usize]
+    }
+
+    /// Looks up an operation by location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of bounds.
+    #[inline]
+    pub fn op(&self, loc: OpLoc) -> &Op {
+        &self.txn(loc.txn).ops()[loc.op as usize]
+    }
+
+    /// Iterates over all transactions (committed and aborted) with their ids.
+    pub fn txns(&self) -> impl Iterator<Item = (TxnId, &Transaction)> {
+        self.sessions.iter().enumerate().flat_map(|(s, txns)| {
+            txns.iter()
+                .enumerate()
+                .map(move |(i, t)| (TxnId::new(s as u32, i as u32), t))
+        })
+    }
+
+    /// Iterates over committed transactions only.
+    pub fn committed_txns(&self) -> impl Iterator<Item = (TxnId, &Transaction)> {
+        self.txns().filter(|(_, t)| t.is_committed())
+    }
+
+    /// Number of transactions across all sessions (committed and aborted).
+    pub fn num_txns(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+
+    /// Number of committed transactions.
+    pub fn num_committed(&self) -> usize {
+        self.committed_txns().count()
+    }
+
+    /// The user-facing name of a dense key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not part of this history.
+    #[inline]
+    pub fn key_name(&self, key: Key) -> u64 {
+        self.key_names[key.index()]
+    }
+}
+
+impl fmt::Display for History {
+    /// Renders the history in the native text format's spirit: one session
+    /// per block, one transaction per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (sid, txns) in self.sessions() {
+            writeln!(f, "session {sid}:")?;
+            for (i, t) in txns.iter().enumerate() {
+                write!(f, "  t{i}{}:", if t.is_committed() { "" } else { " (aborted)" })?;
+                for op in t.ops() {
+                    write!(f, " {op}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors detected while building a history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// Two writes carry the same `(key, value)` pair, breaking the
+    /// unique-value assumption required for `wr` resolution.
+    DuplicateWrite {
+        /// The key written twice with the same value.
+        key_name: u64,
+        /// The duplicated value.
+        value: Value,
+        /// The first write.
+        first: OpLoc,
+        /// The offending second write.
+        second: OpLoc,
+    },
+    /// An operation was issued outside a `begin`/`commit` pair.
+    NoOpenTransaction {
+        /// Session on which the stray operation was issued.
+        session: SessionId,
+    },
+    /// `finish` was called while a transaction was still open.
+    UnclosedTransaction {
+        /// Session with the open transaction.
+        session: SessionId,
+    },
+    /// `begin` was called while a transaction was already open.
+    NestedTransaction {
+        /// Session with the already-open transaction.
+        session: SessionId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateWrite {
+                key_name,
+                value,
+                first,
+                second,
+            } => write!(
+                f,
+                "duplicate write of value {value} to key {key_name} at {second} (first written at {first})"
+            ),
+            BuildError::NoOpenTransaction { session } => {
+                write!(f, "operation issued on session {session} with no open transaction")
+            }
+            BuildError::UnclosedTransaction { session } => {
+                write!(f, "session {session} has an unclosed transaction")
+            }
+            BuildError::NestedTransaction { session } => {
+                write!(f, "begin on session {session} while a transaction is open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Raw (unresolved) operation recorded by the builder.
+#[derive(Copy, Clone, Debug)]
+enum RawOp {
+    Write { key: Key, value: Value },
+    Read { key: Key, value: Value },
+}
+
+#[derive(Debug)]
+struct RawTxn {
+    ops: Vec<RawOp>,
+    committed: bool,
+}
+
+/// Incrementally constructs a [`History`].
+///
+/// The builder interns `u64` key names into dense [`Key`]s, enforces the
+/// unique-value assumption, and resolves every read to its source write when
+/// [`finish`](HistoryBuilder::finish) is called. Reads of values nobody wrote
+/// resolve to [`ReadSource::ThinAir`] (reported later by the Read Consistency
+/// check) rather than failing the build, mirroring how a black-box tester
+/// must cope with arbitrary database output.
+#[derive(Debug, Default)]
+pub struct HistoryBuilder {
+    sessions: Vec<Vec<RawTxn>>,
+    open: Vec<Option<RawTxn>>,
+    key_ids: HashMap<u64, Key>,
+    key_names: Vec<u64>,
+    next_auto_value: u64,
+    first_protocol_error: Option<(SessionId, ProtocolError)>,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new session and returns its id.
+    pub fn session(&mut self) -> SessionId {
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions.push(Vec::new());
+        self.open.push(None);
+        id
+    }
+
+    /// Ensures at least `k` sessions exist, returning their ids.
+    pub fn sessions(&mut self, k: usize) -> Vec<SessionId> {
+        while self.sessions.len() < k {
+            self.session();
+        }
+        (0..k as u32).map(SessionId).collect()
+    }
+
+    /// Interns a key name, returning its dense id.
+    pub fn key(&mut self, name: u64) -> Key {
+        if let Some(&k) = self.key_ids.get(&name) {
+            return k;
+        }
+        let k = Key(self.key_names.len() as u32);
+        self.key_ids.insert(name, k);
+        self.key_names.push(name);
+        k
+    }
+
+    /// Begins a transaction on `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session id is unknown. A `begin` while another
+    /// transaction is open is reported by [`finish`](Self::finish).
+    pub fn begin(&mut self, session: SessionId) {
+        let slot = &mut self.open[session.index()];
+        if slot.is_some() {
+            // Close the previous transaction as aborted and remember the
+            // protocol error; surfacing it from `finish` keeps the builder's
+            // mutators infallible.
+            self.protocol_error(session, ProtocolError::Nested);
+            return;
+        }
+        *slot = Some(RawTxn {
+            ops: Vec::new(),
+            committed: false,
+        });
+    }
+
+    /// Appends a write of `value` to `key_name` in the open transaction.
+    pub fn write(&mut self, session: SessionId, key_name: u64, value: u64) {
+        let key = self.key(key_name);
+        self.push_op(session, RawOp::Write { key, value: Value(value) });
+    }
+
+    /// Appends a write with a fresh, globally-unique value; returns the value.
+    pub fn write_auto(&mut self, session: SessionId, key_name: u64) -> u64 {
+        // Auto values count down from the top of the range so that they never
+        // collide with small user-chosen values.
+        self.next_auto_value += 1;
+        let v = u64::MAX - self.next_auto_value;
+        self.write(session, key_name, v);
+        v
+    }
+
+    /// Appends a read observing `value` on `key_name` in the open transaction.
+    pub fn read(&mut self, session: SessionId, key_name: u64, value: u64) {
+        let key = self.key(key_name);
+        self.push_op(session, RawOp::Read { key, value: Value(value) });
+    }
+
+    /// Commits the open transaction on `session`.
+    pub fn commit(&mut self, session: SessionId) {
+        self.close(session, true);
+    }
+
+    /// Aborts the open transaction on `session`.
+    pub fn abort(&mut self, session: SessionId) {
+        self.close(session, false);
+    }
+
+    fn close(&mut self, session: SessionId, committed: bool) {
+        match self.open[session.index()].take() {
+            Some(mut t) => {
+                t.committed = committed;
+                self.sessions[session.index()].push(t);
+            }
+            None => self.protocol_error(session, ProtocolError::NotOpen),
+        }
+    }
+
+    fn push_op(&mut self, session: SessionId, op: RawOp) {
+        match &mut self.open[session.index()] {
+            Some(t) => t.ops.push(op),
+            None => self.protocol_error(session, ProtocolError::NotOpen),
+        }
+    }
+
+    fn protocol_error(&mut self, session: SessionId, kind: ProtocolError) {
+        if self.first_protocol_error.is_none() {
+            self.first_protocol_error = Some((session, kind));
+        }
+    }
+
+    /// Resolves reads and produces the immutable [`History`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateWrite`] if two writes share a
+    /// `(key, value)` pair, and protocol errors
+    /// ([`BuildError::NoOpenTransaction`], [`BuildError::NestedTransaction`],
+    /// [`BuildError::UnclosedTransaction`]) for malformed begin/commit
+    /// sequences.
+    pub fn finish(mut self) -> Result<History, BuildError> {
+        if let Some((session, kind)) = self.first_protocol_error {
+            return Err(match kind {
+                ProtocolError::NotOpen => BuildError::NoOpenTransaction { session },
+                ProtocolError::Nested => BuildError::NestedTransaction { session },
+            });
+        }
+        for (s, slot) in self.open.iter().enumerate() {
+            if slot.is_some() {
+                return Err(BuildError::UnclosedTransaction {
+                    session: SessionId(s as u32),
+                });
+            }
+        }
+
+        // Pass 1: build the unique-value write map (key, value) -> location.
+        let mut writes: HashMap<(Key, Value), OpLoc> = HashMap::new();
+        for (s, txns) in self.sessions.iter().enumerate() {
+            for (i, t) in txns.iter().enumerate() {
+                let txn = TxnId::new(s as u32, i as u32);
+                for (p, op) in t.ops.iter().enumerate() {
+                    if let RawOp::Write { key, value } = *op {
+                        let loc = OpLoc::new(txn, p as u32);
+                        if let Some(&first) = writes.get(&(key, value)) {
+                            return Err(BuildError::DuplicateWrite {
+                                key_name: self.key_names[key.index()],
+                                value,
+                                first,
+                                second: loc,
+                            });
+                        }
+                        writes.insert((key, value), loc);
+                    }
+                }
+            }
+        }
+
+        // Pass 2: resolve reads.
+        let mut size = 0usize;
+        let sessions: Vec<Vec<Transaction>> = self
+            .sessions
+            .drain(..)
+            .enumerate()
+            .map(|(s, txns)| {
+                txns.into_iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let txn = TxnId::new(s as u32, i as u32);
+                        size += t.ops.len();
+                        let ops = t
+                            .ops
+                            .into_iter()
+                            .map(|op| match op {
+                                RawOp::Write { key, value } => Op::Write { key, value },
+                                RawOp::Read { key, value } => {
+                                    let source = match writes.get(&(key, value)) {
+                                        Some(&loc) if loc.txn == txn => {
+                                            ReadSource::Internal { op: loc.op }
+                                        }
+                                        Some(&loc) => ReadSource::External {
+                                            txn: loc.txn,
+                                            op: loc.op,
+                                        },
+                                        None => ReadSource::ThinAir,
+                                    };
+                                    Op::Read { key, value, source }
+                                }
+                            })
+                            .collect();
+                        Transaction {
+                            ops,
+                            committed: t.committed,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Ok(History {
+            sessions,
+            key_names: self.key_names,
+            size,
+        })
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+enum ProtocolError {
+    NotOpen,
+    Nested,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_history() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 10, 1);
+        b.write(s0, 20, 2);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 10, 1);
+        b.read(s1, 20, 2);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves_external_reads() {
+        let h = simple_history();
+        assert_eq!(h.num_sessions(), 2);
+        assert_eq!(h.size(), 4);
+        assert_eq!(h.num_keys(), 2);
+        let t = h.txn(TxnId::new(1, 0));
+        match t.ops()[0] {
+            Op::Read { source, .. } => {
+                assert_eq!(source, ReadSource::External { txn: TxnId::new(0, 0), op: 0 });
+            }
+            _ => panic!("expected read"),
+        }
+    }
+
+    #[test]
+    fn resolves_internal_and_thin_air_reads() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 5);
+        b.read(s, 1, 5); // internal
+        b.read(s, 1, 99); // thin air
+        b.commit(s);
+        let h = b.finish().unwrap();
+        let t = h.txn(TxnId::new(0, 0));
+        assert_eq!(t.ops()[1].read_source(), Some(ReadSource::Internal { op: 0 }));
+        assert_eq!(t.ops()[2].read_source(), Some(ReadSource::ThinAir));
+    }
+
+    #[test]
+    fn duplicate_write_is_rejected() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 5);
+        b.write(s, 1, 5);
+        b.commit(s);
+        match b.finish() {
+            Err(BuildError::DuplicateWrite { key_name, .. }) => assert_eq!(key_name, 1),
+            other => panic!("expected duplicate write error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_value_on_different_keys_is_fine() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 5);
+        b.write(s, 2, 5);
+        b.commit(s);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn protocol_errors_are_reported() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.write(s, 1, 1); // no open txn
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::NoOpenTransaction { .. })
+        ));
+
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.begin(s);
+        assert!(matches!(b.finish(), Err(BuildError::NestedTransaction { .. })));
+
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 1);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::UnclosedTransaction { .. })
+        ));
+    }
+
+    #[test]
+    fn aborted_transactions_are_kept() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 1);
+        b.abort(s);
+        b.begin(s);
+        b.read(s, 1, 1);
+        b.commit(s);
+        let h = b.finish().unwrap();
+        assert_eq!(h.num_txns(), 2);
+        assert_eq!(h.num_committed(), 1);
+        assert!(!h.txn(TxnId::new(0, 0)).is_committed());
+        // The read still resolves to the aborted write; Read Consistency
+        // flags it later.
+        assert_eq!(
+            h.txn(TxnId::new(0, 1)).ops()[0].read_source(),
+            Some(ReadSource::External { txn: TxnId::new(0, 0), op: 0 })
+        );
+    }
+
+    #[test]
+    fn write_auto_values_do_not_collide() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        let v1 = b.write_auto(s, 1);
+        let v2 = b.write_auto(s, 1);
+        b.write(s, 1, 1);
+        b.commit(s);
+        assert_ne!(v1, v2);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn display_renders_sessions() {
+        let h = simple_history();
+        let s = h.to_string();
+        assert!(s.contains("session s0:"));
+        assert!(s.contains("W(k0, 1)"));
+        assert!(s.contains("R(k1, 2)"));
+    }
+
+    #[test]
+    fn key_interning_is_stable() {
+        let mut b = HistoryBuilder::new();
+        let k1 = b.key(42);
+        let k2 = b.key(42);
+        let k3 = b.key(43);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 42, 1);
+        b.commit(s);
+        let h = b.finish().unwrap();
+        assert_eq!(h.key_name(k1), 42);
+    }
+}

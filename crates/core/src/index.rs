@@ -1,0 +1,423 @@
+//! Derived indexes over a history, shared by all checkers.
+//!
+//! The checkers in this crate never walk the raw [`History`] on their hot
+//! paths. Instead, a [`HistoryIndex`] is built once in `O(n log n)` time and
+//! provides:
+//!
+//! * a dense numbering `0..m` of the committed transactions (so that the
+//!   commit-relation graph and stamp arrays can use plain vectors),
+//! * per-transaction sorted key sets `KeysWt(t)` / `KeysRd(t)`,
+//! * the operation-level external reads of every transaction in program
+//!   order (the `wr` relation, pre-filtered to committed writers),
+//! * per-`(session, key)` write lists in session order (the `Writes_s'[x]`
+//!   arrays of Algorithm 3).
+
+use std::collections::HashMap;
+
+use crate::history::History;
+use crate::op::{Op, ReadSource};
+use crate::types::{Key, SessionId, TxnId};
+
+/// Dense identifier of a committed transaction (index into
+/// [`HistoryIndex::txn_ids`]).
+pub type DenseId = u32;
+
+/// Sentinel for "no transaction" in stamp/slot arrays.
+pub const NONE: DenseId = u32::MAX;
+
+/// An external read of a transaction: the reading op's position, the key,
+/// and the (dense id of the) committed writer transaction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ExtRead {
+    /// Key being read.
+    pub key: Key,
+    /// Dense id of the writing transaction (committed, distinct from the
+    /// reader).
+    pub writer: DenseId,
+    /// Position of the read in the reader's program order.
+    pub op: u32,
+}
+
+/// Per-transaction derived data.
+#[derive(Clone, Debug, Default)]
+struct TxnIndex {
+    /// Sorted, deduplicated keys written by the transaction.
+    keys_written: Vec<Key>,
+    /// Sorted, deduplicated keys read externally from committed writers.
+    keys_read: Vec<Key>,
+    /// External reads (committed writers only), in program order.
+    ext_reads: Vec<ExtRead>,
+    /// First external writer per key: sorted by key, parallel to
+    /// `keys_read`. Entry `i` is the writer of the `po`-first external read
+    /// of `keys_read[i]`.
+    first_writer_per_key: Vec<DenseId>,
+    /// All distinct `(key, writer)` pairs read externally, sorted. Unlike
+    /// `first_writer_per_key`, a key appears once per distinct writer
+    /// (histories violating repeatable reads have several).
+    read_pairs: Vec<(Key, DenseId)>,
+}
+
+/// Immutable derived indexes for one history. See the module docs.
+#[derive(Clone, Debug)]
+pub struct HistoryIndex {
+    /// `txn_ids[d]` is the [`TxnId`] of dense transaction `d`.
+    txn_ids: Vec<TxnId>,
+    /// `dense[s][i]` is the dense id of the committed transaction at session
+    /// `s`, session position `i`, or [`NONE`] if that transaction aborted.
+    dense: Vec<Vec<DenseId>>,
+    /// Session-local position of each dense transaction, counting committed
+    /// transactions only.
+    committed_pos: Vec<u32>,
+    /// Dense ids of each session's committed transactions in session order.
+    session_committed: Vec<Vec<DenseId>>,
+    txn_index: Vec<TxnIndex>,
+    /// Per key: the sessions writing it (ascending), each with its
+    /// committed writers in session order. Grouping by key lets the CC
+    /// checker visit only sessions that actually write the key.
+    writes_by_key: HashMap<Key, Vec<(u32, Vec<DenseId>)>>,
+    num_keys: usize,
+    num_sessions: usize,
+    /// Total number of external-read records (ops, not deduplicated).
+    num_ext_reads: usize,
+}
+
+impl HistoryIndex {
+    /// Builds the index for `history`.
+    pub fn new(history: &History) -> Self {
+        let num_sessions = history.num_sessions();
+        let num_keys = history.num_keys();
+
+        // Dense numbering of committed transactions, session-major.
+        let mut txn_ids = Vec::new();
+        let mut dense: Vec<Vec<DenseId>> = Vec::with_capacity(num_sessions);
+        let mut committed_pos = Vec::new();
+        let mut session_committed: Vec<Vec<DenseId>> = Vec::with_capacity(num_sessions);
+        for (sid, txns) in history.sessions() {
+            let mut session_dense = Vec::with_capacity(txns.len());
+            let mut committed = Vec::new();
+            for (i, t) in txns.iter().enumerate() {
+                if t.is_committed() {
+                    let d = txn_ids.len() as DenseId;
+                    txn_ids.push(TxnId::new(sid.0, i as u32));
+                    committed_pos.push(committed.len() as u32);
+                    committed.push(d);
+                    session_dense.push(d);
+                } else {
+                    session_dense.push(NONE);
+                }
+            }
+            dense.push(session_dense);
+            session_committed.push(committed);
+        }
+
+        let m = txn_ids.len();
+        let mut txn_index: Vec<TxnIndex> = vec![TxnIndex::default(); m];
+        let mut writes_by_key: HashMap<Key, Vec<(u32, Vec<DenseId>)>> = HashMap::new();
+        let mut num_ext_reads = 0usize;
+
+        for (d, &tid) in txn_ids.iter().enumerate() {
+            let txn = history.txn(tid);
+            let idx = &mut txn_index[d];
+            for (p, op) in txn.ops().iter().enumerate() {
+                match *op {
+                    Op::Write { key, .. } => {
+                        idx.keys_written.push(key);
+                    }
+                    Op::Read { key, source, .. } => {
+                        if let ReadSource::External { txn: wtxn, .. } = source {
+                            let wd = dense[wtxn.session as usize][wtxn.index as usize];
+                            if wd != NONE {
+                                idx.ext_reads.push(ExtRead {
+                                    key,
+                                    writer: wd,
+                                    op: p as u32,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            idx.keys_written.sort_unstable();
+            idx.keys_written.dedup();
+            num_ext_reads += idx.ext_reads.len();
+
+            // keys_read + first writer per key, from the po-ordered reads.
+            let mut per_key: Vec<(Key, DenseId)> = Vec::with_capacity(idx.ext_reads.len());
+            for r in &idx.ext_reads {
+                per_key.push((r.key, r.writer));
+            }
+            // Stable sort keeps po order within equal keys, so the first
+            // entry per key is the po-first read of that key.
+            per_key.sort_by_key(|&(k, _)| k);
+            idx.read_pairs = per_key.clone();
+            idx.read_pairs.sort_unstable();
+            idx.read_pairs.dedup();
+            per_key.dedup_by_key(|&mut (k, _)| k);
+            idx.keys_read = per_key.iter().map(|&(k, _)| k).collect();
+            idx.first_writer_per_key = per_key.iter().map(|&(_, w)| w).collect();
+
+            for &k in &idx.keys_written {
+                let per_session = writes_by_key.entry(k).or_default();
+                // Transactions arrive session-major, so the session list
+                // stays sorted by pushing at the back.
+                match per_session.last_mut() {
+                    Some((s, list)) if *s == tid.session => list.push(d as DenseId),
+                    _ => per_session.push((tid.session, vec![d as DenseId])),
+                }
+            }
+        }
+
+        HistoryIndex {
+            txn_ids,
+            dense,
+            committed_pos,
+            session_committed,
+            txn_index,
+            writes_by_key,
+            num_keys,
+            num_sessions,
+            num_ext_reads,
+        }
+    }
+
+    /// Number of committed transactions, `m`.
+    #[inline]
+    pub fn num_committed(&self) -> usize {
+        self.txn_ids.len()
+    }
+
+    /// Number of sessions, `k`.
+    #[inline]
+    pub fn num_sessions(&self) -> usize {
+        self.num_sessions
+    }
+
+    /// Number of distinct keys in the history.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Total number of external-read records across all transactions.
+    #[inline]
+    pub fn num_ext_reads(&self) -> usize {
+        self.num_ext_reads
+    }
+
+    /// The [`TxnId`] of a dense transaction.
+    #[inline]
+    pub fn txn_id(&self, d: DenseId) -> TxnId {
+        self.txn_ids[d as usize]
+    }
+
+    /// All dense-to-[`TxnId`] mappings, dense-id order.
+    #[inline]
+    pub fn txn_ids(&self) -> &[TxnId] {
+        &self.txn_ids
+    }
+
+    /// The dense id of a committed transaction, or [`NONE`] if it aborted.
+    #[inline]
+    pub fn dense_id(&self, t: TxnId) -> DenseId {
+        self.dense[t.session as usize][t.index as usize]
+    }
+
+    /// Position of dense transaction `d` within its session, counting
+    /// committed transactions only.
+    #[inline]
+    pub fn committed_pos(&self, d: DenseId) -> u32 {
+        self.committed_pos[d as usize]
+    }
+
+    /// Session of dense transaction `d`.
+    #[inline]
+    pub fn session_of(&self, d: DenseId) -> u32 {
+        self.txn_ids[d as usize].session
+    }
+
+    /// Dense ids of session `s`'s committed transactions, in session order.
+    #[inline]
+    pub fn session_committed(&self, s: SessionId) -> &[DenseId] {
+        &self.session_committed[s.index()]
+    }
+
+    /// Sorted, deduplicated keys written by dense transaction `d`.
+    #[inline]
+    pub fn keys_written(&self, d: DenseId) -> &[Key] {
+        &self.txn_index[d as usize].keys_written
+    }
+
+    /// Sorted, deduplicated keys read externally by dense transaction `d`.
+    #[inline]
+    pub fn keys_read(&self, d: DenseId) -> &[Key] {
+        &self.txn_index[d as usize].keys_read
+    }
+
+    /// Whether dense transaction `d` writes `key`.
+    #[inline]
+    pub fn writes_key(&self, d: DenseId, key: Key) -> bool {
+        self.txn_index[d as usize].keys_written.binary_search(&key).is_ok()
+    }
+
+    /// External reads of dense transaction `d`, in program order.
+    #[inline]
+    pub fn ext_reads(&self, d: DenseId) -> &[ExtRead] {
+        &self.txn_index[d as usize].ext_reads
+    }
+
+    /// Writers of the `po`-first external read of each key in
+    /// [`keys_read`](Self::keys_read), as a parallel array.
+    #[inline]
+    pub fn first_writers(&self, d: DenseId) -> &[DenseId] {
+        &self.txn_index[d as usize].first_writer_per_key
+    }
+
+    /// The writer of the `po`-first external read of `key` by `d`, if any.
+    #[inline]
+    pub fn first_writer_of(&self, d: DenseId, key: Key) -> Option<DenseId> {
+        let idx = &self.txn_index[d as usize];
+        idx.keys_read
+            .binary_search(&key)
+            .ok()
+            .map(|i| idx.first_writer_per_key[i])
+    }
+
+    /// All distinct `(key, writer)` pairs read externally by `d`, sorted by
+    /// key then writer. A key occurs once per distinct writer, so this is
+    /// exactly the set `{(x, t1) | t1 →wr_x→ d}` iterated by Algorithm 3.
+    #[inline]
+    pub fn read_pairs(&self, d: DenseId) -> &[(Key, DenseId)] {
+        &self.txn_index[d as usize].read_pairs
+    }
+
+    /// Committed writers of `key` in session `s`, in session order
+    /// (the `Writes_s[x]` array of Algorithm 3).
+    #[inline]
+    pub fn session_writes(&self, s: u32, key: Key) -> &[DenseId] {
+        self.writes_by_key
+            .get(&key)
+            .and_then(|per_session| {
+                per_session
+                    .binary_search_by_key(&s, |&(sess, _)| sess)
+                    .ok()
+                    .map(|i| per_session[i].1.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// The sessions writing `key` (ascending), each with its committed
+    /// writers in session order — only sessions with at least one write
+    /// appear, which is what keeps Algorithm 3's per-read work proportional
+    /// to the writers that exist rather than to `k`.
+    #[inline]
+    pub fn key_writes(&self, key: Key) -> &[(u32, Vec<DenseId>)] {
+        self.writes_by_key
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over every `(session, key)` pair with at least one committed
+    /// write, along with its writer list.
+    pub fn session_write_lists(&self) -> impl Iterator<Item = (u32, Key, &[DenseId])> {
+        self.writes_by_key
+            .iter()
+            .flat_map(|(&k, per_session)| {
+                per_session.iter().map(move |(s, v)| (*s, k, v.as_slice()))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    fn build() -> (History, HistoryIndex) {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        // s0: t0 writes x=1, y=2; t1 (aborted) writes x=9; t2 writes x=3.
+        b.begin(s0);
+        b.write(s0, 100, 1);
+        b.write(s0, 200, 2);
+        b.commit(s0);
+        b.begin(s0);
+        b.write(s0, 100, 9);
+        b.abort(s0);
+        b.begin(s0);
+        b.write(s0, 100, 3);
+        b.commit(s0);
+        // s1: reads x twice (from t0 then t2), y once, and the aborted write.
+        b.begin(s1);
+        b.read(s1, 100, 1);
+        b.read(s1, 200, 2);
+        b.read(s1, 100, 3);
+        b.read(s1, 100, 9); // from aborted txn: excluded from ext reads
+        b.commit(s1);
+        let h = b.finish().unwrap();
+        let idx = HistoryIndex::new(&h);
+        (h, idx)
+    }
+
+    #[test]
+    fn dense_numbering_skips_aborted() {
+        let (h, idx) = build();
+        assert_eq!(h.num_txns(), 4);
+        assert_eq!(idx.num_committed(), 3);
+        assert_eq!(idx.dense_id(TxnId::new(0, 1)), NONE);
+        let d2 = idx.dense_id(TxnId::new(0, 2));
+        assert_ne!(d2, NONE);
+        assert_eq!(idx.committed_pos(d2), 1); // second *committed* txn of s0
+        assert_eq!(idx.txn_id(d2), TxnId::new(0, 2));
+    }
+
+    #[test]
+    fn ext_reads_exclude_aborted_writers() {
+        let (_, idx) = build();
+        let reader = idx.dense_id(TxnId::new(1, 0));
+        let reads = idx.ext_reads(reader);
+        assert_eq!(reads.len(), 3); // the aborted-writer read is dropped
+        assert_eq!(reads[0].op, 0);
+        assert_eq!(reads[2].op, 2);
+    }
+
+    #[test]
+    fn key_sets_are_sorted_and_deduped() {
+        let (_, idx) = build();
+        let reader = idx.dense_id(TxnId::new(1, 0));
+        let keys = idx.keys_read(reader);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let writer = idx.dense_id(TxnId::new(0, 0));
+        assert_eq!(idx.keys_written(writer).len(), 2);
+        assert!(idx.writes_key(writer, keys[0]));
+    }
+
+    #[test]
+    fn first_writer_per_key_is_po_first() {
+        let (_, idx) = build();
+        let reader = idx.dense_id(TxnId::new(1, 0));
+        let t0 = idx.dense_id(TxnId::new(0, 0));
+        let x = idx.ext_reads(reader)[0].key;
+        assert_eq!(idx.first_writer_of(reader, x), Some(t0));
+    }
+
+    #[test]
+    fn session_writes_in_session_order() {
+        let (_, idx) = build();
+        let t0 = idx.dense_id(TxnId::new(0, 0));
+        let t2 = idx.dense_id(TxnId::new(0, 2));
+        let x = idx.keys_written(t0)[0];
+        // Both t0 and t2 write key x (= key id 0); the aborted txn is absent.
+        assert_eq!(idx.session_writes(0, x), &[t0, t2]);
+        assert!(idx.session_writes(1, x).is_empty());
+    }
+
+    #[test]
+    fn session_committed_lists() {
+        let (_, idx) = build();
+        assert_eq!(idx.session_committed(SessionId(0)).len(), 2);
+        assert_eq!(idx.session_committed(SessionId(1)).len(), 1);
+    }
+}

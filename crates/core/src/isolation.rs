@@ -1,0 +1,144 @@
+//! Isolation levels and their strength ordering.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The weak isolation levels supported by the tester (Section 2.2).
+///
+/// Ordered by strength: `Causal ⊑ ReadAtomic ⊑ ReadCommitted` — every
+/// causally-consistent history is read-atomic, and every read-atomic history
+/// is read-committed.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IsolationLevel {
+    /// Read Committed (Definition 2.4): only committed data is read, and
+    /// observations within a transaction are monotone in the commit order.
+    ReadCommitted,
+    /// Read Atomic (Definition 2.6): transactions are observed
+    /// all-or-nothing.
+    ReadAtomic,
+    /// (Transactional) Causal Consistency (Definition 2.8): reads respect
+    /// the happens-before relation `(so ∪ wr)+`.
+    Causal,
+}
+
+impl IsolationLevel {
+    /// All levels, weakest first.
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::Causal,
+    ];
+
+    /// Returns `true` if `self` is at least as strong as `other`
+    /// (`self ⊑ other`): every history satisfying `self` satisfies `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use awdit_core::IsolationLevel::*;
+    /// assert!(Causal.is_at_least(ReadCommitted));
+    /// assert!(!ReadCommitted.is_at_least(ReadAtomic));
+    /// assert!(ReadAtomic.is_at_least(ReadAtomic));
+    /// ```
+    pub fn is_at_least(self, other: IsolationLevel) -> bool {
+        self.rank() >= other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            IsolationLevel::ReadCommitted => 0,
+            IsolationLevel::ReadAtomic => 1,
+            IsolationLevel::Causal => 2,
+        }
+    }
+
+    /// Short name used in reports and file formats: `rc`, `ra`, or `cc`.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "rc",
+            IsolationLevel::ReadAtomic => "ra",
+            IsolationLevel::Causal => "cc",
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IsolationLevel::ReadCommitted => "Read Committed",
+            IsolationLevel::ReadAtomic => "Read Atomic",
+            IsolationLevel::Causal => "Causal Consistency",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing an isolation level from a string fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseIsolationLevelError {
+    input: String,
+}
+
+impl fmt::Display for ParseIsolationLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown isolation level `{}` (expected rc, ra, or cc)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseIsolationLevelError {}
+
+impl FromStr for IsolationLevel {
+    type Err = ParseIsolationLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rc" | "read-committed" | "readcommitted" => Ok(IsolationLevel::ReadCommitted),
+            "ra" | "read-atomic" | "readatomic" => Ok(IsolationLevel::ReadAtomic),
+            "cc" | "causal" | "causal-consistency" => Ok(IsolationLevel::Causal),
+            _ => Err(ParseIsolationLevelError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_order_matches_paper() {
+        use IsolationLevel::*;
+        // CC ⊑ RA ⊑ RC
+        assert!(Causal.is_at_least(ReadAtomic));
+        assert!(Causal.is_at_least(ReadCommitted));
+        assert!(ReadAtomic.is_at_least(ReadCommitted));
+        assert!(!ReadCommitted.is_at_least(Causal));
+        assert!(!ReadAtomic.is_at_least(Causal));
+        for l in IsolationLevel::ALL {
+            assert!(l.is_at_least(l));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_short_names() {
+        for l in IsolationLevel::ALL {
+            assert_eq!(l.short_name().parse::<IsolationLevel>().unwrap(), l);
+        }
+        assert!("serializable".parse::<IsolationLevel>().is_err());
+        assert_eq!(
+            "Causal".parse::<IsolationLevel>().unwrap(),
+            IsolationLevel::Causal
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IsolationLevel::ReadCommitted.to_string(), "Read Committed");
+        assert_eq!(IsolationLevel::Causal.to_string(), "Causal Consistency");
+    }
+}

@@ -1,0 +1,165 @@
+//! Operations: the reads and writes that make up transactions.
+
+use std::fmt;
+
+use crate::types::{Key, TxnId, Value};
+
+/// How a read operation was resolved against the unique-value write map.
+///
+/// Under the unique-value assumption, a read `R(x, v)` observes the unique
+/// write `W(x, v)` — if one exists. The resolution records where that write
+/// lives relative to the reading transaction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ReadSource {
+    /// The value was written by a different transaction; this is a `wr` edge
+    /// at the operation level. `op` is the writing operation's position in
+    /// the writer's program order.
+    External {
+        /// The writing transaction.
+        txn: TxnId,
+        /// Position of the write within the writing transaction.
+        op: u32,
+    },
+    /// The value was written by the reading transaction itself (an *internal*
+    /// read). If the write is `po`-after the read this is a *future read*.
+    Internal {
+        /// Position of the write within the same transaction.
+        op: u32,
+    },
+    /// No write anywhere in the history produced this value (a *thin-air*
+    /// read, axiom (a) of Read Consistency).
+    ThinAir,
+}
+
+impl ReadSource {
+    /// Returns the writing transaction for an external resolution.
+    #[inline]
+    pub fn external_txn(self) -> Option<TxnId> {
+        match self {
+            ReadSource::External { txn, .. } => Some(txn),
+            _ => None,
+        }
+    }
+}
+
+/// A single database operation, with reads already resolved to their writers.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::{Op, Key, Value};
+/// let w = Op::Write { key: Key(0), value: Value(1) };
+/// assert!(w.is_write());
+/// assert_eq!(w.key(), Key(0));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// A write `W(key, value)`.
+    Write {
+        /// The key written.
+        key: Key,
+        /// The (unique per key) value written.
+        value: Value,
+    },
+    /// A read `R(key, value)`, resolved to its source write.
+    Read {
+        /// The key read.
+        key: Key,
+        /// The value observed.
+        value: Value,
+        /// Where the observed value was written.
+        source: ReadSource,
+    },
+}
+
+impl Op {
+    /// The key this operation acts on.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match *self {
+            Op::Write { key, .. } | Op::Read { key, .. } => key,
+        }
+    }
+
+    /// The value written or observed.
+    #[inline]
+    pub fn value(&self) -> Value {
+        match *self {
+            Op::Write { value, .. } | Op::Read { value, .. } => value,
+        }
+    }
+
+    /// Returns `true` for write operations.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+
+    /// Returns `true` for read operations.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read { .. })
+    }
+
+    /// For reads, the resolved source of the observed value.
+    #[inline]
+    pub fn read_source(&self) -> Option<ReadSource> {
+        match *self {
+            Op::Read { source, .. } => Some(source),
+            Op::Write { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Write { key, value } => write!(f, "W({key}, {value})"),
+            Op::Read { key, value, .. } => write!(f, "R({key}, {value})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let w = Op::Write {
+            key: Key(1),
+            value: Value(10),
+        };
+        let r = Op::Read {
+            key: Key(2),
+            value: Value(20),
+            source: ReadSource::ThinAir,
+        };
+        assert!(w.is_write() && !w.is_read());
+        assert!(r.is_read() && !r.is_write());
+        assert_eq!(w.key(), Key(1));
+        assert_eq!(r.value(), Value(20));
+        assert_eq!(w.read_source(), None);
+        assert_eq!(r.read_source(), Some(ReadSource::ThinAir));
+    }
+
+    #[test]
+    fn external_txn_extraction() {
+        let src = ReadSource::External {
+            txn: TxnId::new(0, 1),
+            op: 2,
+        };
+        assert_eq!(src.external_txn(), Some(TxnId::new(0, 1)));
+        assert_eq!(ReadSource::Internal { op: 0 }.external_txn(), None);
+        assert_eq!(ReadSource::ThinAir.external_txn(), None);
+    }
+
+    #[test]
+    fn display() {
+        let w = Op::Write {
+            key: Key(0),
+            value: Value(5),
+        };
+        assert_eq!(w.to_string(), "W(k0, 5)");
+    }
+}

@@ -1,0 +1,329 @@
+//! Read Consistency (Algorithm 4): the five basic axioms every isolation
+//! level requires (Definition 2.3, Figure 2).
+//!
+//! Every read of a committed transaction must observe
+//! (a) a value that was actually written (*no thin-air reads*),
+//! (b) from a committed transaction (*no aborted reads*),
+//! (c) not from its own `po`-future (*no future reads*),
+//! (d) its own transaction's write if one precedes it (*observe own
+//!     writes*), and
+//! (e) the latest such write — for external reads, the writer's final write
+//!     of the key (*observe latest write*).
+//!
+//! Each read is checked independently in `O(1)` amortized time, so the whole
+//! pass is `O(n)` and reports *all* offending reads, letting the downstream
+//! checkers proceed on the remaining clean reads (Section 3.4).
+
+use std::collections::HashMap;
+
+use crate::history::History;
+use crate::op::{Op, ReadSource};
+use crate::types::{Key, OpLoc, TxnId};
+use crate::witness::ReadConsistencyViolation;
+
+/// Checks the five Read Consistency axioms, returning all violations in
+/// session-major, program order.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::{check_read_consistency, HistoryBuilder};
+///
+/// # fn main() -> Result<(), awdit_core::BuildError> {
+/// let mut b = HistoryBuilder::new();
+/// let s = b.session();
+/// b.begin(s);
+/// b.read(s, 1, 99); // nobody wrote 99
+/// b.commit(s);
+/// let h = b.finish()?;
+/// let violations = check_read_consistency(&h);
+/// assert_eq!(violations.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_read_consistency(history: &History) -> Vec<ReadConsistencyViolation> {
+    let mut violations = Vec::new();
+
+    // Final (po-last) write per key of every committed transaction, for
+    // axiom (e)'s external case.
+    let mut final_writes: HashMap<(TxnId, Key), u32> = HashMap::new();
+    for (tid, txn) in history.committed_txns() {
+        for (p, op) in txn.ops().iter().enumerate() {
+            if let Op::Write { key, .. } = *op {
+                final_writes.insert((tid, key), p as u32);
+            }
+        }
+    }
+
+    // Per-transaction scan with a latest-own-write map. Keys are dense, so a
+    // stamped array avoids clearing between transactions.
+    let num_keys = history.num_keys();
+    let mut latest_own: Vec<u32> = vec![u32::MAX; num_keys];
+    let mut stamp: Vec<u32> = vec![0; num_keys];
+    let mut cur_stamp = 0u32;
+
+    for (tid, txn) in history.committed_txns() {
+        cur_stamp += 1;
+        for (p, op) in txn.ops().iter().enumerate() {
+            let read = OpLoc::new(tid, p as u32);
+            match *op {
+                Op::Write { key, .. } => {
+                    stamp[key.index()] = cur_stamp;
+                    latest_own[key.index()] = p as u32;
+                }
+                Op::Read { key, value, source } => {
+                    let own = (stamp[key.index()] == cur_stamp)
+                        .then(|| latest_own[key.index()]);
+                    match source {
+                        ReadSource::ThinAir => {
+                            violations.push(ReadConsistencyViolation::ThinAirRead {
+                                read,
+                                key,
+                                value,
+                            });
+                        }
+                        ReadSource::Internal { op: w } => {
+                            if w > p as u32 {
+                                // Axiom (c): the observed own write is
+                                // po-after the read.
+                                violations.push(ReadConsistencyViolation::FutureRead {
+                                    read,
+                                    write: OpLoc::new(tid, w),
+                                    key,
+                                });
+                            } else if own != Some(w) {
+                                // Axiom (e), internal: a later own write
+                                // exists between the observed write and the
+                                // read.
+                                let later = own.expect(
+                                    "an earlier internal write implies an own write was seen",
+                                );
+                                violations.push(ReadConsistencyViolation::StaleOwnWrite {
+                                    read,
+                                    observed: OpLoc::new(tid, w),
+                                    later_write: OpLoc::new(tid, later),
+                                    key,
+                                });
+                            }
+                        }
+                        ReadSource::External { txn: wtxn, op: wop } => {
+                            if let Some(own_write) = own {
+                                // Axiom (d): should have read the own write.
+                                violations.push(ReadConsistencyViolation::NotOwnWrite {
+                                    read,
+                                    own_write: OpLoc::new(tid, own_write),
+                                    observed: OpLoc::new(wtxn, wop),
+                                    key,
+                                });
+                            }
+                            if !history.txn(wtxn).is_committed() {
+                                // Axiom (b).
+                                violations.push(ReadConsistencyViolation::AbortedRead {
+                                    read,
+                                    write: OpLoc::new(wtxn, wop),
+                                    key,
+                                });
+                            } else if final_writes.get(&(wtxn, key)) != Some(&wop) {
+                                // Axiom (e), external: the writer overwrote
+                                // this value before committing.
+                                violations.push(ReadConsistencyViolation::NotFinalWrite {
+                                    read,
+                                    observed: OpLoc::new(wtxn, wop),
+                                    key,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::types::Value;
+
+    fn violations_of(build: impl FnOnce(&mut HistoryBuilder)) -> Vec<ReadConsistencyViolation> {
+        let mut b = HistoryBuilder::new();
+        build(&mut b);
+        check_read_consistency(&b_finish(b))
+    }
+
+    fn b_finish(b: HistoryBuilder) -> History {
+        b.finish().expect("history must build")
+    }
+
+    #[test]
+    fn clean_history_has_no_violations() {
+        let vs = violations_of(|b| {
+            let s0 = b.session();
+            let s1 = b.session();
+            b.begin(s0);
+            b.write(s0, 1, 10);
+            b.commit(s0);
+            b.begin(s1);
+            b.read(s1, 1, 10);
+            b.commit(s1);
+        });
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn thin_air_read_fig2a() {
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.read(s, 1, 7);
+            b.commit(s);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(
+            vs[0],
+            ReadConsistencyViolation::ThinAirRead { value: Value(7), .. }
+        ));
+    }
+
+    #[test]
+    fn aborted_read_fig2b() {
+        let vs = violations_of(|b| {
+            let s0 = b.session();
+            let s1 = b.session();
+            b.begin(s0);
+            b.write(s0, 1, 1);
+            b.abort(s0);
+            b.begin(s1);
+            b.read(s1, 1, 1);
+            b.commit(s1);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], ReadConsistencyViolation::AbortedRead { .. }));
+    }
+
+    #[test]
+    fn future_read_fig2c() {
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.read(s, 1, 1);
+            b.write(s, 1, 1);
+            b.commit(s);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], ReadConsistencyViolation::FutureRead { .. }));
+    }
+
+    #[test]
+    fn observe_own_writes_fig2d() {
+        // t writes x=2; a read of x then observes an older external x=1.
+        let vs = violations_of(|b| {
+            let s0 = b.session();
+            let s1 = b.session();
+            b.begin(s0);
+            b.write(s0, 1, 1);
+            b.commit(s0);
+            b.begin(s1);
+            b.write(s1, 1, 2);
+            b.read(s1, 1, 1);
+            b.commit(s1);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], ReadConsistencyViolation::NotOwnWrite { .. }));
+    }
+
+    #[test]
+    fn observe_latest_own_write_fig2e() {
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.write(s, 1, 1);
+            b.write(s, 1, 2);
+            b.read(s, 1, 1); // stale: should observe value 2
+            b.commit(s);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(
+            vs[0],
+            ReadConsistencyViolation::StaleOwnWrite { .. }
+        ));
+    }
+
+    #[test]
+    fn observe_final_external_write() {
+        // Writer commits x=1 then x=2; a reader observing x=1 saw a
+        // non-final write.
+        let vs = violations_of(|b| {
+            let s0 = b.session();
+            let s1 = b.session();
+            b.begin(s0);
+            b.write(s0, 1, 1);
+            b.write(s0, 1, 2);
+            b.commit(s0);
+            b.begin(s1);
+            b.read(s1, 1, 1);
+            b.commit(s1);
+        });
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(
+            vs[0],
+            ReadConsistencyViolation::NotFinalWrite { .. }
+        ));
+    }
+
+    #[test]
+    fn reading_own_latest_write_is_fine() {
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.write(s, 1, 1);
+            b.write(s, 1, 2);
+            b.read(s, 1, 2);
+            b.commit(s);
+        });
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn reads_in_aborted_transactions_are_not_checked() {
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.read(s, 1, 99); // thin air, but the txn aborts
+            b.abort(s);
+        });
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn all_violations_are_reported() {
+        // Two independent thin-air reads -> two reports.
+        let vs = violations_of(|b| {
+            let s = b.session();
+            b.begin(s);
+            b.read(s, 1, 98);
+            b.read(s, 2, 99);
+            b.commit(s);
+        });
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn own_write_then_external_read_of_other_key_ok() {
+        let vs = violations_of(|b| {
+            let s0 = b.session();
+            let s1 = b.session();
+            b.begin(s0);
+            b.write(s0, 2, 5);
+            b.commit(s0);
+            b.begin(s1);
+            b.write(s1, 1, 1);
+            b.read(s1, 2, 5); // different key: no own-write conflict
+            b.commit(s1);
+        });
+        assert!(vs.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Violation shrinking: reduce an inconsistent history to a small
+//! sub-history that still violates the isolation level.
+//!
+//! Witness cycles (Section 3.4) point at the offending transactions, but a
+//! bug report is most useful when the *whole history* is tiny. This module
+//! applies greedy delta debugging: repeatedly drop transactions (and the
+//! reads that observed their writes) while the violation persists. The
+//! result is *1-minimal* — removing any single remaining transaction makes
+//! the violation disappear — though not necessarily globally minimal.
+
+use std::collections::HashSet;
+
+use crate::checker::check;
+use crate::history::{History, HistoryBuilder};
+use crate::isolation::IsolationLevel;
+use crate::op::{Op, ReadSource};
+use crate::types::TxnId;
+
+/// Rebuilds `history` without the transactions in `removed`, dropping any
+/// read whose writer is removed (so no new thin-air reads appear).
+fn without(history: &History, removed: &HashSet<TxnId>) -> History {
+    let mut b = HistoryBuilder::new();
+    let sessions: Vec<_> = (0..history.num_sessions()).map(|_| b.session()).collect();
+    for (tid, txn) in history.txns() {
+        if removed.contains(&tid) {
+            continue;
+        }
+        let s = sessions[tid.session as usize];
+        b.begin(s);
+        for op in txn.ops() {
+            match *op {
+                Op::Write { key, value } => b.write(s, history.key_name(key), value.0),
+                Op::Read { key, value, source } => {
+                    let drop_read = matches!(
+                        source,
+                        ReadSource::External { txn, .. } if removed.contains(&txn)
+                    );
+                    if !drop_read {
+                        b.read(s, history.key_name(key), value.0);
+                    }
+                }
+            }
+        }
+        if txn.is_committed() {
+            b.commit(s);
+        } else {
+            b.abort(s);
+        }
+    }
+    b.finish().expect("sub-histories of valid histories are valid")
+}
+
+/// Shrinks `history` to a 1-minimal sub-history still violating `level`.
+///
+/// Returns `None` if the history already satisfies the level. The cost is
+/// `O(t)` re-checks in the worst case for `t` transactions (each check at
+/// the checker's usual complexity), so prefer shrinking moderate histories
+/// or pre-slicing around a witness.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::{shrink_history, HistoryBuilder, IsolationLevel};
+///
+/// # fn main() -> Result<(), awdit_core::BuildError> {
+/// let mut b = HistoryBuilder::new();
+/// let s0 = b.session();
+/// let s1 = b.session();
+/// // Noise transaction.
+/// b.begin(s0);
+/// b.write(s0, 9, 99);
+/// b.commit(s0);
+/// // Fractured read of (x, y): violates Read Atomic.
+/// b.begin(s0);
+/// b.write(s0, 0, 1);
+/// b.commit(s0);
+/// b.begin(s0);
+/// b.write(s0, 0, 2);
+/// b.write(s0, 1, 2);
+/// b.commit(s0);
+/// b.begin(s1);
+/// b.read(s1, 0, 1);
+/// b.read(s1, 1, 2);
+/// b.commit(s1);
+/// let h = b.finish()?;
+/// let small = shrink_history(&h, IsolationLevel::ReadAtomic).expect("violating");
+/// assert!(small.num_txns() < h.num_txns());
+/// # Ok(())
+/// # }
+/// ```
+pub fn shrink_history(history: &History, level: IsolationLevel) -> Option<History> {
+    if check(history, level).is_consistent() {
+        return None;
+    }
+    let mut current = history.clone();
+    // Round-based greedy: batch removals first (halving passes), then
+    // single-transaction passes until a fixpoint.
+    loop {
+        let txns: Vec<TxnId> = current.txns().map(|(t, _)| t).collect();
+        let mut improved = false;
+
+        // Try dropping chunks, largest first.
+        let mut chunk = txns.len() / 2;
+        while chunk >= 1 {
+            let txns_now: Vec<TxnId> = current.txns().map(|(t, _)| t).collect();
+            let mut i = 0;
+            while i < txns_now.len() {
+                let removed: HashSet<TxnId> =
+                    txns_now[i..(i + chunk).min(txns_now.len())].iter().copied().collect();
+                if removed.len() == txns_now.len() {
+                    i += chunk;
+                    continue;
+                }
+                let candidate = without(&current, &removed);
+                if !check(&candidate, level).is_consistent() {
+                    current = candidate;
+                    improved = true;
+                    break; // indices shifted; restart this chunk size
+                }
+                i += chunk;
+            }
+            if improved {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fractured_with_noise(noise: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        for i in 0..noise as u64 {
+            b.begin(s0);
+            b.write(s0, 100 + i, 1000 + i);
+            b.commit(s0);
+        }
+        b.begin(s0);
+        b.write(s0, 0, 1);
+        b.commit(s0);
+        b.begin(s0);
+        b.write(s0, 0, 2);
+        b.write(s0, 1, 2);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 0, 1);
+        b.read(s1, 1, 2);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_core_violation() {
+        let h = fractured_with_noise(20);
+        let small = shrink_history(&h, IsolationLevel::ReadAtomic).unwrap();
+        assert!(!check(&small, IsolationLevel::ReadAtomic).is_consistent());
+        // The RA violation needs t1 (W x=1), t2 (W x=2, y=2), t3 (reader).
+        assert!(small.num_txns() <= 3, "got {} txns", small.num_txns());
+    }
+
+    #[test]
+    fn shrunk_history_is_one_minimal() {
+        let h = fractured_with_noise(8);
+        let small = shrink_history(&h, IsolationLevel::ReadAtomic).unwrap();
+        let txns: Vec<TxnId> = small.txns().map(|(t, _)| t).collect();
+        for t in txns {
+            let removed: HashSet<TxnId> = [t].into_iter().collect();
+            let candidate = without(&small, &removed);
+            assert!(
+                check(&candidate, IsolationLevel::ReadAtomic).is_consistent(),
+                "removing {t} should fix the violation"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_history_returns_none() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 0, 1);
+        b.commit(s);
+        let h = b.finish().unwrap();
+        assert!(shrink_history(&h, IsolationLevel::Causal).is_none());
+    }
+
+    #[test]
+    fn dropping_writer_drops_dependent_reads() {
+        let h = fractured_with_noise(0);
+        // Remove the second writer: the reader's read of y must go too,
+        // leaving a consistent history.
+        let removed: HashSet<TxnId> = [TxnId::new(0, 1)].into_iter().collect();
+        let reduced = without(&h, &removed);
+        assert_eq!(reduced.num_txns(), h.num_txns() - 1);
+        assert!(check(&reduced, IsolationLevel::ReadAtomic).is_consistent());
+    }
+}

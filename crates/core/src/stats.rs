@@ -1,0 +1,147 @@
+//! Summary statistics over histories, used by reports and benchmarks.
+
+use std::fmt;
+
+use crate::history::History;
+use crate::op::{Op, ReadSource};
+
+/// Aggregate statistics of one history.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct HistoryStats {
+    /// Number of sessions, `k`.
+    pub sessions: usize,
+    /// Total transactions, committed + aborted.
+    pub txns: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Total operations, `n` (the history's size).
+    pub ops: usize,
+    /// Read operations.
+    pub reads: usize,
+    /// Write operations.
+    pub writes: usize,
+    /// Distinct keys, `ℓ`.
+    pub keys: usize,
+    /// Size of the largest transaction.
+    pub max_txn_size: usize,
+    /// Reads resolved to the reader's own transaction.
+    pub internal_reads: usize,
+    /// Reads whose value was never written.
+    pub thin_air_reads: usize,
+}
+
+impl HistoryStats {
+    /// Computes the statistics for `history` in one pass.
+    pub fn of(history: &History) -> Self {
+        let mut s = HistoryStats {
+            sessions: history.num_sessions(),
+            keys: history.num_keys(),
+            ..HistoryStats::default()
+        };
+        for (_, txn) in history.txns() {
+            s.txns += 1;
+            if txn.is_committed() {
+                s.committed += 1;
+            } else {
+                s.aborted += 1;
+            }
+            s.ops += txn.len();
+            s.max_txn_size = s.max_txn_size.max(txn.len());
+            for op in txn.ops() {
+                match op {
+                    Op::Write { .. } => s.writes += 1,
+                    Op::Read { source, .. } => {
+                        s.reads += 1;
+                        match source {
+                            ReadSource::Internal { .. } => s.internal_reads += 1,
+                            ReadSource::ThinAir => s.thin_air_reads += 1,
+                            ReadSource::External { .. } => {}
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Mean operations per transaction (0 for empty histories).
+    pub fn avg_txn_size(&self) -> f64 {
+        if self.txns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.txns as f64
+        }
+    }
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} txns ({} committed, {} aborted), {} ops \
+             ({} reads, {} writes), {} keys, txn size avg {:.1} max {}",
+            self.sessions,
+            self.txns,
+            self.committed,
+            self.aborted,
+            self.ops,
+            self.reads,
+            self.writes,
+            self.keys,
+            self.avg_txn_size(),
+            self.max_txn_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    #[test]
+    fn counts_everything() {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 1, 1);
+        b.write(s0, 2, 2);
+        b.commit(s0);
+        b.begin(s0);
+        b.write(s0, 1, 9);
+        b.abort(s0);
+        b.begin(s1);
+        b.read(s1, 1, 1);
+        b.read(s1, 3, 77); // thin air
+        b.write(s1, 3, 5);
+        b.read(s1, 3, 5); // internal
+        b.commit(s1);
+        let h = b.finish().unwrap();
+        let s = HistoryStats::of(&h);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.txns, 3);
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.ops, 7);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.keys, 3);
+        assert_eq!(s.max_txn_size, 4);
+        assert_eq!(s.internal_reads, 1);
+        assert_eq!(s.thin_air_reads, 1);
+        assert!((s.avg_txn_size() - 7.0 / 3.0).abs() < 1e-9);
+        let rendered = s.to_string();
+        assert!(rendered.contains("2 sessions"));
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = HistoryBuilder::new().finish().unwrap();
+        let s = HistoryStats::of(&h);
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.avg_txn_size(), 0.0);
+    }
+}

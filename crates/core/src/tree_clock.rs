@@ -1,0 +1,422 @@
+//! Tree clocks (Mathur, Pavlogiannis, Tunç & Viswanathan, ASPLOS 2022).
+//!
+//! The paper notes that Plume "utilizes efficient data structures including
+//! Vector Clocks and Tree Clocks" — this module provides the latter. A tree
+//! clock represents the same knowledge as a vector clock (a per-session
+//! time), but additionally remembers *through whom* each entry was learned,
+//! as a tree rooted at the owning session. Joins can then skip subtrees
+//! that are already known, making the amortized join cost proportional to
+//! the number of entries that actually change instead of `Θ(k)` — the
+//! "vt-work optimality" of the ASPLOS paper.
+//!
+//! Pruning is justified by the *attachment clock* (`aclk`) each node
+//! carries: the parent's local time when the child was attached. If the
+//! receiver has seen session `p` at a local time strictly greater than a
+//! child's `aclk`, it already knows everything that child taught `p` —
+//! children are kept newest-first, so the walk stops at the first strictly
+//! older child. (With equal times the child must still be examined: a
+//! session keeps learning *within* one local tick, so `aclk == known` is
+//! ambiguous.)
+//!
+//! This implementation favours clarity over constant factors (child lists
+//! are `Vec`s rather than intrusive linked lists) but preserves the
+//! pruning logic. Equivalence with [`VectorClock`] semantics under
+//! arbitrary increment/join schedules is enforced by differential tests.
+
+use std::fmt;
+
+use crate::vector_clock::VectorClock;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    session: u32,
+    /// The session's local time as known here.
+    clk: u32,
+    /// Parent's local time when this node was attached.
+    aclk: u32,
+    parent: u32,
+    /// Children, oldest first (walks iterate from the back = newest).
+    children: Vec<u32>,
+}
+
+/// A tree clock over `k` sessions, owned by one session.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::tree_clock::TreeClock;
+///
+/// let mut a = TreeClock::new(3, 0);
+/// a.increment();
+/// let mut b = TreeClock::new(3, 1);
+/// b.increment();
+/// b.join(&a);
+/// assert_eq!(b.get(0), 1);
+/// assert_eq!(b.get(1), 1);
+/// assert_eq!(b.get(2), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeClock {
+    nodes: Vec<Node>,
+    /// session -> node index, or `NO_NODE`.
+    pos: Vec<u32>,
+    root: u32,
+    num_sessions: usize,
+}
+
+impl TreeClock {
+    /// A fresh clock for `owner` over `k` sessions, with all entries zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner >= k`.
+    pub fn new(k: usize, owner: u32) -> Self {
+        assert!((owner as usize) < k, "owner session out of range");
+        let mut pos = vec![NO_NODE; k];
+        pos[owner as usize] = 0;
+        TreeClock {
+            nodes: vec![Node {
+                session: owner,
+                clk: 0,
+                aclk: 0,
+                parent: NO_NODE,
+                children: Vec::new(),
+            }],
+            pos,
+            root: 0,
+            num_sessions: k,
+        }
+    }
+
+    /// The owning session (the tree's root).
+    pub fn owner(&self) -> u32 {
+        self.nodes[self.root as usize].session
+    }
+
+    /// Number of sessions tracked.
+    pub fn len(&self) -> usize {
+        self.num_sessions
+    }
+
+    /// Returns `true` if the clock tracks no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.num_sessions == 0
+    }
+
+    /// The entry for session `s`.
+    pub fn get(&self, s: u32) -> u32 {
+        match self.pos[s as usize] {
+            NO_NODE => 0,
+            i => self.nodes[i as usize].clk,
+        }
+    }
+
+    /// Advances the owner's own entry by one.
+    pub fn increment(&mut self) {
+        let r = self.root as usize;
+        self.nodes[r].clk += 1;
+    }
+
+    /// Sets the owner's own entry to at least `t`.
+    pub fn advance_own(&mut self, t: u32) {
+        let r = self.root as usize;
+        if self.nodes[r].clk < t {
+            self.nodes[r].clk = t;
+        }
+    }
+
+    /// Flattens to a plain [`VectorClock`] (for tests and interop).
+    pub fn to_vector_clock(&self) -> VectorClock {
+        let mut vc = VectorClock::new(self.num_sessions);
+        for (s, &p) in self.pos.iter().enumerate() {
+            if p != NO_NODE {
+                vc.advance(s, self.nodes[p as usize].clk);
+            }
+        }
+        vc
+    }
+
+    /// Joins `other` into `self` (point-wise maximum), exploiting the tree
+    /// structure to skip already-known subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks track different numbers of sessions or if
+    /// `other` is the same clock's owner as `self`.
+    pub fn join(&mut self, other: &TreeClock) {
+        assert_eq!(self.num_sessions, other.num_sessions);
+        debug_assert_ne!(self.owner(), other.owner(), "joining a clock with itself");
+
+        // Collect the updated fragment by a pruned walk of other's tree:
+        // (session, clk, parent_session or MAX for the fragment top).
+        let mut fragment: Vec<(u32, u32, u32)> = Vec::new();
+        // Stack of (node in other, fragment parent session or MAX).
+        let mut stack: Vec<(u32, u32)> = vec![(other.root, u32::MAX)];
+        while let Some((oi, parent_sess)) = stack.pop() {
+            let n = &other.nodes[oi as usize];
+            let known = self.get(n.session);
+            let updated = n.clk > known || self.pos[n.session as usize] == NO_NODE;
+            if updated {
+                fragment.push((n.session, n.clk, parent_sess));
+            }
+            // Children newest-first; stop at the first strictly-older
+            // attachment (see module docs for why `>=` keeps equality).
+            for &c in n.children.iter().rev() {
+                let child = &other.nodes[c as usize];
+                if child.aclk >= known {
+                    // Fragment parentage follows updated nodes only; a
+                    // child under a non-updated node hangs off the top.
+                    let fp = if updated { n.session } else { u32::MAX };
+                    stack.push((c, fp));
+                } else {
+                    break;
+                }
+            }
+        }
+        if fragment.is_empty() {
+            return;
+        }
+        // Splice: detach updated sessions' old nodes, then attach the
+        // fragment preserving its structure (tops under our root).
+        for &(sess, _, _) in &fragment {
+            self.detach(sess);
+        }
+        for &(sess, clk, parent_sess) in &fragment {
+            let parent = if parent_sess == u32::MAX || self.pos[parent_sess as usize] == NO_NODE
+            {
+                self.root
+            } else {
+                self.pos[parent_sess as usize]
+            };
+            let aclk = self.nodes[parent as usize].clk;
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                session: sess,
+                clk,
+                aclk,
+                parent,
+                children: Vec::new(),
+            });
+            self.pos[sess as usize] = idx;
+            self.nodes[parent as usize].children.push(idx);
+        }
+        self.compact();
+    }
+
+    /// Detaches session `s`'s node (if present), re-homing its children
+    /// under this clock's root — their knowledge stays valid; the
+    /// provenance link is coarsened to "learned directly", stamped with the
+    /// root's current time.
+    fn detach(&mut self, s: u32) {
+        let i = self.pos[s as usize];
+        if i == NO_NODE {
+            return;
+        }
+        debug_assert_ne!(i, self.root, "own session is never in a fragment");
+        let node = self.nodes[i as usize].clone();
+        if node.parent != NO_NODE {
+            let siblings = &mut self.nodes[node.parent as usize].children;
+            if let Some(p) = siblings.iter().position(|&c| c == i) {
+                siblings.remove(p);
+            }
+        }
+        let root = self.root;
+        let root_clk = self.nodes[root as usize].clk;
+        for c in node.children {
+            self.nodes[c as usize].parent = root;
+            self.nodes[c as usize].aclk = root_clk;
+            self.nodes[root as usize].children.push(c);
+        }
+        self.pos[s as usize] = NO_NODE;
+        self.nodes[i as usize].children = Vec::new();
+        self.nodes[i as usize].parent = NO_NODE;
+    }
+
+    /// Garbage-collects unreachable nodes once they outnumber live ones.
+    fn compact(&mut self) {
+        let live = self.pos.iter().filter(|&&p| p != NO_NODE).count();
+        if self.nodes.len() < live * 2 + 8 {
+            return;
+        }
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(live);
+        let mut remap = vec![NO_NODE; self.nodes.len()];
+        let mut queue = vec![self.root];
+        while let Some(i) = queue.pop() {
+            let n = &self.nodes[i as usize];
+            if self.pos[n.session as usize] != i {
+                continue;
+            }
+            let ni = new_nodes.len() as u32;
+            remap[i as usize] = ni;
+            new_nodes.push(n.clone());
+            queue.extend(n.children.iter().copied());
+        }
+        for n in &mut new_nodes {
+            if n.parent != NO_NODE {
+                n.parent = remap[n.parent as usize];
+            }
+            n.children = n
+                .children
+                .iter()
+                .map(|&c| remap[c as usize])
+                .filter(|&c| c != NO_NODE)
+                .collect();
+        }
+        for p in self.pos.iter_mut() {
+            if *p != NO_NODE {
+                *p = remap[*p as usize];
+            }
+        }
+        self.root = remap[self.root as usize];
+        self.nodes = new_nodes;
+    }
+
+    #[cfg(test)]
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl fmt::Display for TreeClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_vector_clock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clock_is_zero() {
+        let tc = TreeClock::new(4, 2);
+        for s in 0..4 {
+            assert_eq!(tc.get(s), 0);
+        }
+        assert_eq!(tc.owner(), 2);
+        assert_eq!(tc.len(), 4);
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut tc = TreeClock::new(2, 0);
+        tc.increment();
+        tc.increment();
+        assert_eq!(tc.get(0), 2);
+        assert_eq!(tc.get(1), 0);
+        tc.advance_own(5);
+        assert_eq!(tc.get(0), 5);
+        tc.advance_own(3);
+        assert_eq!(tc.get(0), 5);
+    }
+
+    #[test]
+    fn join_transfers_knowledge_transitively() {
+        let mut a = TreeClock::new(3, 0);
+        a.increment(); // a: [1,0,0]
+        let mut b = TreeClock::new(3, 1);
+        b.increment();
+        b.join(&a); // b: [1,1,0]
+        let mut c = TreeClock::new(3, 2);
+        c.increment();
+        c.join(&b); // c learns of a *through* b
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(2), 1);
+    }
+
+    #[test]
+    fn join_without_increments_still_propagates() {
+        // The case that breaks naive pruning: the sender learns new
+        // information without bumping its own clock, then sends again.
+        let mut a = TreeClock::new(3, 0);
+        a.increment();
+        let mut b = TreeClock::new(3, 1);
+        b.join(&a); // b: [1,0,0] — b's own clock still 0
+        let mut c = TreeClock::new(3, 2);
+        c.join(&b); // c: [1,0,0]
+        let mut a2 = TreeClock::new(3, 0);
+        a2.advance_own(7);
+        b.join(&a2); // b: [7,0,0], b's own clock STILL 0
+        c.join(&b); // naive pruning would skip: c already knows b@0
+        assert_eq!(c.get(0), 7, "update learned within one tick was lost");
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = TreeClock::new(3, 0);
+        a.advance_own(5);
+        let mut b = TreeClock::new(3, 1);
+        b.advance_own(3);
+        b.join(&a);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 3);
+        assert_eq!(a.get(2), 0);
+    }
+
+    /// The differential oracle: arbitrary interleavings of increments and
+    /// joins must match plain vector clocks exactly.
+    #[test]
+    fn matches_vector_clock_on_random_schedules() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..120 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let k = rng.gen_range(2..6);
+            let mut tcs: Vec<TreeClock> = (0..k).map(|s| TreeClock::new(k, s as u32)).collect();
+            let mut vcs: Vec<VectorClock> = (0..k).map(|_| VectorClock::new(k)).collect();
+            for step in 0..80 {
+                let i = rng.gen_range(0..k);
+                if rng.gen_bool(0.4) {
+                    tcs[i].increment();
+                    let cur = vcs[i].get(i) + 1;
+                    vcs[i].advance(i, cur);
+                } else {
+                    let j = rng.gen_range(0..k);
+                    if i != j {
+                        let other_tc = tcs[j].clone();
+                        tcs[i].join(&other_tc);
+                        let other_vc = vcs[j].clone();
+                        vcs[i].join(&other_vc);
+                    }
+                }
+                for (n, (tc, vc)) in tcs.iter().zip(&vcs).enumerate() {
+                    assert_eq!(
+                        tc.to_vector_clock(),
+                        vc.clone(),
+                        "seed {seed} step {step} clock {n}: divergence"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Long chains of joins stay compact (the GC keeps node count bounded).
+    #[test]
+    fn node_count_stays_bounded() {
+        let k = 8;
+        let mut tcs: Vec<TreeClock> = (0..k).map(|s| TreeClock::new(k, s as u32)).collect();
+        for round in 0..300 {
+            let i = round % k;
+            let j = (round + 1) % k;
+            tcs[i].increment();
+            let other = tcs[i].clone();
+            tcs[j].join(&other);
+            assert!(
+                tcs[j].node_count() <= 4 * k + 16,
+                "round {round}: {} nodes",
+                tcs[j].node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_vector_clock() {
+        let mut a = TreeClock::new(2, 0);
+        a.increment();
+        assert_eq!(a.to_string(), a.to_vector_clock().to_string());
+    }
+}

@@ -1,0 +1,178 @@
+//! Fundamental identifier types for histories.
+//!
+//! All identifiers are small, dense newtypes ([`Key`], [`SessionId`],
+//! [`TxnId`], [`OpLoc`]) so that the checkers can use plain arrays instead of
+//! hash maps on their hot paths. Keys are interned by
+//! [`HistoryBuilder`](crate::HistoryBuilder), which maps arbitrary `u64` key
+//! names to dense indices.
+
+use std::fmt;
+
+/// A dense key identifier.
+///
+/// Keys are interned by the history builder: the `u32` is an index into the
+/// history's key table, *not* the user-facing key name. Use
+/// [`History::key_name`](crate::History::key_name) to recover the original
+/// name.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::Key;
+/// let k = Key(3);
+/// assert_eq!(k.index(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Key(pub u32);
+
+impl Key {
+    /// Returns the dense index of this key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A written/read value.
+///
+/// Black-box isolation testing relies on every write carrying a unique value
+/// per key (the *unique-value assumption*, Section 2.1 of the paper), so a
+/// value together with its key identifies the write operation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Value(pub u64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A session identifier (dense index into the history's session list).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// Returns the dense index of this session.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifies a transaction by its session and its position within that
+/// session (counting *all* transactions of the session, committed and
+/// aborted, in session order).
+///
+/// The derived `Ord` orders transactions session-major; within a session it
+/// coincides with the session order `so`.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::TxnId;
+/// let t = TxnId::new(1, 4);
+/// assert_eq!(t.to_string(), "s1.t4");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId {
+    /// The session the transaction belongs to.
+    pub session: u32,
+    /// The position within the session, in session order.
+    pub index: u32,
+}
+
+impl TxnId {
+    /// Creates a transaction identifier from a session index and a position
+    /// within the session.
+    #[inline]
+    pub fn new(session: u32, index: u32) -> Self {
+        TxnId { session, index }
+    }
+
+    /// The session this transaction belongs to.
+    #[inline]
+    pub fn session_id(self) -> SessionId {
+        SessionId(self.session)
+    }
+
+    /// Returns `true` if `self` precedes `other` in session order, i.e. both
+    /// belong to the same session and `self` comes earlier.
+    #[inline]
+    pub fn so_before(self, other: TxnId) -> bool {
+        self.session == other.session && self.index < other.index
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.t{}", self.session, self.index)
+    }
+}
+
+/// The location of an operation: a transaction plus the operation's position
+/// in the transaction's program order `po`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OpLoc {
+    /// The transaction containing the operation.
+    pub txn: TxnId,
+    /// Position of the operation in program order (0-based).
+    pub op: u32,
+}
+
+impl OpLoc {
+    /// Creates an operation location.
+    #[inline]
+    pub fn new(txn: TxnId, op: u32) -> Self {
+        OpLoc { txn, op }
+    }
+}
+
+impl fmt::Display for OpLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.txn, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_is_session_major() {
+        let a = TxnId::new(0, 5);
+        let b = TxnId::new(1, 0);
+        let c = TxnId::new(1, 3);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(b.so_before(c));
+        assert!(!a.so_before(b));
+        assert!(!c.so_before(b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Key(7).to_string(), "k7");
+        assert_eq!(Value(42).to_string(), "42");
+        assert_eq!(SessionId(2).to_string(), "s2");
+        assert_eq!(TxnId::new(2, 9).to_string(), "s2.t9");
+        assert_eq!(OpLoc::new(TxnId::new(0, 1), 3).to_string(), "s0.t1[3]");
+    }
+
+    #[test]
+    fn key_index_roundtrip() {
+        assert_eq!(Key(11).index(), 11);
+        assert_eq!(SessionId(4).index(), 4);
+    }
+}

@@ -1,0 +1,233 @@
+//! Vector clocks over sessions, used to represent the happens-before
+//! relation `(so ∪ wr)+` in Algorithm 3 (`ComputeHB`).
+//!
+//! A clock holds one entry per session: entry `s` is the number of committed
+//! transactions of session `s` known to happen before (or be) the clock's
+//! owner. Because happens-before restricted to a session is prefix-closed,
+//! this prefix-count representation is exact: transaction `t` of session `s`
+//! at committed position `p` happens before the owner iff `p < clock[s]`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock: per-session counts of happens-before predecessors.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::VectorClock;
+/// let mut a = VectorClock::new(3);
+/// a.advance(0, 2);
+/// let mut b = VectorClock::new(3);
+/// b.advance(1, 1);
+/// a.join(&b);
+/// assert_eq!(a.get(0), 2);
+/// assert_eq!(a.get(1), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock over `k` sessions.
+    pub fn new(k: usize) -> Self {
+        VectorClock {
+            entries: vec![0; k],
+        }
+    }
+
+    /// Number of sessions tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the clock tracks no sessions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for session `s`.
+    #[inline]
+    pub fn get(&self, s: usize) -> u32 {
+        self.entries[s]
+    }
+
+    /// Raises the entry for session `s` to at least `count`.
+    #[inline]
+    pub fn advance(&mut self, s: usize, count: u32) {
+        if self.entries[s] < count {
+            self.entries[s] = count;
+        }
+    }
+
+    /// Point-wise maximum with `other` (the lattice join `⊔`).
+    #[inline]
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.entries.len(), other.entries.len());
+        for (a, &b) in self.entries.iter_mut().zip(&other.entries) {
+            if *a < b {
+                *a = b;
+            }
+        }
+    }
+
+    /// Whether every entry of `self` is `≤` the corresponding entry of
+    /// `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(&a, &b)| a <= b)
+    }
+
+    /// Whether the transaction at committed position `pos` of session `s`
+    /// happens before this clock's owner.
+    #[inline]
+    pub fn sees(&self, s: usize, pos: u32) -> bool {
+        pos < self.entries[s]
+    }
+
+    /// Raw entries, one per session.
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// The lattice partial order: defined only when one clock dominates the
+    /// other point-wise.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.advance(0, 5);
+        a.advance(2, 1);
+        let mut b = VectorClock::new(3);
+        b.advance(0, 3);
+        b.advance(1, 7);
+        a.join(&b);
+        assert_eq!(a.entries(), &[5, 7, 1]);
+    }
+
+    #[test]
+    fn advance_never_decreases() {
+        let mut a = VectorClock::new(1);
+        a.advance(0, 5);
+        a.advance(0, 3);
+        assert_eq!(a.get(0), 5);
+    }
+
+    #[test]
+    fn partial_order() {
+        let mut a = VectorClock::new(2);
+        a.advance(0, 1);
+        let mut b = VectorClock::new(2);
+        b.advance(0, 2);
+        b.advance(1, 1);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Greater));
+        let mut c = VectorClock::new(2);
+        c.advance(1, 9);
+        assert_eq!(b.partial_cmp(&c), None);
+        assert_eq!(a.partial_cmp(&a.clone()), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn sees_is_strict_prefix_membership() {
+        let mut a = VectorClock::new(2);
+        a.advance(1, 3);
+        assert!(a.sees(1, 0));
+        assert!(a.sees(1, 2));
+        assert!(!a.sees(1, 3));
+        assert!(!a.sees(0, 0));
+    }
+
+    #[test]
+    fn display() {
+        let mut a = VectorClock::new(2);
+        a.advance(0, 4);
+        assert_eq!(a.to_string(), "⟨4, 0⟩");
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn clock(k: usize) -> impl Strategy<Value = VectorClock> {
+            proptest::collection::vec(0u32..100, k).prop_map(|v| {
+                let mut c = VectorClock::new(v.len());
+                for (i, x) in v.into_iter().enumerate() {
+                    c.advance(i, x);
+                }
+                c
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn join_commutes(a in clock(4), b in clock(4)) {
+                let mut ab = a.clone();
+                ab.join(&b);
+                let mut ba = b.clone();
+                ba.join(&a);
+                prop_assert_eq!(ab, ba);
+            }
+
+            #[test]
+            fn join_is_idempotent_and_upper_bound(a in clock(4), b in clock(4)) {
+                let mut j = a.clone();
+                j.join(&b);
+                prop_assert!(a.le(&j));
+                prop_assert!(b.le(&j));
+                let mut jj = j.clone();
+                jj.join(&j.clone());
+                prop_assert_eq!(jj, j);
+            }
+
+            #[test]
+            fn join_associates(a in clock(3), b in clock(3), c in clock(3)) {
+                let mut l = a.clone();
+                l.join(&b);
+                l.join(&c);
+                let mut bc = b.clone();
+                bc.join(&c);
+                let mut r = a.clone();
+                r.join(&bc);
+                prop_assert_eq!(l, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! A Cobra-style history format (a text rendition of Cobra's per-session
+//! operation logs, Tan et al. OSDI 2020).
+//!
+//! Record-per-line with single-letter tags, sessions interleaved freely:
+//!
+//! ```text
+//! cobra-log
+//! T 0            # begin a transaction on session 0
+//! W 0 100 2      # session 0 writes key 100 := 2
+//! R 0 200 4      # session 0 reads key 200 -> 4
+//! C 0            # session 0 commits
+//! A 1            # session 1 aborts its open transaction
+//! ```
+
+use awdit_core::{History, HistoryBuilder, Op};
+
+use crate::error::ParseError;
+
+/// The first line of every Cobra-style file.
+pub const COBRA_HEADER: &str = "cobra-log";
+
+/// Serializes a history in the Cobra style (sessions emitted in order,
+/// transactions not interleaved — any interleaving parses back to the same
+/// history, since session order alone matters).
+pub fn write_cobra(history: &History) -> String {
+    let mut out = String::with_capacity(history.size() * 12 + 64);
+    out.push_str(COBRA_HEADER);
+    out.push('\n');
+    for (sid, txns) in history.sessions() {
+        for t in txns {
+            out.push_str(&format!("T {}\n", sid.0));
+            for op in t.ops() {
+                match *op {
+                    Op::Write { key, value } => out.push_str(&format!(
+                        "W {} {} {}\n",
+                        sid.0,
+                        history.key_name(key),
+                        value.0
+                    )),
+                    Op::Read { key, value, .. } => out.push_str(&format!(
+                        "R {} {} {}\n",
+                        sid.0,
+                        history.key_name(key),
+                        value.0
+                    )),
+                }
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                if t.is_committed() { "C" } else { "A" },
+                sid.0
+            ));
+        }
+    }
+    out
+}
+
+/// Parses a Cobra-style history.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed records or transactions left
+/// open at end of file.
+pub fn parse_cobra(text: &str) -> Result<History, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == COBRA_HEADER => {}
+        _ => return Err(ParseError::new(1, format!("expected header `{COBRA_HEADER}`"))),
+    }
+    let mut b = HistoryBuilder::new();
+    let mut max_session = 0usize;
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| ParseError::new(lineno, format!("{msg}: `{line}`"));
+        let session: usize = parts
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("missing session id"))?;
+        max_session = max_session.max(session);
+        let ids = b.sessions(session + 1);
+        let sid = ids[session];
+        match parts[0] {
+            "T" => {
+                if parts.len() != 2 {
+                    return Err(err("malformed begin record"));
+                }
+                b.begin(sid);
+            }
+            "C" => {
+                if parts.len() != 2 {
+                    return Err(err("malformed commit record"));
+                }
+                b.commit(sid);
+            }
+            "A" => {
+                if parts.len() != 2 {
+                    return Err(err("malformed abort record"));
+                }
+                b.abort(sid);
+            }
+            "W" | "R" => {
+                if parts.len() != 4 {
+                    return Err(err("malformed operation record"));
+                }
+                let key: u64 = parts[2].parse().map_err(|_| err("bad key"))?;
+                let value: u64 = parts[3].parse().map_err(|_| err("bad value"))?;
+                if parts[0] == "W" {
+                    b.write(sid, key, value);
+                } else {
+                    b.read(sid, key, value);
+                }
+            }
+            other => return Err(ParseError::new(lineno, format!("unknown record `{other}`"))),
+        }
+    }
+    b.finish().map_err(ParseError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::HistoryStats;
+
+    fn sample() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.abort(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let text = write_cobra(&h);
+        let h2 = parse_cobra(&text).unwrap();
+        assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
+        assert_eq!(write_cobra(&h2), text);
+    }
+
+    #[test]
+    fn interleaved_sessions_parse() {
+        let text = "cobra-log\nT 0\nT 1\nW 0 1 1\nR 1 1 1\nC 0\nC 1\n";
+        let h = parse_cobra(text).unwrap();
+        assert_eq!(h.num_sessions(), 2);
+        assert_eq!(h.num_txns(), 2);
+    }
+
+    #[test]
+    fn unclosed_transaction_is_an_error() {
+        let text = "cobra-log\nT 0\nW 0 1 1\n";
+        assert!(parse_cobra(text).is_err());
+    }
+
+    #[test]
+    fn op_outside_transaction_is_an_error() {
+        let text = "cobra-log\nW 0 1 1\n";
+        assert!(parse_cobra(text).is_err());
+    }
+
+    #[test]
+    fn unknown_records_rejected() {
+        let text = "cobra-log\nX 0\n";
+        let err = parse_cobra(text).unwrap_err();
+        assert!(err.message.contains("unknown record"));
+    }
+}

@@ -1,0 +1,220 @@
+//! A DBCop-style history format (a text rendition of the structure DBCop
+//! serializes with bincode: sessions of transactions of operations, with
+//! explicit counts and commit flags).
+//!
+//! ```text
+//! dbcop-history
+//! sessions 2
+//! session 0 txns 2
+//! txn committed 2
+//! W 100 2
+//! R 200 4
+//! txn aborted 1
+//! W 300 6
+//! session 1 txns 1
+//! txn committed 1
+//! R 100 2
+//! ```
+
+use awdit_core::{History, HistoryBuilder, Op};
+
+use crate::error::ParseError;
+
+/// The first line of every DBCop-style file.
+pub const DBCOP_HEADER: &str = "dbcop-history";
+
+/// Serializes a history in the DBCop style.
+pub fn write_dbcop(history: &History) -> String {
+    let mut out = String::with_capacity(history.size() * 12 + 64);
+    out.push_str(DBCOP_HEADER);
+    out.push('\n');
+    out.push_str(&format!("sessions {}\n", history.num_sessions()));
+    for (sid, txns) in history.sessions() {
+        out.push_str(&format!("session {} txns {}\n", sid.0, txns.len()));
+        for t in txns {
+            out.push_str(&format!(
+                "txn {} {}\n",
+                if t.is_committed() { "committed" } else { "aborted" },
+                t.len()
+            ));
+            for op in t.ops() {
+                match *op {
+                    Op::Write { key, value } => {
+                        out.push_str(&format!("W {} {}\n", history.key_name(key), value.0));
+                    }
+                    Op::Read { key, value, .. } => {
+                        out.push_str(&format!("R {} {}\n", history.key_name(key), value.0));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a DBCop-style history.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when counts do not match the data or lines are
+/// malformed.
+pub fn parse_dbcop(text: &str) -> Result<History, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let expect_line = |lines: &mut std::iter::Peekable<
+        std::iter::Enumerate<std::str::Lines<'_>>,
+    >|
+     -> Result<(usize, String), ParseError> {
+        for (i, raw) in lines.by_ref() {
+            let line = raw.trim();
+            if !line.is_empty() {
+                return Ok((i + 1, line.to_string()));
+            }
+        }
+        Err(ParseError::new(0, "unexpected end of file"))
+    };
+
+    let (lineno, header) = expect_line(&mut lines)?;
+    if header != DBCOP_HEADER {
+        return Err(ParseError::new(
+            lineno,
+            format!("expected header `{DBCOP_HEADER}`"),
+        ));
+    }
+    let (lineno, sessions_line) = expect_line(&mut lines)?;
+    let num_sessions: usize = sessions_line
+        .strip_prefix("sessions ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError::new(lineno, "expected `sessions N`"))?;
+
+    let mut b = HistoryBuilder::new();
+    let session_ids = b.sessions(num_sessions);
+
+    for expected_sid in 0..num_sessions {
+        let (lineno, line) = expect_line(&mut lines)?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "session" || parts[2] != "txns" {
+            return Err(ParseError::new(lineno, "expected `session N txns M`"));
+        }
+        let sid: usize = parts[1]
+            .parse()
+            .map_err(|_| ParseError::new(lineno, "bad session id"))?;
+        if sid != expected_sid {
+            return Err(ParseError::new(
+                lineno,
+                format!("expected session {expected_sid}, found {sid}"),
+            ));
+        }
+        let num_txns: usize = parts[3]
+            .parse()
+            .map_err(|_| ParseError::new(lineno, "bad txn count"))?;
+        for _ in 0..num_txns {
+            let (lineno, line) = expect_line(&mut lines)?;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "txn" {
+                return Err(ParseError::new(lineno, "expected `txn committed|aborted N`"));
+            }
+            let committed = match parts[1] {
+                "committed" => true,
+                "aborted" => false,
+                other => {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("expected committed|aborted, found `{other}`"),
+                    ))
+                }
+            };
+            let num_ops: usize = parts[2]
+                .parse()
+                .map_err(|_| ParseError::new(lineno, "bad op count"))?;
+            b.begin(session_ids[sid]);
+            for _ in 0..num_ops {
+                let (lineno, line) = expect_line(&mut lines)?;
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(ParseError::new(lineno, "expected `W|R key value`"));
+                }
+                let key: u64 = parts[1]
+                    .parse()
+                    .map_err(|_| ParseError::new(lineno, "bad key"))?;
+                let value: u64 = parts[2]
+                    .parse()
+                    .map_err(|_| ParseError::new(lineno, "bad value"))?;
+                match parts[0] {
+                    "W" => b.write(session_ids[sid], key, value),
+                    "R" => b.read(session_ids[sid], key, value),
+                    other => {
+                        return Err(ParseError::new(
+                            lineno,
+                            format!("expected W or R, found `{other}`"),
+                        ))
+                    }
+                }
+            }
+            if committed {
+                b.commit(session_ids[sid]);
+            } else {
+                b.abort(session_ids[sid]);
+            }
+        }
+    }
+    b.finish().map_err(ParseError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::HistoryStats;
+
+    fn sample() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.read(s0, 200, 4);
+        b.commit(s0);
+        b.begin(s0);
+        b.write(s0, 300, 6);
+        b.abort(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let text = write_dbcop(&h);
+        let h2 = parse_dbcop(&text).unwrap();
+        assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
+        assert_eq!(write_dbcop(&h2), text);
+    }
+
+    #[test]
+    fn count_mismatches_are_errors() {
+        // Claims 2 ops but provides 1.
+        let text = "dbcop-history\nsessions 1\nsession 0 txns 1\ntxn committed 2\nW 1 1\n";
+        assert!(parse_dbcop(text).is_err());
+    }
+
+    #[test]
+    fn header_required() {
+        assert!(parse_dbcop("sessions 1\n").is_err());
+    }
+
+    #[test]
+    fn session_order_enforced() {
+        let text = "dbcop-history\nsessions 2\nsession 1 txns 0\nsession 0 txns 0\n";
+        let err = parse_dbcop(text).unwrap_err();
+        assert!(err.message.contains("expected session 0"));
+    }
+
+    #[test]
+    fn empty_sessions_allowed() {
+        let text = "dbcop-history\nsessions 2\nsession 0 txns 0\nsession 1 txns 0\n";
+        let h = parse_dbcop(text).unwrap();
+        assert_eq!(h.num_sessions(), 2);
+        assert_eq!(h.num_txns(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// An error encountered while parsing a history file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `line` (1-based).
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<awdit_core::BuildError> for ParseError {
+    fn from(e: awdit_core::BuildError) -> Self {
+        ParseError::new(0, format!("invalid history: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new(7, "unexpected token");
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+    }
+}

@@ -1,0 +1,213 @@
+//! # awdit-formats — history file formats
+//!
+//! The AWDIT tool "parses database transaction histories in various
+//! formats also used by other isolation testers such as Plume, PolySI,
+//! DBCop, and Cobra" (Section 5). This crate provides writers and parsers
+//! for four text formats:
+//!
+//! | Format | Module | Shape |
+//! |---|---|---|
+//! | native | [`native`] | session blocks, one transaction per line |
+//! | Plume-style | [`plume`] | one `op(key,value,session,txn)` per line |
+//! | DBCop-style | [`dbcop`] | counted sessions/transactions/operations |
+//! | Cobra-style | [`cobra`] | tagged per-session log records |
+//!
+//! [`detect_format`] sniffs a file's header, and [`parse_auto`] parses
+//! whichever format it finds.
+//!
+//! ```
+//! use awdit_formats::{parse_auto, write_history, Format};
+//! use awdit_core::HistoryBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = HistoryBuilder::new();
+//! let s = b.session();
+//! b.begin(s);
+//! b.write(s, 1, 1);
+//! b.commit(s);
+//! let history = b.finish()?;
+//!
+//! let text = write_history(&history, Format::Native);
+//! let parsed = parse_auto(&text)?;
+//! assert_eq!(parsed.size(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cobra;
+pub mod dbcop;
+pub mod error;
+pub mod native;
+pub mod plume;
+
+pub use cobra::{parse_cobra, write_cobra, COBRA_HEADER};
+pub use dbcop::{parse_dbcop, write_dbcop, DBCOP_HEADER};
+pub use error::ParseError;
+pub use native::{parse_native, write_native, NATIVE_HEADER};
+pub use plume::{parse_plume, write_plume};
+
+use awdit_core::History;
+
+/// The supported history file formats.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Format {
+    /// The native AWDIT format.
+    Native,
+    /// Plume-style one-op-per-line.
+    Plume,
+    /// DBCop-style counted records.
+    Dbcop,
+    /// Cobra-style tagged log.
+    Cobra,
+}
+
+impl Format {
+    /// All formats.
+    pub const ALL: [Format; 4] = [Format::Native, Format::Plume, Format::Dbcop, Format::Cobra];
+
+    /// Conventional file extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Native => "awdit",
+            Format::Plume => "plume",
+            Format::Dbcop => "dbcop",
+            Format::Cobra => "cobra",
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.extension())
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "native" | "awdit" => Ok(Format::Native),
+            "plume" => Ok(Format::Plume),
+            "dbcop" => Ok(Format::Dbcop),
+            "cobra" => Ok(Format::Cobra),
+            _ => Err(format!("unknown format `{s}`")),
+        }
+    }
+}
+
+/// Sniffs the format from the first non-empty line. Headerless input is
+/// assumed Plume-style (the only format without a header) when its first
+/// line looks like an operation.
+pub fn detect_format(text: &str) -> Option<Format> {
+    let first = text.lines().find(|l| !l.trim().is_empty())?.trim();
+    if first == NATIVE_HEADER {
+        Some(Format::Native)
+    } else if first == DBCOP_HEADER {
+        Some(Format::Dbcop)
+    } else if first == COBRA_HEADER {
+        Some(Format::Cobra)
+    } else if first.starts_with("w(") || first.starts_with("r(") {
+        Some(Format::Plume)
+    } else {
+        None
+    }
+}
+
+/// Serializes `history` in the chosen format.
+pub fn write_history(history: &History, format: Format) -> String {
+    match format {
+        Format::Native => write_native(history),
+        Format::Plume => write_plume(history),
+        Format::Dbcop => write_dbcop(history),
+        Format::Cobra => write_cobra(history),
+    }
+}
+
+/// Parses `text` in the chosen format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_history(text: &str, format: Format) -> Result<History, ParseError> {
+    match format {
+        Format::Native => parse_native(text),
+        Format::Plume => parse_plume(text),
+        Format::Dbcop => parse_dbcop(text),
+        Format::Cobra => parse_cobra(text),
+    }
+}
+
+/// Detects the format and parses.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the format cannot be detected or the input
+/// is malformed.
+pub fn parse_auto(text: &str) -> Result<History, ParseError> {
+    let format = detect_format(text)
+        .ok_or_else(|| ParseError::new(1, "unrecognized history format".to_string()))?;
+    parse_history(text, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, HistoryBuilder, HistoryStats, IsolationLevel};
+
+    fn sample() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.write(s0, 200, 4);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.read(s1, 200, 4);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn detection_round_trips_all_formats() {
+        let h = sample();
+        for format in Format::ALL {
+            let text = write_history(&h, format);
+            assert_eq!(detect_format(&text), Some(format), "{format}");
+            let h2 = parse_auto(&text).unwrap();
+            assert_eq!(
+                HistoryStats::of(&h).ops,
+                HistoryStats::of(&h2).ops,
+                "{format}"
+            );
+            for level in IsolationLevel::ALL {
+                assert_eq!(
+                    check(&h, level).is_consistent(),
+                    check(&h2, level).is_consistent(),
+                    "{format} {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn format_names_parse() {
+        for f in Format::ALL {
+            let parsed: Format = f.extension().parse().unwrap();
+            assert_eq!(parsed, f);
+        }
+        assert!("json".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        assert_eq!(detect_format("hello world\n"), None);
+        assert!(parse_auto("hello world\n").is_err());
+        assert_eq!(detect_format(""), None);
+    }
+}

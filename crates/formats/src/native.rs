@@ -1,0 +1,207 @@
+//! The native AWDIT history format.
+//!
+//! One session per block, one transaction per line:
+//!
+//! ```text
+//! awdit-history v1
+//! session 0
+//! c: w(100,2) r(200,4)
+//! a: w(300,6)
+//! session 1
+//! c: r(100,2)
+//! ```
+//!
+//! `c:` marks a committed transaction, `a:` an aborted one; operations are
+//! `w(key,value)` / `r(key,value)` in program order. Blank lines and `#`
+//! comments are ignored.
+
+use awdit_core::{History, HistoryBuilder, Op};
+
+use crate::error::ParseError;
+
+/// The first line of every native-format file.
+pub const NATIVE_HEADER: &str = "awdit-history v1";
+
+/// Serializes a history in the native format.
+pub fn write_native(history: &History) -> String {
+    let mut out = String::with_capacity(history.size() * 12 + 64);
+    out.push_str(NATIVE_HEADER);
+    out.push('\n');
+    for (sid, txns) in history.sessions() {
+        out.push_str(&format!("session {}\n", sid.0));
+        for t in txns {
+            out.push_str(if t.is_committed() { "c:" } else { "a:" });
+            for op in t.ops() {
+                match *op {
+                    Op::Write { key, value } => {
+                        out.push_str(&format!(" w({},{})", history.key_name(key), value.0));
+                    }
+                    Op::Read { key, value, .. } => {
+                        out.push_str(&format!(" r({},{})", history.key_name(key), value.0));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a native-format history.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input, or
+/// a wrapped [`BuildError`](awdit_core::BuildError) if the operations form
+/// an invalid history (e.g. duplicate writes).
+pub fn parse_native(text: &str) -> Result<History, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == NATIVE_HEADER => {}
+        Some((i, l)) => {
+            return Err(ParseError::new(
+                i + 1,
+                format!("expected header `{NATIVE_HEADER}`, found `{l}`"),
+            ))
+        }
+        None => return Err(ParseError::new(1, "empty file")),
+    }
+
+    let mut b = HistoryBuilder::new();
+    let mut current = None;
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("session") {
+            let id: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::new(lineno, format!("bad session id `{}`", rest.trim())))?;
+            // Sessions must appear in order; create up to the id.
+            let sessions = b.sessions(id + 1);
+            current = Some(sessions[id]);
+            continue;
+        }
+        let (committed, rest) = if let Some(rest) = line.strip_prefix("c:") {
+            (true, rest)
+        } else if let Some(rest) = line.strip_prefix("a:") {
+            (false, rest)
+        } else {
+            return Err(ParseError::new(
+                lineno,
+                format!("expected `session N`, `c:`, or `a:`, found `{line}`"),
+            ));
+        };
+        let session =
+            current.ok_or_else(|| ParseError::new(lineno, "transaction before any session"))?;
+        b.begin(session);
+        for tok in rest.split_whitespace() {
+            let (kind, args) = parse_op_token(tok, lineno)?;
+            match kind {
+                b'w' => b.write(session, args.0, args.1),
+                _ => b.read(session, args.0, args.1),
+            }
+        }
+        if committed {
+            b.commit(session);
+        } else {
+            b.abort(session);
+        }
+    }
+    b.finish().map_err(ParseError::from)
+}
+
+/// Parses `w(key,value)` / `r(key,value)`.
+fn parse_op_token(tok: &str, lineno: usize) -> Result<(u8, (u64, u64)), ParseError> {
+    let err = || ParseError::new(lineno, format!("malformed operation `{tok}`"));
+    let kind = match tok.as_bytes().first() {
+        Some(b'w') => b'w',
+        Some(b'r') => b'r',
+        _ => return Err(err()),
+    };
+    let inner = tok[1..]
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(err)?;
+    let (k, v) = inner.split_once(',').ok_or_else(err)?;
+    let key: u64 = k.trim().parse().map_err(|_| err())?;
+    let value: u64 = v.trim().parse().map_err(|_| err())?;
+    Ok((kind, (key, value)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::HistoryStats;
+
+    fn sample() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.read(s0, 200, 99); // thin air, still serializes
+        b.commit(s0);
+        b.begin(s0);
+        b.write(s0, 300, 6);
+        b.abort(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let h = sample();
+        let text = write_native(&h);
+        let h2 = parse_native(&text).unwrap();
+        assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
+        // Serialization is a fixed point.
+        assert_eq!(write_native(&h2), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "awdit-history v1\n# a comment\nsession 0\n\nc: w(1,1) # trailing\n";
+        let h = parse_native(text).unwrap();
+        assert_eq!(h.size(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_native("session 0\nc: w(1,1)\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("header"));
+    }
+
+    #[test]
+    fn malformed_ops_are_located() {
+        let err = parse_native("awdit-history v1\nsession 0\nc: w(1;2)\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("malformed"));
+    }
+
+    #[test]
+    fn txn_before_session_is_an_error() {
+        let err = parse_native("awdit-history v1\nc: w(1,1)\n").unwrap_err();
+        assert!(err.message.contains("before any session"));
+    }
+
+    #[test]
+    fn empty_history_round_trips() {
+        let h = HistoryBuilder::new().finish().unwrap();
+        let h2 = parse_native(&write_native(&h)).unwrap();
+        assert_eq!(h2.size(), 0);
+    }
+
+    #[test]
+    fn sparse_session_ids_create_intermediate_sessions() {
+        let text = "awdit-history v1\nsession 2\nc: w(1,1)\n";
+        let h = parse_native(text).unwrap();
+        assert_eq!(h.num_sessions(), 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! The three history constructions of Section 4: given an undirected graph
+//! `G`, build a history `H(G)` that satisfies the target isolation level iff
+//! `G` is triangle-free.
+//!
+//! * [`general_reduction`] (Section 4.1, Fig. 5): one session per
+//!   transaction; `H` satisfies *any* level between CC and RC iff `G` is
+//!   triangle-free. Underlies Theorem 1.3.
+//! * [`ra_two_session_reduction`] (Section 4.2, Fig. 6): all write
+//!   transactions in one session, all read transactions in another;
+//!   `H` satisfies RA iff `G` is triangle-free. Underlies Theorem 1.4.
+//! * [`rc_one_session_reduction`] (Section 4.2): the general construction
+//!   squeezed into a single session (writes first); `H` satisfies RC iff
+//!   `G` is triangle-free. Underlies Theorem 1.5.
+//!
+//! Key encoding: node key `x_a ↦ a`, pair key `x^a_b ↦ (1 << 48) | (a << 24) | b`
+//! (node ids must fit 24 bits). Write values are the writer's node id — per
+//! key, every writer is a distinct node, so values stay unique.
+
+use awdit_core::{History, HistoryBuilder};
+
+use crate::graph::UndirectedGraph;
+
+const PAIR_TAG: u64 = 1 << 48;
+
+fn node_key(a: u32) -> u64 {
+    a as u64
+}
+
+/// The key `x^a_b`: node `a`'s private copy of neighbor `b`'s edge key.
+fn pair_key(a: u32, b: u32) -> u64 {
+    assert!(a < (1 << 24) && b < (1 << 24), "node id exceeds 24 bits");
+    PAIR_TAG | ((a as u64) << 24) | b as u64
+}
+
+/// Section 4.1 (Fig. 5): the general reduction. Every transaction runs in
+/// its own session (`so = ∅`).
+///
+/// For each node `a` with neighbors `b`:
+/// * the *write* transaction `t^W_a` writes `x_b` and `x^b_a` (value `a`)
+///   for each edge `{a, b}`, plus `x_a := a`;
+/// * the *read* transaction `t^R_a` first reads all pair keys
+///   `x^a_b = b`, then all node keys `x_b = b`.
+///
+/// The resulting history has size `O(m)` for a graph with `m` edges and
+/// satisfies any isolation level `I` with `CC ⊑ I ⊑ RC` iff `G` is
+/// triangle-free (Lemma 4.2).
+pub fn general_reduction(g: &UndirectedGraph) -> History {
+    let n = g.num_nodes() as u32;
+    let mut b = HistoryBuilder::new();
+
+    // Write transactions, one session each.
+    for a in 0..n {
+        let s = b.session();
+        b.begin(s);
+        for &nb in g.neighbors(a) {
+            b.write(s, node_key(nb), a as u64);
+            b.write(s, pair_key(nb, a), a as u64);
+        }
+        b.write(s, node_key(a), a as u64);
+        b.commit(s);
+    }
+    // Read transactions, one session each.
+    for a in 0..n {
+        let s = b.session();
+        b.begin(s);
+        for &nb in g.neighbors(a) {
+            b.read(s, pair_key(a, nb), nb as u64);
+        }
+        for &nb in g.neighbors(a) {
+            b.read(s, node_key(nb), nb as u64);
+        }
+        b.commit(s);
+    }
+    b.finish().expect("reduction histories are well-formed")
+}
+
+/// Section 4.2 (Fig. 6): the two-session RA reduction. Pair keys are
+/// dropped; all write transactions share session `s_W` and all read
+/// transactions share session `s_R`.
+///
+/// Satisfies RA iff `G` is triangle-free (Lemma 4.3).
+pub fn ra_two_session_reduction(g: &UndirectedGraph) -> History {
+    let n = g.num_nodes() as u32;
+    let mut b = HistoryBuilder::new();
+    let s_w = b.session();
+    let s_r = b.session();
+
+    for a in 0..n {
+        b.begin(s_w);
+        for &nb in g.neighbors(a) {
+            b.write(s_w, node_key(nb), a as u64);
+        }
+        b.write(s_w, node_key(a), a as u64);
+        b.commit(s_w);
+    }
+    for a in 0..n {
+        b.begin(s_r);
+        for &nb in g.neighbors(a) {
+            b.read(s_r, node_key(nb), nb as u64);
+        }
+        b.commit(s_r);
+    }
+    b.finish().expect("reduction histories are well-formed")
+}
+
+/// Section 4.2: the one-session RC reduction — the general construction
+/// with all transactions in a single session, write transactions first.
+///
+/// Satisfies RC iff `G` is triangle-free (Lemma 4.4).
+pub fn rc_one_session_reduction(g: &UndirectedGraph) -> History {
+    let n = g.num_nodes() as u32;
+    let mut b = HistoryBuilder::new();
+    let s = b.session();
+
+    for a in 0..n {
+        b.begin(s);
+        for &nb in g.neighbors(a) {
+            b.write(s, node_key(nb), a as u64);
+            b.write(s, pair_key(nb, a), a as u64);
+        }
+        b.write(s, node_key(a), a as u64);
+        b.commit(s);
+    }
+    for a in 0..n {
+        b.begin(s);
+        for &nb in g.neighbors(a) {
+            b.read(s, pair_key(a, nb), nb as u64);
+        }
+        for &nb in g.neighbors(a) {
+            b.read(s, node_key(nb), nb as u64);
+        }
+        b.commit(s);
+    }
+    b.finish().expect("reduction histories are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, IsolationLevel};
+
+    fn fig5_graph() -> UndirectedGraph {
+        // Fig. 5a: the triangle 1-2-3 (0-indexed: 0-1-2).
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn fig5_triangle_makes_all_levels_inconsistent() {
+        let h = general_reduction(&fig5_graph());
+        for level in IsolationLevel::ALL {
+            assert!(
+                !check(&h, level).is_consistent(),
+                "triangle graph must violate {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_free_general_reduction_is_cc_consistent() {
+        let mut g = UndirectedGraph::cycle(5);
+        assert!(!g.has_triangle());
+        let h = general_reduction(&g);
+        for level in IsolationLevel::ALL {
+            assert!(
+                check(&h, level).is_consistent(),
+                "triangle-free graph must satisfy {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_reduction_matches_triangle_freeness_on_random_graphs() {
+        for seed in 0..15 {
+            let mut g = UndirectedGraph::random(12, 0.2, seed);
+            let triangle_free = !g.has_triangle();
+            let h = general_reduction(&g);
+            for level in IsolationLevel::ALL {
+                assert_eq!(
+                    check(&h, level).is_consistent(),
+                    triangle_free,
+                    "seed {seed} level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_two_session_ra_reduction() {
+        let h = ra_two_session_reduction(&fig5_graph());
+        assert_eq!(h.num_sessions(), 2);
+        assert!(!check(&h, IsolationLevel::ReadAtomic).is_consistent());
+
+        let mut g = UndirectedGraph::cycle(6);
+        assert!(!g.has_triangle());
+        let h = ra_two_session_reduction(&g);
+        assert!(check(&h, IsolationLevel::ReadAtomic).is_consistent());
+    }
+
+    #[test]
+    fn ra_two_session_matches_triangle_freeness_on_random_graphs() {
+        for seed in 20..35 {
+            let mut g = UndirectedGraph::random(12, 0.25, seed);
+            let triangle_free = !g.has_triangle();
+            let h = ra_two_session_reduction(&g);
+            assert_eq!(
+                check(&h, IsolationLevel::ReadAtomic).is_consistent(),
+                triangle_free,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_one_session_reduction_has_one_session() {
+        let h = rc_one_session_reduction(&fig5_graph());
+        assert_eq!(h.num_sessions(), 1);
+        assert!(!check(&h, IsolationLevel::ReadCommitted).is_consistent());
+
+        let mut g = UndirectedGraph::random_bipartite(10, 0.4, 1);
+        assert!(!g.has_triangle());
+        let h = rc_one_session_reduction(&g);
+        assert!(check(&h, IsolationLevel::ReadCommitted).is_consistent());
+    }
+
+    #[test]
+    fn rc_one_session_matches_triangle_freeness_on_random_graphs() {
+        for seed in 40..55 {
+            let mut g = UndirectedGraph::random(10, 0.25, seed);
+            let triangle_free = !g.has_triangle();
+            let h = rc_one_session_reduction(&g);
+            assert_eq!(
+                check(&h, IsolationLevel::ReadCommitted).is_consistent(),
+                triangle_free,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_size_is_linear_in_edges() {
+        let g = UndirectedGraph::random_with_edges(40, 120, 9);
+        let h = general_reduction(&g);
+        // Size O(m): each edge contributes 4 writes + 4 reads, each node 1.
+        assert!(h.size() <= 8 * g.num_edges() + g.num_nodes() + 8);
+    }
+
+    #[test]
+    fn empty_graph_reductions_are_consistent() {
+        let g = UndirectedGraph::new(4);
+        for h in [
+            general_reduction(&g),
+            ra_two_session_reduction(&g),
+            rc_one_session_reduction(&g),
+        ] {
+            for level in IsolationLevel::ALL {
+                assert!(check(&h, level).is_consistent());
+            }
+        }
+    }
+}

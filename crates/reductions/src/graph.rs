@@ -1,0 +1,304 @@
+//! Undirected graphs and triangle detection: the substrate for the
+//! fine-grained reductions of Section 4.
+//!
+//! The reductions map triangle-freeness to isolation-consistency, so this
+//! module provides both sides' ground truth: graph generators (random,
+//! bipartite, planted-triangle) and reference triangle finders.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph on nodes `0..n`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UndirectedGraph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl UndirectedGraph {
+    /// An empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, as `(min, max)` pairs in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Neighbors of `v`, sorted after [`finish`](Self::finish) or any
+    /// query.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Adds the undirected edge `{a, b}`. Self-loops and duplicates are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!((a as usize) < self.n && (b as usize) < self.n);
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if self.adj[lo as usize].contains(&hi) {
+            return;
+        }
+        self.adj[lo as usize].push(hi);
+        self.adj[hi as usize].push(lo);
+        self.edges.push((lo, hi));
+    }
+
+    /// Sorts adjacency lists (idempotent; called by the detectors).
+    fn sort_adj(&mut self) {
+        for l in &mut self.adj {
+            l.sort_unstable();
+        }
+    }
+
+    /// Reference triangle test: for each edge `{a, b}`, intersect the
+    /// neighborhoods. `O(m · Δ)` where `Δ` is the max degree.
+    pub fn has_triangle(&mut self) -> bool {
+        self.find_triangle().is_some()
+    }
+
+    /// Like [`has_triangle`](Self::has_triangle) but returns a witness.
+    pub fn find_triangle(&mut self) -> Option<(u32, u32, u32)> {
+        self.sort_adj();
+        let mut mark = vec![false; self.n];
+        for &(a, b) in &self.edges {
+            for &x in &self.adj[a as usize] {
+                mark[x as usize] = true;
+            }
+            for &c in &self.adj[b as usize] {
+                if c != a && mark[c as usize] {
+                    for &x in &self.adj[a as usize] {
+                        mark[x as usize] = false;
+                    }
+                    return Some((a, b, c));
+                }
+            }
+            for &x in &self.adj[a as usize] {
+                mark[x as usize] = false;
+            }
+        }
+        None
+    }
+
+    /// Counts triangles (each once) with the degree-ordering technique —
+    /// the classic `O(m^{3/2})` combinatorial algorithm, matching the
+    /// complexity class the paper's lower bound is calibrated against.
+    pub fn count_triangles(&mut self) -> u64 {
+        self.sort_adj();
+        // Orient each edge from lower-(degree, id) to higher-(degree, id).
+        let rank = |v: u32| (self.adj[v as usize].len(), v);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            if rank(a) < rank(b) {
+                out[a as usize].push(b);
+            } else {
+                out[b as usize].push(a);
+            }
+        }
+        let mut mark = vec![false; self.n];
+        let mut count = 0u64;
+        for v in 0..self.n as u32 {
+            for &w in &out[v as usize] {
+                mark[w as usize] = true;
+            }
+            for &w in &out[v as usize] {
+                for &x in &out[w as usize] {
+                    if mark[x as usize] {
+                        count += 1;
+                    }
+                }
+            }
+            for &w in &out[v as usize] {
+                mark[w as usize] = false;
+            }
+        }
+        count
+    }
+
+    /// Erdős–Rényi random graph `G(n, p)`.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        let mut g = UndirectedGraph::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// A random graph with a fixed number of edges (sparse-friendly).
+    pub fn random_with_edges(n: usize, m: usize, seed: u64) -> Self {
+        let mut g = UndirectedGraph::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut attempts = 0;
+        while g.num_edges() < m && attempts < 20 * m + 100 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            g.add_edge(a, b);
+            attempts += 1;
+        }
+        g
+    }
+
+    /// A random *bipartite* graph: triangle-free by construction.
+    pub fn random_bipartite(n: usize, p: f64, seed: u64) -> Self {
+        let mut g = UndirectedGraph::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let half = n / 2;
+        for a in 0..half as u32 {
+            for b in half as u32..n as u32 {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// The cycle graph `C_n` (triangle-free for `n ≥ 4` or `n < 3`).
+    pub fn cycle(n: usize) -> Self {
+        let mut g = UndirectedGraph::new(n);
+        if n >= 2 {
+            for v in 0..n as u32 {
+                g.add_edge(v, (v + 1) % n as u32);
+            }
+        }
+        g
+    }
+
+    /// Plants a triangle on three random nodes (no-op if `n < 3`).
+    pub fn plant_triangle(&mut self, seed: u64) {
+        if self.n < 3 {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rng.gen_range(0..self.n as u32);
+        let mut b = rng.gen_range(0..self.n as u32);
+        while b == a {
+            b = rng.gen_range(0..self.n as u32);
+        }
+        let mut c = rng.gen_range(0..self.n as u32);
+        while c == a || c == b {
+            c = rng.gen_range(0..self.n as u32);
+        }
+        self.add_edge(a, b);
+        self.add_edge(b, c);
+        self.add_edge(a, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_detection_on_known_graphs() {
+        // Fig. 5a: the triangle on 3 nodes.
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(g.has_triangle());
+        assert_eq!(g.count_triangles(), 1);
+        let (a, b, c) = g.find_triangle().unwrap();
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn path_and_cycles() {
+        let mut p = UndirectedGraph::new(4);
+        p.add_edge(0, 1);
+        p.add_edge(1, 2);
+        p.add_edge(2, 3);
+        assert!(!p.has_triangle());
+
+        let mut c3 = UndirectedGraph::cycle(3);
+        assert!(c3.has_triangle());
+        let mut c4 = UndirectedGraph::cycle(4);
+        assert!(!c4.has_triangle());
+        let mut c5 = UndirectedGraph::cycle(5);
+        assert!(!c5.has_triangle());
+    }
+
+    #[test]
+    fn bipartite_graphs_are_triangle_free() {
+        for seed in 0..5 {
+            let mut g = UndirectedGraph::random_bipartite(30, 0.4, seed);
+            assert!(!g.has_triangle());
+            assert_eq!(g.count_triangles(), 0);
+        }
+    }
+
+    #[test]
+    fn planted_triangle_is_found() {
+        for seed in 0..5 {
+            let mut g = UndirectedGraph::random_bipartite(30, 0.2, seed);
+            g.plant_triangle(seed + 100);
+            assert!(g.has_triangle());
+            assert!(g.count_triangles() >= 1);
+        }
+    }
+
+    #[test]
+    fn counting_agrees_with_detection_on_random_graphs() {
+        for seed in 0..10 {
+            let mut g = UndirectedGraph::random(25, 0.15, seed);
+            let found = g.has_triangle();
+            let count = g.count_triangles();
+            assert_eq!(found, count > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn complete_graph_triangle_count() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut g = UndirectedGraph::random(5, 1.0, 0);
+        assert_eq!(g.count_triangles(), 10);
+    }
+
+    #[test]
+    fn random_with_edges_hits_target() {
+        let g = UndirectedGraph::random_with_edges(50, 100, 3);
+        assert_eq!(g.num_edges(), 100);
+    }
+}

@@ -1,0 +1,39 @@
+//! # awdit-reductions — the paper's lower-bound constructions
+//!
+//! Section 4 of the AWDIT paper proves `n^{3/2}` conditional lower bounds
+//! for weak isolation testing by *fine-grained reductions* from triangle
+//! freeness: an undirected graph `G` becomes a history `H(G)` such that
+//! `H(G)` satisfies the isolation level iff `G` is triangle-free.
+//!
+//! This crate implements the graph substrate ([`UndirectedGraph`], with
+//! reference triangle finders including the classic `O(m^{3/2})`
+//! degree-ordered counter) and all three constructions:
+//!
+//! | Construction | Sessions | Level | Paper |
+//! |---|---|---|---|
+//! | [`general_reduction`] | one per transaction | any `CC ⊑ I ⊑ RC` | Thm. 1.3, Fig. 5 |
+//! | [`ra_two_session_reduction`] | 2 | RA | Thm. 1.4, Fig. 6 |
+//! | [`rc_one_session_reduction`] | 1 | RC | Thm. 1.5 |
+//!
+//! Besides exhibiting the lower-bound instances (the benches use them as
+//! adversarial inputs), the equivalence doubles as a correctness oracle:
+//! checking `H(G)` must agree with an independent triangle search.
+//!
+//! ```
+//! use awdit_core::{check, IsolationLevel};
+//! use awdit_reductions::{general_reduction, UndirectedGraph};
+//!
+//! let mut g = UndirectedGraph::cycle(5); // triangle-free
+//! let h = general_reduction(&g);
+//! assert!(check(&h, IsolationLevel::Causal).is_consistent());
+//! assert!(!g.has_triangle());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construct;
+pub mod graph;
+
+pub use construct::{general_reduction, ra_two_session_reduction, rc_one_session_reduction};
+pub use graph::UndirectedGraph;

@@ -1,0 +1,27 @@
+//! # awdit-sat — a small CDCL SAT solver
+//!
+//! The AWDIT paper compares against SAT/SMT-backed isolation testers
+//! (CausalC+, TCC-Mono, PolySI), all built on the closed-source MonoSAT
+//! solver. This crate is the reproduction's solver substrate: a compact
+//! conflict-driven clause-learning SAT solver with the standard machinery —
+//! two-watched-literal propagation, first-UIP conflict analysis with clause
+//! learning, exponential VSIDS activities, phase saving, and Luby restarts.
+//!
+//! ```
+//! use awdit_sat::{Lit, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! assert!(s.solve());
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod solver;
+
+pub use solver::{Lit, Solver, Var};

@@ -1,0 +1,705 @@
+//! The CDCL solver implementation.
+
+use std::fmt;
+
+/// A propositional variable (0-based index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var << 1 | sign`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[inline]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// Truth value of a variable under the current (partial) assignment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+/// Reference to a clause in the arena.
+type ClauseRef = u32;
+
+const NO_REASON: ClauseRef = u32::MAX;
+
+/// A CDCL SAT solver. See the crate docs for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Clause arena: literals of clause `c` live at
+    /// `lits[starts[c]..starts[c + 1]]`.
+    lits: Vec<Lit>,
+    starts: Vec<u32>,
+    /// Watch lists: for each literal, the clauses watching it.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<Assign>,
+    /// Saved phase per variable (last assigned polarity).
+    phase: Vec<bool>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (propagations only).
+    reason: Vec<ClauseRef>,
+    /// Assignment trail and per-level offsets.
+    trail: Vec<Lit>,
+    trail_lim: Vec<u32>,
+    /// Propagation queue head (index into trail).
+    qhead: usize,
+    /// VSIDS activities.
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Already unsatisfiable from the input clauses.
+    unsat: bool,
+    /// Statistics: conflicts seen.
+    conflicts: u64,
+    /// Statistics: propagations performed.
+    propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            starts: vec![0],
+            act_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(Assign::Unassigned);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses added (including learned clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Propagations performed so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Adds a clause. Empty clauses make the instance unsatisfiable;
+    /// duplicate literals are deduplicated; tautologies are dropped.
+    ///
+    /// Must be called before [`solve`](Self::solve) (clauses added at
+    /// decision level 0).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology?
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        // Drop literals already false at level 0; satisfied clauses are
+        // dropped entirely.
+        c.retain(|&l| self.lit_value(l) != Some(false));
+        if c.iter().any(|&l| self.lit_value(l) == Some(true)) {
+            return;
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], NO_REASON) || self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.push_clause(&c);
+                self.watch(cref);
+            }
+        }
+    }
+
+    fn push_clause(&mut self, c: &[Lit]) -> ClauseRef {
+        let cref = (self.starts.len() - 1) as ClauseRef;
+        self.lits.extend_from_slice(c);
+        self.starts.push(self.lits.len() as u32);
+        cref
+    }
+
+    fn clause(&self, c: ClauseRef) -> &[Lit] {
+        let s = self.starts[c as usize] as usize;
+        let e = self.starts[c as usize + 1] as usize;
+        &self.lits[s..e]
+    }
+
+    fn watch(&mut self, cref: ClauseRef) {
+        let (a, b) = {
+            let c = self.clause(cref);
+            (c[0], c[1])
+        };
+        self.watches[a.negate().index()].push(cref);
+        self.watches[b.negate().index()].push(cref);
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        match self.assign[l.var().index()] {
+            Assign::Unassigned => None,
+            Assign::True => Some(!l.is_neg()),
+            Assign::False => Some(l.is_neg()),
+        }
+    }
+
+    /// The model value of `v` after a satisfiable [`solve`](Self::solve).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            Assign::Unassigned => None,
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
+        match self.lit_value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var().index();
+                self.assign[v] = if l.is_neg() {
+                    Assign::False
+                } else {
+                    Assign::True
+                };
+                self.phase[v] = !l.is_neg();
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Clauses watching ¬l need a new watch or propagate/conflict.
+            let mut i = 0;
+            let mut watching = std::mem::take(&mut self.watches[l.index()]);
+            while i < watching.len() {
+                let cref = watching[i];
+                let start = self.starts[cref as usize] as usize;
+                let end = self.starts[cref as usize + 1] as usize;
+                // Normalize: put the false literal (¬l ... i.e. the one
+                // whose negation is l) at position 1.
+                let falsified = l.negate();
+                if self.lits[start] == falsified {
+                    self.lits.swap(start, start + 1);
+                }
+                debug_assert_eq!(self.lits[start + 1], falsified);
+                let first = self.lits[start];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new watchable literal.
+                let mut moved = false;
+                for j in start + 2..end {
+                    let cand = self.lits[j];
+                    if self.lit_value(cand) != Some(false) {
+                        self.lits.swap(start + 1, j);
+                        self.watches[cand.negate().index()].push(cref);
+                        watching.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, cref) {
+                    // Conflict: restore remaining watches.
+                    self.watches[l.index()] = watching;
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[l.index()] = watching;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.act_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause and the
+    /// backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // slot 0 = the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32;
+        let mut cref = conflict;
+        let mut trail_pos = self.trail.len();
+        let mut uip = None;
+
+        loop {
+            let lits: Vec<Lit> = self.clause(cref).to_vec();
+            // Skip slot 0 of reason clauses (that literal is the
+            // propagated one, already handled as `uip` below).
+            let skip_first = uip.is_some();
+            for (j, &q) in lits.iter().enumerate() {
+                if skip_first && j == 0 {
+                    continue;
+                }
+                let v = q.var();
+                if seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                seen[v.index()] = true;
+                self.bump(v);
+                if self.level[v.index()] == self.decision_level() {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().index()] {
+                    uip = Some(l);
+                    break;
+                }
+            }
+            let l = uip.expect("marked literal found on trail");
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = l.negate();
+                break;
+            }
+            cref = self.reason[l.var().index()];
+            debug_assert_ne!(cref, NO_REASON, "non-UIP literal must have a reason");
+            seen[l.var().index()] = false;
+        }
+
+        // Backjump level: the second-highest level in the learned clause.
+        let bt = learned[1..]
+            .iter()
+            .map(|&q| self.level[q.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in slot 1 (watch invariant).
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|&q| self.level[q.var().index()] == bt)
+                .expect("a literal at the backjump level exists")
+                + 1;
+            learned.swap(1, pos);
+        }
+        (learned, bt)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().expect("level to cancel") as usize;
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var().index();
+                self.assign[v] = Assign::Unassigned;
+                self.reason[v] = NO_REASON;
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == Assign::Unassigned && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(Var(v as u32));
+            }
+        }
+        best.map(|v| {
+            if self.phase[v.index()] {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        })
+    }
+
+    /// Solves the instance. Returns `true` if satisfiable (the model is
+    /// then available through [`value`](Self::value)).
+    pub fn solve(&mut self) -> bool {
+        self.solve_limited(u64::MAX).unwrap_or(false)
+    }
+
+    /// Solves with a conflict budget; `None` means the budget ran out.
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<bool> {
+        if self.unsat {
+            return Some(false);
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return Some(false);
+        }
+        let mut restart_unit = 64u64;
+        let mut next_restart = restart_unit;
+        let start_conflicts = self.conflicts;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(false);
+                }
+                let (learned, bt) = self.analyze(conflict);
+                self.cancel_until(bt);
+                match learned.len() {
+                    1 => {
+                        let ok = self.enqueue(learned[0], NO_REASON);
+                        debug_assert!(ok, "asserting unit must enqueue");
+                    }
+                    _ => {
+                        let cref = self.push_clause(&learned);
+                        self.watch(cref);
+                        let ok = self.enqueue(learned[0], cref);
+                        debug_assert!(ok, "asserting literal must enqueue");
+                    }
+                }
+                self.act_inc /= 0.95;
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.cancel_until(0);
+                    return None;
+                }
+                if self.conflicts >= next_restart {
+                    // Simple geometric restarts.
+                    restart_unit = (restart_unit * 3) / 2;
+                    next_restart = self.conflicts + restart_unit;
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => return Some(true),
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len() as u32);
+                        let ok = self.enqueue(l, NO_REASON);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, vars: &mut Vec<Var>, i: i32) -> Lit {
+        let idx = i.unsigned_abs() as usize - 1;
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        if i > 0 {
+            Lit::pos(vars[idx])
+        } else {
+            Lit::neg(vars[idx])
+        }
+    }
+
+    fn solve_dimacs(clauses: &[&[i32]]) -> bool {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vars, i)).collect();
+            s.add_clause(lits);
+        }
+        s.solve()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(solve_dimacs(&[&[1]]));
+        assert!(!solve_dimacs(&[&[1], &[-1]]));
+        assert!(solve_dimacs(&[]));
+        assert!(!solve_dimacs(&[&[]]));
+    }
+
+    #[test]
+    fn units_propagate_through_chains() {
+        // x1 -> x2 -> x3 -> x4; x1 forced.
+        assert!(solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]));
+        // ... and forcing ¬x4 closes the loop.
+        assert!(!solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4], &[-4]]));
+    }
+
+    #[test]
+    fn model_is_reported() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(a)]);
+        assert!(s.solve());
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j; i in 0..3, j in 0..2.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..3 {
+            s.add_clause([Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+        assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn graph_coloring_sat() {
+        // 3-color C5 (odd cycle: 3-colorable, not 2-colorable).
+        let n = 5;
+        let colors = 3;
+        let mut s = Solver::new();
+        let v: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..colors).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..n {
+            s.add_clause((0..colors).map(|c| Lit::pos(v[i][c])));
+            for c1 in 0..colors {
+                for c2 in c1 + 1..colors {
+                    s.add_clause([Lit::neg(v[i][c1]), Lit::neg(v[i][c2])]);
+                }
+            }
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            for c in 0..colors {
+                s.add_clause([Lit::neg(v[i][c]), Lit::neg(v[j][c])]);
+            }
+        }
+        assert!(s.solve());
+        // Extract and verify the coloring.
+        let color_of: Vec<usize> = (0..n)
+            .map(|i| (0..colors).find(|&c| s.value(v[i][c]) == Some(true)).unwrap())
+            .collect();
+        for i in 0..n {
+            assert_ne!(color_of[i], color_of[(i + 1) % n]);
+        }
+    }
+
+    #[test]
+    fn two_coloring_odd_cycle_unsat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            // v[i] != v[j]
+            s.add_clause([Lit::pos(v[i]), Lit::pos(v[j])]);
+            s.add_clause([Lit::neg(v[i]), Lit::neg(v[j])]);
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_handled() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::neg(a)]); // tautology: dropped
+        s.add_clause([Lit::pos(b), Lit::pos(b)]); // deduped to unit
+        assert!(s.solve());
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn conflict_budget_returns_none() {
+        // A moderately hard pigeonhole; with a 1-conflict budget the
+        // solver gives up.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..5)
+            .map(|_| (0..4).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in i1 + 1..5 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(1), None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Brute-force satisfiability for up to 16 variables.
+        fn brute_force(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
+            for m in 0u32..(1 << num_vars) {
+                let ok = clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let v = l.unsigned_abs() as usize - 1;
+                        let val = m >> v & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    })
+                });
+                if ok {
+                    return true;
+                }
+            }
+            clauses.is_empty()
+        }
+
+        fn clauses_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+            (2usize..8).prop_flat_map(|nv| {
+                let clause = proptest::collection::vec(
+                    (1..=nv as i32).prop_flat_map(|v| {
+                        prop_oneof![Just(v), Just(-v)]
+                    }),
+                    1..4,
+                );
+                proptest::collection::vec(clause, 0..20)
+                    .prop_map(move |cs| (nv, cs))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn agrees_with_brute_force((nv, cs) in clauses_strategy()) {
+                let mut s = Solver::new();
+                let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+                for c in &cs {
+                    s.add_clause(c.iter().map(|&l| {
+                        let v = vars[l.unsigned_abs() as usize - 1];
+                        if l > 0 { Lit::pos(v) } else { Lit::neg(v) }
+                    }));
+                }
+                let expected = brute_force(nv, &cs);
+                let got = s.solve();
+                prop_assert_eq!(got, expected);
+                if got {
+                    // The model must satisfy every clause.
+                    for c in &cs {
+                        let satisfied = c.iter().any(|&l| {
+                            let v = vars[l.unsigned_abs() as usize - 1];
+                            let val = s.value(v).unwrap_or(false);
+                            if l > 0 { val } else { !val }
+                        });
+                        prop_assert!(satisfied);
+                    }
+                }
+            }
+        }
+    }
+}

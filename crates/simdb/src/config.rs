@@ -1,0 +1,193 @@
+//! Simulator configuration: isolation semantics, replication lag, and
+//! anomaly injection rates.
+
+/// The isolation guarantee the simulated database provides.
+///
+/// Each mode fixes how a transaction's *snapshot* (the set of committed
+/// transactions visible to its reads) is chosen; reads always return the
+/// most recently committed visible version of a key. The modes form the
+/// guarantee ladder of the paper's Section 2.2:
+///
+/// | Mode | Guarantees | Violates (eventually, under lag/races) |
+/// |------|-----------|------------------------------------------|
+/// | `Serializable` | SER, CC, RA, RC | — |
+/// | `Causal` | CC, RA, RC | SER |
+/// | `ReadAtomic` | RA, RC | CC |
+/// | `ReadCommitted` | RC | RA |
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DbIsolation {
+    /// Snapshot = all previously committed transactions (a prefix of the
+    /// commit-sequence order). Serializable.
+    Serializable,
+    /// Snapshot = the session's causally-closed frontier, advanced by
+    /// gossip-style syncs and by the transactions it reads. Causally
+    /// consistent but not serializable.
+    Causal,
+    /// RAMP-style: snapshot assembled per remote session with a random
+    /// replication lag. Atomic (whole transactions) but not causally
+    /// closed.
+    ReadAtomic,
+    /// No per-transaction snapshot: every read refreshes to the newest
+    /// committed state, so transactions can observe fractured writes.
+    ReadCommitted,
+}
+
+impl DbIsolation {
+    /// All modes, strongest first.
+    pub const ALL: [DbIsolation; 4] = [
+        DbIsolation::Serializable,
+        DbIsolation::Causal,
+        DbIsolation::ReadAtomic,
+        DbIsolation::ReadCommitted,
+    ];
+
+    /// Short name for reports (`ser`, `causal`, `ra`, `rc`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DbIsolation::Serializable => "ser",
+            DbIsolation::Causal => "causal",
+            DbIsolation::ReadAtomic => "ra",
+            DbIsolation::ReadCommitted => "rc",
+        }
+    }
+}
+
+impl std::fmt::Display for DbIsolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Probabilities (per read or per transaction) of injected isolation bugs.
+///
+/// All rates default to zero: a default simulator is a *correct*
+/// implementation of its [`DbIsolation`] mode. Each rate targets one
+/// anomaly class so that tests can assert precisely which checker catches
+/// it.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct AnomalyRates {
+    /// Per read: return a value no transaction ever wrote.
+    pub thin_air: f64,
+    /// Per read: return a recently aborted write of the same key, if any.
+    pub aborted_read: f64,
+    /// Per read: return the value of a `po`-later write of the same key in
+    /// the same transaction, if any.
+    pub future_read: f64,
+    /// Per read: return a uniformly random visible version instead of the
+    /// newest (breaks Read Committed's monotonic observation).
+    pub random_version: f64,
+    /// Per read: refresh the snapshot mid-transaction (fractures the
+    /// transaction: violates Read Atomic while preserving Read Committed).
+    pub fractured_read: f64,
+    /// Per transaction (Causal mode only): replace the causally-closed
+    /// snapshot with a lagged RAMP snapshot (violates Causal Consistency
+    /// while preserving Read Atomic).
+    pub stale_causal: f64,
+}
+
+impl AnomalyRates {
+    /// No injected anomalies (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if every rate is zero.
+    pub fn is_clean(&self) -> bool {
+        self.thin_air == 0.0
+            && self.aborted_read == 0.0
+            && self.future_read == 0.0
+            && self.random_version == 0.0
+            && self.fractured_read == 0.0
+            && self.stale_causal == 0.0
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Number of client sessions.
+    pub sessions: usize,
+    /// Isolation semantics of the simulated store.
+    pub isolation: DbIsolation,
+    /// RNG seed: identical configs with identical workloads produce
+    /// identical histories.
+    pub seed: u64,
+    /// Maximum replication lag, in commits, for [`DbIsolation::ReadAtomic`]
+    /// snapshots (each remote session's cutoff lags by a uniform sample
+    /// from `0..=max_lag`).
+    pub max_lag: u64,
+    /// Per-transaction probability that a Causal session gossips with a
+    /// random peer before starting (advancing its frontier).
+    pub sync_probability: f64,
+    /// Per-transaction probability of aborting instead of committing.
+    pub abort_probability: f64,
+    /// Injected anomaly rates.
+    pub anomalies: AnomalyRates,
+}
+
+impl SimConfig {
+    /// A correct database with the given isolation mode and seed.
+    pub fn new(isolation: DbIsolation, sessions: usize, seed: u64) -> Self {
+        SimConfig {
+            sessions,
+            isolation,
+            seed,
+            max_lag: 16,
+            sync_probability: 0.25,
+            abort_probability: 0.0,
+            anomalies: AnomalyRates::none(),
+        }
+    }
+
+    /// Sets the anomaly rates (builder style).
+    pub fn with_anomalies(mut self, anomalies: AnomalyRates) -> Self {
+        self.anomalies = anomalies;
+        self
+    }
+
+    /// Sets the abort probability (builder style).
+    pub fn with_aborts(mut self, p: f64) -> Self {
+        self.abort_probability = p;
+        self
+    }
+
+    /// Sets the maximum replication lag (builder style).
+    pub fn with_max_lag(mut self, lag: u64) -> Self {
+        self.max_lag = lag;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_clean() {
+        let c = SimConfig::new(DbIsolation::Causal, 4, 7);
+        assert!(c.anomalies.is_clean());
+        assert_eq!(c.abort_probability, 0.0);
+        assert_eq!(c.sessions, 4);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SimConfig::new(DbIsolation::ReadAtomic, 2, 0)
+            .with_aborts(0.1)
+            .with_max_lag(5)
+            .with_anomalies(AnomalyRates {
+                thin_air: 0.5,
+                ..AnomalyRates::none()
+            });
+        assert_eq!(c.abort_probability, 0.1);
+        assert_eq!(c.max_lag, 5);
+        assert!(!c.anomalies.is_clean());
+    }
+
+    #[test]
+    fn short_names_unique() {
+        let names: std::collections::HashSet<_> =
+            DbIsolation::ALL.iter().map(|m| m.short_name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

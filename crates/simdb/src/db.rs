@@ -1,0 +1,582 @@
+//! The simulated transactional database.
+//!
+//! [`SimDb`] executes transaction specs against a shared versioned
+//! [`Store`](crate::store::Store), choosing visibility snapshots according
+//! to the configured [`DbIsolation`](crate::config::DbIsolation) mode and
+//! injecting anomalies at the configured rates.
+//!
+//! Transactions run either atomically ([`SimDb::execute`]) or op-by-op
+//! ([`SimDb::start`] / [`SimDb::step`]) so the harness can interleave
+//! operations of concurrently open transactions across sessions — without
+//! interleaving, weak read-committed behaviours (fractured reads) could
+//! never arise. Every executed operation is recorded;
+//! [`SimDb::into_history`] replays the record into an
+//! [`awdit_core::History`] for checking.
+
+use awdit_core::{BuildError, History, HistoryBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{DbIsolation, SimConfig};
+use crate::spec::{OpSpec, TxnSpec};
+use crate::store::{Snapshot, Store};
+
+/// A raw recorded operation (pre-`History` form, so that post-hoc anomaly
+/// injection can still rewrite reads).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) struct RawOp {
+    pub is_read: bool,
+    pub key: u64,
+    pub value: u64,
+}
+
+/// A raw recorded transaction.
+#[derive(Clone, Debug)]
+pub(crate) struct RawTxn {
+    pub ops: Vec<RawOp>,
+    pub committed: bool,
+}
+
+/// Result of executing one transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TxnResult {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// `(key, value)` observed by each read, in program order. Reads of
+    /// keys with no visible version are omitted (and not recorded).
+    pub reads: Vec<(u64, u64)>,
+}
+
+/// An in-flight transaction (op-level execution state).
+#[derive(Debug)]
+struct OpenTxn {
+    spec: TxnSpec,
+    /// Pre-assigned values for each write op (future-read injection needs
+    /// them before the write executes).
+    write_values: Vec<Option<u64>>,
+    next_op: usize,
+    snap: Snapshot,
+    will_abort: bool,
+    raw_ops: Vec<RawOp>,
+    writes: Vec<(u64, u64)>,
+    reads: Vec<(u64, u64)>,
+}
+
+/// The simulated database. See the module docs.
+#[derive(Debug)]
+pub struct SimDb {
+    config: SimConfig,
+    store: Store,
+    rng: SmallRng,
+    /// Causal mode: per-session causally-closed frontier.
+    frontier: Vec<Snapshot>,
+    /// Causal mode: clock of each session's latest commit, for gossip.
+    latest_clock: Vec<Snapshot>,
+    /// Recently aborted writes per key (for aborted-read injection).
+    aborted_pool: Vec<(u64, u64)>,
+    /// In-flight transactions, one slot per session.
+    open: Vec<Option<OpenTxn>>,
+    /// Raw per-session execution record.
+    pub(crate) log: Vec<Vec<RawTxn>>,
+    next_value: u64,
+    next_phantom: u64,
+}
+
+impl SimDb {
+    /// Creates a fresh database for `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let k = config.sessions;
+        SimDb {
+            store: Store::new(k),
+            rng: SmallRng::seed_from_u64(config.seed),
+            frontier: vec![Snapshot::new(k); k],
+            latest_clock: vec![Snapshot::new(k); k],
+            aborted_pool: Vec::new(),
+            open: (0..k).map(|_| None).collect(),
+            log: vec![Vec::new(); k],
+            next_value: 1,
+            next_phantom: 1,
+            config,
+        }
+    }
+
+    /// The configuration the database was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Mutable access to the anomaly rates, for phased injection.
+    pub fn anomalies_mut(&mut self) -> &mut crate::config::AnomalyRates {
+        &mut self.config.anomalies
+    }
+
+    /// Sets the abort probability for subsequently started transactions.
+    pub fn set_abort_probability(&mut self, p: f64) {
+        self.config.abort_probability = p;
+    }
+
+    /// Writes an initial value to each key in one committed transaction on
+    /// session 0, so that subsequent reads of those keys never come up
+    /// empty. Call before any workload transaction.
+    pub fn preload(&mut self, keys: impl IntoIterator<Item = u64>) {
+        let ops: Vec<OpSpec> = keys.into_iter().map(OpSpec::Write).collect();
+        if ops.is_empty() {
+            return;
+        }
+        let spec = TxnSpec { ops };
+        self.execute(0, &spec);
+    }
+
+    /// Whether `session` has an open transaction.
+    pub fn is_open(&self, session: usize) -> bool {
+        self.open[session].is_some()
+    }
+
+    /// Opens a transaction for `spec` on `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already has an open transaction or is out of
+    /// range.
+    pub fn start(&mut self, session: usize, spec: &TxnSpec) {
+        assert!(session < self.config.sessions, "session out of range");
+        assert!(self.open[session].is_none(), "transaction already open");
+        let will_abort = self.config.abort_probability > 0.0
+            && self
+                .rng
+                .gen_bool(self.config.abort_probability.clamp(0.0, 1.0));
+        let write_values: Vec<Option<u64>> = spec
+            .ops
+            .iter()
+            .map(|op| match op {
+                OpSpec::Write(_) => Some(self.fresh_value()),
+                OpSpec::Read(_) => None,
+            })
+            .collect();
+        let snap = self.begin_snapshot(session);
+        self.open[session] = Some(OpenTxn {
+            spec: spec.clone(),
+            write_values,
+            next_op: 0,
+            snap,
+            will_abort,
+            raw_ops: Vec::with_capacity(spec.ops.len()),
+            writes: Vec::new(),
+            reads: Vec::new(),
+        });
+    }
+
+    /// Executes the next operation of `session`'s open transaction. When
+    /// the last operation completes, the transaction commits (or aborts)
+    /// and its [`TxnResult`] is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open on `session`.
+    pub fn step(&mut self, session: usize) -> Option<TxnResult> {
+        let mut txn = self.open[session].take().expect("no open transaction");
+        if txn.next_op < txn.spec.ops.len() {
+            let i = txn.next_op;
+            txn.next_op += 1;
+            match txn.spec.ops[i] {
+                OpSpec::Write(key) => {
+                    let value = txn.write_values[i].expect("write value pre-assigned");
+                    txn.writes.push((key, value));
+                    txn.raw_ops.push(RawOp {
+                        is_read: false,
+                        key,
+                        value,
+                    });
+                }
+                OpSpec::Read(key) => {
+                    // Read-your-own-writes within the transaction.
+                    if let Some(&(_, v)) = txn.writes.iter().rev().find(|&&(k, _)| k == key) {
+                        txn.raw_ops.push(RawOp {
+                            is_read: true,
+                            key,
+                            value: v,
+                        });
+                        txn.reads.push((key, v));
+                    } else if let Some(value) = self.external_read(key, i, &mut txn) {
+                        txn.raw_ops.push(RawOp {
+                            is_read: true,
+                            key,
+                            value,
+                        });
+                        txn.reads.push((key, value));
+                    }
+                }
+            }
+        }
+        if txn.next_op >= txn.spec.ops.len() {
+            Some(self.finalize(session, txn))
+        } else {
+            self.open[session] = Some(txn);
+            None
+        }
+    }
+
+    /// Executes one transaction spec atomically (no interleaving with other
+    /// sessions), recording its operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already has an open transaction.
+    pub fn execute(&mut self, session: usize, spec: &TxnSpec) -> TxnResult {
+        self.start(session, spec);
+        loop {
+            if let Some(result) = self.step(session) {
+                return result;
+            }
+        }
+    }
+
+    fn finalize(&mut self, session: usize, txn: OpenTxn) -> TxnResult {
+        let committed = !txn.will_abort;
+        if committed {
+            self.store.commit(session as u32, &txn.writes);
+            if self.config.isolation == DbIsolation::Causal {
+                let pos = self.store.session_commits(session);
+                self.frontier[session].advance(session, pos);
+                self.latest_clock[session] = self.frontier[session].clone();
+            }
+        } else {
+            self.aborted_pool.extend(txn.writes.iter().copied());
+            // Bound the pool so long runs don't accumulate unboundedly.
+            if self.aborted_pool.len() > 1024 {
+                let excess = self.aborted_pool.len() - 1024;
+                self.aborted_pool.drain(..excess);
+            }
+        }
+        self.log[session].push(RawTxn {
+            ops: txn.raw_ops,
+            committed,
+        });
+        TxnResult {
+            committed,
+            reads: txn.reads,
+        }
+    }
+
+    fn fresh_value(&mut self) -> u64 {
+        let v = self.next_value;
+        self.next_value += 1;
+        // Even values are real writes; odd values (see `phantom_value`) are
+        // reserved for thin-air fabrication.
+        v * 2
+    }
+
+    fn phantom_value(&mut self) -> u64 {
+        let v = self.next_phantom;
+        self.next_phantom += 1;
+        v * 2 + 1
+    }
+
+    /// Takes the transaction-start snapshot for `session` per the isolation
+    /// mode.
+    fn begin_snapshot(&mut self, session: usize) -> Snapshot {
+        match self.config.isolation {
+            DbIsolation::Serializable | DbIsolation::ReadCommitted => self.store.snapshot_all(),
+            DbIsolation::ReadAtomic => {
+                let lags = self.sample_lags(session);
+                self.store.snapshot_lagged(session, &lags)
+            }
+            DbIsolation::Causal => {
+                // Gossip: merge a random peer's latest causally-closed
+                // clock; the frontier stays causally closed because each
+                // clock includes its own causal past.
+                if self.config.sessions > 1
+                    && self
+                        .rng
+                        .gen_bool(self.config.sync_probability.clamp(0.0, 1.0))
+                {
+                    let peer = self.rng.gen_range(0..self.config.sessions);
+                    if peer != session {
+                        let peer_clock = self.latest_clock[peer].clone();
+                        self.frontier[session].join(&peer_clock);
+                    }
+                }
+                if self.config.anomalies.stale_causal > 0.0
+                    && self
+                        .rng
+                        .gen_bool(self.config.anomalies.stale_causal.clamp(0.0, 1.0))
+                {
+                    // Injected bug: a lagged, non-causally-closed snapshot.
+                    let lags = self.sample_lags(session);
+                    let mut snap = self.store.snapshot_lagged(session, &lags);
+                    // Keep the session's own frontier entry so session
+                    // guarantees of its own writes still hold.
+                    snap.advance(session, self.frontier[session].get(session));
+                    return snap;
+                }
+                self.frontier[session].clone()
+            }
+        }
+    }
+
+    fn sample_lags(&mut self, session: usize) -> Vec<u64> {
+        (0..self.config.sessions)
+            .map(|s| {
+                if s == session {
+                    0
+                } else {
+                    self.rng.gen_range(0..=self.config.max_lag)
+                }
+            })
+            .collect()
+    }
+
+    /// Performs an external read of `key` (no own write buffered),
+    /// applying per-read anomaly injection. Returns `None` when no version
+    /// is visible.
+    fn external_read(&mut self, key: u64, op_index: usize, txn: &mut OpenTxn) -> Option<u64> {
+        let a = self.config.anomalies;
+        if a.thin_air > 0.0 && self.rng.gen_bool(a.thin_air.clamp(0.0, 1.0)) {
+            return Some(self.phantom_value());
+        }
+        if a.future_read > 0.0 && self.rng.gen_bool(a.future_read.clamp(0.0, 1.0)) {
+            // Observe a po-later own write of the same key, if one exists.
+            for (j, op) in txn.spec.ops.iter().enumerate().skip(op_index + 1) {
+                if let OpSpec::Write(k) = *op {
+                    if k == key {
+                        return Some(txn.write_values[j].expect("write value pre-assigned"));
+                    }
+                }
+            }
+        }
+        if a.aborted_read > 0.0 && self.rng.gen_bool(a.aborted_read.clamp(0.0, 1.0)) {
+            if let Some(&(_, v)) = self.aborted_pool.iter().rev().find(|&&(k, _)| k == key) {
+                return Some(v);
+            }
+        }
+        if a.fractured_read > 0.0 && self.rng.gen_bool(a.fractured_read.clamp(0.0, 1.0)) {
+            // Refresh the snapshot mid-transaction: preserves RC (the
+            // snapshot only grows and reads stay newest-visible) but
+            // fractures atomic visibility.
+            txn.snap = self.store.snapshot_all();
+        }
+        if a.random_version > 0.0 && self.rng.gen_bool(a.random_version.clamp(0.0, 1.0)) {
+            let visible = self.store.read_visible(key, &txn.snap);
+            if !visible.is_empty() {
+                let i = self.rng.gen_range(0..visible.len());
+                return Some(visible[i].value);
+            }
+        }
+        if self.config.isolation == DbIsolation::ReadCommitted {
+            // Per-operation visibility refresh (no transaction snapshot).
+            txn.snap = self.store.snapshot_all();
+        }
+        self.store.read_latest(key, &txn.snap).map(|v| v.value)
+    }
+
+    /// Replays the execution record into a checked [`History`].
+    ///
+    /// Open transactions, if any, are discarded (only finished transactions
+    /// are part of the record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the history builder; with the
+    /// simulator's globally-unique write values this can only fail if an
+    /// injection produced a duplicate, which would be a bug.
+    pub fn into_history(self) -> Result<History, BuildError> {
+        let mut b = HistoryBuilder::new();
+        let sessions: Vec<_> = (0..self.config.sessions).map(|_| b.session()).collect();
+        for (s, txns) in self.log.iter().enumerate() {
+            for t in txns {
+                b.begin(sessions[s]);
+                for op in &t.ops {
+                    if op.is_read {
+                        b.read(sessions[s], op.key, op.value);
+                    } else {
+                        b.write(sessions[s], op.key, op.value);
+                    }
+                }
+                if t.committed {
+                    b.commit(sessions[s]);
+                } else {
+                    b.abort(sessions[s]);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, IsolationLevel};
+
+    fn spec(ops: Vec<OpSpec>) -> TxnSpec {
+        TxnSpec { ops }
+    }
+
+    #[test]
+    fn serializable_db_round_trip() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 2, 42));
+        db.preload([1, 2]);
+        db.execute(0, &spec(vec![OpSpec::Write(1), OpSpec::Read(2)]));
+        let r = db.execute(1, &spec(vec![OpSpec::Read(1)]));
+        assert_eq!(r.reads.len(), 1);
+        let h = db.into_history().unwrap();
+        for level in IsolationLevel::ALL {
+            assert!(check(&h, level).is_consistent());
+        }
+    }
+
+    #[test]
+    fn reads_of_unwritten_keys_are_dropped() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 1, 0));
+        let r = db.execute(0, &spec(vec![OpSpec::Read(7)]));
+        assert!(r.reads.is_empty());
+        let h = db.into_history().unwrap();
+        assert_eq!(h.size(), 0);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::ReadAtomic, 1, 0));
+        let r = db.execute(0, &spec(vec![OpSpec::Write(5), OpSpec::Read(5)]));
+        assert_eq!(r.reads.len(), 1);
+        let h = db.into_history().unwrap();
+        assert!(check(&h, IsolationLevel::Causal).is_consistent());
+    }
+
+    #[test]
+    fn step_interleaving_fractures_read_committed() {
+        // Session 0 reads keys 1 and 2; between the two reads, session 1
+        // commits a transaction writing both. Under ReadCommitted the
+        // second read sees the new value: a fractured (RA-violating) but
+        // RC-consistent observation.
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::ReadCommitted, 2, 0));
+        db.preload([1, 2]);
+        db.start(0, &spec(vec![OpSpec::Read(1), OpSpec::Read(2)]));
+        assert!(db.step(0).is_none()); // read key 1 (old)
+        db.execute(1, &spec(vec![OpSpec::Write(1), OpSpec::Write(2)]));
+        let r = db.step(0).expect("transaction finishes");
+        assert!(r.committed);
+        let h = db.into_history().unwrap();
+        assert!(check(&h, IsolationLevel::ReadCommitted).is_consistent());
+        assert!(!check(&h, IsolationLevel::ReadAtomic).is_consistent());
+    }
+
+    #[test]
+    fn step_interleaving_keeps_read_atomic_snapshots() {
+        // Same interleaving under ReadAtomic: the start snapshot pins both
+        // reads, so the history stays RA-consistent.
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::ReadAtomic, 2, 0).with_max_lag(0));
+        db.preload([1, 2]);
+        db.start(0, &spec(vec![OpSpec::Read(1), OpSpec::Read(2)]));
+        assert!(db.step(0).is_none());
+        db.execute(1, &spec(vec![OpSpec::Write(1), OpSpec::Write(2)]));
+        db.step(0).expect("transaction finishes");
+        let h = db.into_history().unwrap();
+        assert!(check(&h, IsolationLevel::ReadAtomic).is_consistent());
+    }
+
+    #[test]
+    fn aborted_transactions_do_not_publish() {
+        let cfg = SimConfig::new(DbIsolation::Serializable, 1, 3).with_aborts(1.0);
+        let mut db = SimDb::new(cfg);
+        db.execute(0, &spec(vec![OpSpec::Write(1)]));
+        // Next txn (also aborting) reads key 1: nothing visible.
+        let r = db.execute(0, &spec(vec![OpSpec::Read(1)]));
+        assert!(r.reads.is_empty());
+        let h = db.into_history().unwrap();
+        assert_eq!(h.num_committed(), 0);
+        assert_eq!(h.num_txns(), 2);
+    }
+
+    #[test]
+    fn thin_air_injection_is_caught() {
+        let cfg = SimConfig::new(DbIsolation::Serializable, 1, 9).with_anomalies(
+            crate::config::AnomalyRates {
+                thin_air: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut db = SimDb::new(cfg);
+        db.preload([1]);
+        db.execute(0, &spec(vec![OpSpec::Read(1)]));
+        let h = db.into_history().unwrap();
+        let out = check(&h, IsolationLevel::ReadCommitted);
+        assert!(!out.is_consistent());
+        assert_eq!(
+            out.violations()[0].kind(),
+            awdit_core::ViolationKind::ThinAirRead
+        );
+    }
+
+    #[test]
+    fn future_read_injection_is_caught() {
+        let cfg = SimConfig::new(DbIsolation::Serializable, 1, 9).with_anomalies(
+            crate::config::AnomalyRates {
+                future_read: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut db = SimDb::new(cfg);
+        db.execute(0, &spec(vec![OpSpec::Read(1), OpSpec::Write(1)]));
+        let h = db.into_history().unwrap();
+        let out = check(&h, IsolationLevel::ReadCommitted);
+        assert!(!out.is_consistent());
+        assert_eq!(
+            out.violations()[0].kind(),
+            awdit_core::ViolationKind::FutureRead
+        );
+    }
+
+    #[test]
+    fn aborted_read_injection_is_caught() {
+        let cfg = SimConfig::new(DbIsolation::Serializable, 2, 11);
+        let mut db = SimDb::new(cfg);
+        // Session 0 aborts a write of key 1.
+        db.set_abort_probability(1.0);
+        db.execute(0, &spec(vec![OpSpec::Write(1)]));
+        db.set_abort_probability(0.0);
+        db.anomalies_mut().aborted_read = 1.0;
+        db.execute(1, &spec(vec![OpSpec::Read(1)]));
+        let h = db.into_history().unwrap();
+        let out = check(&h, IsolationLevel::ReadCommitted);
+        assert!(!out.is_consistent());
+        assert_eq!(
+            out.violations()[0].kind(),
+            awdit_core::ViolationKind::AbortedRead
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut db = SimDb::new(SimConfig::new(DbIsolation::ReadAtomic, 3, 77));
+            db.preload(0..10);
+            for i in 0..30u64 {
+                let s = (i % 3) as usize;
+                db.execute(
+                    s,
+                    &spec(vec![OpSpec::Read(i % 10), OpSpec::Write((i + 3) % 10)]),
+                );
+            }
+            db.into_history().unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction already open")]
+    fn double_start_panics() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 1, 0));
+        db.start(0, &spec(vec![OpSpec::Write(1)]));
+        db.start(0, &spec(vec![OpSpec::Write(2)]));
+    }
+
+    #[test]
+    fn empty_spec_commits_immediately() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 1, 0));
+        db.start(0, &spec(vec![]));
+        let r = db.step(0).expect("empty txn finishes in one step");
+        assert!(r.committed);
+        assert!(!db.is_open(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Post-hoc anomaly injection: rewrite a recorded history to contain
+//! anomalies that cannot be produced by the (sequential) simulator inline —
+//! most importantly `so ∪ wr` causality cycles, where two transactions
+//! mutually observe each other's writes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::db::{RawOp, SimDb};
+
+impl SimDb {
+    /// Rewrites the record so that two committed transactions in different
+    /// sessions observe each other, creating a `wr` cycle (a *causality
+    /// cycle*, violating every isolation level).
+    ///
+    /// Picks a committed reader transaction `v` that observes a write of a
+    /// committed transaction `u` in another session, then appends to `u` a
+    /// read of one of `v`'s writes. Returns `true` on success, `false` if
+    /// the record contains no suitable pair (e.g. no cross-session reads
+    /// yet).
+    pub fn inject_causality_cycle(&mut self, rng: &mut SmallRng) -> bool {
+        // Map written values -> (session, txn index) over committed txns.
+        use std::collections::HashMap;
+        let mut writer_of: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (s, txns) in self.log.iter().enumerate() {
+            for (i, t) in txns.iter().enumerate() {
+                if !t.committed {
+                    continue;
+                }
+                for op in &t.ops {
+                    if !op.is_read {
+                        writer_of.insert(op.value, (s, i));
+                    }
+                }
+            }
+        }
+
+        // Candidate pairs (u, v): v committed, reads a value written by
+        // committed u in another session, and v has at least one write for
+        // u to observe back.
+        let mut candidates: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        for (s, txns) in self.log.iter().enumerate() {
+            for (i, t) in txns.iter().enumerate() {
+                if !t.committed || !t.ops.iter().any(|o| !o.is_read) {
+                    continue;
+                }
+                for op in &t.ops {
+                    if op.is_read {
+                        if let Some(&(ws, wi)) = writer_of.get(&op.value) {
+                            if ws != s {
+                                candidates.push(((ws, wi), (s, i)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let ((us, ui), (vs, vi)) = candidates[rng.gen_range(0..candidates.len())];
+        // Find a write of v for u to observe.
+        let back = self.log[vs][vi]
+            .ops
+            .iter()
+            .find(|o| !o.is_read)
+            .copied()
+            .expect("candidate v has a write");
+        self.log[us][ui].ops.push(RawOp {
+            is_read: true,
+            key: back.key,
+            value: back.value,
+        });
+        true
+    }
+
+    /// Rewrites one committed read (with at least two visible candidate
+    /// writers recorded) to observe an *older* value of its key written by
+    /// a different transaction, producing a stale-read anomaly post hoc.
+    /// Returns `true` on success.
+    ///
+    /// Unlike the inline [`AnomalyRates`](crate::AnomalyRates) injection,
+    /// this works on any already-recorded run, which the Table 1 harness
+    /// uses to plant violations at exact positions.
+    pub fn inject_stale_read(&mut self, rng: &mut SmallRng) -> bool {
+        // Collect per-key committed writes in commit-record order.
+        use std::collections::HashMap;
+        let mut writes_of: HashMap<u64, Vec<u64>> = HashMap::new();
+        for txns in self.log.iter() {
+            for t in txns.iter().filter(|t| t.committed) {
+                for op in &t.ops {
+                    if !op.is_read {
+                        writes_of.entry(op.key).or_default().push(op.value);
+                    }
+                }
+            }
+        }
+        let mut read_sites: Vec<(usize, usize, usize)> = Vec::new();
+        for (s, txns) in self.log.iter().enumerate() {
+            for (i, t) in txns.iter().enumerate() {
+                if !t.committed {
+                    continue;
+                }
+                for (j, op) in t.ops.iter().enumerate() {
+                    if op.is_read
+                        && writes_of.get(&op.key).map(|w| w.len()).unwrap_or(0) >= 2
+                    {
+                        read_sites.push((s, i, j));
+                    }
+                }
+            }
+        }
+        if read_sites.is_empty() {
+            return false;
+        }
+        let (s, i, j) = read_sites[rng.gen_range(0..read_sites.len())];
+        let key = self.log[s][i].ops[j].key;
+        let current = self.log[s][i].ops[j].value;
+        let choices = &writes_of[&key];
+        let alternative = choices
+            .iter()
+            .copied()
+            .find(|&v| v != current)
+            .expect("at least two writes of the key");
+        self.log[s][i].ops[j].value = alternative;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DbIsolation, SimConfig};
+    use crate::db::SimDb;
+    use crate::spec::{OpSpec, TxnSpec};
+    use awdit_core::{check, IsolationLevel, ViolationKind};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chatty_db(seed: u64) -> SimDb {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 3, seed));
+        db.preload(0..5);
+        for i in 0..30u64 {
+            let s = (i % 3) as usize;
+            db.execute(
+                s,
+                &TxnSpec::new(vec![OpSpec::Read(i % 5), OpSpec::Write((i + 1) % 5)]),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn causality_cycle_injection_creates_cycle() {
+        let mut db = chatty_db(21);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(db.inject_causality_cycle(&mut rng));
+        let h = db.into_history().unwrap();
+        let out = check(&h, IsolationLevel::Causal);
+        assert!(!out.is_consistent());
+        assert!(out
+            .violations()
+            .iter()
+            .any(|v| v.kind() == ViolationKind::CausalityCycle));
+        // RC also rejects it (the cycle is in so ∪ wr ⊆ co′).
+        assert!(!check(&h, IsolationLevel::ReadCommitted).is_consistent());
+    }
+
+    #[test]
+    fn stale_read_injection_breaks_consistency() {
+        let mut db = chatty_db(22);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(db.inject_stale_read(&mut rng));
+        let h = db.into_history().unwrap();
+        // The mutation may land anywhere; at minimum CC must notice a
+        // history that was serializable before.
+        let before = chatty_db(22).into_history().unwrap();
+        assert!(check(&before, IsolationLevel::Causal).is_consistent());
+        let _ = check(&h, IsolationLevel::Causal); // must not panic
+    }
+
+    #[test]
+    fn injection_fails_gracefully_on_empty_db() {
+        let mut db = SimDb::new(SimConfig::new(DbIsolation::Serializable, 2, 0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(!db.inject_causality_cycle(&mut rng));
+        assert!(!db.inject_stale_read(&mut rng));
+    }
+}

@@ -1,0 +1,52 @@
+//! # awdit-simdb — a simulated transactional key-value database
+//!
+//! The AWDIT paper evaluates its checkers on histories collected from
+//! PostgreSQL, CockroachDB, and RocksDB through the Cobra collection
+//! framework. This crate is the reproduction's stand-in: a deterministic,
+//! seedable, multi-session transactional KV store with *pluggable isolation
+//! semantics* and *anomaly injection*, so experiments can control exactly
+//! what the real databases leave to chance:
+//!
+//! * [`DbIsolation::Serializable`] / [`DbIsolation::Causal`] /
+//!   [`DbIsolation::ReadAtomic`] / [`DbIsolation::ReadCommitted`] choose the
+//!   store's visibility policy (and therefore which isolation levels its
+//!   histories satisfy);
+//! * [`AnomalyRates`] plant specific bugs — thin-air values, aborted reads,
+//!   future reads, fractured transactions, stale causal snapshots — that
+//!   the checkers must catch;
+//! * [`SimDb::inject_causality_cycle`] rewrites a recorded run post hoc to
+//!   contain mutually-observing transactions (Table 1's "Causality Cycle"
+//!   anomaly class).
+//!
+//! Histories come out as [`awdit_core::History`] values via
+//! [`collect_history`] or [`Harness`].
+//!
+//! ```
+//! use awdit_simdb::{collect_history, DbIsolation, OpSpec, SimConfig, TxnSpec};
+//!
+//! # fn main() -> Result<(), awdit_core::BuildError> {
+//! let config = SimConfig::new(DbIsolation::ReadAtomic, 8, 42);
+//! let mut workload = |_session: usize, _rng: &mut rand::rngs::SmallRng| {
+//!     TxnSpec::new(vec![OpSpec::Write(7), OpSpec::Read(7)])
+//! };
+//! let history = collect_history(config, &mut workload, 50)?;
+//! assert_eq!(history.num_sessions(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod db;
+pub mod harness;
+mod inject;
+pub mod spec;
+pub mod store;
+
+pub use config::{AnomalyRates, DbIsolation, SimConfig};
+pub use db::{SimDb, TxnResult};
+pub use harness::{collect_history, Harness, Schedule};
+pub use spec::{OpSpec, TxnSource, TxnSpec};
+pub use store::{Snapshot, Store, Version};

@@ -1,0 +1,120 @@
+//! Transaction specifications: what a client asks the database to do.
+//!
+//! Workload generators produce [`TxnSpec`]s; the simulator assigns write
+//! values (globally unique, as black-box isolation testing requires) and
+//! resolves reads at execution time.
+
+use rand::rngs::SmallRng;
+
+/// One requested operation. Write values are chosen by the database.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OpSpec {
+    /// Read the named key.
+    Read(u64),
+    /// Write a fresh value to the named key.
+    Write(u64),
+}
+
+impl OpSpec {
+    /// The key the operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            OpSpec::Read(k) | OpSpec::Write(k) => k,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, OpSpec::Read(_))
+    }
+}
+
+/// A requested transaction: operations in program order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TxnSpec {
+    /// The operations, in program order.
+    pub ops: Vec<OpSpec>,
+}
+
+impl TxnSpec {
+    /// A transaction with the given operations.
+    pub fn new(ops: Vec<OpSpec>) -> Self {
+        TxnSpec { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the transaction has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromIterator<OpSpec> for TxnSpec {
+    fn from_iter<T: IntoIterator<Item = OpSpec>>(iter: T) -> Self {
+        TxnSpec {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<OpSpec> for TxnSpec {
+    fn extend<T: IntoIterator<Item = OpSpec>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+/// A source of transactions, one session at a time. Implemented by the
+/// workload generators in `awdit-workloads`.
+pub trait TxnSource {
+    /// Produces the next transaction for `session`.
+    fn next_txn(&mut self, session: usize, rng: &mut SmallRng) -> TxnSpec;
+
+    /// Keys that should exist before the workload starts (written by a
+    /// preload transaction so reads never come up empty). Defaults to none.
+    fn preload_keys(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+impl<F> TxnSource for F
+where
+    F: FnMut(usize, &mut SmallRng) -> TxnSpec,
+{
+    fn next_txn(&mut self, session: usize, rng: &mut SmallRng) -> TxnSpec {
+        self(session, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(OpSpec::Read(3).key(), 3);
+        assert_eq!(OpSpec::Write(4).key(), 4);
+        assert!(OpSpec::Read(0).is_read());
+        assert!(!OpSpec::Write(0).is_read());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: TxnSpec = [OpSpec::Read(1)].into_iter().collect();
+        t.extend([OpSpec::Write(2)]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn closures_are_txn_sources() {
+        use rand::SeedableRng;
+        let mut src = |_s: usize, _r: &mut SmallRng| TxnSpec::new(vec![OpSpec::Write(1)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = TxnSource::next_txn(&mut src, 0, &mut rng);
+        assert_eq!(t.len(), 1);
+    }
+}

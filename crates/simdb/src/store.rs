@@ -1,0 +1,233 @@
+//! The versioned key-value store and snapshot machinery underlying the
+//! simulator.
+//!
+//! Every committed write becomes a [`Version`] tagged with its global
+//! commit sequence number and its writer's `(session, committed position)`.
+//! A [`Snapshot`] is a per-session prefix count: version `(s, p)` is
+//! visible iff `p < snapshot[s]`. This prefix representation is the same
+//! one the checker's vector clocks use, and it makes all four isolation
+//! modes of the simulator expressible as different snapshot policies.
+
+use std::collections::HashMap;
+
+/// One committed version of a key.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Version {
+    /// Global commit sequence number of the writing transaction.
+    pub seq: u64,
+    /// The written value.
+    pub value: u64,
+    /// Writing session.
+    pub session: u32,
+    /// Committed position of the writer within its session.
+    pub pos: u32,
+}
+
+/// A visibility snapshot: per-session counts of visible committed
+/// transactions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    prefix: Vec<u32>,
+}
+
+impl Snapshot {
+    /// The empty snapshot over `k` sessions (sees nothing).
+    pub fn new(k: usize) -> Self {
+        Snapshot {
+            prefix: vec![0; k],
+        }
+    }
+
+    /// Number of visible transactions of session `s`.
+    #[inline]
+    pub fn get(&self, s: usize) -> u32 {
+        self.prefix[s]
+    }
+
+    /// Raises session `s`'s visible prefix to at least `count`.
+    #[inline]
+    pub fn advance(&mut self, s: usize, count: u32) {
+        if self.prefix[s] < count {
+            self.prefix[s] = count;
+        }
+    }
+
+    /// Point-wise maximum with another snapshot.
+    pub fn join(&mut self, other: &Snapshot) {
+        for (a, &b) in self.prefix.iter_mut().zip(&other.prefix) {
+            if *a < b {
+                *a = b;
+            }
+        }
+    }
+
+    /// Whether the version is visible under this snapshot.
+    #[inline]
+    pub fn sees(&self, v: &Version) -> bool {
+        v.pos < self.prefix[v.session as usize]
+    }
+}
+
+/// The shared versioned store.
+#[derive(Debug, Default)]
+pub struct Store {
+    versions: HashMap<u64, Vec<Version>>,
+    /// Commit sequence numbers per session, ascending (for lag cutoffs).
+    session_seqs: Vec<Vec<u64>>,
+    /// Global commit counter.
+    next_seq: u64,
+}
+
+impl Store {
+    /// An empty store for `k` sessions.
+    pub fn new(k: usize) -> Self {
+        Store {
+            versions: HashMap::new(),
+            session_seqs: vec![Vec::new(); k],
+            next_seq: 0,
+        }
+    }
+
+    /// Total commits so far.
+    #[inline]
+    pub fn commits(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of committed transactions of session `s`.
+    #[inline]
+    pub fn session_commits(&self, s: usize) -> u32 {
+        self.session_seqs[s].len() as u32
+    }
+
+    /// Applies a committed transaction's writes, returning its commit
+    /// sequence number.
+    pub fn commit(&mut self, session: u32, writes: &[(u64, u64)]) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pos = self.session_seqs[session as usize].len() as u32;
+        self.session_seqs[session as usize].push(seq);
+        for &(key, value) in writes {
+            self.versions.entry(key).or_default().push(Version {
+                seq,
+                value,
+                session,
+                pos,
+            });
+        }
+        seq
+    }
+
+    /// The newest visible version of `key` under `snap`, if any.
+    ///
+    /// Versions are stored in commit order, so the scan walks backwards
+    /// from the newest; the walk length is bounded by the number of
+    /// invisible recent versions (at most the configured replication lag).
+    pub fn read_latest(&self, key: u64, snap: &Snapshot) -> Option<Version> {
+        let vs = self.versions.get(&key)?;
+        vs.iter().rev().find(|v| snap.sees(v)).copied()
+    }
+
+    /// All visible versions of `key` under `snap` (for anomaly injection).
+    pub fn read_visible(&self, key: u64, snap: &Snapshot) -> Vec<Version> {
+        self.versions
+            .get(&key)
+            .map(|vs| vs.iter().filter(|v| snap.sees(v)).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// A full snapshot: everything committed so far.
+    pub fn snapshot_all(&self) -> Snapshot {
+        Snapshot {
+            prefix: self
+                .session_seqs
+                .iter()
+                .map(|seqs| seqs.len() as u32)
+                .collect(),
+        }
+    }
+
+    /// A RAMP-style lagged snapshot for `session`: the session's own
+    /// commits are fully visible; each remote session `s'` is cut off at
+    /// commits with sequence number `≤ now − lag(s')`.
+    pub fn snapshot_lagged(&self, session: usize, lags: &[u64]) -> Snapshot {
+        let now = self.next_seq;
+        let mut prefix = Vec::with_capacity(self.session_seqs.len());
+        for (s, seqs) in self.session_seqs.iter().enumerate() {
+            if s == session {
+                prefix.push(seqs.len() as u32);
+            } else {
+                let cutoff = now.saturating_sub(lags[s]);
+                prefix.push(seqs.partition_point(|&q| q < cutoff) as u32);
+            }
+        }
+        Snapshot { prefix }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_read_latest() {
+        let mut st = Store::new(2);
+        st.commit(0, &[(1, 10)]);
+        st.commit(1, &[(1, 20)]);
+        let all = st.snapshot_all();
+        assert_eq!(st.read_latest(1, &all).unwrap().value, 20);
+        assert_eq!(st.read_latest(99, &all), None);
+    }
+
+    #[test]
+    fn snapshot_prefix_visibility() {
+        let mut st = Store::new(2);
+        st.commit(0, &[(1, 10)]);
+        st.commit(0, &[(1, 11)]);
+        st.commit(1, &[(1, 20)]);
+        let mut snap = Snapshot::new(2);
+        snap.advance(0, 1); // only session 0's first commit visible
+        assert_eq!(st.read_latest(1, &snap).unwrap().value, 10);
+        snap.advance(1, 1);
+        assert_eq!(st.read_latest(1, &snap).unwrap().value, 20);
+        assert_eq!(st.read_visible(1, &snap).len(), 2);
+    }
+
+    #[test]
+    fn lagged_snapshot_sees_own_session_fully() {
+        let mut st = Store::new(2);
+        st.commit(0, &[(1, 10)]);
+        st.commit(1, &[(1, 20)]);
+        st.commit(0, &[(1, 11)]);
+        // Session 0 with infinite lag on session 1: sees both own commits,
+        // nothing of session 1.
+        let snap = st.snapshot_lagged(0, &[0, u64::MAX]);
+        assert_eq!(snap.get(0), 2);
+        assert_eq!(snap.get(1), 0);
+        assert_eq!(st.read_latest(1, &snap).unwrap().value, 11);
+        // Zero lag: everything visible.
+        let snap = st.snapshot_lagged(0, &[0, 0]);
+        assert_eq!(snap.get(1), 1);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = Snapshot::new(2);
+        a.advance(0, 3);
+        let mut b = Snapshot::new(2);
+        b.advance(1, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn session_commit_counts() {
+        let mut st = Store::new(2);
+        assert_eq!(st.session_commits(0), 0);
+        st.commit(0, &[]);
+        st.commit(0, &[(1, 1)]);
+        assert_eq!(st.session_commits(0), 2);
+        assert_eq!(st.commits(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! A C-Twitter-style social-network workload.
+//!
+//! Modeled after the Cobra framework's "C-Twitter" benchmark (itself after
+//! Twitter's real-time data pipeline): users with a Zipf-skewed popularity
+//! distribution tweet, follow each other, and read timelines assembled
+//! from the people they follow. Averages ≈7.6 operations per transaction
+//! like the paper's runs.
+
+use awdit_simdb::{OpSpec, TxnSource, TxnSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+const TABLE_TWEET: u64 = 1;
+const TABLE_FOLLOW: u64 = 2;
+const TABLE_PROFILE: u64 = 3;
+
+fn tweet_key(user: u64) -> u64 {
+    (TABLE_TWEET << 56) | user
+}
+
+fn follow_key(user: u64, slot: u64) -> u64 {
+    (TABLE_FOLLOW << 56) | (user << 16) | slot
+}
+
+fn profile_key(user: u64) -> u64 {
+    (TABLE_PROFILE << 56) | user
+}
+
+/// Configuration for the C-Twitter-style workload.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CTwitterConfig {
+    /// Number of users.
+    pub users: u64,
+    /// Follow slots tracked per user.
+    pub follows_per_user: u64,
+    /// Timeline length: how many followees a timeline read visits.
+    pub timeline_reads: u64,
+    /// Zipf exponent for user popularity.
+    pub skew: f64,
+}
+
+impl Default for CTwitterConfig {
+    fn default() -> Self {
+        CTwitterConfig {
+            users: 500,
+            follows_per_user: 8,
+            timeline_reads: 6,
+            skew: 1.0,
+        }
+    }
+}
+
+/// The C-Twitter-style transaction generator.
+#[derive(Clone, Debug)]
+pub struct CTwitter {
+    config: CTwitterConfig,
+    popularity: Zipf,
+}
+
+impl CTwitter {
+    /// Creates the workload with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.users == 0`.
+    pub fn new(config: CTwitterConfig) -> Self {
+        CTwitter {
+            popularity: Zipf::new(config.users as usize, config.skew),
+            config,
+        }
+    }
+
+    fn pick_user(&self, rng: &mut SmallRng) -> u64 {
+        self.popularity.sample(rng) as u64
+    }
+
+    /// Tweet: update own latest-tweet row and profile counters.
+    fn tweet(&self, rng: &mut SmallRng, user: u64) -> TxnSpec {
+        let _ = rng;
+        TxnSpec::new(vec![
+            OpSpec::Read(profile_key(user)),
+            OpSpec::Write(tweet_key(user)),
+            OpSpec::Write(profile_key(user)),
+        ])
+    }
+
+    /// Follow: add a followee to one of the user's follow slots.
+    fn follow(&self, rng: &mut SmallRng, user: u64) -> TxnSpec {
+        let followee = self.pick_user(rng);
+        let slot = rng.gen_range(0..self.config.follows_per_user);
+        TxnSpec::new(vec![
+            OpSpec::Read(profile_key(followee)),
+            OpSpec::Write(follow_key(user, slot)),
+            OpSpec::Write(profile_key(user)),
+        ])
+    }
+
+    /// Timeline: read several followees' latest tweets (popular users are
+    /// read more often).
+    fn timeline(&self, rng: &mut SmallRng, user: u64) -> TxnSpec {
+        let mut ops = vec![OpSpec::Read(profile_key(user))];
+        for _ in 0..self.config.timeline_reads {
+            let followee = self.pick_user(rng);
+            ops.push(OpSpec::Read(tweet_key(followee)));
+        }
+        TxnSpec::new(ops)
+    }
+}
+
+impl TxnSource for CTwitter {
+    fn next_txn(&mut self, session: usize, rng: &mut SmallRng) -> TxnSpec {
+        // Sessions act on behalf of a rotating set of users; the acting
+        // user is sampled by popularity for writes too, keeping hot keys
+        // hot on both sides.
+        let user = ((session as u64) + self.pick_user(rng)) % self.config.users;
+        let roll = rng.gen_range(0..100u32);
+        match roll {
+            0..=29 => self.tweet(rng, user),
+            30..=39 => self.follow(rng, user),
+            _ => self.timeline(rng, user),
+        }
+    }
+
+    fn preload_keys(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for u in 0..self.config.users {
+            keys.push(profile_key(u));
+            keys.push(tweet_key(u));
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, HistoryStats, IsolationLevel};
+    use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn average_txn_size_is_near_paper() {
+        let mut w = CTwitter::new(CTwitterConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut total = 0usize;
+        let n = 2000;
+        for i in 0..n {
+            total += w.next_txn(i % 10, &mut rng).len();
+        }
+        let avg = total as f64 / n as f64;
+        assert!((3.0..8.0).contains(&avg), "avg txn size {avg}");
+    }
+
+    #[test]
+    fn causal_ctwitter_history_is_consistent() {
+        let mut w = CTwitter::new(CTwitterConfig {
+            users: 100,
+            ..CTwitterConfig::default()
+        });
+        let cfg = SimConfig::new(DbIsolation::Causal, 6, 9);
+        let h = collect_history(cfg, &mut w, 300).unwrap();
+        assert!(HistoryStats::of(&h).ops > 500);
+        for level in IsolationLevel::ALL {
+            assert!(check(&h, level).is_consistent());
+        }
+    }
+
+    #[test]
+    fn popular_users_dominate_reads() {
+        let w = CTwitter::new(CTwitterConfig::default());
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hot = 0;
+        let mut cold = 0;
+        for _ in 0..5000 {
+            let u = w.pick_user(&mut rng);
+            if u < 10 {
+                hot += 1;
+            } else if u >= 400 {
+                cold += 1;
+            }
+        }
+        assert!(hot > cold, "Zipf skew missing: hot={hot} cold={cold}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Parameterized uniform workloads: the "custom benchmark from the Cobra
+//! framework" the paper uses for its transaction-size scaling experiment
+//! (Fig. 9 right), plus a plain uniform read/write mix.
+
+use awdit_simdb::{OpSpec, TxnSource, TxnSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A uniform random workload with a fixed transaction size — scaling the
+/// size while holding `txn_size × num_txns` constant reproduces the paper's
+/// Fig. 9 (right).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Uniform {
+    /// Distinct keys.
+    pub keys: u64,
+    /// Operations per transaction.
+    pub txn_size: usize,
+    /// Probability that an operation is a read (the rest are writes).
+    pub read_ratio: f64,
+}
+
+impl Uniform {
+    /// A uniform workload over `keys` keys with `txn_size` ops per
+    /// transaction and the given read ratio.
+    pub fn new(keys: u64, txn_size: usize, read_ratio: f64) -> Self {
+        Uniform {
+            keys,
+            txn_size,
+            read_ratio,
+        }
+    }
+}
+
+impl Default for Uniform {
+    fn default() -> Self {
+        Uniform::new(100, 8, 0.5)
+    }
+}
+
+impl TxnSource for Uniform {
+    fn next_txn(&mut self, _session: usize, rng: &mut SmallRng) -> TxnSpec {
+        let mut ops = Vec::with_capacity(self.txn_size);
+        for _ in 0..self.txn_size {
+            let key = rng.gen_range(0..self.keys);
+            if rng.gen_bool(self.read_ratio.clamp(0.0, 1.0)) {
+                ops.push(OpSpec::Read(key));
+            } else {
+                ops.push(OpSpec::Write(key));
+            }
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn preload_keys(&self) -> Vec<u64> {
+        (0..self.keys).collect()
+    }
+}
+
+/// A read-mostly variant whose transactions vary in size between `min` and
+/// `max` ops, for workloads where bounded-but-varied transactions matter.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct VariedSize {
+    /// Distinct keys.
+    pub keys: u64,
+    /// Minimum ops per transaction.
+    pub min_size: usize,
+    /// Maximum ops per transaction.
+    pub max_size: usize,
+    /// Probability that an operation is a read.
+    pub read_ratio: f64,
+}
+
+impl VariedSize {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_size > max_size` or `min_size == 0`.
+    pub fn new(keys: u64, min_size: usize, max_size: usize, read_ratio: f64) -> Self {
+        assert!(min_size > 0 && min_size <= max_size);
+        VariedSize {
+            keys,
+            min_size,
+            max_size,
+            read_ratio,
+        }
+    }
+}
+
+impl TxnSource for VariedSize {
+    fn next_txn(&mut self, _session: usize, rng: &mut SmallRng) -> TxnSpec {
+        let size = rng.gen_range(self.min_size..=self.max_size);
+        let mut ops = Vec::with_capacity(size);
+        for _ in 0..size {
+            let key = rng.gen_range(0..self.keys);
+            if rng.gen_bool(self.read_ratio.clamp(0.0, 1.0)) {
+                ops.push(OpSpec::Read(key));
+            } else {
+                ops.push(OpSpec::Write(key));
+            }
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn preload_keys(&self) -> Vec<u64> {
+        (0..self.keys).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, HistoryStats, IsolationLevel};
+    use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_txn_size() {
+        let mut w = Uniform::new(10, 5, 0.5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(w.next_txn(0, &mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn varied_size_stays_in_bounds() {
+        let mut w = VariedSize::new(10, 2, 9, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = w.next_txn(0, &mut rng).len();
+            assert!((2..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn read_ratio_is_respected() {
+        let mut w = Uniform::new(10, 10, 0.8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut reads = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            for op in w.next_txn(0, &mut rng).ops {
+                total += 1;
+                if op.is_read() {
+                    reads += 1;
+                }
+            }
+        }
+        let ratio = reads as f64 / total as f64;
+        assert!((0.7..0.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_history_checks_out() {
+        let mut w = Uniform::new(50, 6, 0.6);
+        let cfg = SimConfig::new(DbIsolation::Causal, 4, 3);
+        let h = collect_history(cfg, &mut w, 200).unwrap();
+        let stats = HistoryStats::of(&h);
+        assert_eq!(stats.sessions, 4);
+        assert!(check(&h, IsolationLevel::Causal).is_consistent());
+    }
+}

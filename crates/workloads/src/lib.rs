@@ -1,0 +1,127 @@
+//! # awdit-workloads — benchmark workload generators
+//!
+//! Synthetic equivalents of the three benchmarks the AWDIT paper collects
+//! histories from (Section 5.1), plus parameterized uniform workloads for
+//! the scalability experiments:
+//!
+//! * [`Tpcc`] — TPC-C-style OLTP: five transaction profiles over
+//!   warehouse/district/customer/stock rows with the standard mix.
+//! * [`CTwitter`] — Cobra's C-Twitter: tweets, follows, and timeline reads
+//!   over a Zipf-skewed social graph (~7.6 ops per transaction).
+//! * [`Rubis`] — RUBiS: a browse-heavy auction-site mix modeled after
+//!   eBay.
+//! * [`Uniform`] / [`VariedSize`] — the Cobra-style custom workloads used
+//!   to scale transaction size (Fig. 9 right).
+//!
+//! All generators implement [`awdit_simdb::TxnSource`] and plug directly
+//! into the simulator's harness:
+//!
+//! ```
+//! use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+//! use awdit_workloads::{CTwitter, CTwitterConfig};
+//!
+//! # fn main() -> Result<(), awdit_core::BuildError> {
+//! let mut workload = CTwitter::new(CTwitterConfig::default());
+//! let config = SimConfig::new(DbIsolation::Causal, 50, 7);
+//! let history = collect_history(config, &mut workload, 1_000)?;
+//! assert_eq!(history.num_sessions(), 50);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctwitter;
+pub mod custom;
+pub mod rubis;
+pub mod tpcc;
+pub mod zipf;
+
+pub use ctwitter::{CTwitter, CTwitterConfig};
+pub use custom::{Uniform, VariedSize};
+pub use rubis::{Rubis, RubisConfig};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use zipf::Zipf;
+
+use awdit_simdb::TxnSource;
+
+/// The three paper benchmarks, by name (for harness binaries and the CLI).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Benchmark {
+    /// TPC-C-style OLTP.
+    TpcC,
+    /// C-Twitter-style social network.
+    CTwitter,
+    /// RUBiS-style auction site.
+    Rubis,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's presentation order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Rubis, Benchmark::CTwitter, Benchmark::TpcC];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::TpcC => "TPC-C",
+            Benchmark::CTwitter => "C-Twitter",
+            Benchmark::Rubis => "RUBiS",
+        }
+    }
+
+    /// Instantiates the workload with its default configuration.
+    pub fn build(self) -> Box<dyn TxnSource> {
+        match self {
+            Benchmark::TpcC => Box::new(Tpcc::new(TpccConfig::default())),
+            Benchmark::CTwitter => Box::new(CTwitter::new(CTwitterConfig::default())),
+            Benchmark::Rubis => Box::new(Rubis::new(RubisConfig::default())),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tpcc" | "tpc-c" => Ok(Benchmark::TpcC),
+            "ctwitter" | "c-twitter" | "twitter" => Ok(Benchmark::CTwitter),
+            "rubis" => Ok(Benchmark::Rubis),
+            _ => Err(format!("unknown benchmark `{s}` (tpcc, ctwitter, rubis)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn benchmarks_build_and_generate() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for b in Benchmark::ALL {
+            let mut w = b.build();
+            let t = w.next_txn(0, &mut rng);
+            assert!(!t.is_empty(), "{b} generated an empty transaction");
+            assert!(!w.preload_keys().is_empty(), "{b} has no preload keys");
+        }
+    }
+
+    #[test]
+    fn benchmark_names_parse() {
+        for b in Benchmark::ALL {
+            let parsed: Benchmark = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+        }
+        assert!("mongo".parse::<Benchmark>().is_err());
+    }
+}

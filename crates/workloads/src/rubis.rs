@@ -1,0 +1,217 @@
+//! A RUBiS-style auction-site workload (modeled after eBay, like the
+//! benchmark the paper uses).
+//!
+//! Browse-heavy mix over users and auction items: browsing reads item and
+//! seller rows; bidding reads the item then writes a bid row and the item's
+//! current-price row; buy-now closes an item; comments write to the
+//! seller's wall.
+
+use awdit_simdb::{OpSpec, TxnSource, TxnSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+const TABLE_USER: u64 = 1;
+const TABLE_ITEM: u64 = 2;
+const TABLE_BID: u64 = 3;
+const TABLE_COMMENT: u64 = 4;
+
+fn user_key(u: u64) -> u64 {
+    (TABLE_USER << 56) | u
+}
+
+fn item_key(i: u64) -> u64 {
+    (TABLE_ITEM << 56) | i
+}
+
+fn bid_key(item: u64, slot: u64) -> u64 {
+    (TABLE_BID << 56) | (item << 8) | (slot & 0xff)
+}
+
+fn comment_key(user: u64, slot: u64) -> u64 {
+    (TABLE_COMMENT << 56) | (user << 8) | (slot & 0xff)
+}
+
+/// Configuration for the RUBiS-style workload.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RubisConfig {
+    /// Registered users.
+    pub users: u64,
+    /// Auction items.
+    pub items: u64,
+    /// Zipf exponent for item popularity.
+    pub skew: f64,
+}
+
+impl Default for RubisConfig {
+    fn default() -> Self {
+        RubisConfig {
+            users: 200,
+            items: 400,
+            skew: 0.9,
+        }
+    }
+}
+
+/// The RUBiS-style transaction generator.
+#[derive(Clone, Debug)]
+pub struct Rubis {
+    config: RubisConfig,
+    item_pop: Zipf,
+    bid_count: u64,
+}
+
+impl Rubis {
+    /// Creates the workload with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.items == 0`.
+    pub fn new(config: RubisConfig) -> Self {
+        Rubis {
+            item_pop: Zipf::new(config.items as usize, config.skew),
+            config,
+            bid_count: 0,
+        }
+    }
+
+    fn pick_item(&self, rng: &mut SmallRng) -> u64 {
+        self.item_pop.sample(rng) as u64
+    }
+
+    fn pick_user(&self, rng: &mut SmallRng) -> u64 {
+        rng.gen_range(0..self.config.users)
+    }
+
+    fn browse(&self, rng: &mut SmallRng) -> TxnSpec {
+        let mut ops = Vec::new();
+        for _ in 0..rng.gen_range(2..6) {
+            let item = self.pick_item(rng);
+            ops.push(OpSpec::Read(item_key(item)));
+        }
+        // Also view a seller profile.
+        ops.push(OpSpec::Read(user_key(self.pick_user(rng))));
+        TxnSpec::new(ops)
+    }
+
+    fn bid(&mut self, rng: &mut SmallRng) -> TxnSpec {
+        let item = self.pick_item(rng);
+        let bidder = self.pick_user(rng);
+        let slot = self.bid_count;
+        self.bid_count += 1;
+        TxnSpec::new(vec![
+            OpSpec::Read(item_key(item)),
+            OpSpec::Read(user_key(bidder)),
+            OpSpec::Write(bid_key(item, slot)),
+            OpSpec::Write(item_key(item)), // update current price
+        ])
+    }
+
+    fn buy_now(&self, rng: &mut SmallRng) -> TxnSpec {
+        let item = self.pick_item(rng);
+        let buyer = self.pick_user(rng);
+        TxnSpec::new(vec![
+            OpSpec::Read(item_key(item)),
+            OpSpec::Write(item_key(item)), // mark sold
+            OpSpec::Write(user_key(buyer)),
+        ])
+    }
+
+    fn comment(&mut self, rng: &mut SmallRng) -> TxnSpec {
+        let target = self.pick_user(rng);
+        let slot = self.bid_count; // reuse the counter for unique slots
+        self.bid_count += 1;
+        TxnSpec::new(vec![
+            OpSpec::Read(user_key(target)),
+            OpSpec::Write(comment_key(target, slot)),
+            OpSpec::Write(user_key(target)), // bump rating
+        ])
+    }
+
+    fn register_item(&self, rng: &mut SmallRng) -> TxnSpec {
+        let seller = self.pick_user(rng);
+        let item = self.pick_item(rng);
+        TxnSpec::new(vec![
+            OpSpec::Read(user_key(seller)),
+            OpSpec::Write(item_key(item)),
+        ])
+    }
+}
+
+impl TxnSource for Rubis {
+    fn next_txn(&mut self, _session: usize, rng: &mut SmallRng) -> TxnSpec {
+        let roll = rng.gen_range(0..100u32);
+        match roll {
+            0..=49 => self.browse(rng),
+            50..=74 => self.bid(rng),
+            75..=84 => self.buy_now(rng),
+            85..=94 => self.comment(rng),
+            _ => self.register_item(rng),
+        }
+    }
+
+    fn preload_keys(&self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for u in 0..self.config.users {
+            keys.push(user_key(u));
+        }
+        for i in 0..self.config.items {
+            keys.push(item_key(i));
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, IsolationLevel};
+    use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn browse_dominates() {
+        let mut w = Rubis::new(RubisConfig::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut read_only = 0;
+        let n = 1000;
+        for i in 0..n {
+            let t = w.next_txn(i % 4, &mut rng);
+            if t.ops.iter().all(|o| o.is_read()) {
+                read_only += 1;
+            }
+        }
+        assert!(
+            (350..650).contains(&read_only),
+            "browse mix off: {read_only}/{n}"
+        );
+    }
+
+    #[test]
+    fn read_atomic_rubis_history_is_ra_consistent() {
+        let mut w = Rubis::new(RubisConfig::default());
+        let cfg = SimConfig::new(DbIsolation::ReadAtomic, 8, 77);
+        let h = collect_history(cfg, &mut w, 400).unwrap();
+        assert!(check(&h, IsolationLevel::ReadAtomic).is_consistent());
+        assert!(check(&h, IsolationLevel::ReadCommitted).is_consistent());
+    }
+
+    #[test]
+    fn bids_use_unique_slots() {
+        let mut w = Rubis::new(RubisConfig::default());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = w.bid(&mut rng);
+        let b = w.bid(&mut rng);
+        let slot = |t: &TxnSpec| {
+            t.ops
+                .iter()
+                .find_map(|o| match o {
+                    OpSpec::Write(k) if k >> 56 == TABLE_BID => Some(*k),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(slot(&a), slot(&b));
+    }
+}

@@ -1,0 +1,252 @@
+//! A TPC-C-style OLTP workload (order processing).
+//!
+//! Follows the shape of the TPC-C benchmark the paper uses: five
+//! transaction profiles (New-Order 45%, Payment 43%, Order-Status 4%,
+//! Delivery 4%, Stock-Level 4%) over warehouse / district / customer /
+//! stock / order rows, with the standard access skew (a home warehouse per
+//! session, occasional remote accesses). Row ids are packed into `u64` keys
+//! with a table tag in the top byte.
+
+use awdit_simdb::{OpSpec, TxnSource, TxnSpec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const TABLE_WAREHOUSE: u64 = 1;
+const TABLE_DISTRICT: u64 = 2;
+const TABLE_CUSTOMER: u64 = 3;
+const TABLE_STOCK: u64 = 4;
+const TABLE_ORDER: u64 = 5;
+const TABLE_NEW_ORDER: u64 = 6;
+
+fn key(table: u64, id: u64) -> u64 {
+    (table << 56) | id
+}
+
+/// Configuration for the TPC-C-style workload.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (TPC-C's scale factor).
+    pub warehouses: u64,
+    /// Districts per warehouse (10 in the spec).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (scaled down from the spec's 3000).
+    pub customers_per_district: u64,
+    /// Item/stock rows per warehouse (scaled down from the spec's 100k).
+    pub items: u64,
+    /// Max order lines per New-Order transaction (spec: 5–15).
+    pub max_order_lines: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 30,
+            items: 200,
+            max_order_lines: 10,
+        }
+    }
+}
+
+/// The TPC-C-style transaction generator.
+#[derive(Clone, Debug)]
+pub struct Tpcc {
+    config: TpccConfig,
+    next_order_id: u64,
+}
+
+impl Tpcc {
+    /// Creates the workload with the given configuration.
+    pub fn new(config: TpccConfig) -> Self {
+        Tpcc {
+            config,
+            next_order_id: 0,
+        }
+    }
+
+    fn home_warehouse(&self, session: usize) -> u64 {
+        session as u64 % self.config.warehouses
+    }
+
+    fn pick_district(&self, rng: &mut SmallRng, w: u64) -> u64 {
+        w * self.config.districts_per_warehouse
+            + rng.gen_range(0..self.config.districts_per_warehouse)
+    }
+
+    fn pick_customer(&self, rng: &mut SmallRng, d: u64) -> u64 {
+        d * self.config.customers_per_district + rng.gen_range(0..self.config.customers_per_district)
+    }
+
+    fn new_order(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
+        let c = &self.config;
+        let w = self.home_warehouse(session);
+        let d = self.pick_district(rng, w);
+        let cust = self.pick_customer(rng, d);
+        let mut ops = vec![
+            OpSpec::Read(key(TABLE_WAREHOUSE, w)),
+            OpSpec::Read(key(TABLE_DISTRICT, d)),
+            OpSpec::Write(key(TABLE_DISTRICT, d)), // bump next-order id
+            OpSpec::Read(key(TABLE_CUSTOMER, cust)),
+        ];
+        let order = self.next_order_id;
+        self.next_order_id += 1;
+        ops.push(OpSpec::Write(key(TABLE_ORDER, order)));
+        ops.push(OpSpec::Write(key(TABLE_NEW_ORDER, order)));
+        let lines = rng.gen_range(1..=c.max_order_lines);
+        for _ in 0..lines {
+            // 1% of order lines hit a remote warehouse (spec behaviour).
+            let sw = if c.warehouses > 1 && rng.gen_bool(0.01) {
+                rng.gen_range(0..c.warehouses)
+            } else {
+                w
+            };
+            let item = rng.gen_range(0..c.items);
+            let stock = key(TABLE_STOCK, sw * c.items + item);
+            ops.push(OpSpec::Read(stock));
+            ops.push(OpSpec::Write(stock));
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn payment(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
+        let w = self.home_warehouse(session);
+        let d = self.pick_district(rng, w);
+        // 15% remote customers (spec behaviour).
+        let cd = if self.config.warehouses > 1 && rng.gen_bool(0.15) {
+            let remote = rng.gen_range(0..self.config.warehouses);
+            self.pick_district(rng, remote)
+        } else {
+            d
+        };
+        let cust = self.pick_customer(rng, cd);
+        TxnSpec::new(vec![
+            OpSpec::Read(key(TABLE_WAREHOUSE, w)),
+            OpSpec::Write(key(TABLE_WAREHOUSE, w)),
+            OpSpec::Read(key(TABLE_DISTRICT, d)),
+            OpSpec::Write(key(TABLE_DISTRICT, d)),
+            OpSpec::Read(key(TABLE_CUSTOMER, cust)),
+            OpSpec::Write(key(TABLE_CUSTOMER, cust)),
+        ])
+    }
+
+    fn order_status(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
+        let w = self.home_warehouse(session);
+        let d = self.pick_district(rng, w);
+        let cust = self.pick_customer(rng, d);
+        let mut ops = vec![OpSpec::Read(key(TABLE_CUSTOMER, cust))];
+        if self.next_order_id > 0 {
+            let order = rng.gen_range(0..self.next_order_id);
+            ops.push(OpSpec::Read(key(TABLE_ORDER, order)));
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn delivery(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
+        let w = self.home_warehouse(session);
+        let mut ops = Vec::new();
+        // Deliver up to one pending order per district (scaled down from 10).
+        for _ in 0..3 {
+            if self.next_order_id == 0 {
+                break;
+            }
+            let order = rng.gen_range(0..self.next_order_id);
+            ops.push(OpSpec::Read(key(TABLE_NEW_ORDER, order)));
+            ops.push(OpSpec::Write(key(TABLE_ORDER, order)));
+            let d = self.pick_district(rng, w);
+            let cust = self.pick_customer(rng, d);
+            ops.push(OpSpec::Write(key(TABLE_CUSTOMER, cust)));
+        }
+        if ops.is_empty() {
+            ops.push(OpSpec::Read(key(TABLE_WAREHOUSE, w)));
+        }
+        TxnSpec::new(ops)
+    }
+
+    fn stock_level(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
+        let c = &self.config;
+        let w = self.home_warehouse(session);
+        let d = self.pick_district(rng, w);
+        let mut ops = vec![OpSpec::Read(key(TABLE_DISTRICT, d))];
+        for _ in 0..8 {
+            let item = rng.gen_range(0..c.items);
+            ops.push(OpSpec::Read(key(TABLE_STOCK, w * c.items + item)));
+        }
+        TxnSpec::new(ops)
+    }
+}
+
+impl TxnSource for Tpcc {
+    fn next_txn(&mut self, session: usize, rng: &mut SmallRng) -> TxnSpec {
+        let roll = rng.gen_range(0..100u32);
+        match roll {
+            0..=44 => self.new_order(rng, session),
+            45..=87 => self.payment(rng, session),
+            88..=91 => self.order_status(rng, session),
+            92..=95 => self.delivery(rng, session),
+            _ => self.stock_level(rng, session),
+        }
+    }
+
+    fn preload_keys(&self) -> Vec<u64> {
+        let c = &self.config;
+        let mut keys = Vec::new();
+        for w in 0..c.warehouses {
+            keys.push(key(TABLE_WAREHOUSE, w));
+            for d in 0..c.districts_per_warehouse {
+                let district = w * c.districts_per_warehouse + d;
+                keys.push(key(TABLE_DISTRICT, district));
+                for cu in 0..c.customers_per_district {
+                    keys.push(key(TABLE_CUSTOMER, district * c.customers_per_district + cu));
+                }
+            }
+            for i in 0..c.items {
+                keys.push(key(TABLE_STOCK, w * c.items + i));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, HistoryStats, IsolationLevel};
+    use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_all_profiles() {
+        let mut w = Tpcc::new(TpccConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sizes = std::collections::HashSet::new();
+        for i in 0..200 {
+            let t = w.next_txn(i % 4, &mut rng);
+            assert!(!t.is_empty());
+            sizes.insert(t.len());
+        }
+        assert!(sizes.len() >= 3, "expected varied transaction profiles");
+    }
+
+    #[test]
+    fn serializable_tpcc_history_is_consistent() {
+        let mut w = Tpcc::new(TpccConfig::default());
+        let cfg = SimConfig::new(DbIsolation::Serializable, 8, 42);
+        let h = collect_history(cfg, &mut w, 300).unwrap();
+        let stats = HistoryStats::of(&h);
+        assert!(stats.ops > 1000);
+        for level in IsolationLevel::ALL {
+            assert!(check(&h, level).is_consistent());
+        }
+    }
+
+    #[test]
+    fn preload_covers_tables() {
+        let w = Tpcc::new(TpccConfig::default());
+        let keys = w.preload_keys();
+        assert!(keys.iter().any(|&k| k >> 56 == TABLE_WAREHOUSE));
+        assert!(keys.iter().any(|&k| k >> 56 == TABLE_DISTRICT));
+        assert!(keys.iter().any(|&k| k >> 56 == TABLE_CUSTOMER));
+        assert!(keys.iter().any(|&k| k >> 56 == TABLE_STOCK));
+    }
+}

@@ -1,0 +1,101 @@
+//! Detect injected database bugs: run workloads against deliberately buggy
+//! simulated databases and show which checker catches which anomaly class
+//! — the black-box testing loop of the paper's introduction.
+//!
+//! Run with: `cargo run --example detect_anomalies`
+
+use awdit::core::check;
+use awdit::simdb::Harness;
+use awdit::workloads::Uniform;
+use awdit::{AnomalyRates, DbIsolation, IsolationLevel, SimConfig};
+
+struct Scenario {
+    name: &'static str,
+    isolation: DbIsolation,
+    anomalies: AnomalyRates,
+    aborts: f64,
+}
+
+fn main() {
+    let scenarios = [
+        Scenario {
+            name: "healthy causal store",
+            isolation: DbIsolation::Causal,
+            anomalies: AnomalyRates::none(),
+            aborts: 0.05,
+        },
+        Scenario {
+            name: "thin-air reads (corrupted values)",
+            isolation: DbIsolation::Serializable,
+            anomalies: AnomalyRates {
+                thin_air: 0.01,
+                ..AnomalyRates::none()
+            },
+            aborts: 0.0,
+        },
+        Scenario {
+            name: "dirty reads of aborted data",
+            isolation: DbIsolation::Serializable,
+            anomalies: AnomalyRates {
+                aborted_read: 0.05,
+                ..AnomalyRates::none()
+            },
+            aborts: 0.3,
+        },
+        Scenario {
+            name: "fractured transactions (RA bug, RC ok)",
+            isolation: DbIsolation::ReadAtomic,
+            anomalies: AnomalyRates {
+                fractured_read: 0.05,
+                ..AnomalyRates::none()
+            },
+            aborts: 0.0,
+        },
+        Scenario {
+            name: "stale causal snapshots (CC bug, RA ok)",
+            isolation: DbIsolation::Causal,
+            anomalies: AnomalyRates {
+                stale_causal: 0.2,
+                ..AnomalyRates::none()
+            },
+            aborts: 0.0,
+        },
+    ];
+
+    println!(
+        "{:<42} {:>14} {:>14} {:>14}",
+        "scenario", "Read Committed", "Read Atomic", "Causal"
+    );
+    for sc in scenarios {
+        let config = SimConfig::new(sc.isolation, 8, 12345)
+            .with_anomalies(sc.anomalies)
+            .with_aborts(sc.aborts)
+            .with_max_lag(24);
+        let mut workload = Uniform::new(40, 6, 0.6);
+        let mut harness = Harness::new(config);
+        harness.drive(&mut workload, 600);
+        let history = harness.finish().expect("simulator histories build");
+
+        let verdicts: Vec<String> = IsolationLevel::ALL
+            .iter()
+            .map(|&level| {
+                let out = check(&history, level);
+                if out.is_consistent() {
+                    "ok".to_string()
+                } else {
+                    format!("{} bug(s)", out.violations().len())
+                }
+            })
+            .collect();
+        println!(
+            "{:<42} {:>14} {:>14} {:>14}",
+            sc.name, verdicts[0], verdicts[1], verdicts[2]
+        );
+
+        // Show one concrete witness for the buggy stores.
+        let cc = check(&history, IsolationLevel::Causal);
+        if let Some(v) = cc.violations().first() {
+            println!("    e.g. {v}");
+        }
+    }
+}

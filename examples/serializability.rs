@@ -1,0 +1,115 @@
+//! Beyond the paper's weak levels: the NP-complete strong levels, via SAT.
+//!
+//! The paper's conclusion lists "tackling other isolation levels" as
+//! future work; testing Serializability is NP-complete (Papadimitriou
+//! 1979), which is why strong-isolation testers are SAT/SMT-based. This
+//! example uses the workspace's own CDCL solver to check serializability
+//! of classic anomalies — and shows where the weak levels draw the line.
+//!
+//! Run with: `cargo run --example serializability`
+
+use awdit::baselines::check_serializable_sat;
+use awdit::core::check;
+use awdit::{BuildError, History, HistoryBuilder, IsolationLevel};
+
+/// Classic *write skew*: both transactions read `{x, y}`'s initial state
+/// and each updates one of the keys. Causally consistent, not
+/// serializable (the canonical snapshot-isolation anomaly).
+fn write_skew() -> Result<History, BuildError> {
+    let mut b = HistoryBuilder::new();
+    let init = b.session();
+    let s1 = b.session();
+    let s2 = b.session();
+    b.begin(init);
+    b.write(init, 0, 10); // x := 10
+    b.write(init, 1, 20); // y := 20
+    b.commit(init);
+    b.begin(s1);
+    b.read(s1, 0, 10);
+    b.read(s1, 1, 20);
+    b.write(s1, 0, 11); // x := 11
+    b.commit(s1);
+    b.begin(s2);
+    b.read(s2, 0, 10);
+    b.read(s2, 1, 20);
+    b.write(s2, 1, 21); // y := 21
+    b.commit(s2);
+    b.finish()
+}
+
+/// *Lost update*: both transactions read the same version of `x` and both
+/// overwrite it. Also non-serializable, and in fact already non-causal:
+/// each writer is causally visible to the other's reader... no — each
+/// reads the initial write, so causality is fine; serialization is not.
+fn lost_update() -> Result<History, BuildError> {
+    let mut b = HistoryBuilder::new();
+    let init = b.session();
+    let s1 = b.session();
+    let s2 = b.session();
+    b.begin(init);
+    b.write(init, 0, 1);
+    b.commit(init);
+    b.begin(s1);
+    b.read(s1, 0, 1);
+    b.write(s1, 0, 2);
+    b.commit(s1);
+    b.begin(s2);
+    b.read(s2, 0, 1);
+    b.write(s2, 0, 3);
+    b.commit(s2);
+    b.finish()
+}
+
+/// A serial execution for contrast.
+fn serial() -> Result<History, BuildError> {
+    let mut b = HistoryBuilder::new();
+    let s1 = b.session();
+    let s2 = b.session();
+    b.begin(s1);
+    b.write(s1, 0, 1);
+    b.commit(s1);
+    b.begin(s2);
+    b.read(s2, 0, 1);
+    b.write(s2, 0, 2);
+    b.commit(s2);
+    b.begin(s1);
+    b.read(s1, 0, 2);
+    b.commit(s1);
+    b.finish()
+}
+
+fn main() -> Result<(), BuildError> {
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>15}",
+        "history", "RC", "RA", "CC", "Serializable"
+    );
+    for (name, h) in [
+        ("serial", serial()?),
+        ("write-skew", write_skew()?),
+        ("lost-update", lost_update()?),
+    ] {
+        let mut row = Vec::new();
+        for level in IsolationLevel::ALL {
+            row.push(if check(&h, level).is_consistent() {
+                "yes"
+            } else {
+                "NO"
+            });
+        }
+        let ser = match check_serializable_sat(&h, 200) {
+            Some(true) => "yes",
+            Some(false) => "NO",
+            None => "too big",
+        };
+        println!(
+            "{:<14} {:>6} {:>6} {:>6} {:>15}",
+            name, row[0], row[1], row[2], ser
+        );
+    }
+    println!(
+        "\nWrite skew and lost update satisfy every *weak* level — exactly \
+         the gap between highly-available transactions and serializability \
+         that motivates the paper's taxonomy."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # awdit — reproduction of "AWDIT: An Optimal Weak Database Isolation
+//! Tester" (PLDI 2025)
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`core`](awdit_core) — the paper's contribution: optimal checkers for
+//!   Read Committed, Read Atomic, and Causal Consistency
+//!   (`O(n^{3/2})`, `O(n^{3/2})`, `O(n·k)`), with witness reporting.
+//! * [`formats`](awdit_formats) — history file formats (native, Plume-,
+//!   DBCop-, Cobra-style).
+//! * [`simdb`](awdit_simdb) — a deterministic transactional KV-store
+//!   simulator with pluggable isolation semantics and anomaly injection
+//!   (the reproduction's stand-in for PostgreSQL/CockroachDB/RocksDB).
+//! * [`workloads`](awdit_workloads) — TPC-C-, C-Twitter-, and RUBiS-style
+//!   workload generators.
+//! * [`reductions`](awdit_reductions) — the triangle-freeness reductions
+//!   behind the paper's lower bounds.
+//! * [`baselines`](awdit_baselines) — Plume-, DBCop-, and SAT-style
+//!   competitor checkers plus reference oracles.
+//! * [`sat`](awdit_sat) — a CDCL SAT solver (substrate for the SAT-based
+//!   baselines).
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use awdit::{check, HistoryBuilder, IsolationLevel};
+//!
+//! # fn main() -> Result<(), awdit::BuildError> {
+//! let mut b = HistoryBuilder::new();
+//! let s0 = b.session();
+//! let s1 = b.session();
+//! b.begin(s0);
+//! b.write(s0, 1, 10);
+//! b.commit(s0);
+//! b.begin(s1);
+//! b.read(s1, 1, 10);
+//! b.commit(s1);
+//! let history = b.finish()?;
+//! assert!(check(&history, IsolationLevel::Causal).is_consistent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use awdit_baselines as baselines;
+pub use awdit_core as core;
+pub use awdit_formats as formats;
+pub use awdit_reductions as reductions;
+pub use awdit_sat as sat;
+pub use awdit_simdb as simdb;
+pub use awdit_workloads as workloads;
+
+pub use awdit_core::{
+    check, check_all_levels, check_with, validate_commit_order, BuildError, CheckOptions,
+    History, HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict, Violation,
+    ViolationKind,
+};
+pub use awdit_formats::{parse_auto, parse_history, write_history, Format};
+pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig};
+pub use awdit_workloads::Benchmark;

@@ -1,0 +1,172 @@
+//! End-to-end pipeline tests: workload → simulated database → file format
+//! round trip → checker → witness, spanning every crate in the workspace.
+
+use awdit::core::{check, check_with, CheckOptions};
+use awdit::simdb::Harness;
+use awdit::workloads::{CTwitter, CTwitterConfig, Rubis, RubisConfig, Tpcc, TpccConfig};
+use awdit::{
+    collect_history, parse_history, validate_commit_order, write_history, DbIsolation, Format,
+    HistoryStats, IsolationLevel, SimConfig, Verdict,
+};
+
+/// The guarantee ladder: a database configured for tier X must produce
+/// histories satisfying X and everything weaker, across all benchmarks.
+#[test]
+fn database_tiers_guarantee_their_levels() {
+    let cases: &[(DbIsolation, &[IsolationLevel])] = &[
+        (DbIsolation::Serializable, &IsolationLevel::ALL),
+        (DbIsolation::Causal, &IsolationLevel::ALL),
+        (
+            DbIsolation::ReadAtomic,
+            &[IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic],
+        ),
+        (DbIsolation::ReadCommitted, &[IsolationLevel::ReadCommitted]),
+    ];
+    for &(db, levels) in cases {
+        for seed in [1u64, 2, 3] {
+            let config = SimConfig::new(db, 8, seed).with_max_lag(16);
+            let mut workload = Tpcc::new(TpccConfig::default());
+            let h = collect_history(config, &mut workload, 250).unwrap();
+            for &level in levels {
+                let out = check(&h, level);
+                assert_eq!(
+                    out.verdict(),
+                    Verdict::Consistent,
+                    "db {db} seed {seed} must satisfy {level}: {:?}",
+                    out.violations().first()
+                );
+            }
+        }
+    }
+}
+
+/// Histories survive every file format with verdicts intact.
+#[test]
+fn formats_preserve_verdicts_end_to_end() {
+    let config = SimConfig::new(DbIsolation::ReadCommitted, 6, 7);
+    let mut workload = Rubis::new(RubisConfig::default());
+    let h = collect_history(config, &mut workload, 300).unwrap();
+    let reference: Vec<bool> = IsolationLevel::ALL
+        .iter()
+        .map(|&l| check(&h, l).is_consistent())
+        .collect();
+    for format in Format::ALL {
+        let text = write_history(&h, format);
+        let parsed = parse_history(&text, format).unwrap();
+        let verdicts: Vec<bool> = IsolationLevel::ALL
+            .iter()
+            .map(|&l| check(&parsed, l).is_consistent())
+            .collect();
+        assert_eq!(verdicts, reference, "format {format}");
+    }
+}
+
+/// Consistent outcomes produce commit orders that independently validate.
+#[test]
+fn commit_orders_validate_against_the_axioms() {
+    let config = SimConfig::new(DbIsolation::Causal, 10, 31).with_max_lag(8);
+    let mut workload = CTwitter::new(CTwitterConfig {
+        users: 80,
+        ..CTwitterConfig::default()
+    });
+    let h = collect_history(config, &mut workload, 400).unwrap();
+    let opts = CheckOptions {
+        want_commit_order: true,
+        ..CheckOptions::default()
+    };
+    for level in IsolationLevel::ALL {
+        let out = check_with(&h, level, &opts);
+        assert!(out.is_consistent(), "causal store satisfies {level}");
+        let order = out.commit_order().expect("consistent => commit order");
+        validate_commit_order(&h, level, order)
+            .unwrap_or_else(|e| panic!("{level}: invalid commit order: {e}"));
+    }
+}
+
+/// Injected causality cycles are reported by every level's checker.
+#[test]
+fn injected_causality_cycle_is_caught_everywhere() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let config = SimConfig::new(DbIsolation::Serializable, 5, 17);
+    let mut workload = Tpcc::new(TpccConfig::default());
+    let mut harness = Harness::new(config);
+    harness.drive(&mut workload, 200);
+    let mut rng = SmallRng::seed_from_u64(5);
+    assert!(harness.db_mut().inject_causality_cycle(&mut rng));
+    let h = harness.finish().unwrap();
+    for level in IsolationLevel::ALL {
+        assert!(
+            !check(&h, level).is_consistent(),
+            "causality cycle must violate {level}"
+        );
+    }
+}
+
+/// Every violation witness refers to real transactions of the history and
+/// witness cycles are closed walks whose base edges exist in `so ∪ wr`.
+#[test]
+fn witnesses_are_well_formed() {
+    let config = SimConfig::new(DbIsolation::ReadCommitted, 6, 53);
+    let mut workload = Rubis::new(RubisConfig::default());
+    let h = collect_history(config, &mut workload, 400).unwrap();
+    let out = check_with(
+        &h,
+        IsolationLevel::Causal,
+        &CheckOptions {
+            max_cycles: 64,
+            ..CheckOptions::default()
+        },
+    );
+    assert!(!out.is_consistent(), "rc-tier store should violate CC here");
+    let mut checked_cycles = 0;
+    for v in out.violations() {
+        if let awdit::Violation::CommitOrderCycle { cycle, .. } = v {
+            checked_cycles += 1;
+            assert!(!cycle.is_empty());
+            // Closed walk.
+            for (e, next) in cycle.edges.iter().zip(cycle.edges.iter().cycle().skip(1)) {
+                assert_eq!(e.to, next.from, "cycle must be a closed walk");
+            }
+            for e in &cycle.edges {
+                // Transactions exist and are committed.
+                assert!(h.txn(e.from).is_committed());
+                assert!(h.txn(e.to).is_committed());
+                match e.kind {
+                    awdit::core::EdgeKind::SessionOrder => {
+                        assert_eq!(e.from.session, e.to.session);
+                        assert!(e.from.index < e.to.index);
+                    }
+                    awdit::core::EdgeKind::WriteRead(_) => {
+                        // The reader must observe some value of the writer.
+                        let reads_from = h.txn(e.to).ops().iter().any(|op| {
+                            matches!(
+                                op.read_source(),
+                                Some(awdit::core::ReadSource::External { txn, .. }) if txn == e.from
+                            )
+                        });
+                        assert!(reads_from, "wr edge without a matching read");
+                    }
+                    awdit::core::EdgeKind::Inferred(_) => {}
+                }
+            }
+            // At least one inferred edge (otherwise it would have been a
+            // causality cycle).
+            assert!(cycle.inferred_count() >= 1);
+        }
+    }
+    assert!(checked_cycles >= 1, "expected at least one cycle witness");
+}
+
+/// The checkers scale to six-digit histories in debug-test time.
+#[test]
+fn moderately_large_history_checks_quickly() {
+    let config = SimConfig::new(DbIsolation::Causal, 16, 1001);
+    let mut workload = CTwitter::new(CTwitterConfig::default());
+    let h = collect_history(config, &mut workload, 3_000).unwrap();
+    let stats = HistoryStats::of(&h);
+    assert!(stats.ops > 10_000, "workload too small: {stats}");
+    for level in IsolationLevel::ALL {
+        assert!(check(&h, level).is_consistent());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) over randomly generated histories,
+//! exercising the cross-crate invariants that the unit suites check only
+//! pointwise.
+
+use awdit::baselines::check_naive;
+use awdit::core::{check_with, CcStrategy, CheckOptions};
+use awdit::reductions::{general_reduction, UndirectedGraph};
+use awdit::{
+    check, parse_history, validate_commit_order, write_history, Format, HistoryBuilder,
+    HistoryStats, IsolationLevel,
+};
+use proptest::prelude::*;
+
+/// A compact program describing a random history.
+#[derive(Clone, Debug)]
+struct HistoryProgram {
+    sessions: usize,
+    /// Per transaction: (session, ops), op = (key, is_read, stale_rank).
+    txns: Vec<(usize, Vec<(u64, bool, usize)>)>,
+    abort_mask: u64,
+}
+
+fn history_program() -> impl Strategy<Value = HistoryProgram> {
+    let op = (0u64..4, any::<bool>(), 0usize..4);
+    let txn = (0usize..3, proptest::collection::vec(op, 1..5));
+    (proptest::collection::vec(txn, 1..12), any::<u64>()).prop_map(|(txns, abort_mask)| {
+        HistoryProgram {
+            sessions: 3,
+            txns,
+            abort_mask,
+        }
+    })
+}
+
+/// Materializes a program into a history whose reads observe real written
+/// values (so Read Consistency mostly holds and verdicts vary).
+fn build(program: &HistoryProgram) -> awdit::History {
+    let mut b = HistoryBuilder::new();
+    let sessions: Vec<_> = (0..program.sessions).map(|_| b.session()).collect();
+    let mut committed: Vec<Vec<u64>> = vec![Vec::new(); 4];
+    let mut next_value = 1u64;
+    for (i, (s, ops)) in program.txns.iter().enumerate() {
+        let sid = sessions[*s];
+        b.begin(sid);
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        for &(key, is_read, stale) in ops {
+            if is_read {
+                if let Some(&(_, v)) = pending.iter().rev().find(|(k, _)| *k == key) {
+                    b.read(sid, key, v);
+                } else {
+                    let vs = &committed[key as usize];
+                    if !vs.is_empty() {
+                        let idx = vs.len().saturating_sub(1 + stale % vs.len());
+                        b.read(sid, key, vs[idx]);
+                    }
+                }
+            } else if !pending.iter().any(|(k, _)| *k == key) {
+                let v = next_value;
+                next_value += 1;
+                b.write(sid, key, v);
+                pending.push((key, v));
+            }
+        }
+        if program.abort_mask >> (i % 64) & 1 == 1 {
+            b.abort(sid);
+        } else {
+            b.commit(sid);
+            for (k, v) in pending {
+                committed[k as usize].push(v);
+            }
+        }
+    }
+    b.finish().expect("program produces unique values")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// AWDIT agrees with the exhaustive-saturation oracle on every level.
+    #[test]
+    fn awdit_matches_naive_oracle(program in history_program()) {
+        let h = build(&program);
+        for level in IsolationLevel::ALL {
+            prop_assert_eq!(
+                check(&h, level).is_consistent(),
+                check_naive(&h, level),
+                "level {}", level
+            );
+        }
+    }
+
+    /// Level strength is monotone: CC ⊑ RA ⊑ RC.
+    #[test]
+    fn verdicts_are_monotone(program in history_program()) {
+        let h = build(&program);
+        let rc = check(&h, IsolationLevel::ReadCommitted).is_consistent();
+        let ra = check(&h, IsolationLevel::ReadAtomic).is_consistent();
+        let cc = check(&h, IsolationLevel::Causal).is_consistent();
+        prop_assert!(!cc || ra);
+        prop_assert!(!ra || rc);
+    }
+
+    /// Both CC strategies agree, and consistent checks yield commit orders
+    /// that validate against the axioms.
+    #[test]
+    fn cc_strategies_agree_and_orders_validate(program in history_program()) {
+        let h = build(&program);
+        let opts_ptr = CheckOptions {
+            cc_strategy: CcStrategy::PointerScan,
+            want_commit_order: true,
+            ..CheckOptions::default()
+        };
+        let opts_bin = CheckOptions {
+            cc_strategy: CcStrategy::BinarySearch,
+            want_commit_order: true,
+            ..CheckOptions::default()
+        };
+        let a = check_with(&h, IsolationLevel::Causal, &opts_ptr);
+        let b = check_with(&h, IsolationLevel::Causal, &opts_bin);
+        prop_assert_eq!(a.is_consistent(), b.is_consistent());
+        for out in [a, b] {
+            if let Some(order) = out.commit_order() {
+                prop_assert!(validate_commit_order(&h, IsolationLevel::Causal, order).is_ok());
+            }
+        }
+    }
+
+    /// All formats round-trip: operation counts and verdicts survive.
+    #[test]
+    fn formats_round_trip(program in history_program()) {
+        let h = build(&program);
+        for format in Format::ALL {
+            let text = write_history(&h, format);
+            let h2 = parse_history(&text, format).expect("round trip");
+            if format == Format::Plume {
+                // Plume drops aborted transactions (and cannot represent
+                // empty ones), but preserves all committed operations.
+                let committed_ops = |h: &awdit::History| -> usize {
+                    h.committed_txns().map(|(_, t)| t.len()).sum()
+                };
+                prop_assert_eq!(committed_ops(&h), committed_ops(&h2));
+            } else {
+                prop_assert_eq!(HistoryStats::of(&h).ops, HistoryStats::of(&h2).ops);
+            }
+            for level in IsolationLevel::ALL {
+                prop_assert_eq!(
+                    check(&h, level).is_consistent(),
+                    check(&h2, level).is_consistent(),
+                    "format {} level {}", format, level
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reduction equivalence on arbitrary random graphs: the history of a
+    /// graph is consistent (at every level) iff the graph is triangle-free.
+    #[test]
+    fn reduction_matches_triangle_freeness(
+        n in 3usize..14,
+        edges in proptest::collection::vec((0u32..14, 0u32..14), 0..30),
+    ) {
+        let mut g = UndirectedGraph::new(n);
+        for (a, b) in edges {
+            if (a as usize) < n && (b as usize) < n {
+                g.add_edge(a, b);
+            }
+        }
+        let triangle_free = !g.has_triangle();
+        let h = general_reduction(&g);
+        for level in IsolationLevel::ALL {
+            prop_assert_eq!(
+                check(&h, level).is_consistent(),
+                triangle_free,
+                "level {}", level
+            );
+        }
+    }
+}
