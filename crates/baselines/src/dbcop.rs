@@ -8,9 +8,7 @@
 //! of `m` behind AWDIT's vector-clock representation, which is exactly the
 //! scaling gap Fig. 7 shows.
 
-use awdit_core::{
-    base_commit_graph, check_read_consistency, EdgeKind, History, HistoryIndex,
-};
+use awdit_core::{base_commit_graph, check_read_consistency, EdgeKind, History, HistoryIndex};
 
 /// A dense bitset over transaction ids.
 #[derive(Clone, Debug)]

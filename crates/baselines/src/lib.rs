@@ -21,10 +21,10 @@
 #![warn(missing_docs)]
 
 pub mod dbcop;
-pub mod testgen;
 pub mod naive;
 pub mod plume;
 pub mod sat;
+pub mod testgen;
 
 pub use dbcop::check_dbcop_cc;
 pub use naive::{check_bruteforce, check_naive, BRUTE_FORCE_LIMIT};

@@ -198,7 +198,10 @@ mod tests {
             check_bruteforce(&h, IsolationLevel::ReadCommitted),
             Some(true)
         );
-        assert_eq!(check_bruteforce(&h, IsolationLevel::ReadAtomic), Some(false));
+        assert_eq!(
+            check_bruteforce(&h, IsolationLevel::ReadAtomic),
+            Some(false)
+        );
         assert_eq!(check_bruteforce(&h, IsolationLevel::Causal), Some(false));
     }
 

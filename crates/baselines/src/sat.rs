@@ -63,11 +63,7 @@ pub fn check_sat(history: &History, level: IsolationLevel, max_txns: usize) -> O
                 if c == a || c == b {
                     continue;
                 }
-                solver.add_clause([
-                    before(a, b).negate(),
-                    before(b, c).negate(),
-                    before(a, c),
-                ]);
+                solver.add_clause([before(a, b).negate(), before(b, c).negate(), before(a, c)]);
             }
         }
     }
@@ -160,7 +156,6 @@ pub fn check_sat(history: &History, level: IsolationLevel, max_txns: usize) -> O
     Some(solver.solve())
 }
 
-
 /// SAT-based **serializability** check — the paper's conclusion points at
 /// stronger levels as future work; testing them is NP-complete
 /// (Papadimitriou 1979), which is exactly where a CDCL solver earns its
@@ -208,11 +203,7 @@ pub fn check_serializable_sat(history: &History, max_txns: usize) -> Option<bool
                 if c == a || c == b {
                     continue;
                 }
-                solver.add_clause([
-                    before(a, b).negate(),
-                    before(b, c).negate(),
-                    before(a, c),
-                ]);
+                solver.add_clause([before(a, b).negate(), before(b, c).negate(), before(a, c)]);
             }
         }
     }
@@ -228,7 +219,7 @@ pub fn check_serializable_sat(history: &History, max_txns: usize) -> Option<bool
     // writer and the reader.
     for t3 in 0..m as u32 {
         for &(x, t1) in index.read_pairs(t3) {
-            for &(_, ref writers) in index.key_writes(x) {
+            for (_, writers) in index.key_writes(x) {
                 for &t2 in writers {
                     if t2 != t1 && t2 != t3 {
                         solver.add_clause([before(t1, t2).negate(), before(t2, t3).negate()]);

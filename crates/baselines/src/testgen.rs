@@ -65,13 +65,12 @@ pub fn random_plausible_history(seed: u64, params: GenParams) -> History {
             let read = rng.gen_bool(params.read_ratio.clamp(0.0, 1.0));
             if read {
                 let vs = &committed[key as usize];
-                if let Some(&own) = pending.iter().rev().find_map(|(k, v)| {
-                    if *k == key {
-                        Some(v)
-                    } else {
-                        None
-                    }
-                }) {
+                if let Some(&own) =
+                    pending
+                        .iter()
+                        .rev()
+                        .find_map(|(k, v)| if *k == key { Some(v) } else { None })
+                {
                     // Reading after an own write must observe it.
                     b.read(s, key, own);
                 } else if !vs.is_empty() {

@@ -20,9 +20,7 @@ fn bench_cc_testers(c: &mut Criterion) {
     group.bench_function("plume-style", |b| {
         b.iter(|| check_plume(&h, IsolationLevel::Causal))
     });
-    group.bench_function("dbcop-style", |b| {
-        b.iter(|| check_dbcop_cc(&h))
-    });
+    group.bench_function("dbcop-style", |b| b.iter(|| check_dbcop_cc(&h)));
     group.finish();
 }
 
@@ -55,5 +53,10 @@ fn bench_rc_ra_vs_plume(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cc_testers, bench_sat_small, bench_rc_ra_vs_plume);
+criterion_group!(
+    benches,
+    bench_cc_testers,
+    bench_sat_small,
+    bench_rc_ra_vs_plume
+);
 criterion_main!(benches);

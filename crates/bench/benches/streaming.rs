@@ -1,0 +1,147 @@
+//! Streaming-throughput benches: the online checker (with watermark
+//! pruning, i.e. a fixed memory ceiling) against the only alternative a
+//! batch tool offers for continuous traffic — re-checking the accumulated
+//! history from scratch at every checkpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use awdit_core::{check, HistoryBuilder, IsolationLevel};
+use awdit_stream::{Event, OnlineChecker, StreamConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A mostly-fresh multi-session workload, as an event stream.
+fn make_events(target: usize, sessions: u64, keys: u64, seed: u64) -> Vec<Event> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut latest: Vec<Option<u64>> = vec![None; keys as usize];
+    let mut next_value = 1u64;
+    let mut events = Vec::with_capacity(target + 64);
+    while events.len() < target {
+        for session in 0..sessions {
+            events.push(Event::Begin { session });
+            for _ in 0..3 {
+                let key = rng.gen_range(0..keys);
+                if rng.gen_bool(0.5) {
+                    if let Some(value) = latest[key as usize] {
+                        events.push(Event::Read {
+                            session,
+                            key,
+                            value,
+                        });
+                    }
+                } else {
+                    let value = next_value;
+                    next_value += 1;
+                    events.push(Event::Write {
+                        session,
+                        key,
+                        value,
+                    });
+                    latest[key as usize] = Some(value);
+                }
+            }
+            events.push(Event::Commit { session });
+        }
+    }
+    events
+}
+
+fn run_online(events: &[Event], level: IsolationLevel, prune: bool) -> bool {
+    let mut checker = OnlineChecker::with_config(StreamConfig {
+        level,
+        prune,
+        prune_interval: 64,
+        ..StreamConfig::default()
+    });
+    for e in events {
+        checker.apply(e).expect("well-formed stream");
+    }
+    checker.finish().expect("stream finishes").is_consistent()
+}
+
+/// The strawman: accumulate events, rebuild + batch-check every
+/// `checkpoint` events (what you would do with only the batch API).
+fn run_batch_recheck(events: &[Event], level: IsolationLevel, checkpoint: usize) -> bool {
+    let mut consistent = true;
+    let mut upto = checkpoint.min(events.len());
+    loop {
+        let mut b = HistoryBuilder::new();
+        let mut sessions = std::collections::HashMap::new();
+        let mut open = std::collections::HashSet::new();
+        for e in &events[..upto] {
+            let s = *sessions.entry(e.session()).or_insert_with(|| b.session());
+            match *e {
+                Event::Begin { .. } => {
+                    b.begin(s);
+                    open.insert(e.session());
+                }
+                Event::Write { key, value, .. } => b.write(s, key, value),
+                Event::Read { key, value, .. } => b.read(s, key, value),
+                Event::Commit { .. } => {
+                    b.commit(s);
+                    open.remove(&e.session());
+                }
+                Event::Abort { .. } => {
+                    b.abort(s);
+                    open.remove(&e.session());
+                }
+            }
+        }
+        // Close any transaction cut open by the checkpoint boundary.
+        for name in open {
+            b.abort(sessions[&name]);
+        }
+        if let Ok(h) = b.finish() {
+            consistent &= check(&h, level).is_consistent();
+        }
+        if upto == events.len() {
+            break;
+        }
+        upto = (upto + checkpoint).min(events.len());
+    }
+    consistent
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream-throughput");
+    group.sample_size(10);
+    let events = make_events(40_000, 8, 64, 0xFEED);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for level in IsolationLevel::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("online-pruned", level.short_name()),
+            &events,
+            |b, events| b.iter(|| run_online(events, level, true)),
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("online-exact", "cc"),
+        &events,
+        |b, events| b.iter(|| run_online(events, IsolationLevel::Causal, false)),
+    );
+    group.finish();
+}
+
+fn bench_vs_batch_recheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream-vs-recheck");
+    group.sample_size(10);
+    // Smaller stream: the re-check strawman is quadratic.
+    let events = make_events(8_000, 8, 64, 0xFEED);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("online-pruned-cc"),
+        &events,
+        |b, events| b.iter(|| run_online(events, IsolationLevel::Causal, true)),
+    );
+    for checkpoint in [1_000usize, 4_000] {
+        group.bench_with_input(
+            BenchmarkId::new("batch-recheck", checkpoint),
+            &events,
+            |b, events| b.iter(|| run_batch_recheck(events, IsolationLevel::Causal, checkpoint)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_throughput, bench_vs_batch_recheck);
+criterion_main!(benches);

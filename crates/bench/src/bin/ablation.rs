@@ -38,7 +38,13 @@ fn main() {
                 assert!(out.is_consistent());
                 cells.push(format!("{:>13.3}s", d.as_secs_f64()));
             }
-            println!("{:<10} {:>5} | {} {}", bench.name(), sessions, cells[0], cells[1]);
+            println!(
+                "{:<10} {:>5} | {} {}",
+                bench.name(),
+                sessions,
+                cells[0],
+                cells[1]
+            );
         }
     }
 
@@ -54,8 +60,7 @@ fn main() {
             let (out, d_a) = time(|| check_with(&h, level, &CheckOptions::default()));
             assert!(out.is_consistent());
             // Construction + solve, like a real end-to-end run.
-            let ((ok, stats), d_p) =
-                time(|| PlumeChecker::construct(&h).solve_with_stats(level));
+            let ((ok, stats), d_p) = time(|| PlumeChecker::construct(&h).solve_with_stats(level));
             assert!(ok);
             println!(
                 "{:<10} {:<4} | {:>12} {:>12} {:>7.1}x | {:>9.3}s {:>9.3}s",

@@ -24,9 +24,7 @@ fn main() {
     } else {
         (7..=12).collect()
     };
-    println!(
-        "Fig. 7 — CC checking, all testers, causal-tier database, {sessions} sessions"
-    );
+    println!("Fig. 7 — CC checking, all testers, causal-tier database, {sessions} sessions");
     println!(
         "(timeout {:?}; SAT baseline encodes at most {DEFAULT_MAX_TXNS} txns — beyond that\n\
          its O(m^3) clause set exceeds memory, reported as `too-big`)\n",
@@ -51,7 +49,7 @@ fn main() {
                 bench,
                 sessions,
                 txns,
-                0xF16_7 + e as u64,
+                0xF167 + e as u64,
             ));
 
             let awdit_t = {

@@ -44,7 +44,10 @@ fn main() {
         let (ok_ra, d_ra) = time(|| check(&h_ra, IsolationLevel::ReadAtomic).is_consistent());
         let (ok_rc, d_rc) = time(|| check(&h_rc, IsolationLevel::ReadCommitted).is_consistent());
         let (tri, d_tri) = time(|| g.count_triangles());
-        assert!(ok_cc && ok_ra && ok_rc, "triangle-free inputs are consistent");
+        assert!(
+            ok_cc && ok_ra && ok_rc,
+            "triangle-free inputs are consistent"
+        );
         assert_eq!(tri, 0);
 
         println!(

@@ -36,14 +36,70 @@ fn main() {
     let crdb = ("CockroachDB*", DbIsolation::Causal);
     let pg = ("PostgreSQL*", DbIsolation::Serializable);
     let rows = [
-        Row { name: "H1", size: 32_768, sessions: 100, db: crdb, future_read: true, causality_cycle: false },
-        Row { name: "H2", size: 50_000, sessions: 30, db: crdb, future_read: true, causality_cycle: true },
-        Row { name: "H3", size: 2_048, sessions: 50, db: pg, future_read: true, causality_cycle: false },
-        Row { name: "H4", size: 16_384, sessions: 50, db: pg, future_read: true, causality_cycle: true },
-        Row { name: "H5", size: 32_768, sessions: 100, db: pg, future_read: true, causality_cycle: false },
-        Row { name: "H6", size: 50_000, sessions: 30, db: pg, future_read: true, causality_cycle: false },
-        Row { name: "H7", size: 50_000, sessions: 40, db: pg, future_read: true, causality_cycle: false },
-        Row { name: "H8", size: 1_048_576, sessions: 100, db: pg, future_read: false, causality_cycle: true },
+        Row {
+            name: "H1",
+            size: 32_768,
+            sessions: 100,
+            db: crdb,
+            future_read: true,
+            causality_cycle: false,
+        },
+        Row {
+            name: "H2",
+            size: 50_000,
+            sessions: 30,
+            db: crdb,
+            future_read: true,
+            causality_cycle: true,
+        },
+        Row {
+            name: "H3",
+            size: 2_048,
+            sessions: 50,
+            db: pg,
+            future_read: true,
+            causality_cycle: false,
+        },
+        Row {
+            name: "H4",
+            size: 16_384,
+            sessions: 50,
+            db: pg,
+            future_read: true,
+            causality_cycle: true,
+        },
+        Row {
+            name: "H5",
+            size: 32_768,
+            sessions: 100,
+            db: pg,
+            future_read: true,
+            causality_cycle: false,
+        },
+        Row {
+            name: "H6",
+            size: 50_000,
+            sessions: 30,
+            db: pg,
+            future_read: true,
+            causality_cycle: false,
+        },
+        Row {
+            name: "H7",
+            size: 50_000,
+            sessions: 40,
+            db: pg,
+            future_read: true,
+            causality_cycle: false,
+        },
+        Row {
+            name: "H8",
+            size: 1_048_576,
+            sessions: 100,
+            db: pg,
+            future_read: false,
+            causality_cycle: true,
+        },
     ];
 
     println!("Table 1 — anomalies reported (sizes scaled 1/{scale}; --full for paper sizes)\n");

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! awdit check [--isolation rc|ra|cc] [--format auto|native|plume|dbcop|cobra] FILE
+//! awdit watch [--isolation rc|ra|cc] [--no-prune] [--follow] FILE|-
 //! awdit stats FILE
 //! awdit convert --to FORMAT -o OUT FILE
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
@@ -14,6 +15,7 @@ use std::process::ExitCode;
 use awdit_core::{check_with, CheckOptions, HistoryStats, IsolationLevel, Verdict};
 use awdit_formats::{parse_auto, parse_history, write_history, Format};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+use awdit_stream::{events_of_history, OnlineChecker, StreamConfig};
 use awdit_workloads::{Benchmark, Uniform};
 
 fn main() -> ExitCode {
@@ -34,6 +36,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "shrink" => cmd_shrink(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
@@ -52,13 +55,16 @@ fn print_usage() {
 
 USAGE:
     awdit check [--isolation rc|ra|cc] [--format FMT] [--witnesses N] FILE
+    awdit watch [--isolation rc|ra|cc] [--interval N] [--witnesses N]
+                [--no-prune] [--follow] FILE|-   (NDJSON event stream)
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats FILE
     awdit convert --to FMT [-o OUT] FILE
     awdit generate --benchmark NAME --db MODE --sessions K --txns N
                    [--seed S] [--format FMT] [-o OUT]
 
-FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only)
+FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
+         convert also accepts --to events (streaming NDJSON)
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
 DB MODES: ser, causal, ra, rc"
     );
@@ -74,9 +80,14 @@ impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut positional = Vec::new();
+        const SWITCHES: [&str; 2] = ["no-prune", "follow"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    pairs.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -101,8 +112,7 @@ impl Flags {
 }
 
 fn load_history(path: &str, format: Option<&str>) -> Result<awdit_core::History, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     match format {
         None | Some("auto") => parse_auto(&text).map_err(|e| format!("{path}: {e}")),
         Some(f) => {
@@ -207,9 +217,14 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
         .positional
         .first()
         .ok_or("convert: missing history file")?;
-    let to: Format = flags.get("to").ok_or("convert: missing --to FORMAT")?.parse()?;
+    let to = flags.get("to").ok_or("convert: missing --to FORMAT")?;
     let history = load_history(path, flags.get("format"))?;
-    let text = write_history(&history, to);
+    let text = if to == "events" {
+        awdit_formats::write_events(&events_of_history(&history))
+    } else {
+        let to: Format = to.parse()?;
+        write_history(&history, to)
+    };
     match flags.get("out") {
         Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
         None => print!("{text}"),
@@ -261,6 +276,119 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("wrote {} ({})", out, HistoryStats::of(&history));
         }
         None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    use std::io::{BufRead, Read, Seek};
+
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("watch: missing event file (or `-` for stdin)")?;
+    let level: IsolationLevel = flags
+        .get("isolation")
+        .unwrap_or("cc")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let prune = flags.get("no-prune").is_none();
+    let follow = flags.get("follow").is_some();
+    let prune_interval: u64 = flags
+        .get("interval")
+        .map(|w| w.parse().map_err(|_| "bad --interval value".to_string()))
+        .transpose()?
+        .unwrap_or(256);
+    let max_cycle_reports: usize = flags
+        .get("witnesses")
+        .map(|w| w.parse().map_err(|_| "bad --witnesses value".to_string()))
+        .transpose()?
+        .unwrap_or(64);
+
+    let mut checker = OnlineChecker::with_config(StreamConfig {
+        level,
+        prune,
+        prune_interval,
+        max_cycle_reports,
+    });
+    eprintln!(
+        "watching {path} for {level} violations (pruning {})",
+        if prune { "on" } else { "off" }
+    );
+
+    let mut line_no = 0usize;
+    let mut feed = |checker: &mut OnlineChecker, line: &str| -> Result<(), String> {
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(());
+        }
+        let event = awdit_formats::parse_event(trimmed, line_no).map_err(|e| e.to_string())?;
+        checker
+            .apply(&event)
+            .map_err(|e| format!("line {line_no}: {e}"))?;
+        for v in checker.drain_violations() {
+            println!("[event {}] VIOLATION: {v}", checker.stats().events);
+        }
+        Ok(())
+    };
+
+    if path == "-" {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("stdin: {e}"))?;
+            feed(&mut checker, &line)?;
+        }
+    } else {
+        let mut file =
+            std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        let mut buf = String::new();
+        let mut pos = 0u64;
+        loop {
+            file.seek(std::io::SeekFrom::Start(pos))
+                .map_err(|e| format!("{path}: {e}"))?;
+            buf.clear();
+            file.read_to_string(&mut buf)
+                .map_err(|e| format!("{path}: {e}"))?;
+            // Only consume whole lines; a partial tail is re-read next poll.
+            let consumed = buf.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            for line in buf[..consumed].lines() {
+                feed(&mut checker, line)?;
+            }
+            pos += consumed as u64;
+            if !follow {
+                for line in buf[consumed..].lines() {
+                    feed(&mut checker, line)?;
+                }
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    }
+
+    let outcome = checker.finish().map_err(|e| format!("{e}"))?;
+    let stats = outcome.stats();
+    // Violations found while streaming were already printed live; only the
+    // ones surfaced by finish (thin-air reads, so∪wr deadlocks) are new.
+    for v in outcome.violations() {
+        println!("[finish] VIOLATION: {v}");
+    }
+    println!(
+        "processed {} events / {} txns ({} live, {} retired, peak live {})",
+        stats.events, stats.processed, stats.live_txns, stats.retired_txns, stats.peak_live_txns
+    );
+    println!(
+        "verdict:  {} ({} violations)",
+        if outcome.is_consistent() {
+            "consistent"
+        } else {
+            "inconsistent"
+        },
+        stats.violations
+    );
+    if !outcome.is_consistent() {
+        return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
 }

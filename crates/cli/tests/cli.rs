@@ -23,7 +23,11 @@ fn generate_check_roundtrip() {
         .args(["-o", file.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // A causal store's history passes CC.
     let out = awdit()
@@ -35,7 +39,10 @@ fn generate_check_roundtrip() {
     assert!(stdout.contains("verdict:  consistent"), "{stdout}");
 
     // Stats prints the session count.
-    let out = awdit().args(["stats", file.to_str().unwrap()]).output().unwrap();
+    let out = awdit()
+        .args(["stats", file.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(String::from_utf8_lossy(&out.stdout).contains("6 sessions"));
     let _ = std::fs::remove_file(file);
 }
@@ -59,7 +66,10 @@ fn convert_between_formats() {
     let text = std::fs::read_to_string(&dst).unwrap();
     assert!(text.starts_with("cobra-log"));
     // Auto-detection parses the converted file.
-    let out = awdit().args(["stats", dst.to_str().unwrap()]).output().unwrap();
+    let out = awdit()
+        .args(["stats", dst.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let _ = std::fs::remove_file(src);
     let _ = std::fs::remove_file(dst);

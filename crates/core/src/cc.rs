@@ -174,25 +174,9 @@ fn binary_search(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> Comm
         }
         c.advance(s, index.committed_pos(t3) + 1);
 
-        // Inference for t3, immediately while its clock is at hand. Only
-        // sessions that write x are visited.
-        for &(x, t1) in index.read_pairs(t3) {
-            for &(s_prime, ref writes) in index.key_writes(x) {
-                let bound = if s_prime as usize == s {
-                    c.get(s_prime as usize).saturating_sub(1)
-                } else {
-                    c.get(s_prime as usize)
-                };
-                // Last writer with committed position < bound.
-                let cnt = writes.partition_point(|&w| index.committed_pos(w) < bound);
-                if cnt > 0 {
-                    let t2 = writes[cnt - 1];
-                    if t2 != t1 {
-                        g.add_edge(t2, t1, EdgeKind::Inferred(x));
-                    }
-                }
-            }
-        }
+        // Inference for t3, immediately while its clock is at hand — the
+        // shared per-transaction body also driven by the streaming checker.
+        crate::incremental::infer_cc_edges(index, t3, &c, &mut g);
 
         if readers_left[t3 as usize] > 0 {
             clocks[t3 as usize] = Some(c.clone());

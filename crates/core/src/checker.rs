@@ -155,7 +155,15 @@ pub fn check_with(history: &History, level: IsolationLevel, opts: &CheckOptions)
     match level {
         IsolationLevel::ReadCommitted => {
             let g = saturate_rc(&index);
-            finish_graph(&index, g, level, opts, &mut violations, &mut commit_order, &mut stats);
+            finish_graph(
+                &index,
+                g,
+                level,
+                opts,
+                &mut violations,
+                &mut commit_order,
+                &mut stats,
+            );
         }
         IsolationLevel::ReadAtomic => {
             if index.num_sessions() <= 1 {
@@ -165,11 +173,7 @@ pub fn check_with(history: &History, level: IsolationLevel, opts: &CheckOptions)
                 violations.extend(vs);
                 if ok && opts.want_commit_order {
                     // With one session the commit order is the session order.
-                    commit_order = Some(
-                        index
-                            .txn_ids()
-                            .to_vec(),
-                    );
+                    commit_order = Some(index.txn_ids().to_vec());
                 }
             } else {
                 let rr = check_repeatable_reads(&index);

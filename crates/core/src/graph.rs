@@ -25,13 +25,18 @@ pub enum EdgeKind {
     WriteRead(Key),
     /// An ordering inferred by the isolation level's axiom, on `key`.
     Inferred(Key),
+    /// A transitive ordering preserved through transactions retired by
+    /// streaming watermark pruning (`awdit-stream`): the source was ordered
+    /// before the target via one or more now-pruned transactions.
+    Condensed,
 }
 
 impl EdgeKind {
-    /// Whether the edge is part of `so ∪ wr` (as opposed to inferred).
+    /// Whether the edge is part of `so ∪ wr` (as opposed to inferred or
+    /// condensed).
     #[inline]
     pub fn is_base(self) -> bool {
-        !matches!(self, EdgeKind::Inferred(_))
+        matches!(self, EdgeKind::SessionOrder | EdgeKind::WriteRead(_))
     }
 }
 
@@ -199,9 +204,7 @@ impl CommitGraph {
                 indeg[w as usize] += 1;
             }
         }
-        let mut queue: VecDeque<u32> = (0..n as u32)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             order.push(v);
@@ -254,12 +257,20 @@ impl CommitGraph {
                 for &(w, kind) in &self.adj[v as usize] {
                     if comp_of[w as usize] == ci as u32 {
                         if !kind.is_base() {
-                            seeds.push(Edge { from: v, to: w, kind });
+                            seeds.push(Edge {
+                                from: v,
+                                to: w,
+                                kind,
+                            });
                             if seeds.len() >= MAX_SEEDS {
                                 break 'outer;
                             }
                         } else if fallback.is_none() {
-                            fallback = Some(Edge { from: v, to: w, kind });
+                            fallback = Some(Edge {
+                                from: v,
+                                to: w,
+                                kind,
+                            });
                         }
                     }
                 }
@@ -333,7 +344,11 @@ impl CommitGraph {
                 let nd = dv + cost;
                 if nd < dist[w as usize] {
                     dist[w as usize] = nd;
-                    pred[w as usize] = Some(Edge { from: v, to: w, kind });
+                    pred[w as usize] = Some(Edge {
+                        from: v,
+                        to: w,
+                        kind,
+                    });
                     if cost == 0 {
                         dq.push_front(w);
                     } else {

@@ -174,7 +174,11 @@ impl fmt::Display for History {
         for (sid, txns) in self.sessions() {
             writeln!(f, "session {sid}:")?;
             for (i, t) in txns.iter().enumerate() {
-                write!(f, "  t{i}{}:", if t.is_committed() { "" } else { " (aborted)" })?;
+                write!(
+                    f,
+                    "  t{i}{}:",
+                    if t.is_committed() { "" } else { " (aborted)" }
+                )?;
                 for op in t.ops() {
                     write!(f, " {op}")?;
                 }
@@ -332,7 +336,13 @@ impl HistoryBuilder {
     /// Appends a write of `value` to `key_name` in the open transaction.
     pub fn write(&mut self, session: SessionId, key_name: u64, value: u64) {
         let key = self.key(key_name);
-        self.push_op(session, RawOp::Write { key, value: Value(value) });
+        self.push_op(
+            session,
+            RawOp::Write {
+                key,
+                value: Value(value),
+            },
+        );
     }
 
     /// Appends a write with a fresh, globally-unique value; returns the value.
@@ -348,7 +358,13 @@ impl HistoryBuilder {
     /// Appends a read observing `value` on `key_name` in the open transaction.
     pub fn read(&mut self, session: SessionId, key_name: u64, value: u64) {
         let key = self.key(key_name);
-        self.push_op(session, RawOp::Read { key, value: Value(value) });
+        self.push_op(
+            session,
+            RawOp::Read {
+                key,
+                value: Value(value),
+            },
+        );
     }
 
     /// Commits the open transaction on `session`.
@@ -513,7 +529,13 @@ mod tests {
         let t = h.txn(TxnId::new(1, 0));
         match t.ops()[0] {
             Op::Read { source, .. } => {
-                assert_eq!(source, ReadSource::External { txn: TxnId::new(0, 0), op: 0 });
+                assert_eq!(
+                    source,
+                    ReadSource::External {
+                        txn: TxnId::new(0, 0),
+                        op: 0
+                    }
+                );
             }
             _ => panic!("expected read"),
         }
@@ -530,7 +552,10 @@ mod tests {
         b.commit(s);
         let h = b.finish().unwrap();
         let t = h.txn(TxnId::new(0, 0));
-        assert_eq!(t.ops()[1].read_source(), Some(ReadSource::Internal { op: 0 }));
+        assert_eq!(
+            t.ops()[1].read_source(),
+            Some(ReadSource::Internal { op: 0 })
+        );
         assert_eq!(t.ops()[2].read_source(), Some(ReadSource::ThinAir));
     }
 
@@ -573,7 +598,10 @@ mod tests {
         let s = b.session();
         b.begin(s);
         b.begin(s);
-        assert!(matches!(b.finish(), Err(BuildError::NestedTransaction { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::NestedTransaction { .. })
+        ));
 
         let mut b = HistoryBuilder::new();
         let s = b.session();
@@ -603,7 +631,10 @@ mod tests {
         // flags it later.
         assert_eq!(
             h.txn(TxnId::new(0, 1)).ops()[0].read_source(),
-            Some(ReadSource::External { txn: TxnId::new(0, 0), op: 0 })
+            Some(ReadSource::External {
+                txn: TxnId::new(0, 0),
+                op: 0
+            })
         );
     }
 

@@ -256,7 +256,10 @@ impl HistoryIndex {
     /// Whether dense transaction `d` writes `key`.
     #[inline]
     pub fn writes_key(&self, d: DenseId, key: Key) -> bool {
-        self.txn_index[d as usize].keys_written.binary_search(&key).is_ok()
+        self.txn_index[d as usize]
+            .keys_written
+            .binary_search(&key)
+            .is_ok()
     }
 
     /// External reads of dense transaction `d`, in program order.
@@ -320,11 +323,9 @@ impl HistoryIndex {
     /// Iterates over every `(session, key)` pair with at least one committed
     /// write, along with its writer list.
     pub fn session_write_lists(&self) -> impl Iterator<Item = (u32, Key, &[DenseId])> {
-        self.writes_by_key
-            .iter()
-            .flat_map(|(&k, per_session)| {
-                per_session.iter().map(move |(s, v)| (*s, k, v.as_slice()))
-            })
+        self.writes_by_key.iter().flat_map(|(&k, per_session)| {
+            per_session.iter().map(move |(s, v)| (*s, k, v.as_slice()))
+        })
     }
 }
 

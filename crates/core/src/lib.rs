@@ -56,6 +56,16 @@
 //! | CC checker, Alg. 3 | [`cc`], [`vector_clock`] |
 //! | `co′`, cycles, witnesses (Sec. 3.4) | [`graph`], [`witness`] |
 //! | commit orders & the axiom oracle | [`linearize`] |
+//! | incremental saturation kernels | [`incremental`] |
+//!
+//! ## Incremental APIs
+//!
+//! The per-level inference bodies are exposed as reusable kernels in
+//! [`incremental`] ([`RcKernel`], [`RaKernel`], [`HbTracker`] +
+//! [`infer_cc_edges`]) over the [`CommitView`]/[`EdgeSink`] traits. The
+//! batch saturators are loops over these kernels; the `awdit-stream` crate
+//! drives the same kernels one commit at a time to check histories online
+//! with bounded memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +74,7 @@ pub mod cc;
 pub mod checker;
 pub mod graph;
 pub mod history;
+pub mod incremental;
 pub mod index;
 pub mod isolation;
 pub mod linearize;
@@ -79,9 +90,12 @@ pub mod vector_clock;
 pub mod witness;
 
 pub use cc::{causality_cycles, compute_hb, saturate_cc, CcStrategy};
-pub use checker::{check, check_all_levels, check_with, CheckOptions, CheckStats, Outcome, Verdict};
+pub use checker::{
+    check, check_all_levels, check_with, CheckOptions, CheckStats, Outcome, Verdict,
+};
 pub use graph::{base_commit_graph, CommitGraph, Cycle, Edge, EdgeKind};
 pub use history::{BuildError, History, HistoryBuilder, Transaction};
+pub use incremental::{infer_cc_edges, CommitView, EdgeSink, HbTracker, RaKernel, RcKernel};
 pub use index::{DenseId, ExtRead, HistoryIndex, NONE};
 pub use isolation::{IsolationLevel, ParseIsolationLevelError};
 pub use linearize::{commit_order_from_graph, validate_commit_order, CommitOrderError};
@@ -94,6 +108,4 @@ pub use stats::HistoryStats;
 pub use tree_clock::TreeClock;
 pub use types::{Key, OpLoc, SessionId, TxnId, Value};
 pub use vector_clock::VectorClock;
-pub use witness::{
-    ReadConsistencyViolation, Violation, ViolationKind, WitnessCycle, WitnessEdge,
-};
+pub use witness::{ReadConsistencyViolation, Violation, ViolationKind, WitnessCycle, WitnessEdge};

@@ -63,15 +63,27 @@ impl fmt::Display for CommitOrderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommitOrderError::NotAPermutation => {
-                write!(f, "order is not a permutation of the committed transactions")
+                write!(
+                    f,
+                    "order is not a permutation of the committed transactions"
+                )
             }
             CommitOrderError::ViolatesSessionOrder { earlier, later } => {
-                write!(f, "order places {later} before its session predecessor {earlier}")
+                write!(
+                    f,
+                    "order places {later} before its session predecessor {earlier}"
+                )
             }
             CommitOrderError::ViolatesWriteRead { writer, reader } => {
                 write!(f, "order places reader {reader} before its writer {writer}")
             }
-            CommitOrderError::AxiomViolated { level, t1, t2, t3, key } => write!(
+            CommitOrderError::AxiomViolated {
+                level,
+                t1,
+                t2,
+                t3,
+                key,
+            } => write!(
                 f,
                 "{level} axiom fails: {t3} reads {key} from {t1}, but visible {t2} \
                  writes {key} and is ordered after {t1}"
@@ -147,10 +159,7 @@ fn validate_rc(index: &HistoryIndex, pos: &[u32]) -> Result<(), CommitOrderError
             let t2 = r.writer;
             for rx in &reads[i + 1..] {
                 let t1 = rx.writer;
-                if t1 != t2
-                    && index.writes_key(t2, rx.key)
-                    && pos[t2 as usize] > pos[t1 as usize]
-                {
+                if t1 != t2 && index.writes_key(t2, rx.key) && pos[t2 as usize] > pos[t1 as usize] {
                     return Err(CommitOrderError::AxiomViolated {
                         level: IsolationLevel::ReadCommitted,
                         t1: index.txn_id(t1),
@@ -293,7 +302,12 @@ mod tests {
         let h = fig4b();
         let ids: Vec<TxnId> = h.committed_txns().map(|(t, _)| t).collect();
         let mut perms = Vec::new();
-        permute(&ids, &mut Vec::new(), &mut vec![false; ids.len()], &mut perms);
+        permute(
+            &ids,
+            &mut Vec::new(),
+            &mut vec![false; ids.len()],
+            &mut perms,
+        );
         for p in perms {
             assert!(
                 validate_commit_order(&h, IsolationLevel::ReadAtomic, &p).is_err(),

@@ -57,71 +57,18 @@ pub fn check_repeatable_reads(index: &HistoryIndex) -> Vec<Violation> {
 /// Requires the history to satisfy repeatable reads (check with
 /// [`check_repeatable_reads`] first); otherwise the per-key writer of a
 /// transaction is ambiguous and the inferred edges may be incomplete.
+///
+/// Implemented as a loop over the per-transaction
+/// [`RaKernel`](crate::incremental::RaKernel), the same inference body the
+/// streaming checker drives one commit at a time (the kernel only requires
+/// session order *within* each session, which the session-major sweep
+/// trivially provides).
 pub fn saturate_ra(index: &HistoryIndex) -> CommitGraph {
     let mut g = base_commit_graph(index);
-    let m = index.num_committed();
-    let num_keys = index.num_keys();
-
-    // lastWrite[x]: the session-latest committed writer of x so far,
-    // stamped per session.
-    let mut last_write: Vec<DenseId> = vec![NONE; num_keys];
-    let mut lw_stamp: Vec<u32> = vec![u32::MAX; num_keys];
-    // Writer deduplication per reading transaction.
-    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
-
+    let mut kernel = crate::incremental::RaKernel::new();
     for s in 0..index.num_sessions() as u32 {
         for &t3 in index.session_committed(SessionId(s)) {
-            // so case: for each key x read (from its unique writer t1), the
-            // latest prior writer of x in this session must order before t1.
-            let keys_read = index.keys_read(t3);
-            for (i, &x) in keys_read.iter().enumerate() {
-                let t1 = index.first_writer_of_idx(t3, i);
-                let k = x.index();
-                if lw_stamp[k] == s {
-                    let t2 = last_write[k];
-                    if t2 != NONE && t2 != t1 {
-                        g.add_edge(t2, t1, EdgeKind::Inferred(x));
-                    }
-                }
-            }
-
-            // wr case: for each distinct transaction t2 read by t3.
-            for r in index.ext_reads(t3) {
-                let t2 = r.writer;
-                if writer_stamp[t2 as usize] == t3 {
-                    continue;
-                }
-                writer_stamp[t2 as usize] = t3;
-                // Intersect KeysWt(t2) ∩ KeysRd(t3), iterating the smaller
-                // set (binary search on the other side).
-                let wt = index.keys_written(t2);
-                let rd = index.keys_read(t3);
-                if wt.len() <= rd.len() {
-                    for &x in wt {
-                        if let Ok(i) = rd.binary_search(&x) {
-                            let t1 = index.first_writer_of_idx(t3, i);
-                            if t1 != t2 {
-                                g.add_edge(t2, t1, EdgeKind::Inferred(x));
-                            }
-                        }
-                    }
-                } else {
-                    for (i, &x) in rd.iter().enumerate() {
-                        if index.writes_key(t2, x) {
-                            let t1 = index.first_writer_of_idx(t3, i);
-                            if t1 != t2 {
-                                g.add_edge(t2, t1, EdgeKind::Inferred(x));
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Update lastWrite with t3's writes.
-            for &x in index.keys_written(t3) {
-                lw_stamp[x.index()] = s;
-                last_write[x.index()] = t3;
-            }
+            kernel.process(index, t3, &mut g);
         }
     }
     g
@@ -195,15 +142,6 @@ pub fn check_ra_single_session(index: &HistoryIndex) -> Vec<Violation> {
         }
     }
     violations
-}
-
-impl HistoryIndex {
-    /// The unique writer of the `i`-th entry of `keys_read(d)`.
-    #[inline]
-    fn first_writer_of_idx(&self, d: DenseId, i: usize) -> DenseId {
-        // keys_read and first_writer_per_key are parallel arrays.
-        self.first_writers(d)[i]
-    }
 }
 
 #[cfg(test)]

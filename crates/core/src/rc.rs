@@ -24,100 +24,27 @@
 //! `O(n^{3/2})` bound (Lemma 3.4); for histories whose transactions have
 //! `O(1)` size this collapses to `O(n)`.
 
-use crate::graph::{base_commit_graph, CommitGraph, EdgeKind};
-use crate::index::{DenseId, HistoryIndex, NONE};
+use crate::graph::{base_commit_graph, CommitGraph};
+use crate::incremental::RcKernel;
+use crate::index::HistoryIndex;
 
 /// Saturates the minimal commit relation for Read Committed.
 ///
 /// Returns the commit graph `co′ = so ∪ wr ∪ inferred`; the history
 /// satisfies RC iff the graph is acyclic (given Read Consistency, which is
 /// checked separately by [`check`](crate::check)).
+///
+/// Implemented as a loop over the per-transaction
+/// [`RcKernel`](crate::incremental::RcKernel), the same inference body the
+/// streaming checker drives one commit at a time.
 pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
     let mut g = base_commit_graph(index);
-    let m = index.num_committed();
-    let num_keys = index.num_keys();
-
-    // Stamped scratch arrays, shared across all transactions t3. A slot is
-    // valid only if its stamp equals the current round, making per-round
-    // clearing O(1).
-    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
-    let mut first_read_idx: Vec<u32> = vec![0; m];
-    let mut key_stamp: Vec<u32> = vec![u32::MAX; num_keys];
-    let mut ew_top: Vec<DenseId> = vec![NONE; num_keys];
-    let mut ew_second: Vec<DenseId> = vec![NONE; num_keys];
-    let mut read_keys: Vec<u32> = Vec::new();
-
-    for t3 in 0..m as u32 {
-        let reads = index.ext_reads(t3);
-        if reads.is_empty() {
-            continue;
-        }
-
-        // Pass 1 (po order): record, for each transaction t2 read by t3,
-        // the index of the po-first read from t2 (`firstTxnReads`).
-        for (i, r) in reads.iter().enumerate() {
-            let w = r.writer as usize;
-            if writer_stamp[w] != t3 {
-                writer_stamp[w] = t3;
-                first_read_idx[w] = i as u32;
-            }
-        }
-
-        // Pass 2 (reverse po order): maintain `earliestWts` (two po-earliest
-        // distinct future writers per key) and `readKeys` (keys read below
-        // the current position), inferring edges at first-txn-reads.
-        read_keys.clear();
-        for (i, r) in reads.iter().enumerate().rev() {
-            let t2 = r.writer;
-            if first_read_idx[t2 as usize] == i as u32 {
-                // Intersect KeysWt(t2) with readKeys, iterating the smaller
-                // set. Membership on the readKeys side is O(1) via the key
-                // stamps; on the KeysWt side it is a binary search.
-                let wt = index.keys_written(t2);
-                if wt.len() <= read_keys.len() {
-                    for &x in wt {
-                        if key_stamp[x.index()] == t3 {
-                            infer(&mut g, t2, ew_top[x.index()], ew_second[x.index()], x.0);
-                        }
-                    }
-                } else {
-                    for &xi in &read_keys {
-                        let x = crate::types::Key(xi);
-                        if index.writes_key(t2, x) {
-                            infer(&mut g, t2, ew_top[xi as usize], ew_second[xi as usize], xi);
-                        }
-                    }
-                }
-            }
-
-            // Update earliestWts[y] and readKeys with the current read.
-            let y = r.key.index();
-            if key_stamp[y] != t3 {
-                key_stamp[y] = t3;
-                ew_top[y] = NONE;
-                ew_second[y] = NONE;
-                read_keys.push(y as u32);
-            }
-            if ew_top[y] != t2 {
-                ew_second[y] = ew_top[y];
-                ew_top[y] = t2;
-            }
-        }
+    let mut kernel = RcKernel::new();
+    for t3 in 0..index.num_committed() as u32 {
+        kernel.process(index, t3, &mut g);
     }
     g
 }
-
-/// Applies the RC inference for key `x`: the earliest future writer `t1`
-/// (falling back to the second slot when the top equals `t2`) is ordered
-/// after `t2`.
-#[inline]
-fn infer(g: &mut CommitGraph, t2: DenseId, top: DenseId, second: DenseId, x: u32) {
-    let t1 = if top == t2 { second } else { top };
-    if t1 != NONE && t1 != t2 {
-        g.add_edge(t2, t1, EdgeKind::Inferred(crate::types::Key(x)));
-    }
-}
-
 
 /// The weaker *Adya G1* reading of Read Committed (footnote 2 of the
 /// paper): Read Consistency plus acyclicity of `so ∪ wr`, checkable in

@@ -72,8 +72,7 @@ pub fn check_read_consistency(history: &History) -> Vec<ReadConsistencyViolation
                     latest_own[key.index()] = p as u32;
                 }
                 Op::Read { key, value, source } => {
-                    let own = (stamp[key.index()] == cur_stamp)
-                        .then(|| latest_own[key.index()]);
+                    let own = (stamp[key.index()] == cur_stamp).then(|| latest_own[key.index()]);
                     match source {
                         ReadSource::ThinAir => {
                             violations.push(ReadConsistencyViolation::ThinAirRead {
@@ -184,7 +183,10 @@ mod tests {
         assert_eq!(vs.len(), 1);
         assert!(matches!(
             vs[0],
-            ReadConsistencyViolation::ThinAirRead { value: Value(7), .. }
+            ReadConsistencyViolation::ThinAirRead {
+                value: Value(7),
+                ..
+            }
         ));
     }
 
@@ -201,7 +203,10 @@ mod tests {
             b.commit(s1);
         });
         assert_eq!(vs.len(), 1);
-        assert!(matches!(vs[0], ReadConsistencyViolation::AbortedRead { .. }));
+        assert!(matches!(
+            vs[0],
+            ReadConsistencyViolation::AbortedRead { .. }
+        ));
     }
 
     #[test]
@@ -232,7 +237,10 @@ mod tests {
             b.commit(s1);
         });
         assert_eq!(vs.len(), 1);
-        assert!(matches!(vs[0], ReadConsistencyViolation::NotOwnWrite { .. }));
+        assert!(matches!(
+            vs[0],
+            ReadConsistencyViolation::NotOwnWrite { .. }
+        ));
     }
 
     #[test]

@@ -47,7 +47,8 @@ fn without(history: &History, removed: &HashSet<TxnId>) -> History {
             b.abort(s);
         }
     }
-    b.finish().expect("sub-histories of valid histories are valid")
+    b.finish()
+        .expect("sub-histories of valid histories are valid")
 }
 
 /// Shrinks `history` to a 1-minimal sub-history still violating `level`.
@@ -105,8 +106,10 @@ pub fn shrink_history(history: &History, level: IsolationLevel) -> Option<Histor
             let txns_now: Vec<TxnId> = current.txns().map(|(t, _)| t).collect();
             let mut i = 0;
             while i < txns_now.len() {
-                let removed: HashSet<TxnId> =
-                    txns_now[i..(i + chunk).min(txns_now.len())].iter().copied().collect();
+                let removed: HashSet<TxnId> = txns_now[i..(i + chunk).min(txns_now.len())]
+                    .iter()
+                    .copied()
+                    .collect();
                 if removed.len() == txns_now.len() {
                     i += chunk;
                     continue;

@@ -184,8 +184,7 @@ impl TreeClock {
             self.detach(sess);
         }
         for &(sess, clk, parent_sess) in &fragment {
-            let parent = if parent_sess == u32::MAX || self.pos[parent_sess as usize] == NO_NODE
-            {
+            let parent = if parent_sess == u32::MAX || self.pos[parent_sess as usize] == NO_NODE {
                 self.root
             } else {
                 self.pos[parent_sess as usize]

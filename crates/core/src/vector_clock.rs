@@ -63,6 +63,15 @@ impl VectorClock {
         }
     }
 
+    /// Widens the clock to `k` sessions (new entries start at zero).
+    /// Shrinking is not supported; a larger existing clock is unchanged.
+    #[inline]
+    pub fn resize(&mut self, k: usize) {
+        if self.entries.len() < k {
+            self.entries.resize(k, 0);
+        }
+    }
+
     /// Point-wise maximum with `other` (the lattice join `⊔`).
     #[inline]
     pub fn join(&mut self, other: &VectorClock) {

@@ -110,13 +110,22 @@ impl fmt::Display for ReadConsistencyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ReadConsistencyViolation::ThinAirRead { read, key, value } => {
-                write!(f, "thin-air read at {read}: R({key}, {value}) has no writer")
+                write!(
+                    f,
+                    "thin-air read at {read}: R({key}, {value}) has no writer"
+                )
             }
             ReadConsistencyViolation::AbortedRead { read, write, key } => {
-                write!(f, "aborted read at {read}: observes aborted write {write} on {key}")
+                write!(
+                    f,
+                    "aborted read at {read}: observes aborted write {write} on {key}"
+                )
             }
             ReadConsistencyViolation::FutureRead { read, write, key } => {
-                write!(f, "future read at {read}: observes later write {write} on {key}")
+                write!(
+                    f,
+                    "future read at {read}: observes later write {write} on {key}"
+                )
             }
             ReadConsistencyViolation::NotOwnWrite {
                 read,
@@ -138,7 +147,11 @@ impl fmt::Display for ReadConsistencyViolation {
                 "read at {read} observes stale own write {observed} on {key}; \
                  later write {later_write} exists"
             ),
-            ReadConsistencyViolation::NotFinalWrite { read, observed, key } => write!(
+            ReadConsistencyViolation::NotFinalWrite {
+                read,
+                observed,
+                key,
+            } => write!(
                 f,
                 "read at {read} observes non-final write {observed} of another transaction on {key}"
             ),
@@ -163,6 +176,7 @@ impl fmt::Display for WitnessEdge {
             EdgeKind::SessionOrder => "so".to_string(),
             EdgeKind::WriteRead(k) => format!("wr[{k}]"),
             EdgeKind::Inferred(k) => format!("co[{k}]"),
+            EdgeKind::Condensed => "co*".to_string(),
         };
         write!(f, "{} --{label}--> {}", self.from, self.to)
     }
@@ -194,10 +208,7 @@ impl WitnessCycle {
 
     /// Number of inferred (non-`so ∪ wr`) edges.
     pub fn inferred_count(&self) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| !e.kind.is_base())
-            .count()
+        self.edges.iter().filter(|e| !e.kind.is_base()).count()
     }
 
     /// Number of edges in the cycle.
@@ -262,9 +273,7 @@ impl Violation {
                 ReadConsistencyViolation::FutureRead { .. } => ViolationKind::FutureRead,
                 ReadConsistencyViolation::NotOwnWrite { .. }
                 | ReadConsistencyViolation::StaleOwnWrite { .. }
-                | ReadConsistencyViolation::NotFinalWrite { .. } => {
-                    ViolationKind::NotLatestWrite
-                }
+                | ReadConsistencyViolation::NotFinalWrite { .. } => ViolationKind::NotLatestWrite,
             },
             Violation::NonRepeatableRead { .. } => ViolationKind::NonRepeatableRead,
             Violation::CausalityCycle(_) => ViolationKind::CausalityCycle,

@@ -49,8 +49,7 @@ fn edge_is_required(index: &HistoryIndex, level: IsolationLevel, t2: u32, t1: u3
                 let tid = index.txn_id(t3);
                 let list = index.session_committed(SessionId(tid.session));
                 let pos = index.committed_pos(t3) as usize;
-                list[..pos].contains(&t2)
-                    || index.ext_reads(t3).iter().any(|r| r.writer == t2)
+                list[..pos].contains(&t2) || index.ext_reads(t3).iter().any(|r| r.writer == t2)
             };
             visible
                 && index
@@ -164,7 +163,7 @@ fn every_inferred_edge_is_required() {
 /// one edge per (read pair × writing session) for CC, nor per read pair
 /// for RC/RA.
 #[test]
-fn inferred_edge_counts_are_bounded()  {
+fn inferred_edge_counts_are_bounded() {
     for seed in 0..30 {
         let h = random_history(seed + 1000);
         let index = HistoryIndex::new(&h);

@@ -65,7 +65,12 @@ pub fn parse_cobra(text: &str) -> Result<History, ParseError> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, l)) if l.trim() == COBRA_HEADER => {}
-        _ => return Err(ParseError::new(1, format!("expected header `{COBRA_HEADER}`"))),
+        _ => {
+            return Err(ParseError::new(
+                1,
+                format!("expected header `{COBRA_HEADER}`"),
+            ))
+        }
     }
     let mut b = HistoryBuilder::new();
     let mut max_session = 0usize;

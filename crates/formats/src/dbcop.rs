@@ -34,7 +34,11 @@ pub fn write_dbcop(history: &History) -> String {
         for t in txns {
             out.push_str(&format!(
                 "txn {} {}\n",
-                if t.is_committed() { "committed" } else { "aborted" },
+                if t.is_committed() {
+                    "committed"
+                } else {
+                    "aborted"
+                },
                 t.len()
             ));
             for op in t.ops() {
@@ -111,7 +115,10 @@ pub fn parse_dbcop(text: &str) -> Result<History, ParseError> {
             let (lineno, line) = expect_line(&mut lines)?;
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "txn" {
-                return Err(ParseError::new(lineno, "expected `txn committed|aborted N`"));
+                return Err(ParseError::new(
+                    lineno,
+                    "expected `txn committed|aborted N`",
+                ));
             }
             let committed = match parts[1] {
                 "committed" => true,

@@ -11,6 +11,7 @@
 //! | Plume-style | [`plume`] | one `op(key,value,session,txn)` per line |
 //! | DBCop-style | [`dbcop`] | counted sessions/transactions/operations |
 //! | Cobra-style | [`cobra`] | tagged per-session log records |
+//! | streaming NDJSON | [`stream`] | one transaction event per line (for `awdit watch`) |
 //!
 //! [`detect_format`] sniffs a file's header, and [`parse_auto`] parses
 //! whichever format it finds.
@@ -42,12 +43,14 @@ pub mod dbcop;
 pub mod error;
 pub mod native;
 pub mod plume;
+pub mod stream;
 
 pub use cobra::{parse_cobra, write_cobra, COBRA_HEADER};
 pub use dbcop::{parse_dbcop, write_dbcop, DBCOP_HEADER};
 pub use error::ParseError;
 pub use native::{parse_native, write_native, NATIVE_HEADER};
 pub use plume::{parse_plume, write_plume};
+pub use stream::{parse_event, parse_events, write_event, write_events};
 
 use awdit_core::History;
 

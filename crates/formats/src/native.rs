@@ -76,10 +76,9 @@ pub fn parse_native(text: &str) -> Result<History, ParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("session") {
-            let id: usize = rest
-                .trim()
-                .parse()
-                .map_err(|_| ParseError::new(lineno, format!("bad session id `{}`", rest.trim())))?;
+            let id: usize = rest.trim().parse().map_err(|_| {
+                ParseError::new(lineno, format!("bad session id `{}`", rest.trim()))
+            })?;
             // Sessions must appear in order; create up to the id.
             let sessions = b.sessions(id + 1);
             current = Some(sessions[id]);

@@ -1,0 +1,315 @@
+//! Streaming NDJSON event format: one JSON object per line, one
+//! transaction event each — the wire format consumed by `awdit watch` and
+//! produced by collection agents.
+//!
+//! ```text
+//! {"type":"begin","session":0}
+//! {"type":"write","session":0,"key":10,"value":1}
+//! {"type":"read","session":1,"key":10,"value":1}
+//! {"type":"commit","session":0}
+//! {"type":"abort","session":2}
+//! ```
+//!
+//! The parser is deliberately small and dependency-free: objects must be
+//! flat (no nesting), fields may appear in any order, unknown fields are
+//! ignored, and blank lines and `#` comment lines are skipped — so logs
+//! with occasional annotations still parse.
+
+use awdit_stream::Event;
+
+use crate::error::ParseError;
+
+/// Serializes one event as a canonical NDJSON line (no trailing newline).
+pub fn write_event(event: &Event) -> String {
+    match *event {
+        Event::Begin { session } => {
+            format!("{{\"type\":\"begin\",\"session\":{session}}}")
+        }
+        Event::Write {
+            session,
+            key,
+            value,
+        } => {
+            format!("{{\"type\":\"write\",\"session\":{session},\"key\":{key},\"value\":{value}}}")
+        }
+        Event::Read {
+            session,
+            key,
+            value,
+        } => format!("{{\"type\":\"read\",\"session\":{session},\"key\":{key},\"value\":{value}}}"),
+        Event::Commit { session } => {
+            format!("{{\"type\":\"commit\",\"session\":{session}}}")
+        }
+        Event::Abort { session } => {
+            format!("{{\"type\":\"abort\",\"session\":{session}}}")
+        }
+    }
+}
+
+/// Serializes a sequence of events, one line each.
+pub fn write_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&write_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one NDJSON line into an event. `line_no` is used for error
+/// reporting (1-based).
+pub fn parse_event(line: &str, line_no: usize) -> Result<Event, ParseError> {
+    let fields = parse_flat_object(line, line_no)?;
+    let typ = fields
+        .iter()
+        .find(|(k, _)| k == "type")
+        .ok_or_else(|| ParseError::new(line_no, "missing \"type\" field"))?;
+    let JsonValue::Str(typ) = &typ.1 else {
+        return Err(ParseError::new(line_no, "\"type\" must be a string"));
+    };
+    let get_num = |name: &str| -> Result<u64, ParseError> {
+        match fields.iter().find(|(k, _)| k == name) {
+            Some((_, JsonValue::Num(n))) => Ok(*n),
+            Some(_) => Err(ParseError::new(
+                line_no,
+                format!("\"{name}\" must be a number"),
+            )),
+            None => Err(ParseError::new(
+                line_no,
+                format!("missing \"{name}\" field"),
+            )),
+        }
+    };
+    let session = get_num("session")?;
+    match typ.as_str() {
+        "begin" => Ok(Event::Begin { session }),
+        "commit" => Ok(Event::Commit { session }),
+        "abort" => Ok(Event::Abort { session }),
+        "write" => Ok(Event::Write {
+            session,
+            key: get_num("key")?,
+            value: get_num("value")?,
+        }),
+        "read" => Ok(Event::Read {
+            session,
+            key: get_num("key")?,
+            value: get_num("value")?,
+        }),
+        other => Err(ParseError::new(
+            line_no,
+            format!("unknown event type \"{other}\""),
+        )),
+    }
+}
+
+/// Parses a whole NDJSON document (blank and `#` lines skipped).
+pub fn parse_events(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(parse_event(trimmed, i + 1)?);
+    }
+    Ok(events)
+}
+
+#[derive(Debug, PartialEq)]
+enum JsonValue {
+    Num(u64),
+    Str(String),
+    /// Any other scalar in an ignored field (bool, null, float, negative
+    /// number): tolerated, never used by an event field.
+    Other,
+}
+
+/// Parses a flat JSON object of string/number fields.
+fn parse_flat_object(line: &str, line_no: usize) -> Result<Vec<(String, JsonValue)>, ParseError> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new(line_no, "expected a JSON object"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // "key"
+        let r = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError::new(line_no, "expected a quoted field name"))?;
+        let end = r
+            .find('"')
+            .ok_or_else(|| ParseError::new(line_no, "unterminated field name"))?;
+        let name = r[..end].to_string();
+        let r = r[end + 1..].trim_start();
+        // :
+        let r = r
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError::new(line_no, "expected ':' after field name"))?
+            .trim_start();
+        // value: quoted string, unsigned integer, or any other scalar
+        // (tolerated in ignored fields).
+        let (value, r) = if let Some(r) = r.strip_prefix('"') {
+            let end = string_end(r)
+                .ok_or_else(|| ParseError::new(line_no, "unterminated string value"))?;
+            (
+                JsonValue::Str(r[..end].replace("\\\"", "\"").replace("\\\\", "\\")),
+                r[end + 1..].trim_start(),
+            )
+        } else {
+            let end = r
+                .find(|c: char| c == ',' || c.is_whitespace())
+                .unwrap_or(r.len());
+            if end == 0 {
+                return Err(ParseError::new(line_no, "expected a value"));
+            }
+            let token = &r[..end];
+            let value = match token.parse::<u64>() {
+                Ok(n) => JsonValue::Num(n),
+                // Bools, null, floats, negatives: legal JSON scalars that no
+                // event field uses; keep them skippable.
+                Err(_) => JsonValue::Other,
+            };
+            (value, r[end..].trim_start())
+        };
+        fields.push((name, value));
+        rest = match rest_after_comma(r) {
+            Ok(next) => next,
+            Err(msg) => return Err(ParseError::new(line_no, msg)),
+        };
+    }
+    Ok(fields)
+}
+
+/// Index of the closing quote of a JSON string body (handles `\\"` and
+/// `\\\\` escapes), or `None` if unterminated.
+fn string_end(r: &str) -> Option<usize> {
+    let bytes = r.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(i),
+            b'\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn rest_after_comma(r: &str) -> Result<&str, &'static str> {
+    let r = r.trim_start();
+    if r.is_empty() {
+        Ok(r)
+    } else if let Some(next) = r.strip_prefix(',') {
+        let next = next.trim_start();
+        if next.is_empty() {
+            Err("trailing comma")
+        } else {
+            Ok(next)
+        }
+    } else {
+        Err("expected ',' between fields")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let events = vec![
+            Event::Begin { session: 3 },
+            Event::Write {
+                session: 3,
+                key: 10,
+                value: 7,
+            },
+            Event::Read {
+                session: 3,
+                key: 10,
+                value: 7,
+            },
+            Event::Commit { session: 3 },
+            Event::Abort { session: 4 },
+        ];
+        let text = write_events(&events);
+        assert_eq!(parse_events(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn tolerates_field_order_whitespace_and_comments() {
+        let text = r#"
+# a collection agent comment
+{ "key": 1, "value": 2, "type": "write", "session": 0 }
+
+{"session":1,"type":"read","key":1,"value":2,"agent":"shard-7"}
+"#;
+        let events = parse_events(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            Event::Write {
+                session: 0,
+                key: 1,
+                value: 2
+            }
+        );
+        assert_eq!(
+            events[1],
+            Event::Read {
+                session: 1,
+                key: 1,
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ignored_fields_may_hold_any_scalar() {
+        let text = r#"{"type":"begin","session":0,"durable":true,"lag":-3,"rate":0.5,"note":null,"agent":"a\"b"}"#;
+        let events = parse_events(text).unwrap();
+        assert_eq!(events, vec![Event::Begin { session: 0 }]);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let err = parse_events("{\"type\":\"begin\",\"session\":0}\nnot json").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_events("{\"type\":\"warp\",\"session\":0}").unwrap_err();
+        assert!(err.message.contains("unknown event type"));
+        let err = parse_events("{\"type\":\"write\",\"session\":0}").unwrap_err();
+        assert!(err.message.contains("key"));
+    }
+
+    #[test]
+    fn history_round_trips_through_the_event_stream() {
+        use awdit_core::{check, HistoryBuilder, IsolationLevel};
+        use awdit_stream::{events_of_history, OnlineChecker};
+
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 0, 1);
+        b.write(s0, 1, 1);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 0, 1);
+        b.commit(s1);
+        let h = b.finish().unwrap();
+
+        let text = write_events(&events_of_history(&h));
+        let events = parse_events(&text).unwrap();
+        let mut checker = OnlineChecker::new(IsolationLevel::Causal);
+        for e in &events {
+            checker.apply(e).unwrap();
+        }
+        let outcome = checker.finish().unwrap();
+        assert_eq!(
+            outcome.is_consistent(),
+            check(&h, IsolationLevel::Causal).is_consistent()
+        );
+    }
+}

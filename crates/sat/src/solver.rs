@@ -484,6 +484,8 @@ impl Solver {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
 
     fn lit(s: &mut Solver, vars: &mut Vec<Var>, i: i32) -> Lit {
@@ -583,7 +585,11 @@ mod tests {
         assert!(s.solve());
         // Extract and verify the coloring.
         let color_of: Vec<usize> = (0..n)
-            .map(|i| (0..colors).find(|&c| s.value(v[i][c]) == Some(true)).unwrap())
+            .map(|i| {
+                (0..colors)
+                    .find(|&c| s.value(v[i][c]) == Some(true))
+                    .unwrap()
+            })
             .collect();
         for i in 0..n {
             assert_ne!(color_of[i], color_of[(i + 1) % n]);
@@ -664,13 +670,10 @@ mod tests {
         fn clauses_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
             (2usize..8).prop_flat_map(|nv| {
                 let clause = proptest::collection::vec(
-                    (1..=nv as i32).prop_flat_map(|v| {
-                        prop_oneof![Just(v), Just(-v)]
-                    }),
+                    (1..=nv as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
                     1..4,
                 );
-                proptest::collection::vec(clause, 0..20)
-                    .prop_map(move |cs| (nv, cs))
+                proptest::collection::vec(clause, 0..20).prop_map(move |cs| (nv, cs))
             })
         }
 

@@ -58,7 +58,11 @@ impl Harness {
     ///
     /// Propagates [`BuildError`] from history construction (cannot happen
     /// with the simulator's unique write values unless injection is buggy).
-    pub fn run<W: TxnSource + ?Sized>(mut self, workload: &mut W, txns: usize) -> Result<History, BuildError> {
+    pub fn run<W: TxnSource + ?Sized>(
+        mut self,
+        workload: &mut W,
+        txns: usize,
+    ) -> Result<History, BuildError> {
         self.drive(workload, txns);
         self.db.into_history()
     }
@@ -215,7 +219,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "no CC violation found in 20 seeds — lag model inert?");
+        assert!(
+            found,
+            "no CC violation found in 20 seeds — lag model inert?"
+        );
     }
 
     #[test]
@@ -249,7 +256,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "no RA violation found in 20 seeds — fracture model inert?");
+        assert!(
+            found,
+            "no RA violation found in 20 seeds — fracture model inert?"
+        );
     }
 
     #[test]

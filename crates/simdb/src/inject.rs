@@ -102,9 +102,7 @@ impl SimDb {
                     continue;
                 }
                 for (j, op) in t.ops.iter().enumerate() {
-                    if op.is_read
-                        && writes_of.get(&op.key).map(|w| w.len()).unwrap_or(0) >= 2
-                    {
+                    if op.is_read && writes_of.get(&op.key).map(|w| w.len()).unwrap_or(0) >= 2 {
                         read_sites.push((s, i, j));
                     }
                 }

@@ -33,9 +33,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// The empty snapshot over `k` sessions (sees nothing).
     pub fn new(k: usize) -> Self {
-        Snapshot {
-            prefix: vec![0; k],
-        }
+        Snapshot { prefix: vec![0; k] }
     }
 
     /// Number of visible transactions of session `s`.

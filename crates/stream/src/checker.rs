@@ -1,0 +1,1302 @@
+//! The online checker: event intake, dependency staging, incremental
+//! saturation, online cycle detection, and watermark pruning.
+//!
+//! # Pipeline
+//!
+//! Events arrive per session in session order (sessions interleave freely).
+//! A committed transaction is **staged** until its dependencies are
+//! available: its session's previous committed transaction must be
+//! processed, and every external read must resolve to a *closed* writer
+//! (committed writers additionally to a *processed* one). Once ready it is
+//! **processed**: Read Consistency is checked, the transaction joins the
+//! [`StreamIndex`], base `so`/`wr` edges and the level's inferred edges
+//! (produced by the same kernels the batch checkers run) are inserted into
+//! an incrementally-maintained DAG, and any edge closing a cycle is
+//! reported immediately as a violation with full provenance.
+//!
+//! Reads of values nobody has written yet stay pending — they become
+//! thin-air violations at [`finish`](OnlineChecker::finish); transactions
+//! deadlocked on each other (a `so ∪ wr` cycle) are detected at `finish`
+//! too, mirroring the batch classification.
+//!
+//! # Watermark pruning
+//!
+//! The per-session frontier clocks induce a *watermark*: the pointwise
+//! minimum clock that every future transaction is guaranteed to dominate.
+//! A processed transaction retires once (1) it is below the watermark,
+//! (2) it is not the latest retained writer of any of its keys (a
+//! *boundary* writer is kept per `(session, key)` so CC lookups below the
+//! watermark still find their visible writer), and (3) no staged reader
+//! holds a reference to it. Retiring removes its clock, graph node,
+//! value-map entries, and index slot — the slot is recycled, so live
+//! memory tracks the watermark lag, not the stream length.
+//!
+//! Commit-order constraints threaded *through* a retired transaction are
+//! condensed onto its session-order successors (see
+//! [`EdgeKind::Condensed`](awdit_core::graph::EdgeKind)); constraints into
+//! a retired transaction's one-off readers are considered settled at the
+//! horizon. A later read of a pruned write misses the retained window and
+//! is reported as a [`StreamViolation::BeyondHorizon`] (counted in
+//! [`StreamStats::horizon_misses`]) rather than misclassified. With
+//! pruning disabled the checker is exact and agrees with the batch
+//! pipeline on every history.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use awdit_core::graph::{CommitGraph, EdgeKind};
+use awdit_core::incremental::{infer_cc_edges, HbTracker, RaKernel, RcKernel};
+use awdit_core::witness::{
+    ReadConsistencyViolation, Violation, ViolationKind, WitnessCycle, WitnessEdge,
+};
+use awdit_core::{IsolationLevel, Key, OpLoc, TxnId, Value, VectorClock};
+
+use crate::dag::{DagEdge, IncrementalDag};
+use crate::event::Event;
+use crate::index::{StreamIndex, TxnMeta};
+use crate::stats::StreamStats;
+
+/// Errors that poison a stream (mirroring
+/// [`BuildError`](awdit_core::BuildError)): once one occurs, every further
+/// [`apply`](OnlineChecker::apply) and the final
+/// [`finish`](OnlineChecker::finish) report it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamError {
+    /// Two writes carry the same `(key, value)` pair, breaking the
+    /// unique-value assumption.
+    ///
+    /// Under watermark pruning this is enforced within the retained window
+    /// only: a collision with a write retired past the horizon cannot be
+    /// distinguished from a fresh unique value with bounded memory, so it
+    /// is not detected (exact mode detects every collision).
+    DuplicateWrite {
+        /// The key written twice with the same value.
+        key: u64,
+        /// The duplicated value.
+        value: u64,
+        /// The first write.
+        first: OpLoc,
+        /// The offending second write.
+        second: OpLoc,
+    },
+    /// An operation or close event arrived with no open transaction.
+    NoOpenTransaction {
+        /// The offending session name.
+        session: u64,
+    },
+    /// `begin` arrived while the session already had an open transaction.
+    NestedTransaction {
+        /// The offending session name.
+        session: u64,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::DuplicateWrite {
+                key,
+                value,
+                first,
+                second,
+            } => write!(
+                f,
+                "duplicate write of value {value} to key {key} at {second} (first at {first})"
+            ),
+            StreamError::NoOpenTransaction { session } => {
+                write!(f, "event on session {session} with no open transaction")
+            }
+            StreamError::NestedTransaction { session } => {
+                write!(f, "begin on session {session} while a transaction is open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A violation reported by the online checker: either one of the batch
+/// pipeline's violations, or the stream-specific beyond-horizon read.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamViolation {
+    /// A violation with a batch-pipeline analog.
+    Core(Violation),
+    /// A read of a value whose key had writes pruned past the watermark:
+    /// the checker cannot distinguish a stale read of a pruned write from a
+    /// thin-air read, so it reports the miss explicitly.
+    BeyondHorizon {
+        /// The reading transaction.
+        txn: TxnId,
+        /// Position of the read in program order.
+        op: u32,
+        /// Key name read.
+        key: u64,
+        /// Value observed.
+        value: u64,
+    },
+}
+
+impl StreamViolation {
+    /// The batch classification, if one exists (`None` for beyond-horizon).
+    pub fn kind(&self) -> Option<ViolationKind> {
+        match self {
+            StreamViolation::Core(v) => Some(v.kind()),
+            StreamViolation::BeyondHorizon { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamViolation::Core(v) => write!(f, "{v}"),
+            StreamViolation::BeyondHorizon {
+                txn,
+                op,
+                key,
+                value,
+            } => write!(
+                f,
+                "beyond-horizon read at {txn}[{op}]: R({key}, {value}) precedes the retained window"
+            ),
+        }
+    }
+}
+
+/// Configuration of an [`OnlineChecker`].
+#[derive(Copy, Clone, Debug)]
+pub struct StreamConfig {
+    /// The isolation level to check.
+    pub level: IsolationLevel,
+    /// Whether watermark pruning runs (off = exact batch agreement, memory
+    /// grows with the stream).
+    pub prune: bool,
+    /// Processed transactions between pruning sweeps.
+    pub prune_interval: u64,
+    /// Maximum number of cycle violations reported (the verdict is
+    /// unaffected; this caps witness extraction work, like
+    /// [`CheckOptions::max_cycles`](awdit_core::CheckOptions)).
+    pub max_cycle_reports: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            level: IsolationLevel::Causal,
+            prune: true,
+            prune_interval: 256,
+            max_cycle_reports: 64,
+        }
+    }
+}
+
+/// The final result of a stream check.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    level: IsolationLevel,
+    violations: Vec<StreamViolation>,
+    stats: StreamStats,
+}
+
+impl StreamOutcome {
+    /// Shorthand for "no violation was found" over the whole stream,
+    /// including violations already handed out via
+    /// [`OnlineChecker::drain_violations`].
+    pub fn is_consistent(&self) -> bool {
+        self.stats.violations == 0
+    }
+
+    /// The level that was checked.
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// The violations not already drained during the stream, in emission
+    /// order ([`StreamStats::violations`] counts all of them).
+    pub fn violations(&self) -> &[StreamViolation] {
+        &self.violations
+    }
+
+    /// Final stream statistics.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+/// Raw (unresolved) operation of an in-flight transaction.
+#[derive(Copy, Clone, Debug)]
+enum RawOp {
+    Write { key: Key, value: Value },
+    Read { key: Key, value: Value },
+}
+
+/// Resolution state of one operation slot (only reads carry content).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ReadSrc {
+    /// The slot is a write.
+    NotARead,
+    /// Read of an own write at position `op`.
+    Internal { op: u32 },
+    /// Read of a committed (or still-staged) external writer.
+    External { txn: TxnId, op: u32 },
+    /// Read of an aborted transaction's write.
+    Aborted { txn: TxnId, op: u32 },
+    /// The value has not been written by anyone seen so far.
+    AwaitingValue,
+    /// Resolved at `finish`: nobody ever wrote it.
+    ThinAir,
+    /// The key had writes pruned past the watermark; unresolvable.
+    Horizon,
+}
+
+#[derive(Debug)]
+struct OpenTxn {
+    id: TxnId,
+    ops: Vec<RawOp>,
+}
+
+#[derive(Debug)]
+struct StagedTxn {
+    session: u32,
+    committed_pos: u32,
+    ops: Vec<RawOp>,
+    sources: Vec<ReadSrc>,
+    deps: usize,
+}
+
+#[derive(Debug)]
+struct SessionState {
+    open: Option<OpenTxn>,
+    next_txn_index: u32,
+    committed_count: u32,
+    /// Most recent committed transaction (staged or processed) — the `so`
+    /// dependency of the next commit.
+    last_committed: Option<TxnId>,
+    /// Slot of the most recently processed committed transaction (`None`
+    /// after it retires; the `so` edge to a retired predecessor is implied
+    /// and safely droppable — nothing can order back into the pruned
+    /// prefix).
+    last_processed_slot: Option<u32>,
+    /// Writes of aborted transactions, for value-map cleanup at pruning:
+    /// `(transaction index in session, key, value)`.
+    aborted_writes: Vec<(u32, Key, Value)>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum TxnState {
+    Staged,
+    Processed { slot: u32 },
+    Aborted,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Waiter {
+    /// A staged reader waiting for this writer to close/process (one entry
+    /// per read operation).
+    Read(TxnId),
+    /// The session successor waiting for this transaction to process.
+    So(TxnId),
+}
+
+/// Checks a stream of transaction events against one isolation level,
+/// incrementally and with bounded memory (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::IsolationLevel;
+/// use awdit_stream::{Event, OnlineChecker};
+///
+/// let mut c = OnlineChecker::new(IsolationLevel::Causal);
+/// for ev in [
+///     Event::Begin { session: 0 },
+///     Event::Write { session: 0, key: 1, value: 10 },
+///     Event::Commit { session: 0 },
+///     Event::Begin { session: 1 },
+///     Event::Read { session: 1, key: 1, value: 10 },
+///     Event::Commit { session: 1 },
+/// ] {
+///     c.apply(&ev).unwrap();
+/// }
+/// let outcome = c.finish().unwrap();
+/// assert!(outcome.is_consistent());
+/// ```
+#[derive(Debug)]
+pub struct OnlineChecker {
+    cfg: StreamConfig,
+    error: Option<StreamError>,
+
+    session_ids: HashMap<u64, u32>,
+    sessions: Vec<SessionState>,
+    key_ids: HashMap<u64, Key>,
+    key_names: Vec<u64>,
+
+    /// The unique-value write map: `(key, value) → (writer, op)`.
+    writes: HashMap<(Key, Value), (TxnId, u32)>,
+    /// Per key: number of writes whose map entries were pruned.
+    pruned_writes: HashMap<Key, u64>,
+    txn_states: HashMap<TxnId, TxnState>,
+
+    staged: HashMap<TxnId, StagedTxn>,
+    waiting_value: HashMap<(Key, Value), Vec<(TxnId, u32)>>,
+    waiting_txn: HashMap<TxnId, Vec<Waiter>>,
+    ready: VecDeque<TxnId>,
+
+    index: StreamIndex,
+    tracker: HbTracker,
+    rc: RcKernel,
+    ra: RaKernel,
+    dag: IncrementalDag,
+    reported_cycles: HashSet<(TxnId, TxnId)>,
+    cycle_reports: usize,
+
+    violations: Vec<StreamViolation>,
+    processed_since_gc: u64,
+    stats: StreamStats,
+}
+
+impl OnlineChecker {
+    /// A checker for `level` with default configuration (pruning on).
+    pub fn new(level: IsolationLevel) -> Self {
+        Self::with_config(StreamConfig {
+            level,
+            ..StreamConfig::default()
+        })
+    }
+
+    /// A checker with explicit configuration.
+    pub fn with_config(cfg: StreamConfig) -> Self {
+        OnlineChecker {
+            cfg,
+            error: None,
+            session_ids: HashMap::new(),
+            sessions: Vec::new(),
+            key_ids: HashMap::new(),
+            key_names: Vec::new(),
+            writes: HashMap::new(),
+            pruned_writes: HashMap::new(),
+            txn_states: HashMap::new(),
+            staged: HashMap::new(),
+            waiting_value: HashMap::new(),
+            waiting_txn: HashMap::new(),
+            ready: VecDeque::new(),
+            index: StreamIndex::new(),
+            tracker: HbTracker::new(),
+            rc: RcKernel::new(),
+            ra: RaKernel::new(),
+            dag: IncrementalDag::new(),
+            reported_cycles: HashSet::new(),
+            cycle_reports: 0,
+            violations: Vec::new(),
+            processed_since_gc: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The level being checked.
+    pub fn level(&self) -> IsolationLevel {
+        self.cfg.level
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The current watermark (pointwise-minimum frontier clock).
+    pub fn watermark(&self) -> VectorClock {
+        self.tracker.watermark()
+    }
+
+    /// Takes the violations emitted since the last drain (for live
+    /// reporting). Draining keeps a long-running monitor's memory bounded:
+    /// drained violations are handed to the caller and no longer retained,
+    /// so the final [`StreamOutcome`] lists only the undrained ones (its
+    /// verdict still accounts for all of them via
+    /// [`StreamStats::violations`]).
+    pub fn drain_violations(&mut self) -> Vec<StreamViolation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Applies one event. Errors are sticky: the stream is poisoned after
+    /// the first protocol or unique-value failure.
+    pub fn apply(&mut self, event: &Event) -> Result<(), StreamError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let result = self.apply_inner(event);
+        if let Err(e) = &result {
+            self.error = Some(e.clone());
+        }
+        result
+    }
+
+    fn apply_inner(&mut self, event: &Event) -> Result<(), StreamError> {
+        self.stats.events += 1;
+        match *event {
+            Event::Begin { session } => {
+                let s = self.ensure_session(session);
+                let st = &mut self.sessions[s as usize];
+                if st.open.is_some() {
+                    return Err(StreamError::NestedTransaction { session });
+                }
+                let id = TxnId::new(s, st.next_txn_index);
+                st.next_txn_index += 1;
+                st.open = Some(OpenTxn {
+                    id,
+                    ops: Vec::new(),
+                });
+                self.stats.begins += 1;
+                Ok(())
+            }
+            Event::Write {
+                session,
+                key,
+                value,
+            } => {
+                let s = self.ensure_session(session);
+                let k = self.ensure_key(key);
+                let v = Value(value);
+                let st = &mut self.sessions[s as usize];
+                let Some(open) = st.open.as_mut() else {
+                    return Err(StreamError::NoOpenTransaction { session });
+                };
+                let loc = OpLoc::new(open.id, open.ops.len() as u32);
+                if let Some(&(first_txn, first_op)) = self.writes.get(&(k, v)) {
+                    return Err(StreamError::DuplicateWrite {
+                        key,
+                        value,
+                        first: OpLoc::new(first_txn, first_op),
+                        second: loc,
+                    });
+                }
+                open.ops.push(RawOp::Write { key: k, value: v });
+                self.writes.insert((k, v), (loc.txn, loc.op));
+                // Resolve readers that were waiting for this value.
+                if let Some(waiters) = self.waiting_value.remove(&(k, v)) {
+                    for (reader, op) in waiters {
+                        if let Some(st) = self.staged.get_mut(&reader) {
+                            st.sources[op as usize] = ReadSrc::External {
+                                txn: loc.txn,
+                                op: loc.op,
+                            };
+                        }
+                        self.waiting_txn
+                            .entry(loc.txn)
+                            .or_default()
+                            .push(Waiter::Read(reader));
+                    }
+                }
+                Ok(())
+            }
+            Event::Read {
+                session,
+                key,
+                value,
+            } => {
+                let s = self.ensure_session(session);
+                let k = self.ensure_key(key);
+                let st = &mut self.sessions[s as usize];
+                let Some(open) = st.open.as_mut() else {
+                    return Err(StreamError::NoOpenTransaction { session });
+                };
+                open.ops.push(RawOp::Read {
+                    key: k,
+                    value: Value(value),
+                });
+                Ok(())
+            }
+            Event::Commit { session } => {
+                let s = self.ensure_session(session);
+                if self.sessions[s as usize].open.is_none() {
+                    return Err(StreamError::NoOpenTransaction { session });
+                }
+                self.commit_open(s);
+                self.drain_ready();
+                Ok(())
+            }
+            Event::Abort { session } => {
+                let s = self.ensure_session(session);
+                if self.sessions[s as usize].open.is_none() {
+                    return Err(StreamError::NoOpenTransaction { session });
+                }
+                self.abort_open(s);
+                self.drain_ready();
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience wrappers mirroring [`HistoryBuilder`](awdit_core::HistoryBuilder).
+    pub fn begin(&mut self, session: u64) -> Result<(), StreamError> {
+        self.apply(&Event::Begin { session })
+    }
+    /// Applies a write event.
+    pub fn write(&mut self, session: u64, key: u64, value: u64) -> Result<(), StreamError> {
+        self.apply(&Event::Write {
+            session,
+            key,
+            value,
+        })
+    }
+    /// Applies a read event.
+    pub fn read(&mut self, session: u64, key: u64, value: u64) -> Result<(), StreamError> {
+        self.apply(&Event::Read {
+            session,
+            key,
+            value,
+        })
+    }
+    /// Applies a commit event.
+    pub fn commit(&mut self, session: u64) -> Result<(), StreamError> {
+        self.apply(&Event::Commit { session })
+    }
+    /// Applies an abort event.
+    pub fn abort(&mut self, session: u64) -> Result<(), StreamError> {
+        self.apply(&Event::Abort { session })
+    }
+
+    fn ensure_session(&mut self, name: u64) -> u32 {
+        if let Some(&s) = self.session_ids.get(&name) {
+            return s;
+        }
+        let s = self.sessions.len() as u32;
+        self.session_ids.insert(name, s);
+        self.sessions.push(SessionState {
+            open: None,
+            next_txn_index: 0,
+            committed_count: 0,
+            last_committed: None,
+            last_processed_slot: None,
+            aborted_writes: Vec::new(),
+        });
+        self.index.ensure_sessions(self.sessions.len());
+        self.tracker.ensure_sessions(self.sessions.len());
+        s
+    }
+
+    fn ensure_key(&mut self, name: u64) -> Key {
+        if let Some(&k) = self.key_ids.get(&name) {
+            return k;
+        }
+        let k = Key(self.key_names.len() as u32);
+        self.key_ids.insert(name, k);
+        self.key_names.push(name);
+        k
+    }
+
+    /// The user-facing name of an interned key.
+    fn key_name(&self, k: Key) -> u64 {
+        self.key_names[k.index()]
+    }
+
+    fn commit_open(&mut self, s: u32) {
+        let open = self.sessions[s as usize].open.take().expect("open txn");
+        let id = open.id;
+        let committed_pos = self.sessions[s as usize].committed_count;
+        self.sessions[s as usize].committed_count += 1;
+        self.stats.commits += 1;
+
+        let mut sources = vec![ReadSrc::NotARead; open.ops.len()];
+        let mut deps = 0usize;
+        for (p, op) in open.ops.iter().enumerate() {
+            let RawOp::Read { key, value } = *op else {
+                continue;
+            };
+            sources[p] = match self.writes.get(&(key, value)) {
+                Some(&(wtxn, wop)) if wtxn == id => ReadSrc::Internal { op: wop },
+                Some(&(wtxn, wop)) => match self.txn_states.get(&wtxn) {
+                    Some(TxnState::Aborted) => ReadSrc::Aborted { txn: wtxn, op: wop },
+                    Some(TxnState::Processed { slot }) => {
+                        self.index.meta_mut(*slot).pending_readers += 1;
+                        ReadSrc::External { txn: wtxn, op: wop }
+                    }
+                    Some(TxnState::Staged) | None => {
+                        // Staged, or the writer transaction is still open.
+                        deps += 1;
+                        self.waiting_txn
+                            .entry(wtxn)
+                            .or_default()
+                            .push(Waiter::Read(id));
+                        ReadSrc::External { txn: wtxn, op: wop }
+                    }
+                },
+                None => {
+                    if self.pruned_writes.get(&key).copied().unwrap_or(0) > 0 {
+                        ReadSrc::Horizon
+                    } else {
+                        deps += 1;
+                        self.waiting_value
+                            .entry((key, value))
+                            .or_default()
+                            .push((id, p as u32));
+                        ReadSrc::AwaitingValue
+                    }
+                }
+            };
+        }
+
+        // so dependency: the session's previous committed transaction must
+        // be processed first.
+        if let Some(prev) = self.sessions[s as usize].last_committed {
+            if matches!(self.txn_states.get(&prev), Some(TxnState::Staged)) {
+                deps += 1;
+                self.waiting_txn
+                    .entry(prev)
+                    .or_default()
+                    .push(Waiter::So(id));
+            }
+        }
+        self.sessions[s as usize].last_committed = Some(id);
+
+        self.txn_states.insert(id, TxnState::Staged);
+        self.staged.insert(
+            id,
+            StagedTxn {
+                session: s,
+                committed_pos,
+                ops: open.ops,
+                sources,
+                deps,
+            },
+        );
+        self.stats.staged_txns += 1;
+        self.stats.peak_staged_txns = self.stats.peak_staged_txns.max(self.stats.staged_txns);
+        if deps == 0 {
+            self.ready.push_back(id);
+        }
+    }
+
+    fn abort_open(&mut self, s: u32) {
+        let open = self.sessions[s as usize].open.take().expect("open txn");
+        let id = open.id;
+        self.stats.aborts += 1;
+        self.txn_states.insert(id, TxnState::Aborted);
+        for op in &open.ops {
+            if let RawOp::Write { key, value } = *op {
+                self.sessions[s as usize]
+                    .aborted_writes
+                    .push((id.index, key, value));
+            }
+        }
+        // Readers waiting on this writer observe an aborted write: resolve
+        // them without a wr edge.
+        if let Some(waiters) = self.waiting_txn.remove(&id) {
+            for w in waiters {
+                let Waiter::Read(reader) = w else {
+                    unreachable!("so waiters only wait on committed transactions")
+                };
+                if let Some(st) = self.staged.get_mut(&reader) {
+                    for src in &mut st.sources {
+                        if let ReadSrc::External { txn, op } = *src {
+                            if txn == id {
+                                *src = ReadSrc::Aborted { txn, op };
+                            }
+                        }
+                    }
+                    st.deps -= 1;
+                    if st.deps == 0 {
+                        self.ready.push_back(reader);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(id) = self.ready.pop_front() {
+            self.process_txn(id);
+        }
+    }
+
+    fn emit(&mut self, v: StreamViolation) {
+        self.stats.violations += 1;
+        self.violations.push(v);
+    }
+
+    fn emit_core(&mut self, v: Violation) {
+        self.emit(StreamViolation::Core(v));
+    }
+
+    /// Read Consistency for one committed transaction (Algorithm 4,
+    /// per-transaction form). `final_write_of` resolves a committed
+    /// external writer's final write of a key.
+    fn check_reads(
+        &mut self,
+        id: TxnId,
+        ops: &[RawOp],
+        sources: &[ReadSrc],
+        final_write_of: &dyn Fn(&Self, TxnId, Key) -> Option<u32>,
+    ) {
+        let mut latest_own: HashMap<Key, u32> = HashMap::new();
+        let mut out: Vec<StreamViolation> = Vec::new();
+        for (p, op) in ops.iter().enumerate() {
+            let read = OpLoc::new(id, p as u32);
+            match *op {
+                RawOp::Write { key, .. } => {
+                    latest_own.insert(key, p as u32);
+                }
+                RawOp::Read { key, value } => {
+                    let own = latest_own.get(&key).copied();
+                    match sources[p] {
+                        ReadSrc::NotARead => unreachable!(),
+                        ReadSrc::AwaitingValue => {
+                            unreachable!("awaiting reads resolve before processing")
+                        }
+                        ReadSrc::ThinAir => {
+                            out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                ReadConsistencyViolation::ThinAirRead { read, key, value },
+                            )))
+                        }
+                        ReadSrc::Horizon => {
+                            self.stats.horizon_misses += 1;
+                            out.push(StreamViolation::BeyondHorizon {
+                                txn: id,
+                                op: p as u32,
+                                key: self.key_name(key),
+                                value: value.0,
+                            });
+                        }
+                        ReadSrc::Internal { op: w } => {
+                            if w > p as u32 {
+                                out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                    ReadConsistencyViolation::FutureRead {
+                                        read,
+                                        write: OpLoc::new(id, w),
+                                        key,
+                                    },
+                                )));
+                            } else if own != Some(w) {
+                                let later = own.expect("earlier internal write seen");
+                                out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                    ReadConsistencyViolation::StaleOwnWrite {
+                                        read,
+                                        observed: OpLoc::new(id, w),
+                                        later_write: OpLoc::new(id, later),
+                                        key,
+                                    },
+                                )));
+                            }
+                        }
+                        ReadSrc::External { txn, op } | ReadSrc::Aborted { txn, op } => {
+                            if let Some(own_write) = own {
+                                out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                    ReadConsistencyViolation::NotOwnWrite {
+                                        read,
+                                        own_write: OpLoc::new(id, own_write),
+                                        observed: OpLoc::new(txn, op),
+                                        key,
+                                    },
+                                )));
+                            }
+                            if matches!(sources[p], ReadSrc::Aborted { .. }) {
+                                out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                    ReadConsistencyViolation::AbortedRead {
+                                        read,
+                                        write: OpLoc::new(txn, op),
+                                        key,
+                                    },
+                                )));
+                            } else if final_write_of(self, txn, key) != Some(op) {
+                                out.push(StreamViolation::Core(Violation::ReadConsistency(
+                                    ReadConsistencyViolation::NotFinalWrite {
+                                        read,
+                                        observed: OpLoc::new(txn, op),
+                                        key,
+                                    },
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for v in out {
+            self.emit(v);
+        }
+    }
+
+    fn process_txn(&mut self, id: TxnId) {
+        let st = self.staged.remove(&id).expect("ready txn is staged");
+        self.stats.staged_txns -= 1;
+        let StagedTxn {
+            session,
+            committed_pos,
+            ops,
+            sources,
+            ..
+        } = st;
+
+        // 1. Read Consistency. External writers are processed by now, so
+        // their final writes come from the index.
+        self.check_reads(id, &ops, &sources, &|this, wtxn, key| {
+            let TxnState::Processed { slot } = this.txn_states[&wtxn] else {
+                unreachable!("external writer processed before reader")
+            };
+            this.index.meta(slot).final_write_of(key)
+        });
+
+        // 2. Derived per-transaction index data (the streaming analog of
+        // `HistoryIndex`'s per-transaction pass).
+        let mut ext_reads = Vec::new();
+        let mut keys_written = Vec::new();
+        let mut all_writes = Vec::new();
+        let mut final_map: HashMap<Key, u32> = HashMap::new();
+        for (p, op) in ops.iter().enumerate() {
+            match *op {
+                RawOp::Write { key, value } => {
+                    keys_written.push(key);
+                    all_writes.push((key, value));
+                    final_map.insert(key, p as u32);
+                }
+                RawOp::Read { key, .. } => {
+                    if let ReadSrc::External { txn, .. } = sources[p] {
+                        let TxnState::Processed { slot } = self.txn_states[&txn] else {
+                            unreachable!("external writer processed before reader")
+                        };
+                        ext_reads.push(awdit_core::ExtRead {
+                            key,
+                            writer: slot,
+                            op: p as u32,
+                        });
+                    }
+                }
+            }
+        }
+        keys_written.sort_unstable();
+        keys_written.dedup();
+        let mut final_writes: Vec<(Key, u32)> = final_map.into_iter().collect();
+        final_writes.sort_unstable();
+        let mut per_key: Vec<(Key, u32)> = ext_reads.iter().map(|r| (r.key, r.writer)).collect();
+        per_key.sort_by_key(|&(k, _)| k); // stable: po order within equal keys
+        let mut read_pairs = per_key.clone();
+        read_pairs.sort_unstable();
+        read_pairs.dedup();
+        per_key.dedup_by_key(|&mut (k, _)| k);
+        let keys_read: Vec<Key> = per_key.iter().map(|&(k, _)| k).collect();
+        let first_writer_per_key: Vec<u32> = per_key.iter().map(|&(_, w)| w).collect();
+
+        let meta = TxnMeta {
+            txn_id: id,
+            session,
+            committed_pos,
+            keys_written,
+            keys_read,
+            first_writer_per_key,
+            ext_reads,
+            read_pairs,
+            writes: all_writes,
+            final_writes,
+            pending_readers: 0,
+        };
+        let slot = self.index.insert(meta);
+        self.dag.ensure_node(slot);
+
+        // 3. Repeatable reads (RA only, mirroring the batch dispatcher).
+        if self.cfg.level == IsolationLevel::ReadAtomic {
+            let mut first_writer: HashMap<Key, u32> = HashMap::new();
+            let mut nrr = Vec::new();
+            for r in &self.index.meta(slot).ext_reads {
+                match first_writer.get(&r.key) {
+                    None => {
+                        first_writer.insert(r.key, r.writer);
+                    }
+                    Some(&w) if w != r.writer => nrr.push(Violation::NonRepeatableRead {
+                        txn: id,
+                        key: r.key,
+                        first_writer: self.index.meta(w).txn_id,
+                        second_writer: self.index.meta(r.writer).txn_id,
+                    }),
+                    Some(_) => {}
+                }
+            }
+            for v in nrr {
+                self.emit_core(v);
+            }
+        }
+
+        // 4. Base edges plus the level's inferred edges, from the shared
+        // kernels.
+        let mut edges: Vec<(u32, u32, EdgeKind)> = Vec::new();
+        if let Some(prev) = self.sessions[session as usize].last_processed_slot {
+            edges.push((prev, slot, EdgeKind::SessionOrder));
+        }
+        let mut seen_writers: HashSet<u32> = HashSet::new();
+        for r in &self.index.meta(slot).ext_reads {
+            if seen_writers.insert(r.writer) {
+                edges.push((r.writer, slot, EdgeKind::WriteRead(r.key)));
+            }
+        }
+        let clock = self.tracker.observe(&self.index, slot).clone();
+        match self.cfg.level {
+            IsolationLevel::ReadCommitted => self.rc.process(&self.index, slot, &mut edges),
+            IsolationLevel::ReadAtomic => self.ra.process(&self.index, slot, &mut edges),
+            IsolationLevel::Causal => infer_cc_edges(&self.index, slot, &clock, &mut edges),
+        }
+
+        // 5. Insert; every edge closing a cycle is a violation, reported
+        // immediately with provenance and then dropped so checking
+        // continues.
+        for (from, to, kind) in edges {
+            match self.dag.insert_edge(from, to, kind) {
+                Ok(()) => {}
+                Err(cycle) => self.report_cycle(&cycle),
+            }
+        }
+        self.stats.live_edges = self.dag.num_edges();
+
+        // 6. Publish and wake dependents.
+        self.txn_states.insert(id, TxnState::Processed { slot });
+        self.sessions[session as usize].last_processed_slot = Some(slot);
+        if let Some(waiters) = self.waiting_txn.remove(&id) {
+            for w in waiters {
+                let reader = match w {
+                    Waiter::Read(r) => {
+                        self.index.meta_mut(slot).pending_readers += 1;
+                        r
+                    }
+                    Waiter::So(r) => r,
+                };
+                if let Some(st) = self.staged.get_mut(&reader) {
+                    st.deps -= 1;
+                    if st.deps == 0 {
+                        self.ready.push_back(reader);
+                    }
+                }
+            }
+        }
+
+        // 7. Release the references this transaction held on its writers.
+        let writer_slots: Vec<u32> = self
+            .index
+            .meta(slot)
+            .ext_reads
+            .iter()
+            .map(|r| r.writer)
+            .collect();
+        for w in writer_slots {
+            if w != slot {
+                let m = self.index.meta_mut(w);
+                m.pending_readers = m.pending_readers.saturating_sub(1);
+            }
+        }
+
+        self.stats.processed += 1;
+        self.stats.live_txns = self.index.num_live() as u64;
+        self.stats.peak_live_txns = self.stats.peak_live_txns.max(self.stats.live_txns);
+
+        self.processed_since_gc += 1;
+        if self.cfg.prune && self.processed_since_gc >= self.cfg.prune_interval {
+            self.processed_since_gc = 0;
+            self.prune();
+        }
+    }
+
+    fn report_cycle(&mut self, cycle: &[DagEdge]) {
+        let head = (
+            self.index.meta(cycle[0].from).txn_id,
+            self.index.meta(cycle[0].to).txn_id,
+        );
+        if self.cycle_reports >= self.cfg.max_cycle_reports || !self.reported_cycles.insert(head) {
+            // Over the cap or already reported: the verdict is already
+            // inconsistent; count it and move on.
+            return;
+        }
+        self.cycle_reports += 1;
+        let witness = WitnessCycle {
+            edges: cycle
+                .iter()
+                .map(|e| WitnessEdge {
+                    from: self.index.meta(e.from).txn_id,
+                    to: self.index.meta(e.to).txn_id,
+                    kind: e.kind,
+                })
+                .collect(),
+        };
+        self.emit_core(Violation::CommitOrderCycle {
+            level: self.cfg.level,
+            cycle: witness,
+        });
+    }
+
+    /// Watermark pruning: retire settled transactions (see module docs).
+    fn prune(&mut self) {
+        let wm = self.tracker.watermark();
+        let mut candidates: Vec<(u64, u32)> = self
+            .index
+            .live_slots()
+            .filter(|&(slot, m)| {
+                (m.session as usize) < wm.len()
+                    && m.committed_pos < wm.get(m.session as usize)
+                    && m.pending_readers == 0
+                    // The session's latest processed txn must stay until its
+                    // so-successor is processed: the successor edge is what
+                    // condensation threads cross-horizon constraints onto.
+                    && self.sessions[m.session as usize].last_processed_slot != Some(slot)
+            })
+            .map(|(slot, _)| (self.dag.order_of(slot), slot))
+            .collect();
+        candidates.sort_unstable();
+
+        for (_, slot) in candidates {
+            // Keep boundary writers: the latest retained writer of each
+            // (session, key) must survive so later CC lookups below the
+            // watermark still find their visible writer.
+            let (session, pos, keys) = {
+                let m = self.index.meta(slot);
+                (m.session, m.committed_pos, m.keys_written.clone())
+            };
+            let bound = wm.get(session as usize);
+            let is_boundary = keys.iter().any(|&key| {
+                let list = self.index.session_key_writers(session, key);
+                let i = list
+                    .iter()
+                    .position(|&w| w == slot)
+                    .expect("writer listed for its key");
+                match list.get(i + 1) {
+                    Some(&next) => self.index.meta(next).committed_pos >= bound,
+                    None => true,
+                }
+            });
+            if is_boundary {
+                continue;
+            }
+            debug_assert!(pos < bound);
+            self.retire(slot);
+        }
+    }
+
+    fn retire(&mut self, slot: u32) {
+        // Condense orderings that flow through this node along the
+        // session-order backbone: each live in-neighbor keeps a `Condensed`
+        // edge to the node's `so`/condensed successors, so commit-order
+        // constraints threaded through the retired chain still participate
+        // in cycle detection. (Shortcutting through *every* out-edge would
+        // keep full cross-horizon precision but funnels unbounded degree
+        // onto long-lived boundary writers; orderings through a retired
+        // transaction into its one-off readers are settled at the horizon
+        // instead — `exact` mode keeps everything.)
+        let ins: Vec<u32> = self.dag.in_neighbors(slot).to_vec();
+        let outs: Vec<u32> = self
+            .dag
+            .out_neighbors(slot)
+            .iter()
+            .filter(|&&(_, kind)| matches!(kind, EdgeKind::SessionOrder | EdgeKind::Condensed))
+            .map(|&(w, _)| w)
+            .collect();
+        self.dag.remove_node(slot);
+        for &a in &ins {
+            for &b in &outs {
+                if a != b {
+                    // a → slot → b was acyclic, so a → b cannot close a
+                    // cycle; insertion only reorders.
+                    let _ = self.dag.insert_edge(a, b, EdgeKind::Condensed);
+                }
+            }
+        }
+        self.tracker.drop_clock(slot);
+        let meta = self.index.retire(slot);
+        for &(k, v) in &meta.writes {
+            self.writes.remove(&(k, v));
+            *self.pruned_writes.entry(k).or_insert(0) += 1;
+        }
+        self.txn_states.remove(&meta.txn_id);
+        let s = meta.session;
+        if self.sessions[s as usize].last_processed_slot == Some(slot) {
+            self.sessions[s as usize].last_processed_slot = None;
+        }
+        // Aborted transactions older than this one can no longer be read
+        // within the retained window either.
+        let cutoff = meta.txn_id.index;
+        let aborted = std::mem::take(&mut self.sessions[s as usize].aborted_writes);
+        let mut kept = Vec::new();
+        for (idx, k, v) in aborted {
+            if idx < cutoff {
+                self.writes.remove(&(k, v));
+                *self.pruned_writes.entry(k).or_insert(0) += 1;
+                self.txn_states.remove(&TxnId::new(s, idx));
+            } else {
+                kept.push((idx, k, v));
+            }
+        }
+        self.sessions[s as usize].aborted_writes = kept;
+
+        self.stats.retired_txns += 1;
+        self.stats.live_txns = self.index.num_live() as u64;
+        self.stats.live_edges = self.dag.num_edges();
+    }
+
+    /// Ends the stream: force-aborts open transactions, resolves pending
+    /// reads as thin-air, surfaces `so ∪ wr` deadlocks as cycle violations,
+    /// and returns the overall outcome.
+    pub fn finish(mut self) -> Result<StreamOutcome, StreamError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+
+        // A transaction still open when the stream ends never committed:
+        // treat it as aborted (its writes were never confirmed).
+        for s in 0..self.sessions.len() as u32 {
+            if self.sessions[s as usize].open.is_some() {
+                self.abort_open(s);
+                self.stats.implicit_aborts += 1;
+            }
+        }
+        self.drain_ready();
+
+        // Reads whose value nobody ever wrote are thin-air.
+        let waiting = std::mem::take(&mut self.waiting_value);
+        for ((_, _), entries) in waiting {
+            for (reader, op) in entries {
+                if let Some(st) = self.staged.get_mut(&reader) {
+                    st.sources[op as usize] = ReadSrc::ThinAir;
+                    st.deps -= 1;
+                    if st.deps == 0 {
+                        self.ready.push_back(reader);
+                    }
+                }
+            }
+        }
+        self.drain_ready();
+
+        // Whatever is still staged is deadlocked on a `so ∪ wr` cycle.
+        self.finish_deadlocked();
+
+        self.stats.staged_txns = self.staged.len() as u64;
+        Ok(StreamOutcome {
+            level: self.cfg.level,
+            violations: std::mem::take(&mut self.violations),
+            stats: self.stats,
+        })
+    }
+
+    /// Reports the violations of transactions stuck in a `so ∪ wr` cycle:
+    /// their Read Consistency and repeatable-read checks still run, and one
+    /// witness cycle per strongly connected component is extracted —
+    /// classified as a causality cycle for CC (mirroring the batch early
+    /// return) and as a commit-order cycle for RC/RA (where the batch graph
+    /// simply contains the base cycle).
+    fn finish_deadlocked(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut stuck: Vec<TxnId> = self.staged.keys().copied().collect();
+        stuck.sort_unstable();
+        let local: HashMap<TxnId, u32> = stuck
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+
+        // Per-transaction checks first (the batch pipeline checks every
+        // committed transaction regardless of cycles).
+        for &id in &stuck {
+            let st = &self.staged[&id];
+            let (ops, sources) = (st.ops.clone(), st.sources.clone());
+            self.check_reads(
+                id,
+                &ops,
+                &sources,
+                &|this, wtxn, key| match this.txn_states.get(&wtxn) {
+                    Some(TxnState::Processed { slot }) => {
+                        this.index.meta(*slot).final_write_of(key)
+                    }
+                    _ => this
+                        .staged
+                        .get(&wtxn)
+                        .map(|w| {
+                            let mut last = None;
+                            for (p, op) in w.ops.iter().enumerate() {
+                                if let RawOp::Write { key: k, .. } = *op {
+                                    if k == key {
+                                        last = Some(p as u32);
+                                    }
+                                }
+                            }
+                            last
+                        })
+                        .unwrap_or(None),
+                },
+            );
+            if self.cfg.level == IsolationLevel::ReadAtomic {
+                let st = &self.staged[&id];
+                let mut first_writer: HashMap<Key, TxnId> = HashMap::new();
+                let mut nrr = Vec::new();
+                for (p, op) in st.ops.iter().enumerate() {
+                    let RawOp::Read { key, .. } = *op else {
+                        continue;
+                    };
+                    if let ReadSrc::External { txn, .. } = st.sources[p] {
+                        match first_writer.get(&key) {
+                            None => {
+                                first_writer.insert(key, txn);
+                            }
+                            Some(&w) if w != txn => nrr.push(Violation::NonRepeatableRead {
+                                txn: id,
+                                key,
+                                first_writer: w,
+                                second_writer: txn,
+                            }),
+                            Some(_) => {}
+                        }
+                    }
+                }
+                for v in nrr {
+                    self.emit_core(v);
+                }
+            }
+        }
+
+        // One witness cycle per SCC of the deadlocked base relation.
+        let mut g = CommitGraph::new(stuck.len());
+        for (li, &id) in stuck.iter().enumerate() {
+            let st = &self.staged[&id];
+            // so edge to the next staged transaction of the session (staged
+            // transactions form a suffix of their session, so staged
+            // adjacency is committed adjacency).
+            if let Some(&next) = stuck.iter().find(|&&t| {
+                t.session == id.session && self.staged[&t].committed_pos == st.committed_pos + 1
+            }) {
+                g.add_edge(li as u32, local[&next], EdgeKind::SessionOrder);
+            }
+            let mut seen: HashSet<TxnId> = HashSet::new();
+            for (p, op) in st.ops.iter().enumerate() {
+                let RawOp::Read { key, .. } = *op else {
+                    continue;
+                };
+                if let ReadSrc::External { txn, .. } = st.sources[p] {
+                    if let Some(&wl) = local.get(&txn) {
+                        if seen.insert(txn) {
+                            g.add_edge(wl, li as u32, EdgeKind::WriteRead(key));
+                        }
+                    }
+                }
+            }
+        }
+        let budget = self
+            .cfg
+            .max_cycle_reports
+            .saturating_sub(self.cycle_reports)
+            .max(1);
+        for cycle in g.find_cycles(budget) {
+            let witness = WitnessCycle {
+                edges: cycle
+                    .edges
+                    .iter()
+                    .map(|e| WitnessEdge {
+                        from: stuck[e.from as usize],
+                        to: stuck[e.to as usize],
+                        kind: e.kind,
+                    })
+                    .collect(),
+            };
+            let v = match self.cfg.level {
+                IsolationLevel::Causal => Violation::CausalityCycle(witness),
+                level => Violation::CommitOrderCycle {
+                    level,
+                    cycle: witness,
+                },
+            };
+            self.emit_core(v);
+        }
+    }
+}

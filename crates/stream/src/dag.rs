@@ -1,0 +1,340 @@
+//! An incrementally maintained DAG over live transactions.
+//!
+//! The batch pipeline saturates the whole commit relation and then runs
+//! Tarjan once; an online checker instead needs to know *at every edge
+//! insertion* whether the relation just became cyclic. This module
+//! implements the Pearce–Kelly algorithm for dynamic topological order
+//! maintenance: each node carries an order value, in-order insertions are
+//! `O(1)`, and an out-of-order insertion triggers a localized search of the
+//! affected region — returning the offending path when the new edge closes
+//! a cycle.
+//!
+//! Nodes are slab slots: they can be removed (watermark pruning) and their
+//! ids reused; order values are drawn from a monotone `u64` counter and are
+//! never reused, so a recycled slot cannot alias a stale order.
+
+use std::collections::HashMap;
+
+use awdit_core::graph::EdgeKind;
+
+/// An edge of a cycle returned by [`IncrementalDag::insert_edge`], in slot
+/// space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DagEdge {
+    /// Source slot.
+    pub from: u32,
+    /// Target slot.
+    pub to: u32,
+    /// Provenance of the ordering.
+    pub kind: EdgeKind,
+}
+
+/// Dynamic DAG with online cycle detection (Pearce–Kelly).
+#[derive(Debug, Default)]
+pub struct IncrementalDag {
+    out: Vec<Vec<(u32, EdgeKind)>>,
+    inn: Vec<Vec<u32>>,
+    ord: Vec<u64>,
+    alive: Vec<bool>,
+    next_ord: u64,
+    edges: u64,
+    // DFS scratch, stamped to avoid clearing.
+    visit_stamp: Vec<u64>,
+    round: u64,
+}
+
+impl IncrementalDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers slot `v` as a fresh node at the end of the current order.
+    /// Must be called before `v` appears in any edge; reuses freed slots.
+    pub fn ensure_node(&mut self, v: u32) {
+        let i = v as usize;
+        if self.out.len() <= i {
+            self.out.resize_with(i + 1, Vec::new);
+            self.inn.resize_with(i + 1, Vec::new);
+            self.ord.resize(i + 1, 0);
+            self.alive.resize(i + 1, false);
+            self.visit_stamp.resize(i + 1, 0);
+        }
+        debug_assert!(!self.alive[i], "slot {v} already live");
+        self.out[i].clear();
+        self.inn[i].clear();
+        self.alive[i] = true;
+        self.ord[i] = self.next_ord;
+        self.next_ord += 1;
+    }
+
+    /// Whether `v` is currently a live node.
+    pub fn is_live(&self, v: u32) -> bool {
+        self.alive.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of live in-edges of `v`.
+    pub fn in_degree(&self, v: u32) -> usize {
+        self.inn[v as usize].len()
+    }
+
+    /// Total live edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// The topological order value of `v` (for pruning sweeps).
+    pub fn order_of(&self, v: u32) -> u64 {
+        self.ord[v as usize]
+    }
+
+    /// Whether the edge `x → y` is already present.
+    pub fn has_edge(&self, x: u32, y: u32) -> bool {
+        self.out[x as usize].iter().any(|&(w, _)| w == y)
+    }
+
+    /// Inserts `x → y`. Returns `Err(cycle)` — a closed walk starting with
+    /// the new edge — if the insertion would create a cycle; the edge is
+    /// **not** added in that case, so the structure stays acyclic and
+    /// checking can continue.
+    ///
+    /// Duplicate `(x, y)` pairs are ignored (first kind wins), mirroring the
+    /// batch graph where duplicates never affect acyclicity.
+    pub fn insert_edge(&mut self, x: u32, y: u32, kind: EdgeKind) -> Result<(), Vec<DagEdge>> {
+        debug_assert!(self.is_live(x) && self.is_live(y));
+        if x == y {
+            return Err(vec![DagEdge {
+                from: x,
+                to: y,
+                kind,
+            }]);
+        }
+        if self.has_edge(x, y) {
+            return Ok(());
+        }
+        if self.ord[x as usize] > self.ord[y as usize] {
+            // Affected region: does y reach x through nodes ordered ≤ ord[x]?
+            self.round += 1;
+            let ub = self.ord[x as usize];
+            let mut parent: HashMap<u32, (u32, EdgeKind)> = HashMap::new();
+            let mut delta_f: Vec<u32> = Vec::new();
+            let mut stack = vec![y];
+            self.visit_stamp[y as usize] = self.round;
+            let mut reached = false;
+            while let Some(v) = stack.pop() {
+                delta_f.push(v);
+                if v == x {
+                    reached = true;
+                    break;
+                }
+                for &(w, k) in &self.out[v as usize] {
+                    let wi = w as usize;
+                    if self.ord[wi] <= ub && self.visit_stamp[wi] != self.round {
+                        self.visit_stamp[wi] = self.round;
+                        parent.insert(w, (v, k));
+                        stack.push(w);
+                    }
+                }
+            }
+            if reached {
+                // Reconstruct y →* x, then close with the new edge x → y.
+                let mut path_rev: Vec<DagEdge> = Vec::new();
+                let mut cur = x;
+                while cur != y {
+                    let &(p, k) = parent.get(&cur).expect("parent chain reaches y");
+                    path_rev.push(DagEdge {
+                        from: p,
+                        to: cur,
+                        kind: k,
+                    });
+                    cur = p;
+                }
+                path_rev.reverse();
+                let mut cycle = vec![DagEdge {
+                    from: x,
+                    to: y,
+                    kind,
+                }];
+                cycle.extend(path_rev);
+                return Err(cycle);
+            }
+
+            // No cycle: reorder the affected region. δF = forward from y
+            // (ord ≤ ord[x]), δB = backward from x (ord ≥ ord[y]).
+            self.round += 1;
+            let lb = self.ord[y as usize];
+            let mut delta_b: Vec<u32> = Vec::new();
+            let mut stack = vec![x];
+            self.visit_stamp[x as usize] = self.round;
+            while let Some(v) = stack.pop() {
+                delta_b.push(v);
+                for &w in &self.inn[v as usize] {
+                    let wi = w as usize;
+                    if self.ord[wi] >= lb && self.visit_stamp[wi] != self.round {
+                        self.visit_stamp[wi] = self.round;
+                        stack.push(w);
+                    }
+                }
+            }
+            // Pool the order values, reassign: δB (in old order) first,
+            // then δF (in old order).
+            delta_b.sort_by_key(|&v| self.ord[v as usize]);
+            delta_f.sort_by_key(|&v| self.ord[v as usize]);
+            let mut pool: Vec<u64> = delta_b
+                .iter()
+                .chain(delta_f.iter())
+                .map(|&v| self.ord[v as usize])
+                .collect();
+            pool.sort_unstable();
+            for (slot, &v) in delta_b.iter().chain(delta_f.iter()).enumerate() {
+                self.ord[v as usize] = pool[slot];
+            }
+        }
+        self.out[x as usize].push((y, kind));
+        self.inn[y as usize].push(x);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// The live in-neighbors of `v`.
+    pub fn in_neighbors(&self, v: u32) -> &[u32] {
+        &self.inn[v as usize]
+    }
+
+    /// The live out-neighbors of `v`, with edge kinds.
+    pub fn out_neighbors(&self, v: u32) -> &[(u32, EdgeKind)] {
+        &self.out[v as usize]
+    }
+
+    /// Removes node `v` and all its edges; the slot may be reused via
+    /// [`ensure_node`](Self::ensure_node).
+    pub fn remove_node(&mut self, v: u32) {
+        let vi = v as usize;
+        debug_assert!(self.alive[vi]);
+        let out = std::mem::take(&mut self.out[vi]);
+        for (w, _) in out {
+            self.inn[w as usize].retain(|&u| u != v);
+            self.edges -= 1;
+        }
+        let inn = std::mem::take(&mut self.inn[vi]);
+        for w in inn {
+            self.out[w as usize].retain(|&(u, _)| u != v);
+            self.edges -= 1;
+        }
+        self.alive[vi] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> EdgeKind {
+        EdgeKind::SessionOrder
+    }
+
+    #[test]
+    fn in_order_insertions_are_accepted() {
+        let mut d = IncrementalDag::new();
+        for v in 0..5 {
+            d.ensure_node(v);
+        }
+        for v in 0..4 {
+            assert!(d.insert_edge(v, v + 1, k()).is_ok());
+        }
+        assert_eq!(d.num_edges(), 4);
+    }
+
+    #[test]
+    fn out_of_order_insertion_reorders() {
+        let mut d = IncrementalDag::new();
+        for v in 0..3 {
+            d.ensure_node(v);
+        }
+        // 2 → 1 → 0 is fine, just reversed relative to insertion order.
+        assert!(d.insert_edge(2, 1, k()).is_ok());
+        assert!(d.insert_edge(1, 0, k()).is_ok());
+        assert!(d.ord[2] < d.ord[1] && d.ord[1] < d.ord[0]);
+    }
+
+    #[test]
+    fn cycle_is_detected_with_path() {
+        let mut d = IncrementalDag::new();
+        for v in 0..3 {
+            d.ensure_node(v);
+        }
+        assert!(d.insert_edge(0, 1, k()).is_ok());
+        assert!(d.insert_edge(1, 2, k()).is_ok());
+        let err = d.insert_edge(2, 0, k()).unwrap_err();
+        // Closed walk: 2 → 0 → 1 → 2.
+        assert_eq!(err.len(), 3);
+        assert_eq!(err[0].from, 2);
+        assert_eq!(err[0].to, 0);
+        assert_eq!(err.last().unwrap().to, 2);
+        for w in err.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        // The offending edge was not added; the DAG stays usable.
+        assert_eq!(d.num_edges(), 2);
+        assert!(d.insert_edge(0, 2, k()).is_ok());
+    }
+
+    #[test]
+    fn removal_frees_slots_for_reuse() {
+        let mut d = IncrementalDag::new();
+        for v in 0..3 {
+            d.ensure_node(v);
+        }
+        d.insert_edge(0, 1, k()).unwrap();
+        d.insert_edge(1, 2, k()).unwrap();
+        d.remove_node(0);
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(d.in_degree(1), 0);
+        d.ensure_node(0);
+        // The recycled slot starts fresh at the end of the order.
+        assert!(d.insert_edge(2, 0, k()).is_ok());
+        assert!(d.insert_edge(0, 1, k()).unwrap_err().len() >= 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut d = IncrementalDag::new();
+        for v in 0..2 {
+            d.ensure_node(v);
+        }
+        assert!(d.insert_edge(0, 1, k()).is_ok());
+        assert!(d.insert_edge(0, 1, k()).is_ok());
+        assert_eq!(d.num_edges(), 1);
+    }
+
+    #[test]
+    fn long_random_stress_stays_consistent() {
+        // Insert a few hundred random edges; every Ok insertion must keep
+        // ord a valid topological order.
+        let mut d = IncrementalDag::new();
+        let n = 60u32;
+        for v in 0..n {
+            d.ensure_node(v);
+        }
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..600 {
+            let a = next() % n;
+            let b = next() % n;
+            if a == b {
+                continue;
+            }
+            let _ = d.insert_edge(a, b, k());
+            for v in 0..n {
+                for &(w, _) in &d.out[v as usize] {
+                    assert!(d.ord[v as usize] < d.ord[w as usize], "order invariant");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Transaction stream events — the wire vocabulary of the online checker.
+//!
+//! Events mirror the [`HistoryBuilder`](awdit_core::HistoryBuilder) mutator
+//! calls one-for-one: sessions are named by arbitrary `u64` ids, and events
+//! of one session must arrive in that session's real-time order (events of
+//! different sessions may interleave arbitrarily).
+
+use std::fmt;
+
+use awdit_core::{History, Op, SessionId};
+
+/// One event of a transaction stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A session opens a transaction.
+    Begin {
+        /// Session name.
+        session: u64,
+    },
+    /// The open transaction writes `value` to `key`.
+    Write {
+        /// Session name.
+        session: u64,
+        /// Key written.
+        key: u64,
+        /// Value written (unique per key, as in the batch pipeline).
+        value: u64,
+    },
+    /// The open transaction reads `value` from `key`.
+    Read {
+        /// Session name.
+        session: u64,
+        /// Key read.
+        key: u64,
+        /// Value observed.
+        value: u64,
+    },
+    /// The open transaction commits.
+    Commit {
+        /// Session name.
+        session: u64,
+    },
+    /// The open transaction aborts.
+    Abort {
+        /// Session name.
+        session: u64,
+    },
+}
+
+impl Event {
+    /// The session the event belongs to.
+    pub fn session(&self) -> u64 {
+        match *self {
+            Event::Begin { session }
+            | Event::Write { session, .. }
+            | Event::Read { session, .. }
+            | Event::Commit { session }
+            | Event::Abort { session } => session,
+        }
+    }
+}
+
+/// Flattens a finished [`History`] into an event stream, interleaving
+/// sessions round-robin (one whole transaction per session per round).
+///
+/// Per-session event order equals session order, as the online checker
+/// requires; the cross-session interleaving is one plausible arrival order
+/// among many — any of them yields the same verdict.
+pub fn events_of_history(h: &History) -> Vec<Event> {
+    let k = h.num_sessions();
+    let mut next = vec![0usize; k];
+    let mut events = Vec::with_capacity(h.size() + 2 * h.num_txns());
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for s in 0..k {
+            let txns = h.session(SessionId(s as u32));
+            if next[s] >= txns.len() {
+                continue;
+            }
+            progressed = true;
+            let t = &txns[next[s]];
+            next[s] += 1;
+            let session = s as u64;
+            events.push(Event::Begin { session });
+            for op in t.ops() {
+                events.push(match *op {
+                    Op::Write { key, value } => Event::Write {
+                        session,
+                        key: h.key_name(key),
+                        value: value.0,
+                    },
+                    Op::Read { key, value, .. } => Event::Read {
+                        session,
+                        key: h.key_name(key),
+                        value: value.0,
+                    },
+                });
+            }
+            events.push(if t.is_committed() {
+                Event::Commit { session }
+            } else {
+                Event::Abort { session }
+            });
+        }
+    }
+    events
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Begin { session } => write!(f, "s{session}: begin"),
+            Event::Write {
+                session,
+                key,
+                value,
+            } => write!(f, "s{session}: W({key}, {value})"),
+            Event::Read {
+                session,
+                key,
+                value,
+            } => write!(f, "s{session}: R({key}, {value})"),
+            Event::Commit { session } => write!(f, "s{session}: commit"),
+            Event::Abort { session } => write!(f, "s{session}: abort"),
+        }
+    }
+}

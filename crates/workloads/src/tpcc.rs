@@ -75,7 +75,8 @@ impl Tpcc {
     }
 
     fn pick_customer(&self, rng: &mut SmallRng, d: u64) -> u64 {
-        d * self.config.customers_per_district + rng.gen_range(0..self.config.customers_per_district)
+        d * self.config.customers_per_district
+            + rng.gen_range(0..self.config.customers_per_district)
     }
 
     fn new_order(&mut self, rng: &mut SmallRng, session: usize) -> TxnSpec {
@@ -197,7 +198,10 @@ impl TxnSource for Tpcc {
                 let district = w * c.districts_per_warehouse + d;
                 keys.push(key(TABLE_DISTRICT, district));
                 for cu in 0..c.customers_per_district {
-                    keys.push(key(TABLE_CUSTOMER, district * c.customers_per_district + cu));
+                    keys.push(key(
+                        TABLE_CUSTOMER,
+                        district * c.customers_per_district + cu,
+                    ));
                 }
             }
             for i in 0..c.items {

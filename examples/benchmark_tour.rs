@@ -20,8 +20,7 @@ fn main() {
         for db in DbIsolation::ALL {
             let config = SimConfig::new(db, sessions, 99).with_max_lag(16);
             let mut workload = bench.build();
-            let history =
-                collect_history(config, &mut *workload, txns).expect("history builds");
+            let history = collect_history(config, &mut *workload, txns).expect("history builds");
             let stats = HistoryStats::of(&history);
             let started = Instant::now();
             let verdicts: Vec<&str> = IsolationLevel::ALL

@@ -17,15 +17,18 @@ fn main() {
     println!("collected: {}", HistoryStats::of(&history));
 
     let out = check(&history, IsolationLevel::ReadAtomic);
-    assert!(!out.is_consistent(), "expected an RA violation at this seed");
+    assert!(
+        !out.is_consistent(),
+        "expected an RA violation at this seed"
+    );
     println!(
         "Read Atomic: inconsistent ({} witnesses); first:",
         out.violations().len()
     );
     println!("  {}", out.violations()[0]);
 
-    let small = shrink_history(&history, IsolationLevel::ReadAtomic)
-        .expect("violating history shrinks");
+    let small =
+        shrink_history(&history, IsolationLevel::ReadAtomic).expect("violating history shrinks");
     println!(
         "\nshrunk to {} transactions / {} ops:",
         small.num_txns(),

@@ -64,7 +64,10 @@ fn main() {
 
     // Scaling: the adversarial instances really do get harder superlinearly.
     println!("\nAdversarial scaling (general reduction, CC check):");
-    println!("{:>8} {:>10} {:>12} {:>12}", "nodes", "edges", "history n", "time");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "nodes", "edges", "history n", "time"
+    );
     for nodes in [100, 200, 400, 800] {
         let g = UndirectedGraph::random_with_edges(nodes, nodes * 8, 42);
         let h = general_reduction(&g);

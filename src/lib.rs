@@ -19,6 +19,9 @@
 //!   competitor checkers plus reference oracles.
 //! * [`sat`](awdit_sat) — a CDCL SAT solver (substrate for the SAT-based
 //!   baselines).
+//! * [`stream`](awdit_stream) — the online checker: incremental
+//!   saturation over transaction event streams with watermark-based
+//!   pruning and bounded memory.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -50,13 +53,14 @@ pub use awdit_formats as formats;
 pub use awdit_reductions as reductions;
 pub use awdit_sat as sat;
 pub use awdit_simdb as simdb;
+pub use awdit_stream as stream;
 pub use awdit_workloads as workloads;
 
 pub use awdit_core::{
-    check, check_all_levels, check_with, validate_commit_order, BuildError, CheckOptions,
-    History, HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict, Violation,
-    ViolationKind,
+    check, check_all_levels, check_with, validate_commit_order, BuildError, CheckOptions, History,
+    HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict, Violation, ViolationKind,
 };
 pub use awdit_formats::{parse_auto, parse_history, write_history, Format};
 pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig};
+pub use awdit_stream::{Event, OnlineChecker, StreamConfig, StreamOutcome, StreamStats};
 pub use awdit_workloads::Benchmark;

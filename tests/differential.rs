@@ -5,12 +5,12 @@
 //! history.
 
 use awdit::baselines::{
-    check_bruteforce, check_dbcop_cc, check_naive, check_plume, check_sat,
-    random_noisy_history, random_plausible_history, GenParams,
+    check_bruteforce, check_dbcop_cc, check_naive, check_plume, check_sat, random_noisy_history,
+    random_plausible_history, GenParams,
 };
 use awdit::core::{check_with, CcStrategy, CheckOptions};
-use awdit::{check, collect_history, DbIsolation, IsolationLevel, SimConfig};
 use awdit::workloads::Uniform;
+use awdit::{check, collect_history, DbIsolation, IsolationLevel, SimConfig};
 
 fn all_checkers_agree(h: &awdit::History, ctx: &str) {
     for level in IsolationLevel::ALL {

@@ -148,6 +148,11 @@ fn witnesses_are_well_formed() {
                         assert!(reads_from, "wr edge without a matching read");
                     }
                     awdit::core::EdgeKind::Inferred(_) => {}
+                    // Condensed edges only arise from streaming pruning,
+                    // never in batch witnesses.
+                    awdit::core::EdgeKind::Condensed => {
+                        panic!("batch witness contains a condensed edge")
+                    }
                 }
             }
             // At least one inferred edge (otherwise it would have been a

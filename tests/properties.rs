@@ -13,6 +13,7 @@ use proptest::prelude::*;
 
 /// A compact program describing a random history.
 #[derive(Clone, Debug)]
+#[allow(clippy::type_complexity)]
 struct HistoryProgram {
     sessions: usize,
     /// Per transaction: (session, ops), op = (key, is_read, stale_rank).

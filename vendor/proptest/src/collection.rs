@@ -1,0 +1,69 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A length specification: an exact size or a half-open range, like
+/// `proptest::collection::SizeRange`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection::vec: empty size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 == self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.start..self.size.end)
+        };
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

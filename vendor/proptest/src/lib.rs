@@ -1,0 +1,87 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses:
+//! strategies over ranges, tuples, and collections, `prop_map` /
+//! `prop_flat_map`, `any::<T>()`, `Just`, `prop_oneof!`, the `proptest!`
+//! test macro, and `ProptestConfig::with_cases`.
+//!
+//! Generation is deterministic (a fixed base seed mixed with the case
+//! index) and there is **no shrinking**: a failing case panics with the
+//! case number so it can be replayed by re-running the test.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude`, matching what the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Strategies and their combinators.
+pub mod strategies {
+    pub use crate::strategy::*;
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Chooses uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $s;
+                Box::new(move |rng: &mut $crate::strategy::TestRng| {
+                    $crate::strategy::Strategy::gen_value(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::strategy::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(96))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(($($strat,)+), |($($pat,)+)| $body);
+            }
+        )*
+    };
+}

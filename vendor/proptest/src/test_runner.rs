@@ -1,0 +1,57 @@
+//! The test runner behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Generates inputs and runs the property body once per case.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` on `config.cases` generated inputs. Panics (failing the
+    /// surrounding `#[test]`) on the first failing case, reporting the case
+    /// index; generation is deterministic, so re-running reproduces it.
+    pub fn run<S: Strategy>(&mut self, strategy: S, mut body: impl FnMut(S::Value)) {
+        // Fixed base seed: deterministic across runs, varied across cases.
+        const BASE_SEED: u64 = 0xAD17_5EED;
+        for case in 0..self.config.cases {
+            let mut rng = SmallRng::seed_from_u64(
+                BASE_SEED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let value = strategy.gen_value(&mut rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            if let Err(payload) = result {
+                eprintln!("proptest: failing case {case} of {}", self.config.cases);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

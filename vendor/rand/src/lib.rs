@@ -1,0 +1,254 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses:
+//! `rngs::SmallRng`, the `Rng` extension trait (`gen`, `gen_range`,
+//! `gen_bool`), and `SeedableRng::seed_from_u64`.
+//!
+//! `SmallRng` is xoshiro256++ seeded via splitmix64 — the same generator
+//! family the real `rand::rngs::SmallRng` uses on 64-bit targets, so the
+//! statistical quality is comparable (the exact streams differ, which is
+//! fine: nothing in this workspace depends on `rand`'s bit-exact output).
+
+/// Types that can construct themselves from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Random-number-generation methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniform value of type `T` (like `rand`'s `Standard`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from uniform random bits (stand-in for the `Standard`
+/// distribution).
+pub trait Standard {
+    /// Samples a uniform value from `rng`.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types with uniform sampling over half-open and inclusive ranges.
+///
+/// The generic `SampleRange` impls below go through this trait so that type
+/// inference unifies an integer literal's type with the surrounding usage,
+/// exactly like the real `rand` crate's `SampleUniform`.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                let span = end.wrapping_sub(start) as u64;
+                start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end.wrapping_sub(start) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::from_rng(rng) * (end - start)
+    }
+    fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+        assert!(start <= end, "gen_range: empty range");
+        start + f64::from_rng(rng) * (end - start)
+    }
+}
+
+/// Unbiased uniform sample in `[0, span)` via Lemire's rejection method.
+fn uniform_u64<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * span as u128) >> 64) as u64;
+        let lo = x.wrapping_mul(span);
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return hi;
+        }
+    }
+}
+
+/// The `rand::rngs` module: small, fast generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same family
+    /// as `rand`'s 64-bit `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
