@@ -1,10 +1,14 @@
 //! Criterion benches for the Fig. 9 scaling axes (transactions, sessions,
-//! transaction size) at micro scale.
+//! transaction size) at micro scale, plus thread scaling of the sharded
+//! CC saturation engine.
+//!
+//! `AWDIT_BENCH_TXNS` (optional) overrides the thread-scaling history
+//! size, so CI can smoke-run the perf path with a tiny budget.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use awdit_bench::make_history;
-use awdit_core::{check, IsolationLevel};
+use awdit_core::{check, saturate_cc_with, CcStrategy, HistoryIndex, IsolationLevel};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
 use awdit_workloads::{Benchmark, Uniform};
 
@@ -52,10 +56,38 @@ fn bench_txn_size_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread scaling of the CC saturation on a wide 64-session uniform
+/// history: 1/2/4/8 worker threads over the identical index (the outputs
+/// are bit-identical; only wall-clock should move).
+fn bench_cc_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-threads-cc-saturation");
+    group.sample_size(10);
+    let txns: usize = std::env::var("AWDIT_BENCH_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let config = SimConfig::new(DbIsolation::Causal, 64, 11).with_max_lag(16);
+    let mut w = Uniform::default();
+    let h = collect_history(config, &mut w, txns).expect("history builds");
+    let index = HistoryIndex::new(&h);
+    group.throughput(Throughput::Elements(index.num_committed() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &index, |b, index| {
+            b.iter(|| {
+                saturate_cc_with(index, CcStrategy::BinarySearch, threads)
+                    .expect("acyclic base")
+                    .num_edges()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_txn_scaling,
     bench_session_scaling,
-    bench_txn_size_scaling
+    bench_txn_size_scaling,
+    bench_cc_thread_scaling
 );
 criterion_main!(benches);

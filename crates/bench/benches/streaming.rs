@@ -102,10 +102,19 @@ fn run_batch_recheck(events: &[Event], level: IsolationLevel, checkpoint: usize)
     consistent
 }
 
+/// Event budget for the throughput bench; `AWDIT_BENCH_EVENTS` overrides
+/// it so CI can smoke-run the streaming perf path with a tiny budget.
+fn event_budget(default: usize) -> usize {
+    std::env::var("AWDIT_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn bench_stream_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream-throughput");
     group.sample_size(10);
-    let events = make_events(40_000, 8, 64, 0xFEED);
+    let events = make_events(event_budget(40_000), 8, 64, 0xFEED);
     group.throughput(Throughput::Elements(events.len() as u64));
     for level in IsolationLevel::ALL {
         group.bench_with_input(
@@ -126,7 +135,7 @@ fn bench_vs_batch_recheck(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream-vs-recheck");
     group.sample_size(10);
     // Smaller stream: the re-check strawman is quadratic.
-    let events = make_events(8_000, 8, 64, 0xFEED);
+    let events = make_events(event_budget(8_000).min(8_000), 8, 64, 0xFEED);
     group.throughput(Throughput::Elements(events.len() as u64));
     group.bench_with_input(
         BenchmarkId::from_parameter("online-pruned-cc"),

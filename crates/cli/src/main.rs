@@ -2,8 +2,9 @@
 //! reproduction.
 //!
 //! ```text
-//! awdit check [--isolation rc|ra|cc] [--format auto|native|plume|dbcop|cobra] FILE
-//! awdit watch [--isolation rc|ra|cc] [--no-prune] [--follow] FILE|-
+//! awdit check [--isolation rc|ra|cc|all] [--threads N]
+//!             [--format auto|native|plume|dbcop|cobra] FILE
+//! awdit watch [--isolation rc|ra|cc] [--threads N] [--no-prune] [--follow] FILE|-
 //! awdit stats FILE
 //! awdit convert --to FORMAT -o OUT FILE
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
@@ -12,7 +13,9 @@
 
 use std::process::ExitCode;
 
-use awdit_core::{check_with, CheckOptions, HistoryStats, IsolationLevel, Verdict};
+use awdit_core::{
+    check_all_levels_with, check_with, CheckOptions, HistoryStats, IsolationLevel, Verdict,
+};
 use awdit_formats::{parse_auto, parse_history, write_history, Format};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
 use awdit_stream::{events_of_history, OnlineChecker, StreamConfig};
@@ -54,9 +57,10 @@ fn print_usage() {
         "AWDIT — a weak database isolation tester (reproduction)
 
 USAGE:
-    awdit check [--isolation rc|ra|cc] [--format FMT] [--witnesses N] FILE
-    awdit watch [--isolation rc|ra|cc] [--interval N] [--witnesses N]
-                [--no-prune] [--follow] FILE|-   (NDJSON event stream)
+    awdit check [--isolation rc|ra|cc|all] [--threads N] [--format FMT]
+                [--witnesses N] FILE
+    awdit watch [--isolation rc|ra|cc] [--threads N] [--interval N]
+                [--witnesses N] [--no-prune] [--follow] FILE|-   (NDJSON event stream)
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats FILE
     awdit convert --to FMT [-o OUT] FILE
@@ -66,7 +70,9 @@ USAGE:
 FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
          convert also accepts --to events (streaming NDJSON)
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
-DB MODES: ser, causal, ra, rc"
+DB MODES: ser, causal, ra, rc
+THREADS: saturation worker threads (1 = sequential, 0 = all cores);
+         the verdict and witnesses are identical for every value"
     );
 }
 
@@ -122,43 +128,73 @@ fn load_history(path: &str, format: Option<&str>) -> Result<awdit_core::History,
     }
 }
 
+fn parse_threads(flags: &Flags) -> Result<usize, String> {
+    flags
+        .get("threads")
+        .map(|w| w.parse().map_err(|_| "bad --threads value".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(1))
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args)?;
     let path = flags
         .positional
         .first()
         .ok_or("check: missing history file")?;
-    let level: IsolationLevel = flags
-        .get("isolation")
-        .unwrap_or("cc")
-        .parse()
-        .map_err(|e| format!("{e}"))?;
+    let isolation = flags.get("isolation").unwrap_or("cc");
     let max_cycles: usize = flags
         .get("witnesses")
         .map(|w| w.parse().map_err(|_| "bad --witnesses value".to_string()))
         .transpose()?
         .unwrap_or(16);
+    let opts = CheckOptions {
+        max_cycles,
+        threads: parse_threads(&flags)?,
+        ..CheckOptions::default()
+    };
     let history = load_history(path, flags.get("format"))?;
     let stats = HistoryStats::of(&history);
-    let started = std::time::Instant::now();
-    let outcome = check_with(
-        &history,
-        level,
-        &CheckOptions {
-            max_cycles,
-            ..CheckOptions::default()
-        },
-    );
-    let elapsed = started.elapsed();
     println!("history:  {stats}");
-    println!("level:    {level}");
-    println!("verdict:  {}", outcome.verdict());
-    println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
-    if outcome.verdict() == Verdict::Inconsistent {
-        println!("violations ({} shown):", outcome.violations().len());
-        for v in outcome.violations() {
-            println!("  - {v}");
+
+    let outcomes = if isolation == "all" {
+        // One shared index + Read Consistency pass across all three levels.
+        let started = std::time::Instant::now();
+        let all = check_all_levels_with(&history, &opts);
+        let elapsed = started.elapsed();
+        println!("levels:   rc, ra, cc (shared index)");
+        println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        all.to_vec()
+    } else {
+        let level: IsolationLevel = isolation.parse().map_err(|e| format!("{e}"))?;
+        let started = std::time::Instant::now();
+        let outcome = check_with(&history, level, &opts);
+        let elapsed = started.elapsed();
+        println!("level:    {level}");
+        println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        vec![outcome]
+    };
+
+    let mut failed = false;
+    for outcome in &outcomes {
+        if outcomes.len() > 1 {
+            println!(
+                "verdict:  {} [{}]",
+                outcome.verdict(),
+                outcome.level().short_name()
+            );
+        } else {
+            println!("verdict:  {}", outcome.verdict());
         }
+        if outcome.verdict() == Verdict::Inconsistent {
+            failed = true;
+            println!("violations ({} shown):", outcome.violations().len());
+            for v in outcome.violations() {
+                println!("  - {v}");
+            }
+        }
+    }
+    if failed {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
@@ -311,6 +347,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         prune,
         prune_interval,
         max_cycle_reports,
+        threads: parse_threads(&flags)?,
     });
     eprintln!(
         "watching {path} for {level} violations (pruning {})",

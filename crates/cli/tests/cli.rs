@@ -107,6 +107,48 @@ fn check_reports_violations_with_nonzero_exit() {
 }
 
 #[test]
+fn check_all_levels_and_threads() {
+    let file = tmp("all.awdit");
+    // rc-tier store: RC passes, RA and CC fail — `--isolation all` must
+    // print one verdict per level and exit 1.
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "rc"])
+        .args(["--sessions", "6", "--txns", "400", "--seed", "5"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["check", "--isolation", "all", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[rc]"), "{stdout}");
+    assert!(stdout.contains("[ra]"), "{stdout}");
+    assert!(stdout.contains("[cc]"), "{stdout}");
+    assert!(stdout.contains("shared index"), "{stdout}");
+
+    // Thread count is a perf knob only: the printed verdicts are identical.
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.starts_with("verdict:") || l.trim_start().starts_with("- "))
+            .map(str::to_string)
+            .collect()
+    };
+    let out8 = awdit()
+        .args(["check", "--isolation", "all", "--threads", "8"])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(out8.status.code(), Some(1));
+    assert_eq!(
+        verdicts(&stdout),
+        verdicts(&String::from_utf8_lossy(&out8.stdout))
+    );
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
 fn bad_arguments_exit_2() {
     let out = awdit().args(["frobnicate"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -27,7 +27,9 @@
 //!   only.
 
 use crate::graph::{base_commit_graph, CommitGraph, Cycle, EdgeKind};
+use crate::incremental::{EdgeSink, FnvMap};
 use crate::index::HistoryIndex;
+use crate::parallel;
 use crate::types::SessionId;
 use crate::vector_clock::VectorClock;
 
@@ -51,15 +53,39 @@ pub enum CcStrategy {
 /// offending cycles (one per strongly connected component) are returned
 /// instead.
 pub fn saturate_cc(index: &HistoryIndex, strategy: CcStrategy) -> Result<CommitGraph, Vec<Cycle>> {
+    saturate_cc_with(index, strategy, 1)
+}
+
+/// [`saturate_cc`] on up to `threads` worker threads (`0` = all cores).
+///
+/// Happens-before clocks are computed in one sequential topological pass;
+/// the inference over them is read-only per transaction, so it shards —
+/// contiguous chunks of the topological order for
+/// [`CcStrategy::BinarySearch`], contiguous session groups for
+/// [`CcStrategy::PointerScan`] — with thread-local edge sinks concatenated
+/// in chunk order, reproducing the sequential emission bit-for-bit at
+/// every thread count.
+pub fn saturate_cc_with(
+    index: &HistoryIndex,
+    strategy: CcStrategy,
+    threads: usize,
+) -> Result<CommitGraph, Vec<Cycle>> {
     let g = base_commit_graph(index);
     let topo = match g.topological_order() {
         Some(t) => t,
         None => return Err(g.find_cycles(usize::MAX)),
     };
-    match strategy {
-        CcStrategy::PointerScan => Ok(pointer_scan(index, g, &topo)),
-        CcStrategy::BinarySearch => Ok(binary_search(index, g, &topo)),
+    let threads = parallel::effective_threads(threads);
+    if threads <= 1 || index.num_committed() < parallel::SEQUENTIAL_CUTOFF {
+        return Ok(match strategy {
+            CcStrategy::PointerScan => pointer_scan(index, g, &topo),
+            CcStrategy::BinarySearch => binary_search(index, g, &topo),
+        });
     }
+    Ok(match strategy {
+        CcStrategy::PointerScan => pointer_scan_par(index, g, &topo, threads),
+        CcStrategy::BinarySearch => binary_search_par(index, g, &topo, threads),
+    })
 }
 
 /// `ComputeHB`: the full clock table, one vector clock per committed
@@ -95,43 +121,97 @@ pub fn compute_hb(index: &HistoryIndex, g: &CommitGraph, topo: &[u32]) -> Vec<Ve
     clocks
 }
 
-/// Algorithm 3's main loop with monotone `lastWrite` pointers.
-fn pointer_scan(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
-    let k = index.num_sessions();
-    let clocks = compute_hb(index, &g, topo);
-
-    // Pointers into Writes_s'[x], keyed by (s', key); reset per outer
-    // session (the monotonicity that makes the scans amortize holds only
-    // while t3 advances within one session).
-    use std::collections::HashMap;
-    for s in 0..k as u32 {
-        let mut ptr: HashMap<(u32, crate::types::Key), usize> = HashMap::new();
-        for &t3 in index.session_committed(SessionId(s)) {
-            let clock = &clocks[t3 as usize];
-            for &(x, t1) in index.read_pairs(t3) {
-                // Only sessions that write x can contribute a last writer.
-                for &(s_prime, ref writes) in index.key_writes(x) {
-                    // Strict happens-before: own session excludes t3 itself
-                    // (its inclusive entry is pos+1).
-                    let bound = if s_prime == s {
-                        clock.get(s_prime as usize).saturating_sub(1)
-                    } else {
-                        clock.get(s_prime as usize)
-                    };
-                    let p = ptr.entry((s_prime, x)).or_insert(0);
-                    while *p < writes.len() && index.committed_pos(writes[*p]) < bound {
-                        *p += 1;
-                    }
-                    if *p > 0 {
-                        let t2 = writes[*p - 1];
-                        if t2 != t1 {
-                            g.add_edge(t2, t1, EdgeKind::Inferred(x));
-                        }
+/// Algorithm 3's per-session loop with monotone `lastWrite` pointers:
+/// processes all of session `s`'s committed transactions, emitting into
+/// `g`. The pointer table is private to the session (the monotonicity that
+/// makes the scans amortize holds only while `t3` advances within one
+/// session), so distinct sessions can run on distinct workers.
+fn pointer_scan_session<G: EdgeSink>(
+    index: &HistoryIndex,
+    clocks: &[VectorClock],
+    s: u32,
+    g: &mut G,
+) {
+    // Pointers into Writes_s'[x], keyed by (s', key).
+    let mut ptr: FnvMap<(u32, crate::types::Key), usize> = FnvMap::default();
+    for &t3 in index.session_committed(SessionId(s)) {
+        let clock = &clocks[t3 as usize];
+        for &(x, t1) in index.read_pairs(t3) {
+            // Only sessions that write x can contribute a last writer.
+            for (s_prime, writes) in index.key_writes(x) {
+                // Strict happens-before: own session excludes t3 itself
+                // (its inclusive entry is pos+1).
+                let bound = if s_prime == s {
+                    clock.get(s_prime as usize).saturating_sub(1)
+                } else {
+                    clock.get(s_prime as usize)
+                };
+                let p = ptr.entry((s_prime, x)).or_insert(0);
+                while *p < writes.len() && index.committed_pos(writes[*p]) < bound {
+                    *p += 1;
+                }
+                if *p > 0 {
+                    let t2 = writes[*p - 1];
+                    if t2 != t1 {
+                        g.add_edge(t2, t1, EdgeKind::Inferred(x));
                     }
                 }
             }
         }
     }
+}
+
+/// Algorithm 3's main loop with monotone `lastWrite` pointers.
+fn pointer_scan(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
+    let clocks = compute_hb(index, &g, topo);
+    for s in 0..index.num_sessions() as u32 {
+        pointer_scan_session(index, &clocks, s, &mut g);
+    }
+    g
+}
+
+/// Sharded [`pointer_scan`]: contiguous session groups (weighted by their
+/// transaction counts) across workers, merged in group order.
+fn pointer_scan_par(
+    index: &HistoryIndex,
+    mut g: CommitGraph,
+    topo: &[u32],
+    threads: usize,
+) -> CommitGraph {
+    let clocks = compute_hb(index, &g, topo);
+    let groups = parallel::session_groups(index, threads * 2);
+    let sinks = parallel::map_shards(threads, &groups, |_, sessions| {
+        let mut sink = parallel::EdgeBuf::new();
+        for s in sessions.clone() {
+            pointer_scan_session(index, &clocks, s as u32, &mut sink);
+        }
+        sink
+    });
+    parallel::merge_sinks(&mut g, sinks);
+    g
+}
+
+/// Sharded `BinarySearch` strategy: the clock table is materialized by the
+/// sequential [`compute_hb`] pass, then contiguous chunks of the
+/// topological order run [`infer_cc_edges`] on workers, merged in chunk
+/// order (identical emission to the sequential on-the-fly variant, which
+/// also processes transactions in topological order).
+fn binary_search_par(
+    index: &HistoryIndex,
+    mut g: CommitGraph,
+    topo: &[u32],
+    threads: usize,
+) -> CommitGraph {
+    let clocks = compute_hb(index, &g, topo);
+    let shards = parallel::split_even(topo.len(), threads * 4);
+    let sinks = parallel::map_shards(threads, &shards, |_, range| {
+        let mut sink = parallel::EdgeBuf::new();
+        for &t3 in &topo[range.start as usize..range.end as usize] {
+            crate::incremental::infer_cc_edges(index, t3, &clocks[t3 as usize], &mut sink);
+        }
+        sink
+    });
+    parallel::merge_sinks(&mut g, sinks);
     g
 }
 
@@ -189,7 +269,8 @@ fn binary_search(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> Comm
 /// Convenience wrapper: does the history's `so ∪ wr` relation contain a
 /// cycle? (Required to be acyclic by every isolation level.)
 pub fn causality_cycles(index: &HistoryIndex) -> Vec<Cycle> {
-    let g = base_commit_graph(index);
+    let mut g = base_commit_graph(index);
+    g.freeze();
     if g.topological_order().is_some() {
         Vec::new()
     } else {

@@ -1,0 +1,280 @@
+//! Flat, cache-friendly columnar storage (CSR — compressed sparse rows).
+//!
+//! The hot indexes of this crate group variable-length per-row data (keys
+//! written per transaction, writers per key, successors per graph node).
+//! Storing each row as its own `Vec` scatters the rows across the heap and
+//! costs a pointer chase — plus allocator metadata — per row. A [`Csr`]
+//! packs all rows into **one** values buffer with an offsets table, so
+//! iterating rows in order is a linear scan and random row access is two
+//! array reads.
+//!
+//! Two builders cover the construction patterns in this crate:
+//!
+//! * [`CsrBuilder`] — rows are produced **in row order** (the
+//!   [`HistoryIndex`](crate::HistoryIndex) per-transaction sweep): append
+//!   values, close the row, repeat.
+//! * [`Csr::from_pairs`] — rows are produced **out of order** as
+//!   `(row, value)` pairs (the by-key write lists): counting sort into
+//!   place, preserving the relative order of values within a row.
+//!
+//! The module also hosts [`ReadCols`], the shared derivation of the
+//! per-transaction read columns (`keys_read`, first writer per key, distinct
+//! `(key, writer)` pairs) from the program-ordered external reads — used by
+//! both the batch [`HistoryIndex`](crate::HistoryIndex) and the streaming
+//! slab index in `awdit-stream`, so the two sides cannot drift.
+
+use crate::index::{DenseId, ExtRead};
+use crate::types::Key;
+
+/// A compressed-sparse-rows container: `rows` variable-length rows packed
+/// into one values buffer.
+///
+/// # Examples
+///
+/// ```
+/// use awdit_core::csr::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new();
+/// b.push_row([1u32, 2, 3]);
+/// b.push_row([]);
+/// b.push_row([9]);
+/// let csr = b.finish();
+/// assert_eq!(csr.num_rows(), 3);
+/// assert_eq!(csr.row(0), &[1, 2, 3]);
+/// assert_eq!(csr.row(1), &[] as &[u32]);
+/// assert_eq!(csr.row(2), &[9]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Csr<T> {
+    /// `offsets[r]..offsets[r + 1]` is row `r`'s range in `values`
+    /// (invariant: never empty — zero rows is `vec![0]`).
+    offsets: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Csr<T> {
+    /// An empty container with zero rows.
+    pub fn new() -> Self {
+        Csr {
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of values across all rows.
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.values[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+
+    /// The half-open value range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.offsets[r] as usize..self.offsets[r + 1] as usize
+    }
+
+    /// The whole values buffer (rows concatenated in order).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterates `(row, row values)` in row order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[T])> {
+        (0..self.num_rows()).map(move |r| (r, self.row(r)))
+    }
+}
+
+impl<T: Clone + Default> Csr<T> {
+    /// Builds a CSR with `rows` rows from unordered `(row, value)` pairs,
+    /// preserving the relative order of the pairs within each row
+    /// (counting sort; `O(pairs + rows)`).
+    pub fn from_pairs(rows: usize, pairs: &[(u32, T)]) -> Self {
+        let mut offsets = vec![0u32; rows + 1];
+        for &(r, _) in pairs {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut values = vec![T::default(); pairs.len()];
+        for (r, v) in pairs {
+            let c = &mut cursor[*r as usize];
+            values[*c as usize] = v.clone();
+            *c += 1;
+        }
+        Csr { offsets, values }
+    }
+}
+
+/// Builds a [`Csr`] whose rows are produced in row order.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder<T> {
+    offsets: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T> Default for CsrBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CsrBuilder<T> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        CsrBuilder {
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one value to the row currently being built.
+    #[inline]
+    pub fn push_value(&mut self, v: T) {
+        self.values.push(v);
+    }
+
+    /// Closes the current row (possibly empty).
+    #[inline]
+    pub fn close_row(&mut self) {
+        self.offsets.push(self.values.len() as u32);
+    }
+
+    /// Appends a whole row.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = T>) {
+        self.values.extend(row);
+        self.close_row();
+    }
+
+    /// Finishes into the immutable CSR form.
+    pub fn finish(self) -> Csr<T> {
+        Csr {
+            offsets: self.offsets,
+            values: self.values,
+        }
+    }
+}
+
+/// The derived read columns of one transaction, shared between the batch
+/// and streaming indexes: sorted distinct keys read, the writer of the
+/// `po`-first read per key (parallel to `keys_read`), and all distinct
+/// `(key, writer)` pairs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReadCols {
+    /// Sorted, deduplicated keys read externally.
+    pub keys_read: Vec<Key>,
+    /// Writer of the `po`-first external read per key (parallel array).
+    pub first_writers: Vec<DenseId>,
+    /// All distinct `(key, writer)` pairs, sorted.
+    pub read_pairs: Vec<(Key, DenseId)>,
+}
+
+impl ReadCols {
+    /// Derives the columns from the program-ordered external reads.
+    pub fn from_ext_reads(ext_reads: &[ExtRead]) -> Self {
+        let mut per_key: Vec<(Key, DenseId)> = Vec::with_capacity(ext_reads.len());
+        for r in ext_reads {
+            per_key.push((r.key, r.writer));
+        }
+        // Stable sort keeps po order within equal keys, so the first entry
+        // per key is the po-first read of that key.
+        per_key.sort_by_key(|&(k, _)| k);
+        let mut read_pairs = per_key.clone();
+        read_pairs.sort_unstable();
+        read_pairs.dedup();
+        per_key.dedup_by_key(|&mut (k, _)| k);
+        ReadCols {
+            keys_read: per_key.iter().map(|&(k, _)| k).collect(),
+            first_writers: per_key.iter().map(|&(_, w)| w).collect(),
+            read_pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_rows() {
+        let mut b = CsrBuilder::new();
+        b.push_row(vec![3u64, 1, 4]);
+        b.push_row(vec![]);
+        b.push_value(1);
+        b.push_value(5);
+        b.close_row();
+        let c = b.finish();
+        assert_eq!(c.num_rows(), 3);
+        assert_eq!(c.num_values(), 5);
+        assert_eq!(c.row(0), &[3, 1, 4]);
+        assert!(c.row(1).is_empty());
+        assert_eq!(c.row(2), &[1, 5]);
+        let rows: Vec<_> = c.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], (2, &[1u64, 5][..]));
+    }
+
+    #[test]
+    fn default_is_a_valid_empty_csr() {
+        let c: Csr<u32> = Csr::default();
+        assert_eq!(c.num_rows(), 0);
+        assert_eq!(c.num_values(), 0);
+        assert_eq!(c.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn from_pairs_is_stable_within_rows() {
+        // Row 1 receives 30 then 10: insertion order must be preserved.
+        let pairs = [(1u32, 30u32), (0, 7), (1, 10), (2, 5)];
+        let c = Csr::from_pairs(4, &pairs);
+        assert_eq!(c.row(0), &[7]);
+        assert_eq!(c.row(1), &[30, 10]);
+        assert_eq!(c.row(2), &[5]);
+        assert!(c.row(3).is_empty());
+    }
+
+    #[test]
+    fn read_cols_pick_po_first_writer() {
+        let reads = [
+            ExtRead {
+                key: Key(2),
+                writer: 9,
+                op: 0,
+            },
+            ExtRead {
+                key: Key(1),
+                writer: 4,
+                op: 1,
+            },
+            ExtRead {
+                key: Key(2),
+                writer: 3,
+                op: 2,
+            },
+        ];
+        let cols = ReadCols::from_ext_reads(&reads);
+        assert_eq!(cols.keys_read, vec![Key(1), Key(2)]);
+        assert_eq!(cols.first_writers, vec![4, 9]);
+        assert_eq!(cols.read_pairs, vec![(Key(1), 4), (Key(2), 3), (Key(2), 9)]);
+    }
+}

@@ -81,27 +81,49 @@ impl Cycle {
     }
 }
 
-/// The partial commit relation `co′` over the committed transactions,
-/// stored as an adjacency list in dense-id space.
+/// The partial commit relation `co′` over the committed transactions, in
+/// dense-id space.
+///
+/// The graph has two representations. While **building** (saturation),
+/// edges go into a per-node adjacency list. Once saturation is done, the
+/// analysis phases ([`sccs`](Self::sccs), [`find_cycles`](Self::find_cycles),
+/// [`topological_order`](Self::topological_order)) traverse edges many
+/// times, so [`freeze`](Self::freeze) repacks them into CSR form — one
+/// flat edge buffer plus an offsets table — turning every traversal into
+/// linear scans over two arrays. All read accessors work on either
+/// representation; `add_edge` panics after `freeze`.
 #[derive(Clone, Debug)]
 pub struct CommitGraph {
+    n: usize,
+    /// Building representation (cleared by `freeze`).
     adj: Vec<Vec<(u32, EdgeKind)>>,
+    /// Frozen CSR representation (empty until `freeze`):
+    /// `csr_edges[csr_offsets[v]..csr_offsets[v + 1]]` are `v`'s out-edges.
+    csr_offsets: Vec<u32>,
+    csr_edges: Vec<(u32, EdgeKind)>,
+    frozen: bool,
     num_edges: usize,
+    inferred_edges: usize,
 }
 
 impl CommitGraph {
     /// Creates a graph over `n` transactions with no edges.
     pub fn new(n: usize) -> Self {
         CommitGraph {
+            n,
             adj: vec![Vec::new(); n],
+            csr_offsets: Vec::new(),
+            csr_edges: Vec::new(),
+            frozen: false,
             num_edges: 0,
+            inferred_edges: 0,
         }
     }
 
     /// Number of nodes (committed transactions).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Number of edges added so far (duplicates counted).
@@ -110,24 +132,70 @@ impl CommitGraph {
         self.num_edges
     }
 
+    /// Number of inferred (non-`so ∪ wr`) edges added so far, tallied as
+    /// saturation emits them (no post-hoc scan).
+    #[inline]
+    pub fn num_inferred_edges(&self) -> usize {
+        self.inferred_edges
+    }
+
     /// Adds the edge `from → to` with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has been [frozen](Self::freeze).
     #[inline]
     pub fn add_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        assert!(!self.frozen, "cannot add edges to a frozen CommitGraph");
         self.adj[from as usize].push((to, kind));
         self.num_edges += 1;
+        if !kind.is_base() {
+            self.inferred_edges += 1;
+        }
+    }
+
+    /// Repacks the adjacency lists into the flat CSR representation and
+    /// drops the per-node vectors. Idempotent; the graph becomes
+    /// append-immutable.
+    pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut edges = Vec::with_capacity(self.num_edges);
+        offsets.push(0u32);
+        for succs in &self.adj {
+            edges.extend_from_slice(succs);
+            offsets.push(edges.len() as u32);
+        }
+        self.csr_offsets = offsets;
+        self.csr_edges = edges;
+        self.adj = Vec::new();
+        self.frozen = true;
+    }
+
+    /// Whether [`freeze`](Self::freeze) has run.
+    #[inline]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// Successors of a node.
     #[inline]
     pub fn successors(&self, node: u32) -> &[(u32, EdgeKind)] {
-        &self.adj[node as usize]
+        if self.frozen {
+            let v = node as usize;
+            &self.csr_edges[self.csr_offsets[v] as usize..self.csr_offsets[v + 1] as usize]
+        } else {
+            &self.adj[node as usize]
+        }
     }
 
     /// Computes strongly connected components with an iterative Tarjan
     /// algorithm. Returns one `Vec` of nodes per component, in reverse
     /// topological order of the condensation.
     pub fn sccs(&self) -> Vec<Vec<u32>> {
-        let n = self.adj.len();
+        let n = self.n;
         let mut index = vec![u32::MAX; n];
         let mut lowlink = vec![0u32; n];
         let mut on_stack = vec![false; n];
@@ -152,8 +220,8 @@ impl CommitGraph {
                     on_stack[vu] = true;
                 }
                 let mut recursed = false;
-                while *pos < self.adj[vu].len() {
-                    let (w, _) = self.adj[vu][*pos];
+                while *pos < self.successors(v).len() {
+                    let (w, _) = self.successors(v)[*pos];
                     *pos += 1;
                     let wu = w as usize;
                     if index[wu] == u32::MAX {
@@ -197,10 +265,10 @@ impl CommitGraph {
 
     /// A topological order of the nodes, or `None` if the graph is cyclic.
     pub fn topological_order(&self) -> Option<Vec<u32>> {
-        let n = self.adj.len();
+        let n = self.n;
         let mut indeg = vec![0u32; n];
-        for succs in &self.adj {
-            for &(w, _) in succs {
+        for v in 0..n as u32 {
+            for &(w, _) in self.successors(v) {
                 indeg[w as usize] += 1;
             }
         }
@@ -208,7 +276,7 @@ impl CommitGraph {
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for &(w, _) in &self.adj[v as usize] {
+            for &(w, _) in self.successors(v) {
                 indeg[w as usize] -= 1;
                 if indeg[w as usize] == 0 {
                     queue.push_back(w);
@@ -227,7 +295,7 @@ impl CommitGraph {
         if max == 0 {
             return Vec::new();
         }
-        let n = self.adj.len();
+        let n = self.n;
         let mut comp_of = vec![u32::MAX; n];
         let sccs = self.sccs();
         let mut cycles = Vec::new();
@@ -242,7 +310,7 @@ impl CommitGraph {
             }
             let trivial = comp.len() == 1 && {
                 let v = comp[0];
-                !self.adj[v as usize].iter().any(|&(w, _)| w == v)
+                !self.successors(v).iter().any(|&(w, _)| w == v)
             };
             if trivial {
                 continue;
@@ -254,7 +322,7 @@ impl CommitGraph {
             let mut seeds: Vec<Edge> = Vec::new();
             let mut fallback: Option<Edge> = None;
             'outer: for &v in comp {
-                for &(w, kind) in &self.adj[v as usize] {
+                for &(w, kind) in self.successors(v) {
                     if comp_of[w as usize] == ci as u32 {
                         if !kind.is_base() {
                             seeds.push(Edge {
@@ -325,7 +393,7 @@ impl CommitGraph {
         ci: u32,
         comp_of: &[u32],
     ) -> Option<Vec<Edge>> {
-        let n = self.adj.len();
+        let n = self.n;
         let mut dist = vec![u32::MAX; n];
         let mut pred: Vec<Option<Edge>> = vec![None; n];
         let mut dq: VecDeque<u32> = VecDeque::new();
@@ -336,7 +404,7 @@ impl CommitGraph {
                 break;
             }
             let dv = dist[v as usize];
-            for &(w, kind) in &self.adj[v as usize] {
+            for &(w, kind) in self.successors(v) {
                 if comp_of[w as usize] != ci {
                     continue;
                 }

@@ -60,9 +60,12 @@ pub trait CommitView {
     fn writes_key(&self, d: DenseId, key: Key) -> bool;
     /// Distinct `(key, writer)` pairs read externally by `d`, sorted.
     fn read_pairs(&self, d: DenseId) -> &[(Key, DenseId)];
-    /// Sessions writing `key` (ascending), each with its committed writers
-    /// in session order.
-    fn key_writes(&self, key: Key) -> &[(u32, Vec<DenseId>)];
+    /// Visits the sessions writing `key` (ascending), each with its
+    /// committed writers in session order. A visitor rather than a
+    /// returned slice so implementations are free to store the lists in
+    /// flat CSR form ([`HistoryIndex`]) or per-session vectors
+    /// (`awdit-stream`'s slab index).
+    fn for_each_key_writes(&self, key: Key, f: &mut dyn FnMut(u32, &[DenseId]));
 }
 
 impl CommitView for HistoryIndex {
@@ -93,8 +96,10 @@ impl CommitView for HistoryIndex {
     fn read_pairs(&self, d: DenseId) -> &[(Key, DenseId)] {
         HistoryIndex::read_pairs(self, d)
     }
-    fn key_writes(&self, key: Key) -> &[(u32, Vec<DenseId>)] {
-        HistoryIndex::key_writes(self, key)
+    fn for_each_key_writes(&self, key: Key, f: &mut dyn FnMut(u32, &[DenseId])) {
+        for (s, writes) in HistoryIndex::key_writes(self, key) {
+            f(s, writes);
+        }
     }
 }
 
@@ -465,11 +470,26 @@ pub fn infer_cc_edges<V: CommitView, G: EdgeSink>(
     clock: &VectorClock,
     g: &mut G,
 ) {
-    let s = view.session_of(t3);
-    for &(x, t1) in view.read_pairs(t3) {
-        for &(s_prime, ref writes) in view.key_writes(x) {
+    infer_cc_pairs(view, view.session_of(t3), view.read_pairs(t3), clock, g);
+}
+
+/// [`infer_cc_edges`] over an explicit slice of the reader's `(key,
+/// writer)` pairs. The per-pair work is independent, so callers may shard
+/// the pairs of one wide transaction across workers and concatenate the
+/// sinks in slice order to reproduce the sequential emission exactly
+/// (`reader_session` is the session of the reading transaction).
+pub fn infer_cc_pairs<V: CommitView, G: EdgeSink>(
+    view: &V,
+    reader_session: u32,
+    pairs: &[(Key, DenseId)],
+    clock: &VectorClock,
+    g: &mut G,
+) {
+    let s = reader_session;
+    for &(x, t1) in pairs {
+        view.for_each_key_writes(x, &mut |s_prime, writes| {
             // Strict happens-before: the reader's own inclusive entry counts
-            // t3 itself, so subtract it.
+            // the reader itself, so subtract it.
             let entry = if (s_prime as usize) < clock.len() {
                 clock.get(s_prime as usize)
             } else {
@@ -488,7 +508,7 @@ pub fn infer_cc_edges<V: CommitView, G: EdgeSink>(
                     g.add_edge(t2, t1, EdgeKind::Inferred(x));
                 }
             }
-        }
+        });
     }
 }
 

@@ -11,9 +11,19 @@
 //!   order (the `wr` relation, pre-filtered to committed writers),
 //! * per-`(session, key)` write lists in session order (the `Writes_s'[x]`
 //!   arrays of Algorithm 3).
+//!
+//! # Layout
+//!
+//! Every structure is **columnar**: variable-length per-row data lives in
+//! [`Csr`] containers (one flat values buffer plus an offsets table) rather
+//! than nested `Vec<Vec<…>>`, and the by-key write lists exploit the
+//! density of interned [`Key`]s to use a two-level CSR instead of a hash
+//! map — row lookup is arithmetic, iteration is a linear scan, and the
+//! whole index is a handful of allocations regardless of history size.
+//! The same layout also makes the index trivially `Sync`-shareable across
+//! the sharded saturation workers of [`parallel`](crate::parallel).
 
-use std::collections::HashMap;
-
+use crate::csr::{Csr, CsrBuilder, ReadCols};
 use crate::history::History;
 use crate::op::{Op, ReadSource};
 use crate::types::{Key, SessionId, TxnId};
@@ -27,7 +37,7 @@ pub const NONE: DenseId = u32::MAX;
 
 /// An external read of a transaction: the reading op's position, the key,
 /// and the (dense id of the) committed writer transaction.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct ExtRead {
     /// Key being read.
     pub key: Key,
@@ -38,43 +48,42 @@ pub struct ExtRead {
     pub op: u32,
 }
 
-/// Per-transaction derived data.
-#[derive(Clone, Debug, Default)]
-struct TxnIndex {
-    /// Sorted, deduplicated keys written by the transaction.
-    keys_written: Vec<Key>,
-    /// Sorted, deduplicated keys read externally from committed writers.
-    keys_read: Vec<Key>,
-    /// External reads (committed writers only), in program order.
-    ext_reads: Vec<ExtRead>,
-    /// First external writer per key: sorted by key, parallel to
-    /// `keys_read`. Entry `i` is the writer of the `po`-first external read
-    /// of `keys_read[i]`.
-    first_writer_per_key: Vec<DenseId>,
-    /// All distinct `(key, writer)` pairs read externally, sorted. Unlike
-    /// `first_writer_per_key`, a key appears once per distinct writer
-    /// (histories violating repeatable reads have several).
-    read_pairs: Vec<(Key, DenseId)>,
-}
-
 /// Immutable derived indexes for one history. See the module docs.
 #[derive(Clone, Debug)]
 pub struct HistoryIndex {
     /// `txn_ids[d]` is the [`TxnId`] of dense transaction `d`.
     txn_ids: Vec<TxnId>,
-    /// `dense[s][i]` is the dense id of the committed transaction at session
-    /// `s`, session position `i`, or [`NONE`] if that transaction aborted.
-    dense: Vec<Vec<DenseId>>,
+    /// Row `s`, position `i`: the dense id of session `s`'s transaction at
+    /// session position `i` (counting aborted ones), or [`NONE`] if that
+    /// transaction aborted.
+    dense: Csr<DenseId>,
     /// Session-local position of each dense transaction, counting committed
     /// transactions only.
     committed_pos: Vec<u32>,
-    /// Dense ids of each session's committed transactions in session order.
-    session_committed: Vec<Vec<DenseId>>,
-    txn_index: Vec<TxnIndex>,
-    /// Per key: the sessions writing it (ascending), each with its
-    /// committed writers in session order. Grouping by key lets the CC
-    /// checker visit only sessions that actually write the key.
-    writes_by_key: HashMap<Key, Vec<(u32, Vec<DenseId>)>>,
+    /// Row `s`: dense ids of session `s`'s committed transactions in
+    /// session order.
+    session_committed: Csr<DenseId>,
+    /// Row `d`: sorted, deduplicated keys written by `d`.
+    keys_written: Csr<Key>,
+    /// Row `d`: sorted, deduplicated keys read externally by `d` from
+    /// committed writers.
+    keys_read: Csr<Key>,
+    /// Row `d`, parallel to `keys_read`: the writer of the `po`-first
+    /// external read of `keys_read.row(d)[i]`.
+    first_writers: Csr<DenseId>,
+    /// Row `d`: external reads (committed writers only) in program order.
+    ext_reads: Csr<ExtRead>,
+    /// Row `d`: all distinct `(key, writer)` pairs read externally, sorted.
+    /// Unlike `first_writers`, a key appears once per distinct writer
+    /// (histories violating repeatable reads have several).
+    read_pairs: Csr<(Key, DenseId)>,
+    /// Two-level by-key write lists. Level 1 (`key_sessions`, rows are
+    /// keys): the sessions writing the key, ascending — only sessions with
+    /// at least one write appear. Level 2 (`key_session_writers`, rows are
+    /// level-1 *entries*): that `(key, session)`'s committed writers in
+    /// session order.
+    key_sessions: Csr<u32>,
+    key_session_writers: Csr<DenseId>,
     num_keys: usize,
     num_sessions: usize,
     /// Total number of external-read records (ops, not deduplicated).
@@ -89,45 +98,56 @@ impl HistoryIndex {
 
         // Dense numbering of committed transactions, session-major.
         let mut txn_ids = Vec::new();
-        let mut dense: Vec<Vec<DenseId>> = Vec::with_capacity(num_sessions);
+        let mut dense = CsrBuilder::new();
         let mut committed_pos = Vec::new();
-        let mut session_committed: Vec<Vec<DenseId>> = Vec::with_capacity(num_sessions);
+        let mut session_committed = CsrBuilder::new();
         for (sid, txns) in history.sessions() {
-            let mut session_dense = Vec::with_capacity(txns.len());
-            let mut committed = Vec::new();
+            let mut committed_in_session = 0u32;
             for (i, t) in txns.iter().enumerate() {
                 if t.is_committed() {
                     let d = txn_ids.len() as DenseId;
                     txn_ids.push(TxnId::new(sid.0, i as u32));
-                    committed_pos.push(committed.len() as u32);
-                    committed.push(d);
-                    session_dense.push(d);
+                    committed_pos.push(committed_in_session);
+                    committed_in_session += 1;
+                    session_committed.push_value(d);
+                    dense.push_value(d);
                 } else {
-                    session_dense.push(NONE);
+                    dense.push_value(NONE);
                 }
             }
-            dense.push(session_dense);
-            session_committed.push(committed);
+            dense.close_row();
+            session_committed.close_row();
         }
+        let dense = dense.finish();
+        let session_committed = session_committed.finish();
 
-        let m = txn_ids.len();
-        let mut txn_index: Vec<TxnIndex> = vec![TxnIndex::default(); m];
-        let mut writes_by_key: HashMap<Key, Vec<(u32, Vec<DenseId>)>> = HashMap::new();
+        let mut keys_written = CsrBuilder::new();
+        let mut keys_read = CsrBuilder::new();
+        let mut first_writers = CsrBuilder::new();
+        let mut ext_reads = CsrBuilder::new();
+        let mut read_pairs = CsrBuilder::new();
+        // Unordered (key, writer) pairs for the two-level by-key CSR; dense
+        // ids are session-major, so within one key the writers arrive
+        // grouped by session, sessions ascending, session order inside.
+        let mut write_pairs: Vec<(u32, DenseId)> = Vec::new();
         let mut num_ext_reads = 0usize;
 
+        let mut wt_scratch: Vec<Key> = Vec::new();
+        let mut er_scratch: Vec<ExtRead> = Vec::new();
         for (d, &tid) in txn_ids.iter().enumerate() {
             let txn = history.txn(tid);
-            let idx = &mut txn_index[d];
+            wt_scratch.clear();
+            er_scratch.clear();
             for (p, op) in txn.ops().iter().enumerate() {
                 match *op {
                     Op::Write { key, .. } => {
-                        idx.keys_written.push(key);
+                        wt_scratch.push(key);
                     }
                     Op::Read { key, source, .. } => {
                         if let ReadSource::External { txn: wtxn, .. } = source {
-                            let wd = dense[wtxn.session as usize][wtxn.index as usize];
+                            let wd = dense.row(wtxn.session as usize)[wtxn.index as usize];
                             if wd != NONE {
-                                idx.ext_reads.push(ExtRead {
+                                er_scratch.push(ExtRead {
                                     key,
                                     writer: wd,
                                     op: p as u32,
@@ -137,43 +157,57 @@ impl HistoryIndex {
                     }
                 }
             }
-            idx.keys_written.sort_unstable();
-            idx.keys_written.dedup();
-            num_ext_reads += idx.ext_reads.len();
+            wt_scratch.sort_unstable();
+            wt_scratch.dedup();
+            num_ext_reads += er_scratch.len();
 
-            // keys_read + first writer per key, from the po-ordered reads.
-            let mut per_key: Vec<(Key, DenseId)> = Vec::with_capacity(idx.ext_reads.len());
-            for r in &idx.ext_reads {
-                per_key.push((r.key, r.writer));
-            }
-            // Stable sort keeps po order within equal keys, so the first
-            // entry per key is the po-first read of that key.
-            per_key.sort_by_key(|&(k, _)| k);
-            idx.read_pairs = per_key.clone();
-            idx.read_pairs.sort_unstable();
-            idx.read_pairs.dedup();
-            per_key.dedup_by_key(|&mut (k, _)| k);
-            idx.keys_read = per_key.iter().map(|&(k, _)| k).collect();
-            idx.first_writer_per_key = per_key.iter().map(|&(_, w)| w).collect();
+            let cols = ReadCols::from_ext_reads(&er_scratch);
+            keys_read.push_row(cols.keys_read);
+            first_writers.push_row(cols.first_writers);
+            read_pairs.push_row(cols.read_pairs);
+            ext_reads.push_row(er_scratch.iter().copied());
 
-            for &k in &idx.keys_written {
-                let per_session = writes_by_key.entry(k).or_default();
-                // Transactions arrive session-major, so the session list
-                // stays sorted by pushing at the back.
-                match per_session.last_mut() {
-                    Some((s, list)) if *s == tid.session => list.push(d as DenseId),
-                    _ => per_session.push((tid.session, vec![d as DenseId])),
-                }
+            for &k in &wt_scratch {
+                write_pairs.push((k.0, d as DenseId));
             }
+            keys_written.push_row(wt_scratch.iter().copied());
         }
+
+        // Two-level by-key CSR: group each key's writers (already in dense
+        // order within the key after the counting sort) by session.
+        let by_key = Csr::from_pairs(num_keys, &write_pairs);
+        let mut key_sessions = CsrBuilder::new();
+        let mut key_session_writers = CsrBuilder::new();
+        for k in 0..num_keys {
+            let writers = by_key.row(k);
+            let mut i = 0;
+            while i < writers.len() {
+                let s = txn_ids[writers[i] as usize].session;
+                key_sessions.push_value(s);
+                while i < writers.len() && txn_ids[writers[i] as usize].session == s {
+                    key_session_writers.push_value(writers[i]);
+                    i += 1;
+                }
+                key_session_writers.close_row();
+            }
+            key_sessions.close_row();
+        }
+        let key_sessions = key_sessions.finish();
+        let key_session_writers = key_session_writers.finish();
+        debug_assert_eq!(key_session_writers.num_rows(), key_sessions.num_values());
 
         HistoryIndex {
             txn_ids,
             dense,
             committed_pos,
             session_committed,
-            txn_index,
-            writes_by_key,
+            keys_written: keys_written.finish(),
+            keys_read: keys_read.finish(),
+            first_writers: first_writers.finish(),
+            ext_reads: ext_reads.finish(),
+            read_pairs: read_pairs.finish(),
+            key_sessions,
+            key_session_writers,
             num_keys,
             num_sessions,
             num_ext_reads,
@@ -219,7 +253,7 @@ impl HistoryIndex {
     /// The dense id of a committed transaction, or [`NONE`] if it aborted.
     #[inline]
     pub fn dense_id(&self, t: TxnId) -> DenseId {
-        self.dense[t.session as usize][t.index as usize]
+        self.dense.row(t.session as usize)[t.index as usize]
     }
 
     /// Position of dense transaction `d` within its session, counting
@@ -238,26 +272,26 @@ impl HistoryIndex {
     /// Dense ids of session `s`'s committed transactions, in session order.
     #[inline]
     pub fn session_committed(&self, s: SessionId) -> &[DenseId] {
-        &self.session_committed[s.index()]
+        self.session_committed.row(s.index())
     }
 
     /// Sorted, deduplicated keys written by dense transaction `d`.
     #[inline]
     pub fn keys_written(&self, d: DenseId) -> &[Key] {
-        &self.txn_index[d as usize].keys_written
+        self.keys_written.row(d as usize)
     }
 
     /// Sorted, deduplicated keys read externally by dense transaction `d`.
     #[inline]
     pub fn keys_read(&self, d: DenseId) -> &[Key] {
-        &self.txn_index[d as usize].keys_read
+        self.keys_read.row(d as usize)
     }
 
     /// Whether dense transaction `d` writes `key`.
     #[inline]
     pub fn writes_key(&self, d: DenseId, key: Key) -> bool {
-        self.txn_index[d as usize]
-            .keys_written
+        self.keys_written
+            .row(d as usize)
             .binary_search(&key)
             .is_ok()
     }
@@ -265,24 +299,24 @@ impl HistoryIndex {
     /// External reads of dense transaction `d`, in program order.
     #[inline]
     pub fn ext_reads(&self, d: DenseId) -> &[ExtRead] {
-        &self.txn_index[d as usize].ext_reads
+        self.ext_reads.row(d as usize)
     }
 
     /// Writers of the `po`-first external read of each key in
     /// [`keys_read`](Self::keys_read), as a parallel array.
     #[inline]
     pub fn first_writers(&self, d: DenseId) -> &[DenseId] {
-        &self.txn_index[d as usize].first_writer_per_key
+        self.first_writers.row(d as usize)
     }
 
     /// The writer of the `po`-first external read of `key` by `d`, if any.
     #[inline]
     pub fn first_writer_of(&self, d: DenseId, key: Key) -> Option<DenseId> {
-        let idx = &self.txn_index[d as usize];
-        idx.keys_read
+        self.keys_read
+            .row(d as usize)
             .binary_search(&key)
             .ok()
-            .map(|i| idx.first_writer_per_key[i])
+            .map(|i| self.first_writers.row(d as usize)[i])
     }
 
     /// All distinct `(key, writer)` pairs read externally by `d`, sorted by
@@ -290,22 +324,22 @@ impl HistoryIndex {
     /// exactly the set `{(x, t1) | t1 →wr_x→ d}` iterated by Algorithm 3.
     #[inline]
     pub fn read_pairs(&self, d: DenseId) -> &[(Key, DenseId)] {
-        &self.txn_index[d as usize].read_pairs
+        self.read_pairs.row(d as usize)
     }
 
     /// Committed writers of `key` in session `s`, in session order
     /// (the `Writes_s[x]` array of Algorithm 3).
     #[inline]
     pub fn session_writes(&self, s: u32, key: Key) -> &[DenseId] {
-        self.writes_by_key
-            .get(&key)
-            .and_then(|per_session| {
-                per_session
-                    .binary_search_by_key(&s, |&(sess, _)| sess)
-                    .ok()
-                    .map(|i| per_session[i].1.as_slice())
-            })
-            .unwrap_or(&[])
+        if key.index() >= self.num_keys {
+            return &[];
+        }
+        let entries = self.key_sessions.row_range(key.index());
+        let sessions = &self.key_sessions.values()[entries.clone()];
+        match sessions.binary_search(&s) {
+            Ok(i) => self.key_session_writers.row(entries.start + i),
+            Err(_) => &[],
+        }
     }
 
     /// The sessions writing `key` (ascending), each with its committed
@@ -313,18 +347,26 @@ impl HistoryIndex {
     /// appear, which is what keeps Algorithm 3's per-read work proportional
     /// to the writers that exist rather than to `k`.
     #[inline]
-    pub fn key_writes(&self, key: Key) -> &[(u32, Vec<DenseId>)] {
-        self.writes_by_key
-            .get(&key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    pub fn key_writes(&self, key: Key) -> impl Iterator<Item = (u32, &[DenseId])> {
+        let entries = if key.index() < self.num_keys {
+            self.key_sessions.row_range(key.index())
+        } else {
+            0..0
+        };
+        entries.map(move |e| {
+            (
+                self.key_sessions.values()[e],
+                self.key_session_writers.row(e),
+            )
+        })
     }
 
     /// Iterates over every `(session, key)` pair with at least one committed
     /// write, along with its writer list.
     pub fn session_write_lists(&self) -> impl Iterator<Item = (u32, Key, &[DenseId])> {
-        self.writes_by_key.iter().flat_map(|(&k, per_session)| {
-            per_session.iter().map(move |(s, v)| (*s, k, v.as_slice()))
+        (0..self.num_keys).flat_map(move |k| {
+            self.key_writes(Key(k as u32))
+                .map(move |(s, ws)| (s, Key(k as u32), ws))
         })
     }
 }
@@ -420,5 +462,31 @@ mod tests {
         let (_, idx) = build();
         assert_eq!(idx.session_committed(SessionId(0)).len(), 2);
         assert_eq!(idx.session_committed(SessionId(1)).len(), 1);
+    }
+
+    #[test]
+    fn key_writes_groups_by_session() {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        let s2 = b.session();
+        for (i, s) in [s0, s2, s1, s2].into_iter().enumerate() {
+            b.begin(s);
+            b.write(s, 7, i as u64 + 1);
+            b.commit(s);
+        }
+        let h = b.finish().unwrap();
+        let idx = HistoryIndex::new(&h);
+        let x = idx.keys_written(0)[0];
+        let groups: Vec<(u32, Vec<DenseId>)> =
+            idx.key_writes(x).map(|(s, ws)| (s, ws.to_vec())).collect();
+        // Sessions ascending, each with its writers in session order.
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[1].0, 1);
+        assert_eq!(groups[2].0, 2);
+        assert_eq!(groups[2].1.len(), 2);
+        let all: usize = idx.session_write_lists().map(|(_, _, ws)| ws.len()).sum();
+        assert_eq!(all, 4);
     }
 }

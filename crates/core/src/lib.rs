@@ -72,6 +72,7 @@
 
 pub mod cc;
 pub mod checker;
+pub mod csr;
 pub mod graph;
 pub mod history;
 pub mod incremental;
@@ -79,6 +80,7 @@ pub mod index;
 pub mod isolation;
 pub mod linearize;
 pub mod op;
+pub mod parallel;
 pub mod ra;
 pub mod rc;
 pub mod read_consistency;
@@ -89,19 +91,23 @@ pub mod types;
 pub mod vector_clock;
 pub mod witness;
 
-pub use cc::{causality_cycles, compute_hb, saturate_cc, CcStrategy};
+pub use cc::{causality_cycles, compute_hb, saturate_cc, saturate_cc_with, CcStrategy};
 pub use checker::{
-    check, check_all_levels, check_with, CheckOptions, CheckStats, Outcome, Verdict,
+    check, check_all_levels, check_all_levels_with, check_with, CheckOptions, CheckStats, Outcome,
+    Verdict,
 };
+pub use csr::{Csr, CsrBuilder, ReadCols};
 pub use graph::{base_commit_graph, CommitGraph, Cycle, Edge, EdgeKind};
 pub use history::{BuildError, History, HistoryBuilder, Transaction};
-pub use incremental::{infer_cc_edges, CommitView, EdgeSink, HbTracker, RaKernel, RcKernel};
+pub use incremental::{
+    infer_cc_edges, infer_cc_pairs, CommitView, EdgeSink, HbTracker, RaKernel, RcKernel,
+};
 pub use index::{DenseId, ExtRead, HistoryIndex, NONE};
 pub use isolation::{IsolationLevel, ParseIsolationLevelError};
 pub use linearize::{commit_order_from_graph, validate_commit_order, CommitOrderError};
 pub use op::{Op, ReadSource};
-pub use ra::{check_ra_single_session, check_repeatable_reads, saturate_ra};
-pub use rc::{g1_cycles, saturate_rc};
+pub use ra::{check_ra_single_session, check_repeatable_reads, saturate_ra, saturate_ra_with};
+pub use rc::{g1_cycles, saturate_rc, saturate_rc_with};
 pub use read_consistency::check_read_consistency;
 pub use shrink::shrink_history;
 pub use stats::HistoryStats;

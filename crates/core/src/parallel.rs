@@ -1,0 +1,214 @@
+//! A small scoped-thread fork–join pool for the sharded saturation engine.
+//!
+//! The checkers parallelize by **sharding a canonical processing sequence
+//! into contiguous chunks**: each worker runs the per-transaction kernel
+//! over its chunk, emitting into a thread-local edge buffer, and the
+//! buffers are concatenated **in chunk order**. Because the kernels are
+//! independent across chunk boundaries (RC is transaction-local, RA only
+//! consults its own session's state and chunks align to session
+//! boundaries, CC reads precomputed clocks), the concatenation equals the
+//! sequential emission for *any* partition — so verdicts, witnesses, and
+//! violation order are bit-identical for every thread count, including 1.
+//!
+//! Built on [`std::thread::scope`] only — no extra dependencies, no
+//! long-lived pool. Thread spawn cost is amortized by a work threshold at
+//! the call sites ([`SEQUENTIAL_CUTOFF`]).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::graph::EdgeKind;
+use crate::incremental::EdgeSink;
+use crate::index::HistoryIndex;
+use crate::types::SessionId;
+
+/// Below this many work items (committed transactions), the saturators
+/// skip thread spawning entirely: a fork–join over a tiny history costs
+/// more than the saturation itself.
+pub const SEQUENTIAL_CUTOFF: usize = 512;
+
+/// The machine's available hardware parallelism (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "use all available
+/// cores", anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Runs `f` over every shard, on up to `threads` scoped worker threads,
+/// and returns the results **in shard order** (the deterministic-merge
+/// contract). Shards are handed out dynamically (an atomic cursor), so
+/// uneven shards still balance.
+///
+/// With `threads <= 1` or a single shard this degenerates to a plain
+/// sequential loop — no threads are spawned.
+pub fn map_shards<S, R, F>(threads: usize, shards: &[S], f: F) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(usize, &S) -> R + Sync,
+{
+    let workers = threads.min(shards.len());
+    if workers <= 1 {
+        return shards.iter().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(shards.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(i) else {
+                            break;
+                        };
+                        local.push((i, f(i, shard)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("saturation worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `0..n` into up to `parts` contiguous, near-equal ranges (none
+/// empty; fewer ranges when `n < parts`).
+pub fn split_even(n: usize, parts: usize) -> Vec<Range<u32>> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start as u32..(start + len) as u32);
+        start += len;
+    }
+    out
+}
+
+/// Splits the index range of `weights` into up to `parts` contiguous
+/// groups of near-equal total weight (greedy sweep; every group
+/// non-empty). Used to shard *sessions* so each worker gets a similar
+/// number of transactions even when session lengths are skewed.
+pub fn split_weighted(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let total: usize = weights.iter().sum();
+    let target = total / parts + 1;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        // Close the group when it reaches the target, but always leave at
+        // least one element per remaining group.
+        let remaining_groups = parts - out.len();
+        let remaining_items = n - i - 1;
+        if (acc >= target && remaining_groups > 1) || remaining_items < remaining_groups {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+            if out.len() == parts {
+                break;
+            }
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+/// A thread-local edge sink: `(from, to, kind)` triples in emission order.
+pub type EdgeBuf = Vec<(u32, u32, EdgeKind)>;
+
+/// Replays thread-local edge sinks into `g` **in shard order** — the
+/// deterministic-merge step every sharded saturator ends with. Because
+/// each sink holds the sequential emission restricted to its chunk, the
+/// concatenation equals the sequential emission exactly.
+pub fn merge_sinks<G: EdgeSink>(g: &mut G, sinks: Vec<EdgeBuf>) {
+    for sink in sinks {
+        for (from, to, kind) in sink {
+            g.add_edge(from, to, kind);
+        }
+    }
+}
+
+/// Contiguous session groups for per-session sharding (RA, pointer-scan
+/// CC), weighted by each session's committed-transaction count so skewed
+/// session lengths still balance.
+pub fn session_groups(index: &HistoryIndex, parts: usize) -> Vec<Range<usize>> {
+    let weights: Vec<usize> = (0..index.num_sessions())
+        .map(|s| index.session_committed(SessionId(s as u32)).len())
+        .collect();
+    split_weighted(&weights, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_range() {
+        let parts = split_even(10, 3);
+        assert_eq!(parts, vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_even(2, 8).len(), 2);
+        assert!(split_even(0, 4).is_empty());
+    }
+
+    #[test]
+    fn split_weighted_is_contiguous_and_total() {
+        let w = [5usize, 1, 1, 1, 10, 1, 1];
+        let groups = split_weighted(&w, 3);
+        assert!(groups.len() <= 3 && !groups.is_empty());
+        // Contiguous cover of 0..7.
+        assert_eq!(groups.first().unwrap().start, 0);
+        assert_eq!(groups.last().unwrap().end, 7);
+        for pair in groups.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // More groups than items degenerates to singletons.
+        assert_eq!(split_weighted(&[1, 1], 5).len(), 2);
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        let shards: Vec<usize> = (0..37).collect();
+        let seq = map_shards(1, &shards, |i, &s| (i, s * 2));
+        let par = map_shards(8, &shards, |i, &s| (i, s * 2));
+        assert_eq!(seq, par);
+        for (i, &(j, v)) in par.iter().enumerate() {
+            assert_eq!(i, j);
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -64,13 +64,42 @@ pub fn check_repeatable_reads(index: &HistoryIndex) -> Vec<Violation> {
 /// session order *within* each session, which the session-major sweep
 /// trivially provides).
 pub fn saturate_ra(index: &HistoryIndex) -> CommitGraph {
+    saturate_ra_with(index, 1)
+}
+
+/// [`saturate_ra`] on up to `threads` worker threads (`0` = all cores).
+///
+/// The RA kernel only consults the reading transaction's own session
+/// state, so *sessions* are sharded into contiguous groups (weighted by
+/// their committed-transaction counts); each worker sweeps its sessions in
+/// order with its own kernel into a thread-local sink, and the sinks are
+/// concatenated in group order — bit-identical to the sequential
+/// session-major sweep for every thread count.
+pub fn saturate_ra_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
     let mut g = base_commit_graph(index);
-    let mut kernel = crate::incremental::RaKernel::new();
-    for s in 0..index.num_sessions() as u32 {
-        for &t3 in index.session_committed(SessionId(s)) {
-            kernel.process(index, t3, &mut g);
+    let k = index.num_sessions();
+    let threads = crate::parallel::effective_threads(threads);
+    if threads <= 1 || index.num_committed() < crate::parallel::SEQUENTIAL_CUTOFF || k <= 1 {
+        let mut kernel = crate::incremental::RaKernel::new();
+        for s in 0..k as u32 {
+            for &t3 in index.session_committed(SessionId(s)) {
+                kernel.process(index, t3, &mut g);
+            }
         }
+        return g;
     }
+    let groups = crate::parallel::session_groups(index, threads * 2);
+    let sinks = crate::parallel::map_shards(threads, &groups, |_, sessions| {
+        let mut kernel = crate::incremental::RaKernel::new();
+        let mut sink = crate::parallel::EdgeBuf::new();
+        for s in sessions.clone() {
+            for &t3 in index.session_committed(SessionId(s as u32)) {
+                kernel.process(index, t3, &mut sink);
+            }
+        }
+        sink
+    });
+    crate::parallel::merge_sinks(&mut g, sinks);
     g
 }
 

@@ -27,6 +27,7 @@
 use crate::graph::{base_commit_graph, CommitGraph};
 use crate::incremental::RcKernel;
 use crate::index::HistoryIndex;
+use crate::parallel::{self, SEQUENTIAL_CUTOFF};
 
 /// Saturates the minimal commit relation for Read Committed.
 ///
@@ -38,11 +39,37 @@ use crate::index::HistoryIndex;
 /// [`RcKernel`](crate::incremental::RcKernel), the same inference body the
 /// streaming checker drives one commit at a time.
 pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
+    saturate_rc_with(index, 1)
+}
+
+/// [`saturate_rc`] on up to `threads` worker threads (`0` = all cores).
+///
+/// The RC inference body is transaction-local, so the dense-id range is
+/// sharded into contiguous chunks, each worker runs its own kernel into a
+/// thread-local edge sink, and the sinks are concatenated in chunk order —
+/// the resulting graph is bit-identical to the sequential one for every
+/// thread count.
+pub fn saturate_rc_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
     let mut g = base_commit_graph(index);
-    let mut kernel = RcKernel::new();
-    for t3 in 0..index.num_committed() as u32 {
-        kernel.process(index, t3, &mut g);
+    let m = index.num_committed();
+    let threads = parallel::effective_threads(threads);
+    if threads <= 1 || m < SEQUENTIAL_CUTOFF {
+        let mut kernel = RcKernel::new();
+        for t3 in 0..m as u32 {
+            kernel.process(index, t3, &mut g);
+        }
+        return g;
     }
+    let shards = parallel::split_even(m, threads * 4);
+    let sinks = parallel::map_shards(threads, &shards, |_, range| {
+        let mut kernel = RcKernel::new();
+        let mut sink = parallel::EdgeBuf::new();
+        for t3 in range.clone() {
+            kernel.process(index, t3, &mut sink);
+        }
+        sink
+    });
+    parallel::merge_sinks(&mut g, sinks);
     g
 }
 
@@ -56,7 +83,8 @@ pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
 /// Consistency, which the caller checks separately with
 /// [`check_read_consistency`](crate::check_read_consistency).
 pub fn g1_cycles(index: &HistoryIndex) -> Vec<crate::graph::Cycle> {
-    let g = base_commit_graph(index);
+    let mut g = base_commit_graph(index);
+    g.freeze();
     if g.topological_order().is_some() {
         Vec::new()
     } else {

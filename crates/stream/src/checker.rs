@@ -44,7 +44,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use awdit_core::graph::{CommitGraph, EdgeKind};
-use awdit_core::incremental::{infer_cc_edges, HbTracker, RaKernel, RcKernel};
+use awdit_core::incremental::{infer_cc_edges, infer_cc_pairs, HbTracker, RaKernel, RcKernel};
+use awdit_core::parallel;
 use awdit_core::witness::{
     ReadConsistencyViolation, Violation, ViolationKind, WitnessCycle, WitnessEdge,
 };
@@ -176,6 +177,13 @@ pub struct StreamConfig {
     /// unaffected; this caps witness extraction work, like
     /// [`CheckOptions::max_cycles`](awdit_core::CheckOptions)).
     pub max_cycle_reports: usize,
+    /// Worker threads for the per-commit CC inference (`0` = all cores).
+    /// A commit whose distinct `(key, writer)` read set is wide enough has
+    /// its pairs sharded across scoped workers and the edge sinks merged
+    /// in pair order, so the emitted edges — and every verdict and
+    /// violation — are bit-identical to `threads = 1`. Narrow commits run
+    /// sequentially regardless.
+    pub threads: usize,
 }
 
 impl Default for StreamConfig {
@@ -185,6 +193,7 @@ impl Default for StreamConfig {
             prune: true,
             prune_interval: 256,
             max_cycle_reports: 64,
+            threads: 1,
         }
     }
 }
@@ -866,24 +875,19 @@ impl OnlineChecker {
         keys_written.dedup();
         let mut final_writes: Vec<(Key, u32)> = final_map.into_iter().collect();
         final_writes.sort_unstable();
-        let mut per_key: Vec<(Key, u32)> = ext_reads.iter().map(|r| (r.key, r.writer)).collect();
-        per_key.sort_by_key(|&(k, _)| k); // stable: po order within equal keys
-        let mut read_pairs = per_key.clone();
-        read_pairs.sort_unstable();
-        read_pairs.dedup();
-        per_key.dedup_by_key(|&mut (k, _)| k);
-        let keys_read: Vec<Key> = per_key.iter().map(|&(k, _)| k).collect();
-        let first_writer_per_key: Vec<u32> = per_key.iter().map(|&(_, w)| w).collect();
+        // The same read-column derivation the batch `HistoryIndex` runs, so
+        // the two sides cannot drift.
+        let cols = awdit_core::ReadCols::from_ext_reads(&ext_reads);
 
         let meta = TxnMeta {
             txn_id: id,
             session,
             committed_pos,
             keys_written,
-            keys_read,
-            first_writer_per_key,
+            keys_read: cols.keys_read,
+            first_writer_per_key: cols.first_writers,
             ext_reads,
-            read_pairs,
+            read_pairs: cols.read_pairs,
             writes: all_writes,
             final_writes,
             pending_readers: 0,
@@ -930,7 +934,7 @@ impl OnlineChecker {
         match self.cfg.level {
             IsolationLevel::ReadCommitted => self.rc.process(&self.index, slot, &mut edges),
             IsolationLevel::ReadAtomic => self.ra.process(&self.index, slot, &mut edges),
-            IsolationLevel::Causal => infer_cc_edges(&self.index, slot, &clock, &mut edges),
+            IsolationLevel::Causal => self.infer_cc(slot, &clock, &mut edges),
         }
 
         // 5. Insert; every edge closing a cycle is a violation, reported
@@ -989,6 +993,32 @@ impl OnlineChecker {
             self.processed_since_gc = 0;
             self.prune();
         }
+    }
+
+    /// The per-commit CC inference: sequential for narrow commits, the
+    /// `(key, writer)` pairs sharded across scoped workers for wide ones
+    /// (edge sinks merged in pair order — bit-identical to sequential).
+    fn infer_cc(&self, slot: u32, clock: &VectorClock, edges: &mut Vec<(u32, u32, EdgeKind)>) {
+        /// Sharding a handful of pairs costs more than inferring them.
+        const MIN_PAIRS_PER_SHARD: usize = 32;
+        let threads = parallel::effective_threads(self.cfg.threads);
+        let meta = self.index.meta(slot);
+        let pairs = &meta.read_pairs;
+        if threads <= 1 || pairs.len() < 2 * MIN_PAIRS_PER_SHARD {
+            infer_cc_edges(&self.index, slot, clock, edges);
+            return;
+        }
+        let index = &self.index;
+        let session = meta.session;
+        let shards =
+            parallel::split_even(pairs.len(), threads.min(pairs.len() / MIN_PAIRS_PER_SHARD));
+        let sinks = parallel::map_shards(threads, &shards, |_, r| {
+            let mut sink = parallel::EdgeBuf::new();
+            let chunk = &pairs[r.start as usize..r.end as usize];
+            infer_cc_pairs(index, session, chunk, clock, &mut sink);
+            sink
+        });
+        parallel::merge_sinks(edges, sinks);
     }
 
     fn report_cycle(&mut self, cycle: &[DagEdge]) {
@@ -1277,6 +1307,7 @@ impl OnlineChecker {
             .max_cycle_reports
             .saturating_sub(self.cycle_reports)
             .max(1);
+        g.freeze();
         for cycle in g.find_cycles(budget) {
             let witness = WitnessCycle {
                 edges: cycle

@@ -202,10 +202,11 @@ impl CommitView for StreamIndex {
     fn read_pairs(&self, d: DenseId) -> &[(Key, DenseId)] {
         &self.meta(d).read_pairs
     }
-    fn key_writes(&self, key: Key) -> &[(u32, Vec<DenseId>)] {
-        self.writes_by_key
-            .get(&key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    fn for_each_key_writes(&self, key: Key, f: &mut dyn FnMut(u32, &[DenseId])) {
+        if let Some(per_session) = self.writes_by_key.get(&key) {
+            for (s, writers) in per_session {
+                f(*s, writers);
+            }
+        }
     }
 }

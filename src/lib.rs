@@ -57,8 +57,9 @@ pub use awdit_stream as stream;
 pub use awdit_workloads as workloads;
 
 pub use awdit_core::{
-    check, check_all_levels, check_with, validate_commit_order, BuildError, CheckOptions, History,
-    HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict, Violation, ViolationKind,
+    check, check_all_levels, check_all_levels_with, check_with, validate_commit_order, BuildError,
+    CheckOptions, History, HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict,
+    Violation, ViolationKind,
 };
 pub use awdit_formats::{parse_auto, parse_history, write_history, Format};
 pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig};

@@ -1,0 +1,188 @@
+//! Differential property suite for the sharded saturation engine: for
+//! generated histories, `threads ∈ {1, 2, 8}` must produce **identical**
+//! outcomes — verdict, violation list order, witness cycles, commit order,
+//! and stats — because the engine merges thread-local edge sinks in a
+//! canonical shard order (see `awdit_core::parallel`).
+//!
+//! Histories come from the same generators the streaming differential
+//! suite uses (`awdit::baselines`), plus simulator-backed wide histories
+//! (64 sessions) that are large enough to clear the engine's sequential
+//! cutoff and genuinely exercise the multi-threaded path.
+
+use awdit::baselines::{random_noisy_history, random_plausible_history, GenParams};
+use awdit::core::cc::CcStrategy;
+use awdit::core::parallel::SEQUENTIAL_CUTOFF;
+use awdit::core::{saturate_cc_with, HistoryIndex};
+use awdit::{check_with, CheckOptions, DbIsolation, History, IsolationLevel};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Everything observable about an [`awdit::Outcome`], as one comparable
+/// string: verdict, violations (in order), witness cycles, commit order,
+/// and stats.
+fn fingerprint(h: &History, level: IsolationLevel, opts: &CheckOptions) -> String {
+    let o = check_with(h, level, opts);
+    format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        o.verdict(),
+        o.violations(),
+        o.commit_order(),
+        o.stats()
+    )
+}
+
+fn assert_thread_invariant(h: &History, label: &str) {
+    for level in IsolationLevel::ALL {
+        for strategy in [CcStrategy::PointerScan, CcStrategy::BinarySearch] {
+            let base = CheckOptions {
+                cc_strategy: strategy,
+                want_commit_order: true,
+                threads: 1,
+                ..CheckOptions::default()
+            };
+            let reference = fingerprint(h, level, &base);
+            for threads in &THREAD_COUNTS[1..] {
+                let opts = CheckOptions {
+                    threads: *threads,
+                    ..base
+                };
+                let got = fingerprint(h, level, &opts);
+                assert_eq!(
+                    reference, got,
+                    "outcome diverged [{label}] level {level} strategy {strategy:?} \
+                     threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Small generated histories across the parameter grid (these mostly run
+/// below the sequential cutoff — the invariant must hold there too).
+#[test]
+fn generated_histories_are_thread_invariant() {
+    for seed in 0..30u64 {
+        let params = GenParams {
+            sessions: 1 + (seed as usize % 5),
+            txns: 10 + (seed as usize % 23),
+            keys: 2 + seed % 5,
+            max_txn_ops: 2 + (seed as usize % 5),
+            read_ratio: 0.3 + 0.1 * ((seed % 5) as f64),
+            staleness: 0.2 * ((seed % 5) as f64),
+        };
+        assert_thread_invariant(
+            &random_plausible_history(seed, params),
+            &format!("plausible/{seed}"),
+        );
+        assert_thread_invariant(
+            &random_noisy_history(seed, params),
+            &format!("noisy/{seed}"),
+        );
+    }
+}
+
+/// Histories big enough to clear [`SEQUENTIAL_CUTOFF`], so the sharded
+/// multi-thread path actually runs (both consistent and violating ones).
+#[test]
+fn large_histories_are_thread_invariant() {
+    for (seed, staleness) in [(1u64, 0.0), (2, 0.4), (3, 0.9)] {
+        let params = GenParams {
+            sessions: 8,
+            txns: SEQUENTIAL_CUTOFF + 300,
+            keys: 24,
+            max_txn_ops: 4,
+            read_ratio: 0.5,
+            staleness,
+        };
+        let h = random_plausible_history(seed, params);
+        assert!(h.num_txns() > SEQUENTIAL_CUTOFF);
+        assert_thread_invariant(&h, &format!("large/{seed}"));
+    }
+}
+
+/// A wide 64-session simulator history (the scaling-bench workload shape):
+/// the parallel CC saturation must emit the exact same graph, edge for
+/// edge and in the same per-node order, as the sequential one.
+#[test]
+fn wide_history_cc_graph_is_edge_identical() {
+    let h = wide_uniform_history(64, 1600, 42);
+    let index = HistoryIndex::new(&h);
+    assert!(index.num_committed() > SEQUENTIAL_CUTOFF);
+    for strategy in [CcStrategy::PointerScan, CcStrategy::BinarySearch] {
+        let sequential = saturate_cc_with(&index, strategy, 1).expect("acyclic base");
+        for threads in [2usize, 8] {
+            let parallel = saturate_cc_with(&index, strategy, threads).expect("acyclic base");
+            assert_eq!(sequential.num_edges(), parallel.num_edges());
+            assert_eq!(
+                sequential.num_inferred_edges(),
+                parallel.num_inferred_edges()
+            );
+            for v in 0..index.num_committed() as u32 {
+                assert_eq!(
+                    sequential.successors(v),
+                    parallel.successors(v),
+                    "successor list of {v} diverged ({strategy:?}, {threads} threads)"
+                );
+            }
+        }
+    }
+    assert_thread_invariant(&h, "wide-uniform");
+}
+
+/// The online checker's sharded per-commit CC inference: a stream with
+/// very wide read sets must produce identical violations and stats at
+/// every thread count.
+#[test]
+fn online_checker_is_thread_invariant_on_wide_commits() {
+    use awdit::stream::{OnlineChecker, StreamConfig};
+
+    let run = |threads: usize| {
+        let mut c = OnlineChecker::with_config(StreamConfig {
+            level: IsolationLevel::Causal,
+            prune: false,
+            threads,
+            ..StreamConfig::default()
+        });
+        // 4 writer sessions × 96 keys, then readers with wide (fractured)
+        // read sets touching every key.
+        let keys = 96u64;
+        for w in 0..4u64 {
+            c.begin(w).unwrap();
+            for k in 0..keys {
+                c.write(w, k, w * keys + k + 1).unwrap();
+            }
+            c.commit(w).unwrap();
+        }
+        for r in 0..3u64 {
+            let reader = 10 + r;
+            c.begin(reader).unwrap();
+            for k in 0..keys {
+                // Mix writers per key: stale reads that CC must order.
+                let w = (k + r) % 4;
+                c.read(reader, k, w * keys + k + 1).unwrap();
+            }
+            c.commit(reader).unwrap();
+        }
+        let outcome = c.finish().unwrap();
+        format!("{:?}|{:?}", outcome.violations(), outcome.stats())
+    };
+
+    let reference = run(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            reference,
+            run(threads),
+            "stream diverged at {threads} threads"
+        );
+    }
+}
+
+/// Generates a wide uniform-workload history on the simulated causal
+/// store, mirroring the `scaling` bench's 64-session shape.
+fn wide_uniform_history(sessions: usize, txns: usize, seed: u64) -> History {
+    use awdit::workloads::Uniform;
+    use awdit::{collect_history, SimConfig};
+    let config = SimConfig::new(DbIsolation::Causal, sessions, seed).with_max_lag(16);
+    let mut w = Uniform::default();
+    collect_history(config, &mut w, txns).expect("simulator history builds")
+}
