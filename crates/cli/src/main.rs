@@ -2,23 +2,39 @@
 //! reproduction.
 //!
 //! ```text
-//! awdit check [--isolation rc|ra|cc|all] [--threads N]
-//!             [--format auto|native|plume|dbcop|cobra] FILE
-//! awdit watch [--isolation rc|ra|cc] [--threads N] [--no-prune] [--follow] FILE|-
+//! awdit check [--isolation rc|ra|cc|all] [--threads N] [--cc-strategy S]
+//!             [--format auto|native|plume|dbcop|cobra] [--report text|json]
+//!             [--output FILE] FILE... | DIR
+//! awdit watch [--isolation rc|ra|cc] [--threads N] [--cc-strategy S]
+//!             [--no-prune] [--follow] FILE|-
 //! awdit stats FILE
 //! awdit convert --to FORMAT -o OUT FILE
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
 //!                --sessions K --txns N --seed S [-o OUT] [--format FORMAT]
 //! ```
+//!
+//! Every `check`/`watch`/`shrink` invocation runs through one
+//! [`Engine`]: the CLI is a thin shell around the embedding API.
+//!
+//! # Exit codes
+//!
+//! * `0` — every checked history satisfies its level(s);
+//! * `1` — at least one history is inconsistent (any file of a
+//!   multi-file batch, any level of `--isolation all`);
+//! * `2` — usage or input error (unknown flags, unreadable files, parse
+//!   failures).
 
 use std::process::ExitCode;
 
 use awdit_core::{
-    check_all_levels_with, check_with, CheckOptions, HistoryStats, IsolationLevel, Verdict,
+    collect_source, CcStrategy, Engine, EngineConfig, HistoryStats, IsolationLevel, SourcedHistory,
 };
-use awdit_formats::{parse_auto, parse_history, write_history, Format};
+use awdit_formats::{
+    parse_auto, parse_history, write_history, DirSource, FilesSource, Format, HistoryReport,
+    JsonSink, Report, ReportSink, TextSink,
+};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
-use awdit_stream::{events_of_history, OnlineChecker, StreamConfig};
+use awdit_stream::{events_of_history, EngineExt, OnlineChecker};
 use awdit_workloads::{Benchmark, Uniform};
 
 fn main() -> ExitCode {
@@ -58,9 +74,11 @@ fn print_usage() {
 
 USAGE:
     awdit check [--isolation rc|ra|cc|all] [--threads N] [--format FMT]
-                [--witnesses N] FILE
+                [--witnesses N] [--cc-strategy STRAT] [--report text|json]
+                [--output FILE] FILE... | DIR
     awdit watch [--isolation rc|ra|cc] [--threads N] [--interval N]
-                [--witnesses N] [--no-prune] [--follow] FILE|-   (NDJSON event stream)
+                [--witnesses N] [--cc-strategy STRAT] [--no-prune]
+                [--follow] FILE|-   (NDJSON event stream)
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats FILE
     awdit convert --to FMT [-o OUT] FILE
@@ -68,11 +86,22 @@ USAGE:
                    [--seed S] [--format FMT] [-o OUT]
 
 FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
+         check also auto-detects NDJSON event logs;
          convert also accepts --to events (streaming NDJSON)
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
 DB MODES: ser, causal, ra, rc
 THREADS: saturation worker threads (1 = sequential, 0 = all cores);
-         the verdict and witnesses are identical for every value"
+         the verdict and witnesses are identical for every value
+CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
+         implementations of the batch Causal Consistency checker
+         (Algorithm 3); `watch` accepts the flag for config parity, but
+         the streaming checker runs a single incremental CC kernel, so
+         its verdicts are strategy-independent
+CHECK: accepts several FILEs and/or a DIR (every file inside, sorted);
+         --report json emits the versioned machine-readable report
+         (schema v1), --output writes the report to a file
+EXIT CODES: 0 = consistent, 1 = any history inconsistent,
+         2 = usage or parse error"
     );
 }
 
@@ -136,68 +165,133 @@ fn parse_threads(flags: &Flags) -> Result<usize, String> {
         .map(|t| t.unwrap_or(1))
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::parse(args)?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("check: missing history file")?;
-    let isolation = flags.get("isolation").unwrap_or("cc");
-    let max_cycles: usize = flags
+fn parse_cc_strategy(flags: &Flags) -> Result<CcStrategy, String> {
+    flags
+        .get("cc-strategy")
+        .map(|s| s.parse())
+        .transpose()
+        .map(|s| s.unwrap_or_default())
+}
+
+fn parse_witnesses(flags: &Flags, default: usize) -> Result<usize, String> {
+    flags
         .get("witnesses")
         .map(|w| w.parse().map_err(|_| "bad --witnesses value".to_string()))
-        .transpose()?
-        .unwrap_or(16);
-    let opts = CheckOptions {
-        max_cycles,
-        threads: parse_threads(&flags)?,
-        ..CheckOptions::default()
-    };
-    let history = load_history(path, flags.get("format"))?;
-    let stats = HistoryStats::of(&history);
-    println!("history:  {stats}");
+        .transpose()
+        .map(|w| w.unwrap_or(default))
+}
 
-    let outcomes = if isolation == "all" {
+/// Expands the `check` positionals — files and/or directories — into
+/// named histories, in argument order (directory contents sorted).
+fn gather_histories(flags: &Flags) -> Result<Vec<SourcedHistory>, String> {
+    let format: Option<Format> = match flags.get("format") {
+        None | Some("auto") => None,
+        Some(f) => Some(f.parse()?),
+    };
+    let mut sourced = Vec::new();
+    for p in &flags.positional {
+        if std::path::Path::new(p).is_dir() {
+            let mut src = DirSource::new(p).map_err(|e| e.to_string())?;
+            if let Some(f) = format {
+                src = src.with_format(f);
+            }
+            if src.is_empty() {
+                return Err(format!("{p}: directory holds no history files"));
+            }
+            sourced.extend(collect_source(&mut src).map_err(|e| e.to_string())?);
+        } else {
+            let mut src = FilesSource::new([p.as_str()]);
+            if let Some(f) = format {
+                src = src.with_format(f);
+            }
+            sourced.extend(collect_source(&mut src).map_err(|e| e.to_string())?);
+        }
+    }
+    Ok(sourced)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if flags.positional.is_empty() {
+        return Err("check: missing history file(s) or directory".to_string());
+    }
+    let isolation = flags.get("isolation").unwrap_or("cc");
+    let report_mode = flags.get("report").unwrap_or("text");
+    if !matches!(report_mode, "text" | "json") {
+        return Err(format!("bad --report value `{report_mode}` (text|json)"));
+    }
+    let cfg = EngineConfig {
+        max_cycles: parse_witnesses(&flags, 16)?,
+        threads: parse_threads(&flags)?,
+        cc_strategy: parse_cc_strategy(&flags)?,
+        ..EngineConfig::default()
+    };
+
+    let sourced = gather_histories(&flags)?;
+    let mut engine = Engine::with_config(cfg);
+    let mut reports: Vec<HistoryReport> = Vec::new();
+
+    if isolation == "all" {
         // One shared index + Read Consistency pass across all three levels.
-        let started = std::time::Instant::now();
-        let all = check_all_levels_with(&history, &opts);
-        let elapsed = started.elapsed();
-        println!("levels:   rc, ra, cc (shared index)");
-        println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        all.to_vec()
+        for s in &sourced {
+            let started = std::time::Instant::now();
+            let outcomes = engine.check_all_levels(&s.history);
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            reports.push(HistoryReport::new(&s.name, &s.history, &outcomes, ms));
+        }
     } else {
         let level: IsolationLevel = isolation.parse().map_err(|e| format!("{e}"))?;
-        let started = std::time::Instant::now();
-        let outcome = check_with(&history, level, &opts);
-        let elapsed = started.elapsed();
-        println!("level:    {level}");
-        println!("time:     {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        vec![outcome]
-    };
-
-    let mut failed = false;
-    for outcome in &outcomes {
-        if outcomes.len() > 1 {
-            println!(
-                "verdict:  {} [{}]",
-                outcome.verdict(),
-                outcome.level().short_name()
-            );
+        let threads = cfg.threads;
+        if threads == 1 || sourced.len() <= 1 {
+            // Sequential: exact per-history wall-clock.
+            for s in &sourced {
+                let started = std::time::Instant::now();
+                let outcome = engine.check_level(&s.history, level);
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                reports.push(HistoryReport::new(&s.name, &s.history, &[outcome], ms));
+            }
         } else {
-            println!("verdict:  {}", outcome.verdict());
-        }
-        if outcome.verdict() == Verdict::Inconsistent {
-            failed = true;
-            println!("violations ({} shown):", outcome.violations().len());
-            for v in outcome.violations() {
-                println!("  - {v}");
+            // Batched through the engine's pool; per-history time is the
+            // amortized share of the batch wall-clock.
+            let started = std::time::Instant::now();
+            let outcomes = engine.check_many_level(sourced.iter().map(|s| &s.history), level);
+            let ms = started.elapsed().as_secs_f64() * 1e3 / sourced.len() as f64;
+            for (s, outcome) in sourced.iter().zip(outcomes) {
+                reports.push(HistoryReport::new(&s.name, &s.history, &[outcome], ms));
             }
         }
     }
-    if failed {
+
+    let report = Report::new(reports);
+    emit_report(
+        &report,
+        report_mode,
+        flags.get("output").or(flags.get("out")),
+    )?;
+    if report.any_inconsistent() {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Routes a finished report to stdout or `--output`, as text or JSON.
+fn emit_report(report: &Report, mode: &str, output: Option<&str>) -> Result<(), String> {
+    fn to<W: std::io::Write>(w: W, mode: &str, report: &Report) -> std::io::Result<()> {
+        if mode == "json" {
+            JsonSink(w).emit(report)
+        } else {
+            TextSink(w).emit(report)
+        }
+    }
+    let result = match output {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            to(file, mode, report)
+        }
+        None => to(std::io::stdout().lock(), mode, report),
+    };
+    result.map_err(|e| format!("cannot emit report: {e}"))
 }
 
 fn cmd_shrink(args: &[String]) -> Result<ExitCode, String> {
@@ -228,8 +322,13 @@ fn cmd_shrink(args: &[String]) -> Result<ExitCode, String> {
         Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
         None => print!("{text}"),
     }
-    // Show the witness on the shrunk history.
-    let outcome = check_with(&small, level, &CheckOptions::default());
+    // Show the witness on the shrunk history (through the engine, like
+    // every other check the CLI runs).
+    let outcome = Engine::builder()
+        .level(level)
+        .cc_strategy(parse_cc_strategy(&flags)?)
+        .build()
+        .check(&small);
     for v in outcome.violations().iter().take(3) {
         eprintln!("witness: {v}");
     }
@@ -336,19 +435,18 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         .map(|w| w.parse().map_err(|_| "bad --interval value".to_string()))
         .transpose()?
         .unwrap_or(256);
-    let max_cycle_reports: usize = flags
-        .get("witnesses")
-        .map(|w| w.parse().map_err(|_| "bad --witnesses value".to_string()))
-        .transpose()?
-        .unwrap_or(64);
 
-    let mut checker = OnlineChecker::with_config(StreamConfig {
+    // The online monitor hangs off the same engine config as `check`.
+    let engine = Engine::with_config(EngineConfig {
         level,
         prune,
         prune_interval,
-        max_cycle_reports,
+        max_cycles: parse_witnesses(&flags, 64)?,
         threads: parse_threads(&flags)?,
+        cc_strategy: parse_cc_strategy(&flags)?,
+        want_commit_order: false,
     });
+    let mut checker = engine.watch();
     eprintln!(
         "watching {path} for {level} violations (pruning {})",
         if prune { "on" } else { "off" }

@@ -158,3 +158,238 @@ fn bad_arguments_exit_2() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// The documented exit-code contract: 0 consistent, 1 inconsistent,
+/// 2 usage/parse error — including the multi-file batch mode (1 if *any*
+/// history is inconsistent) and directory inputs.
+#[test]
+fn exit_code_contract_multi_file() {
+    let good = tmp("contract-good.awdit");
+    let bad = tmp("contract-bad.awdit");
+    // A causal store passes RA; an rc-tier store violates it.
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "150", "--seed", "3"])
+        .args(["-o", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "rc"])
+        .args(["--sessions", "6", "--txns", "400", "--seed", "5"])
+        .args(["-o", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    // 0: all histories consistent.
+    let out = awdit()
+        .args(["check", "--isolation", "ra"])
+        .args([good.to_str().unwrap(), good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("verdict:").count(), 2, "{stdout}");
+
+    // 1: any history inconsistent fails the whole batch.
+    let out = awdit()
+        .args(["check", "--isolation", "ra"])
+        .args([good.to_str().unwrap(), bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict:  consistent"), "{stdout}");
+    assert!(stdout.contains("verdict:  inconsistent"), "{stdout}");
+
+    // 2: parse errors (one bad file poisons the batch before checking).
+    let garbage = tmp("contract-garbage.awdit");
+    std::fs::write(&garbage, "not a history\n").unwrap();
+    let out = awdit()
+        .args(["check", good.to_str().unwrap(), garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // 2: missing positional / unknown flag value.
+    let out = awdit().args(["check"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = awdit()
+        .args(["check", "--report", "xml", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    for f in [good, bad, garbage] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// A directory positional checks every file inside it (sorted), and the
+/// batch verdict aggregates across them.
+#[test]
+fn check_a_directory_of_histories() {
+    let dir = {
+        let mut d = std::env::temp_dir();
+        d.push(format!("awdit-cli-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    };
+    for seed in 0..3 {
+        awdit()
+            .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+            .args(["--sessions", "4", "--txns", "120"])
+            .args(["--seed", &seed.to_string()])
+            .args(["-o", dir.join(format!("h{seed}.awdit")).to_str().unwrap()])
+            .output()
+            .unwrap();
+    }
+    let out = awdit()
+        .args(["check", "--isolation", "cc", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("history:").count(), 3, "{stdout}");
+    assert_eq!(
+        stdout.matches("verdict:  consistent").count(),
+        3,
+        "{stdout}"
+    );
+
+    // An empty directory is a usage error.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = awdit()
+        .args(["check", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `--report json` emits the versioned schema and parses back through
+/// `awdit_formats::Report::from_json` (round-trip), both to stdout and
+/// through `--output FILE`.
+#[test]
+fn json_report_round_trips() {
+    let file = tmp("json.awdit");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "rc"])
+        .args(["--sessions", "6", "--txns", "400", "--seed", "5"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["check", "--isolation", "all", "--report", "json"])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1)); // rc store fails ra/cc
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = awdit_formats::Report::from_json(&stdout).expect("stdout parses as the schema");
+    assert_eq!(report.schema_version, awdit_formats::SCHEMA_VERSION);
+    assert!(report.any_inconsistent());
+    assert_eq!(report.histories.len(), 1);
+    assert_eq!(report.histories[0].levels.len(), 3);
+    assert!(report.histories[0].levels[0].is_consistent()); // rc
+    assert!(!report.histories[0].levels[2].is_consistent()); // cc
+                                                             // Inconsistent levels carry violations with cycle provenance.
+    assert!(report.histories[0].levels[2]
+        .violations
+        .iter()
+        .any(|v| v.cycle.is_some() || !v.message.is_empty()));
+    // Round-trip: parse(to_json) == parsed.
+    assert_eq!(
+        awdit_formats::Report::from_json(&report.to_json()).unwrap(),
+        report
+    );
+
+    // --output writes the same document to a file.
+    let json_path = tmp("report.json");
+    let out = awdit()
+        .args(["check", "--isolation", "all", "--report", "json"])
+        .args(["--output", json_path.to_str().unwrap()])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let from_file = awdit_formats::Report::from_json(&text).unwrap();
+    assert_eq!(from_file.histories[0].levels.len(), 3);
+    let _ = std::fs::remove_file(file);
+    let _ = std::fs::remove_file(json_path);
+}
+
+/// `--cc-strategy` is reachable from the CLI on both `check` and `watch`,
+/// and both strategies agree on the verdict.
+#[test]
+fn cc_strategy_flag_on_check_and_watch() {
+    let file = tmp("strat.awdit");
+    let events = tmp("strat.ndjson");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "200", "--seed", "11"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    awdit()
+        .args(["convert", "--to", "events"])
+        .args(["-o", events.to_str().unwrap()])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+
+    for strategy in ["pointer-scan", "binary-search"] {
+        let out = awdit()
+            .args(["check", "--isolation", "cc", "--cc-strategy", strategy])
+            .arg(file.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{strategy}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("verdict:  consistent"));
+
+        let out = awdit()
+            .args(["watch", "--isolation", "cc", "--cc-strategy", strategy])
+            .arg(events.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "watch {strategy}");
+    }
+    // A bogus strategy is a usage error.
+    let out = awdit()
+        .args(["check", "--cc-strategy", "quantum", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(file);
+    let _ = std::fs::remove_file(events);
+}
+
+/// An NDJSON event log checks batch-style straight through `awdit check`
+/// (auto-detected, replayed into a history).
+#[test]
+fn check_accepts_ndjson_event_logs() {
+    let file = tmp("ndj.awdit");
+    let events = tmp("ndj.ndjson");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "3", "--txns", "80", "--seed", "2"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    awdit()
+        .args(["convert", "--to", "events"])
+        .args(["-o", events.to_str().unwrap()])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["check", "--isolation", "cc", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict:  consistent"));
+    let _ = std::fs::remove_file(file);
+    let _ = std::fs::remove_file(events);
+}

@@ -26,7 +26,7 @@
 //!   search the write lists. `O(n·(k + log n))` time, live-clock memory
 //!   only.
 
-use crate::graph::{base_commit_graph, CommitGraph, Cycle, EdgeKind};
+use crate::graph::{base_commit_graph, base_commit_graph_into, CommitGraph, Cycle, EdgeKind};
 use crate::incremental::{EdgeSink, FnvMap};
 use crate::index::HistoryIndex;
 use crate::parallel;
@@ -43,6 +43,31 @@ pub enum CcStrategy {
     /// The released tool's variant: on-the-fly clocks + binary search.
     #[default]
     BinarySearch,
+}
+
+impl std::fmt::Display for CcStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CcStrategy::PointerScan => "pointer-scan",
+            CcStrategy::BinarySearch => "binary-search",
+        })
+    }
+}
+
+impl std::str::FromStr for CcStrategy {
+    type Err = String;
+
+    /// Parses the CLI spelling of a strategy: `pointer-scan` (or `ps`) and
+    /// `binary-search` (or `bs`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pointer-scan" | "pointerscan" | "pointer" | "ps" => Ok(CcStrategy::PointerScan),
+            "binary-search" | "binarysearch" | "binary" | "bs" => Ok(CcStrategy::BinarySearch),
+            _ => Err(format!(
+                "unknown CC strategy `{s}` (expected pointer-scan or binary-search)"
+            )),
+        }
+    }
 }
 
 /// Saturates the minimal commit relation for Causal Consistency.
@@ -70,22 +95,42 @@ pub fn saturate_cc_with(
     strategy: CcStrategy,
     threads: usize,
 ) -> Result<CommitGraph, Vec<Cycle>> {
-    let g = base_commit_graph(index);
+    let mut g = CommitGraph::new(0);
+    saturate_cc_into(index, strategy, threads, &mut g).map(|()| g)
+}
+
+/// [`saturate_cc_with`] into a caller-owned graph arena (reset and
+/// refilled; see [`CommitGraph::reset`]) — the [`Engine`](crate::Engine)'s
+/// allocation-recycling path.
+///
+/// # Errors
+///
+/// As [`saturate_cc`]: if `so ∪ wr` is cyclic the offending cycles are
+/// returned and the graph is left holding only the base edges.
+pub fn saturate_cc_into(
+    index: &HistoryIndex,
+    strategy: CcStrategy,
+    threads: usize,
+    g: &mut CommitGraph,
+) -> Result<(), Vec<Cycle>> {
+    base_commit_graph_into(index, g);
     let topo = match g.topological_order() {
         Some(t) => t,
         None => return Err(g.find_cycles(usize::MAX)),
     };
     let threads = parallel::effective_threads(threads);
     if threads <= 1 || index.num_committed() < parallel::SEQUENTIAL_CUTOFF {
-        return Ok(match strategy {
+        match strategy {
             CcStrategy::PointerScan => pointer_scan(index, g, &topo),
             CcStrategy::BinarySearch => binary_search(index, g, &topo),
-        });
+        }
+        return Ok(());
     }
-    Ok(match strategy {
+    match strategy {
         CcStrategy::PointerScan => pointer_scan_par(index, g, &topo, threads),
         CcStrategy::BinarySearch => binary_search_par(index, g, &topo, threads),
-    })
+    }
+    Ok(())
 }
 
 /// `ComputeHB`: the full clock table, one vector clock per committed
@@ -162,23 +207,17 @@ fn pointer_scan_session<G: EdgeSink>(
 }
 
 /// Algorithm 3's main loop with monotone `lastWrite` pointers.
-fn pointer_scan(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
-    let clocks = compute_hb(index, &g, topo);
+fn pointer_scan(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32]) {
+    let clocks = compute_hb(index, g, topo);
     for s in 0..index.num_sessions() as u32 {
-        pointer_scan_session(index, &clocks, s, &mut g);
+        pointer_scan_session(index, &clocks, s, g);
     }
-    g
 }
 
 /// Sharded [`pointer_scan`]: contiguous session groups (weighted by their
 /// transaction counts) across workers, merged in group order.
-fn pointer_scan_par(
-    index: &HistoryIndex,
-    mut g: CommitGraph,
-    topo: &[u32],
-    threads: usize,
-) -> CommitGraph {
-    let clocks = compute_hb(index, &g, topo);
+fn pointer_scan_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], threads: usize) {
+    let clocks = compute_hb(index, g, topo);
     let groups = parallel::session_groups(index, threads * 2);
     let sinks = parallel::map_shards(threads, &groups, |_, sessions| {
         let mut sink = parallel::EdgeBuf::new();
@@ -187,8 +226,7 @@ fn pointer_scan_par(
         }
         sink
     });
-    parallel::merge_sinks(&mut g, sinks);
-    g
+    parallel::merge_sinks(g, sinks);
 }
 
 /// Sharded `BinarySearch` strategy: the clock table is materialized by the
@@ -196,13 +234,8 @@ fn pointer_scan_par(
 /// topological order run [`infer_cc_edges`] on workers, merged in chunk
 /// order (identical emission to the sequential on-the-fly variant, which
 /// also processes transactions in topological order).
-fn binary_search_par(
-    index: &HistoryIndex,
-    mut g: CommitGraph,
-    topo: &[u32],
-    threads: usize,
-) -> CommitGraph {
-    let clocks = compute_hb(index, &g, topo);
+fn binary_search_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], threads: usize) {
+    let clocks = compute_hb(index, g, topo);
     let shards = parallel::split_even(topo.len(), threads * 4);
     let sinks = parallel::map_shards(threads, &shards, |_, range| {
         let mut sink = parallel::EdgeBuf::new();
@@ -211,13 +244,12 @@ fn binary_search_par(
         }
         sink
     });
-    parallel::merge_sinks(&mut g, sinks);
-    g
+    parallel::merge_sinks(g, sinks);
 }
 
 /// The released tool's variant: clocks on the fly along the topological
 /// order, freed after their last reader; binary search for visible writers.
-fn binary_search(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> CommitGraph {
+fn binary_search(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32]) {
     let k = index.num_sessions();
     let m = index.num_committed();
 
@@ -256,14 +288,13 @@ fn binary_search(index: &HistoryIndex, mut g: CommitGraph, topo: &[u32]) -> Comm
 
         // Inference for t3, immediately while its clock is at hand — the
         // shared per-transaction body also driven by the streaming checker.
-        crate::incremental::infer_cc_edges(index, t3, &c, &mut g);
+        crate::incremental::infer_cc_edges(index, t3, &c, g);
 
         if readers_left[t3 as usize] > 0 {
             clocks[t3 as usize] = Some(c.clone());
         }
         session_clock[s] = c;
     }
-    g
 }
 
 /// Convenience wrapper: does the history's `so ∪ wr` relation contain a

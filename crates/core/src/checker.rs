@@ -1,17 +1,18 @@
 //! The top-level consistency checker: Read Consistency first, then the
 //! level-specific saturation, then acyclicity with witness extraction.
+//!
+//! The free functions here are **thin wrappers over a default
+//! [`Engine`]** (one fresh engine per call); embedders
+//! checking more than one history should hold an engine instead, which
+//! recycles its scratch arenas across checks and batches fleets through
+//! one thread pool ([`Engine::check_many`](crate::Engine::check_many)).
 
-use crate::cc::{saturate_cc_with, CcStrategy};
-use crate::graph::CommitGraph;
+use crate::cc::CcStrategy;
+use crate::engine::{Engine, EngineConfig};
 use crate::history::History;
-use crate::index::HistoryIndex;
 use crate::isolation::IsolationLevel;
-use crate::linearize::commit_order_from_graph;
-use crate::ra::{check_ra_single_session, check_repeatable_reads, saturate_ra_with};
-use crate::rc::saturate_rc_with;
-use crate::read_consistency::check_read_consistency;
 use crate::types::TxnId;
-use crate::witness::{Violation, WitnessCycle};
+use crate::witness::Violation;
 
 /// Whether a history satisfies the isolation level.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -81,6 +82,21 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// Assembles an outcome from the engine's check results.
+    pub(crate) fn from_parts(
+        level: IsolationLevel,
+        violations: Vec<Violation>,
+        commit_order: Option<Vec<TxnId>>,
+        stats: CheckStats,
+    ) -> Self {
+        Outcome {
+            level,
+            violations,
+            commit_order,
+            stats,
+        }
+    }
+
     /// The verdict: consistent iff no violation was found.
     pub fn verdict(&self) -> Verdict {
         if self.violations.is_empty() {
@@ -144,130 +160,11 @@ pub fn check(history: &History, level: IsolationLevel) -> Outcome {
     check_with(history, level, &CheckOptions::default())
 }
 
-/// Checks `history` against `level` with explicit [`CheckOptions`].
+/// Checks `history` against `level` with explicit [`CheckOptions`] — a
+/// thin wrapper running one check through a fresh default
+/// [`Engine`].
 pub fn check_with(history: &History, level: IsolationLevel, opts: &CheckOptions) -> Outcome {
-    let read_consistency = check_read_consistency(history);
-    let index = HistoryIndex::new(history);
-    check_prepared(&index, &read_consistency, level, opts)
-}
-
-/// The per-level check over a pre-built [`HistoryIndex`] and pre-computed
-/// Read Consistency violations, so multi-level callers
-/// ([`check_all_levels_with`]) pay for both exactly once.
-fn check_prepared(
-    index: &HistoryIndex,
-    read_consistency: &[crate::witness::ReadConsistencyViolation],
-    level: IsolationLevel,
-    opts: &CheckOptions,
-) -> Outcome {
-    let mut violations: Vec<Violation> = read_consistency
-        .iter()
-        .map(|v| Violation::ReadConsistency(*v))
-        .collect();
-
-    let mut stats = CheckStats {
-        committed_txns: index.num_committed(),
-        ..CheckStats::default()
-    };
-    let mut commit_order = None;
-
-    match level {
-        IsolationLevel::ReadCommitted => {
-            let g = saturate_rc_with(index, opts.threads);
-            finish_graph(
-                index,
-                g,
-                level,
-                opts,
-                &mut violations,
-                &mut commit_order,
-                &mut stats,
-            );
-        }
-        IsolationLevel::ReadAtomic => {
-            if index.num_sessions() <= 1 {
-                // Theorem 1.6: linear-time single-session special case.
-                let vs = check_ra_single_session(index);
-                let ok = vs.is_empty();
-                violations.extend(vs);
-                if ok && opts.want_commit_order {
-                    // With one session the commit order is the session order.
-                    commit_order = Some(index.txn_ids().to_vec());
-                }
-            } else {
-                let rr = check_repeatable_reads(index);
-                if rr.is_empty() {
-                    let g = saturate_ra_with(index, opts.threads);
-                    finish_graph(
-                        index,
-                        g,
-                        level,
-                        opts,
-                        &mut violations,
-                        &mut commit_order,
-                        &mut stats,
-                    );
-                } else {
-                    violations.extend(rr);
-                }
-            }
-        }
-        IsolationLevel::Causal => match saturate_cc_with(index, opts.cc_strategy, opts.threads) {
-            Ok(g) => finish_graph(
-                index,
-                g,
-                level,
-                opts,
-                &mut violations,
-                &mut commit_order,
-                &mut stats,
-            ),
-            Err(cycles) => {
-                for c in cycles.iter().take(opts.max_cycles) {
-                    violations.push(Violation::CausalityCycle(WitnessCycle::from_cycle(
-                        c, index,
-                    )));
-                }
-            }
-        },
-    }
-
-    Outcome {
-        level,
-        violations,
-        commit_order,
-        stats,
-    }
-}
-
-fn finish_graph(
-    index: &HistoryIndex,
-    mut g: CommitGraph,
-    level: IsolationLevel,
-    opts: &CheckOptions,
-    violations: &mut Vec<Violation>,
-    commit_order: &mut Option<Vec<TxnId>>,
-    stats: &mut CheckStats,
-) {
-    // The analysis phases traverse edges repeatedly: repack into CSR.
-    g.freeze();
-    stats.graph_edges = g.num_edges();
-    // Tallied by `CommitGraph::add_edge` as saturation emitted them — no
-    // `O(m·deg)` post-hoc scan.
-    stats.inferred_edges = g.num_inferred_edges();
-    let cycles = g.find_cycles(opts.max_cycles);
-    if cycles.is_empty() {
-        if opts.want_commit_order {
-            *commit_order = commit_order_from_graph(index, &g);
-        }
-    } else {
-        for c in &cycles {
-            violations.push(Violation::CommitOrderCycle {
-                level,
-                cycle: WitnessCycle::from_cycle(c, index),
-            });
-        }
-    }
+    Engine::with_config(EngineConfig::from_options(opts)).check_level(history, level)
 }
 
 /// Checks a history against all three levels at once, weakest first.
@@ -279,18 +176,11 @@ pub fn check_all_levels(history: &History) -> [Outcome; 3] {
     check_all_levels_with(history, &CheckOptions::default())
 }
 
-/// [`check_all_levels`] with explicit [`CheckOptions`]. The
-/// [`HistoryIndex`] is built — and Read Consistency checked — **once**,
-/// shared across the three per-level checks.
+/// [`check_all_levels`] with explicit [`CheckOptions`]. The underlying
+/// [`Engine`] builds the history index — and checks Read
+/// Consistency — **once**, shared across the three per-level checks.
 pub fn check_all_levels_with(history: &History, opts: &CheckOptions) -> [Outcome; 3] {
-    let read_consistency = check_read_consistency(history);
-    let index = HistoryIndex::new(history);
-    [
-        IsolationLevel::ReadCommitted,
-        IsolationLevel::ReadAtomic,
-        IsolationLevel::Causal,
-    ]
-    .map(|level| check_prepared(&index, &read_consistency, level, opts))
+    Engine::with_config(EngineConfig::from_options(opts)).check_all_levels(history)
 }
 
 #[cfg(test)]

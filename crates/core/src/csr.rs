@@ -101,6 +101,27 @@ impl<T> Csr<T> {
     pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[T])> {
         (0..self.num_rows()).map(move |r| (r, self.row(r)))
     }
+
+    /// Recycles the container into an empty [`CsrBuilder`] that keeps both
+    /// underlying buffers' capacity — the arena-reuse path of
+    /// [`HistoryIndex::rebuild`](crate::HistoryIndex::rebuild), where a
+    /// second build of a same-shape structure must not reallocate.
+    pub fn into_builder(mut self) -> CsrBuilder<T> {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.values.clear();
+        CsrBuilder {
+            offsets: self.offsets,
+            values: self.values,
+        }
+    }
+
+    /// Heap footprint in bytes (capacities, not lengths) — the quantity
+    /// tracked by the engine's arena-growth accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<T>()
+    }
 }
 
 impl<T: Clone + Default> Csr<T> {

@@ -1,0 +1,738 @@
+//! The reusable checker engine: one configured handle, many checks.
+//!
+//! The free functions ([`check`](crate::check),
+//! [`check_with`](crate::check_with), …) are convenient but stateless —
+//! every call re-allocates the history index, the commit graph, and all
+//! scratch buffers from cold. Embedded testers check *fleets* of
+//! histories (directed test generation, CI sweeps, long-running
+//! monitoring services), where that setup cost is pure overhead. An
+//! [`Engine`] is the amortized form:
+//!
+//! * **One config.** [`EngineConfig`] unifies the batch
+//!   ([`CheckOptions`]) and streaming
+//!   (`awdit_stream::StreamConfig`) knobs — isolation level,
+//!   [`CcStrategy`], worker threads, witness budget, commit-order
+//!   production, pruning — so batch checks, batched fleets, and online
+//!   monitors built from the same engine agree on their tuning.
+//! * **Recycled arenas.** The handle owns a [`HistoryIndex`] and a
+//!   [`CommitGraph`] arena; `engine.check(&history)` rebuilds them in
+//!   place ([`HistoryIndex::rebuild`], [`CommitGraph::reset`]), so a
+//!   second check of a same-shape history performs **zero arena growth**
+//!   — observable via [`EngineStats::arena_growths`].
+//! * **Batching.** [`Engine::check_many`] runs independent histories
+//!   through one fork–join pool (one history per worker at a time,
+//!   work-stealing across them, per-worker scratch arenas), returning
+//!   outcomes in input order, bit-identical to per-history
+//!   [`check_with`](crate::check_with) at every thread count.
+//! * **Pluggable edges.** [`HistorySource`] abstracts where histories
+//!   come from (files, directories, NDJSON streams in `awdit-formats`;
+//!   simulator fleets in `awdit-simdb`); `awdit_stream::EngineExt::watch`
+//!   builds an online checker from the same engine config.
+//!
+//! ```
+//! use awdit_core::{Engine, HistoryBuilder, IsolationLevel};
+//!
+//! # fn main() -> Result<(), awdit_core::BuildError> {
+//! let mut engine = Engine::builder()
+//!     .level(IsolationLevel::Causal)
+//!     .threads(1)
+//!     .build();
+//! let mut b = HistoryBuilder::new();
+//! let s = b.session();
+//! b.begin(s);
+//! b.write(s, 1, 10);
+//! b.commit(s);
+//! let history = b.finish()?;
+//! assert!(engine.check(&history).is_consistent());
+//! // A second check recycles every arena the first one grew.
+//! assert!(engine.check(&history).is_consistent());
+//! assert_eq!(engine.stats().arena_growths, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cc::{saturate_cc_into, CcStrategy};
+use crate::checker::{CheckOptions, CheckStats, Outcome};
+use crate::graph::CommitGraph;
+use crate::history::History;
+use crate::index::HistoryIndex;
+use crate::isolation::IsolationLevel;
+use crate::linearize::commit_order_from_graph;
+use crate::parallel;
+use crate::ra::{check_ra_single_session, check_repeatable_reads, saturate_ra_into};
+use crate::rc::saturate_rc_into;
+use crate::read_consistency::check_read_consistency;
+use crate::types::TxnId;
+use crate::witness::{ReadConsistencyViolation, Violation, WitnessCycle};
+
+/// The unified tuning knobs shared by every engine entry point — batch
+/// checks, batched fleets ([`Engine::check_many`]), and online monitors
+/// (`awdit_stream::EngineExt::watch`). The batch-only subset round-trips
+/// to [`CheckOptions`] via [`check_options`](Self::check_options) /
+/// [`from_options`](Self::from_options).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct EngineConfig {
+    /// The isolation level checked by [`Engine::check`] and
+    /// [`Engine::check_many`] (explicit-level entry points ignore it).
+    pub level: IsolationLevel,
+    /// Which CC implementation variant to use (ignored for RC/RA).
+    pub cc_strategy: CcStrategy,
+    /// Produce a witnessing commit order on consistent histories
+    /// (an extra `O(n)` topological sort).
+    pub want_commit_order: bool,
+    /// Maximum number of commit-order/causality cycles extracted per
+    /// check (and, for online monitors, reported per stream).
+    pub max_cycles: usize,
+    /// Worker threads (`1` = sequential, `0` = all cores). Shared by the
+    /// sharded saturators and the [`check_many`](Engine::check_many)
+    /// fork–join pool; outcomes are bit-identical for every value.
+    pub threads: usize,
+    /// Online monitors only: whether watermark pruning runs (off = exact
+    /// batch agreement, memory grows with the stream).
+    pub prune: bool,
+    /// Online monitors only: processed transactions between pruning
+    /// sweeps.
+    pub prune_interval: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            level: IsolationLevel::Causal,
+            cc_strategy: CcStrategy::default(),
+            want_commit_order: false,
+            max_cycles: 16,
+            threads: 1,
+            prune: true,
+            prune_interval: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The batch-check subset, for APIs still speaking [`CheckOptions`].
+    pub fn check_options(&self) -> CheckOptions {
+        CheckOptions {
+            cc_strategy: self.cc_strategy,
+            want_commit_order: self.want_commit_order,
+            max_cycles: self.max_cycles,
+            threads: self.threads,
+        }
+    }
+
+    /// Lifts [`CheckOptions`] into a full config (streaming knobs take
+    /// their defaults) — how the legacy free functions build their
+    /// per-call engine.
+    pub fn from_options(opts: &CheckOptions) -> Self {
+        EngineConfig {
+            cc_strategy: opts.cc_strategy,
+            want_commit_order: opts.want_commit_order,
+            max_cycles: opts.max_cycles,
+            threads: opts.threads,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl From<CheckOptions> for EngineConfig {
+    fn from(opts: CheckOptions) -> Self {
+        EngineConfig::from_options(&opts)
+    }
+}
+
+/// Builds an [`Engine`] fluently.
+///
+/// ```
+/// use awdit_core::{CcStrategy, EngineBuilder, IsolationLevel};
+///
+/// let engine = EngineBuilder::new()
+///     .level(IsolationLevel::ReadAtomic)
+///     .cc_strategy(CcStrategy::PointerScan)
+///     .threads(0) // all cores
+///     .build();
+/// assert_eq!(engine.config().level, IsolationLevel::ReadAtomic);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// A builder starting from the default [`EngineConfig`].
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// A builder starting from an explicit config.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        EngineBuilder { cfg }
+    }
+
+    /// Sets the isolation level checked by the default entry points.
+    pub fn level(mut self, level: IsolationLevel) -> Self {
+        self.cfg.level = level;
+        self
+    }
+
+    /// Sets the CC lookup strategy (ignored for RC/RA).
+    pub fn cc_strategy(mut self, strategy: CcStrategy) -> Self {
+        self.cfg.cc_strategy = strategy;
+        self
+    }
+
+    /// Whether consistent checks also produce a witnessing commit order.
+    pub fn want_commit_order(mut self, want: bool) -> Self {
+        self.cfg.want_commit_order = want;
+        self
+    }
+
+    /// Caps the number of witness cycles extracted per check.
+    pub fn max_cycles(mut self, max: usize) -> Self {
+        self.cfg.max_cycles = max;
+        self
+    }
+
+    /// Sets the worker-thread count (`1` = sequential, `0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Online monitors only: toggles watermark pruning.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.cfg.prune = prune;
+        self
+    }
+
+    /// Online monitors only: processed transactions between pruning
+    /// sweeps.
+    pub fn prune_interval(mut self, interval: u64) -> Self {
+        self.cfg.prune_interval = interval;
+        self
+    }
+
+    /// Finishes into an [`Engine`].
+    pub fn build(self) -> Engine {
+        Engine::with_config(self.cfg)
+    }
+}
+
+/// Counters describing how an [`Engine`] handle has been used — in
+/// particular whether its scratch arenas are actually being recycled.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Histories checked through this handle (batch entry points count
+    /// every history).
+    pub histories: u64,
+    /// Per-level checks run (a [`check_all_levels`](Engine::check_all_levels)
+    /// call counts three).
+    pub checks: u64,
+    /// Checks on this handle's own arenas whose index/graph footprint
+    /// **grew** (reallocated). The first check always grows from empty;
+    /// a subsequent check of a same-shape history must not — the
+    /// regression guard for the allocation-recycling path. Checks run on
+    /// [`check_many`](Engine::check_many) worker arenas are not tracked.
+    pub arena_growths: u64,
+    /// Current heap footprint of the handle's index + graph arenas, in
+    /// bytes (capacities, not lengths).
+    pub arena_bytes: usize,
+}
+
+/// The per-check scratch arenas: a [`HistoryIndex`] and a
+/// [`CommitGraph`], both rebuilt in place check after check.
+#[derive(Debug)]
+struct Scratch {
+    index: HistoryIndex,
+    graph: CommitGraph,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            index: HistoryIndex::empty(),
+            graph: CommitGraph::new(0),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.index.heap_bytes() + self.graph.heap_bytes()
+    }
+}
+
+/// A reusable, configured checker handle. See the [module docs](self).
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    scratch: Scratch,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default [`EngineConfig`].
+    pub fn new() -> Self {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with an explicit config.
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            scratch: Scratch::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Starts a fluent [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Usage counters, including the arena-growth accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Checks one history against the configured level, recycling the
+    /// handle's scratch arenas.
+    pub fn check(&mut self, history: &History) -> Outcome {
+        self.check_level(history, self.cfg.level)
+    }
+
+    /// [`check`](Self::check) at an explicit isolation level.
+    pub fn check_level(&mut self, history: &History, level: IsolationLevel) -> Outcome {
+        let read_consistency = check_read_consistency(history);
+        let Scratch { index, graph } = &mut self.scratch;
+        index.rebuild(history);
+        let out = check_prepared_into(&self.cfg, index, &read_consistency, level, graph);
+        self.account(1, 1);
+        out
+    }
+
+    /// Checks one history against all three levels, weakest first,
+    /// building the index — and checking Read Consistency — once.
+    pub fn check_all_levels(&mut self, history: &History) -> [Outcome; 3] {
+        let read_consistency = check_read_consistency(history);
+        let Scratch { index, graph } = &mut self.scratch;
+        index.rebuild(history);
+        let cfg = self.cfg;
+        let out = IsolationLevel::ALL
+            .map(|level| check_prepared_into(&cfg, index, &read_consistency, level, graph));
+        self.account(1, 3);
+        out
+    }
+
+    /// Checks many independent histories against the configured level
+    /// through one fork–join pool.
+    ///
+    /// Histories are handed out to workers dynamically (work-stealing),
+    /// one whole history per worker at a time; each worker owns its own
+    /// scratch arenas, recycled across every history it steals. Outcomes
+    /// come back **in input order** and are bit-identical to running
+    /// [`check_with`](crate::check_with) on each history separately — at
+    /// every thread count, including the sequential `threads <= 1` path
+    /// (which reuses the handle's own arenas).
+    pub fn check_many<'a, I>(&mut self, histories: I) -> Vec<Outcome>
+    where
+        I: IntoIterator<Item = &'a History>,
+    {
+        self.check_many_level(histories, self.cfg.level)
+    }
+
+    /// [`check_many`](Self::check_many) at an explicit isolation level.
+    pub fn check_many_level<'a, I>(&mut self, histories: I, level: IsolationLevel) -> Vec<Outcome>
+    where
+        I: IntoIterator<Item = &'a History>,
+    {
+        let items: Vec<&History> = histories.into_iter().collect();
+        let threads = parallel::effective_threads(self.cfg.threads);
+        if threads <= 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .map(|h| self.check_level(h, level))
+                .collect();
+        }
+        // One fork–join per history: saturation inside a history runs
+        // sequentially (outcomes are thread-count-invariant, so this is
+        // bit-identical to the handle's own sequential loop), while the
+        // pool work-steals across histories.
+        let cfg = EngineConfig {
+            threads: 1,
+            ..self.cfg
+        };
+        let outcomes = parallel::map_shards_with(threads, &items, Scratch::new, |scratch, _, h| {
+            let read_consistency = check_read_consistency(h);
+            scratch.index.rebuild(h);
+            check_prepared_into(
+                &cfg,
+                &scratch.index,
+                &read_consistency,
+                level,
+                &mut scratch.graph,
+            )
+        });
+        self.stats.histories += outcomes.len() as u64;
+        self.stats.checks += outcomes.len() as u64;
+        outcomes
+    }
+
+    /// Drains a [`HistorySource`] and checks every history it yields via
+    /// [`check_many`](Self::check_many), pairing each outcome with the
+    /// source-provided name, in source order.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first source error (unreadable file, parse
+    /// error, generator failure) without checking anything.
+    pub fn check_source<S: HistorySource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<(String, Outcome)>, SourceError> {
+        let sourced = collect_source(source)?;
+        let outcomes = self.check_many(sourced.iter().map(|s| &s.history));
+        Ok(sourced.into_iter().map(|s| s.name).zip(outcomes).collect())
+    }
+
+    fn account(&mut self, histories: u64, checks: u64) {
+        self.stats.histories += histories;
+        self.stats.checks += checks;
+        let bytes = self.scratch.heap_bytes();
+        if bytes > self.stats.arena_bytes {
+            self.stats.arena_growths += 1;
+        }
+        self.stats.arena_bytes = bytes;
+    }
+}
+
+/// The per-level check over a pre-built index and pre-computed Read
+/// Consistency violations, saturating into the caller's graph arena —
+/// the single code path behind every engine entry point *and* the legacy
+/// free functions.
+fn check_prepared_into(
+    cfg: &EngineConfig,
+    index: &HistoryIndex,
+    read_consistency: &[ReadConsistencyViolation],
+    level: IsolationLevel,
+    graph: &mut CommitGraph,
+) -> Outcome {
+    let mut violations: Vec<Violation> = read_consistency
+        .iter()
+        .map(|v| Violation::ReadConsistency(*v))
+        .collect();
+
+    let mut stats = CheckStats {
+        committed_txns: index.num_committed(),
+        ..CheckStats::default()
+    };
+    let mut commit_order = None;
+
+    match level {
+        IsolationLevel::ReadCommitted => {
+            saturate_rc_into(index, cfg.threads, graph);
+            finish_graph(
+                index,
+                graph,
+                level,
+                cfg,
+                &mut violations,
+                &mut commit_order,
+                &mut stats,
+            );
+        }
+        IsolationLevel::ReadAtomic => {
+            if index.num_sessions() <= 1 {
+                // Theorem 1.6: linear-time single-session special case.
+                let vs = check_ra_single_session(index);
+                let ok = vs.is_empty();
+                violations.extend(vs);
+                if ok && cfg.want_commit_order {
+                    // With one session the commit order is the session order.
+                    commit_order = Some(index.txn_ids().to_vec());
+                }
+            } else {
+                let rr = check_repeatable_reads(index);
+                if rr.is_empty() {
+                    saturate_ra_into(index, cfg.threads, graph);
+                    finish_graph(
+                        index,
+                        graph,
+                        level,
+                        cfg,
+                        &mut violations,
+                        &mut commit_order,
+                        &mut stats,
+                    );
+                } else {
+                    violations.extend(rr);
+                }
+            }
+        }
+        IsolationLevel::Causal => {
+            match saturate_cc_into(index, cfg.cc_strategy, cfg.threads, graph) {
+                Ok(()) => finish_graph(
+                    index,
+                    graph,
+                    level,
+                    cfg,
+                    &mut violations,
+                    &mut commit_order,
+                    &mut stats,
+                ),
+                Err(cycles) => {
+                    for c in cycles.iter().take(cfg.max_cycles) {
+                        violations.push(Violation::CausalityCycle(WitnessCycle::from_cycle(
+                            c, index,
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    Outcome::from_parts(level, violations, commit_order, stats)
+}
+
+fn finish_graph(
+    index: &HistoryIndex,
+    g: &mut CommitGraph,
+    level: IsolationLevel,
+    cfg: &EngineConfig,
+    violations: &mut Vec<Violation>,
+    commit_order: &mut Option<Vec<TxnId>>,
+    stats: &mut CheckStats,
+) {
+    // The analysis phases traverse edges repeatedly: repack into CSR.
+    g.freeze();
+    stats.graph_edges = g.num_edges();
+    // Tallied by `CommitGraph::add_edge` as saturation emitted them — no
+    // `O(m·deg)` post-hoc scan.
+    stats.inferred_edges = g.num_inferred_edges();
+    let cycles = g.find_cycles(cfg.max_cycles);
+    if cycles.is_empty() {
+        if cfg.want_commit_order {
+            *commit_order = commit_order_from_graph(index, g);
+        }
+    } else {
+        for c in &cycles {
+            violations.push(Violation::CommitOrderCycle {
+                level,
+                cycle: WitnessCycle::from_cycle(c, index),
+            });
+        }
+    }
+}
+
+/// A history paired with a human-meaningful origin (file path, stream
+/// name, generator seed), as yielded by a [`HistorySource`].
+#[derive(Clone, Debug)]
+pub struct SourcedHistory {
+    /// Where the history came from — file reports key on this.
+    pub name: String,
+    /// The history itself.
+    pub history: History,
+}
+
+/// A failure while producing histories: an unreadable file, a parse
+/// error, a generator fault. Carries the origin so batch reports can
+/// point at the offending input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceError {
+    /// The input that failed (file path, stream name, seed).
+    pub origin: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.origin, self.message)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Anything that yields named histories for batch checking: files, whole
+/// directories, NDJSON event streams (`awdit-formats`), simulator fleets
+/// (`awdit-simdb`), or any in-memory iterator (via the blanket impl).
+pub trait HistorySource {
+    /// The next history, `None` when exhausted, `Err` on a bad input.
+    fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>>;
+}
+
+/// Every iterator of `Result<SourcedHistory, SourceError>` is a source —
+/// the zero-cost adapter for in-memory fleets.
+impl<I> HistorySource for I
+where
+    I: Iterator<Item = Result<SourcedHistory, SourceError>>,
+{
+    fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>> {
+        self.next()
+    }
+}
+
+/// Drains a source into a vector, failing fast on the first error.
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields.
+pub fn collect_source<S: HistorySource + ?Sized>(
+    source: &mut S,
+) -> Result<Vec<SourcedHistory>, SourceError> {
+    let mut out = Vec::new();
+    while let Some(item) = source.next_history() {
+        out.push(item?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Verdict;
+    use crate::history::HistoryBuilder;
+
+    fn two_session_history(keys: u64) -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        for k in 0..keys {
+            b.begin(s0);
+            b.write(s0, k, k + 1);
+            b.commit(s0);
+            b.begin(s1);
+            b.read(s1, k, k + 1);
+            b.commit(s1);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let e = Engine::builder()
+            .level(IsolationLevel::ReadCommitted)
+            .cc_strategy(CcStrategy::PointerScan)
+            .want_commit_order(true)
+            .max_cycles(3)
+            .threads(2)
+            .prune(false)
+            .prune_interval(17)
+            .build();
+        let cfg = e.config();
+        assert_eq!(cfg.level, IsolationLevel::ReadCommitted);
+        assert_eq!(cfg.cc_strategy, CcStrategy::PointerScan);
+        assert!(cfg.want_commit_order);
+        assert_eq!(cfg.max_cycles, 3);
+        assert_eq!(cfg.threads, 2);
+        assert!(!cfg.prune);
+        assert_eq!(cfg.prune_interval, 17);
+    }
+
+    #[test]
+    fn config_round_trips_check_options() {
+        let opts = CheckOptions {
+            cc_strategy: CcStrategy::PointerScan,
+            want_commit_order: true,
+            max_cycles: 5,
+            threads: 4,
+        };
+        let cfg = EngineConfig::from_options(&opts);
+        let back = cfg.check_options();
+        assert_eq!(back.cc_strategy, opts.cc_strategy);
+        assert_eq!(back.want_commit_order, opts.want_commit_order);
+        assert_eq!(back.max_cycles, opts.max_cycles);
+        assert_eq!(back.threads, opts.threads);
+    }
+
+    #[test]
+    fn repeated_checks_recycle_arenas() {
+        let h = two_session_history(32);
+        let mut e = Engine::new();
+        assert!(e.check(&h).is_consistent());
+        let after_first = e.stats();
+        assert_eq!(after_first.arena_growths, 1);
+        assert!(after_first.arena_bytes > 0);
+        for _ in 0..4 {
+            assert!(e.check(&h).is_consistent());
+        }
+        let after = e.stats();
+        assert_eq!(after.arena_growths, 1, "same-shape checks must not grow");
+        assert_eq!(after.arena_bytes, after_first.arena_bytes);
+        assert_eq!(after.histories, 5);
+        assert_eq!(after.checks, 5);
+    }
+
+    #[test]
+    fn engine_matches_free_functions() {
+        let h = two_session_history(8);
+        let mut e = Engine::new();
+        for level in IsolationLevel::ALL {
+            let a = e.check_level(&h, level);
+            let b = crate::checker::check(&h, level);
+            assert_eq!(a.verdict(), b.verdict());
+            assert_eq!(a.violations(), b.violations());
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn check_many_preserves_input_order() {
+        let hs: Vec<History> = (1..5).map(two_session_history).collect();
+        let mut e = Engine::builder().threads(4).build();
+        let outs = e.check_many(hs.iter());
+        assert_eq!(outs.len(), hs.len());
+        for (h, o) in hs.iter().zip(&outs) {
+            assert_eq!(o.verdict(), Verdict::Consistent);
+            // Each input history has 2k committed txns: order is preserved.
+            assert_eq!(o.stats().committed_txns, h.num_txns());
+        }
+        assert_eq!(e.stats().histories, 4);
+    }
+
+    #[test]
+    fn check_all_levels_counts_three_checks() {
+        let h = two_session_history(4);
+        let mut e = Engine::new();
+        let [rc, ra, cc] = e.check_all_levels(&h);
+        assert!(rc.is_consistent() && ra.is_consistent() && cc.is_consistent());
+        assert_eq!(e.stats().checks, 3);
+        assert_eq!(e.stats().histories, 1);
+    }
+
+    #[test]
+    fn iterator_sources_and_collect() {
+        let hs: Vec<History> = (1..4).map(two_session_history).collect();
+        let mut src = hs.iter().enumerate().map(|(i, h)| {
+            Ok(SourcedHistory {
+                name: format!("h{i}"),
+                history: h.clone(),
+            })
+        });
+        let mut e = Engine::new();
+        let named = e.check_source(&mut src).unwrap();
+        assert_eq!(named.len(), 3);
+        assert_eq!(named[0].0, "h0");
+        assert!(named.iter().all(|(_, o)| o.is_consistent()));
+    }
+
+    #[test]
+    fn source_errors_fail_fast() {
+        let mut src = std::iter::once(Err(SourceError {
+            origin: "bad.awdit".to_string(),
+            message: "nope".to_string(),
+        }));
+        let mut e = Engine::new();
+        let err = e.check_source(&mut src).unwrap_err();
+        assert_eq!(err.origin, "bad.awdit");
+        assert_eq!(e.stats().histories, 0);
+    }
+}

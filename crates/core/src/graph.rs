@@ -155,23 +155,63 @@ impl CommitGraph {
     }
 
     /// Repacks the adjacency lists into the flat CSR representation and
-    /// drops the per-node vectors. Idempotent; the graph becomes
-    /// append-immutable.
+    /// clears the per-node vectors in place (keeping their capacity, so a
+    /// later [`reset`](Self::reset) reuses the allocations). Idempotent;
+    /// the graph becomes append-immutable until reset.
     pub fn freeze(&mut self) {
         if self.frozen {
             return;
         }
-        let mut offsets = Vec::with_capacity(self.n + 1);
-        let mut edges = Vec::with_capacity(self.num_edges);
-        offsets.push(0u32);
-        for succs in &self.adj {
-            edges.extend_from_slice(succs);
-            offsets.push(edges.len() as u32);
+        self.csr_offsets.clear();
+        self.csr_offsets.reserve(self.n + 1);
+        self.csr_edges.clear();
+        self.csr_edges.reserve(self.num_edges);
+        self.csr_offsets.push(0u32);
+        // `adj` may be longer than `n` after a shrinking reset; only the
+        // first `n` rows are live.
+        for succs in self.adj.iter_mut().take(self.n) {
+            self.csr_edges.extend_from_slice(succs);
+            self.csr_offsets.push(self.csr_edges.len() as u32);
+            succs.clear();
         }
-        self.csr_offsets = offsets;
-        self.csr_edges = edges;
-        self.adj = Vec::new();
         self.frozen = true;
+    }
+
+    /// Clears the graph back to `n` nodes and no edges, keeping every
+    /// buffer's capacity — the arena-reuse path of the
+    /// [`Engine`](crate::Engine), where repeated checks of same-shape
+    /// histories must not reallocate. Un-freezes the graph.
+    ///
+    /// When `n` shrinks, the tail nodes' adjacency vectors are kept (just
+    /// cleared), so a mixed-size fleet alternating small and large
+    /// histories still recycles the large history's allocations.
+    pub fn reset(&mut self, n: usize) {
+        for succs in &mut self.adj {
+            succs.clear();
+        }
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        }
+        self.csr_offsets.clear();
+        self.csr_edges.clear();
+        self.frozen = false;
+        self.num_edges = 0;
+        self.inferred_edges = 0;
+        self.n = n;
+    }
+
+    /// Heap footprint in bytes (capacities, not lengths), including the
+    /// per-node adjacency vectors and the frozen CSR buffers — the
+    /// quantity tracked by the engine's arena-growth accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let edge = std::mem::size_of::<(u32, EdgeKind)>();
+        let mut bytes = self.adj.capacity() * std::mem::size_of::<Vec<(u32, EdgeKind)>>();
+        for succs in &self.adj {
+            bytes += succs.capacity() * edge;
+        }
+        bytes
+            + self.csr_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.csr_edges.capacity() * edge
     }
 
     /// Whether [`freeze`](Self::freeze) has run.
@@ -445,8 +485,17 @@ impl CommitGraph {
 /// transactions of each session, plus one write–read edge per distinct
 /// `(writer, reader)` pair.
 pub fn base_commit_graph(index: &HistoryIndex) -> CommitGraph {
+    let mut g = CommitGraph::new(0);
+    base_commit_graph_into(index, &mut g);
+    g
+}
+
+/// [`base_commit_graph`] into a caller-owned graph arena: the graph is
+/// [`reset`](CommitGraph::reset) to the right node count (reusing its
+/// buffers) and refilled with the `so ∪ wr` edges.
+pub fn base_commit_graph_into(index: &HistoryIndex, g: &mut CommitGraph) {
     let m = index.num_committed();
-    let mut g = CommitGraph::new(m);
+    g.reset(m);
     for s in 0..index.num_sessions() {
         let list = index.session_committed(SessionId(s as u32));
         for w in list.windows(2) {
@@ -463,7 +512,6 @@ pub fn base_commit_graph(index: &HistoryIndex) -> CommitGraph {
             }
         }
     }
-    g
 }
 
 #[cfg(test)]
@@ -581,6 +629,36 @@ mod tests {
         let mut all: Vec<u32> = sccs.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_recycles_across_shrinking_and_growing() {
+        let mut g = CommitGraph::new(3);
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 2, k(0));
+        g.freeze();
+        let grown = g.heap_bytes();
+
+        // Shrink: the tail adjacency buffers are kept, only cleared.
+        g.reset(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.successors(0).is_empty());
+        g.freeze();
+        assert!(g.is_acyclic());
+        assert!(
+            g.heap_bytes() >= grown - 64,
+            "shrinking reset must not free the large history's buffers"
+        );
+
+        // Grow back: same shape as the first build — no arena growth.
+        g.reset(3);
+        g.add_edge(0, 1, EdgeKind::SessionOrder);
+        g.add_edge(1, 2, k(0));
+        g.freeze();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.successors(1), &[(2, k(0))]);
+        assert!(g.heap_bytes() <= grown, "regrow must reuse, not grow");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! The same layout also makes the index trivially `Sync`-shareable across
 //! the sharded saturation workers of [`parallel`](crate::parallel).
 
-use crate::csr::{Csr, CsrBuilder, ReadCols};
+use crate::csr::{Csr, ReadCols};
 use crate::history::History;
 use crate::op::{Op, ReadSource};
 use crate::types::{Key, SessionId, TxnId};
@@ -90,17 +90,57 @@ pub struct HistoryIndex {
     num_ext_reads: usize,
 }
 
+impl Default for HistoryIndex {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl HistoryIndex {
     /// Builds the index for `history`.
     pub fn new(history: &History) -> Self {
+        let mut index = Self::empty();
+        index.rebuild(history);
+        index
+    }
+
+    /// An index over the empty history (no sessions, no transactions).
+    /// Mainly useful as the starting arena for [`rebuild`](Self::rebuild).
+    pub fn empty() -> Self {
+        HistoryIndex {
+            txn_ids: Vec::new(),
+            dense: Csr::new(),
+            committed_pos: Vec::new(),
+            session_committed: Csr::new(),
+            keys_written: Csr::new(),
+            keys_read: Csr::new(),
+            first_writers: Csr::new(),
+            ext_reads: Csr::new(),
+            read_pairs: Csr::new(),
+            key_sessions: Csr::new(),
+            key_session_writers: Csr::new(),
+            num_keys: 0,
+            num_sessions: 0,
+            num_ext_reads: 0,
+        }
+    }
+
+    /// Rebuilds the index for `history` **in place**, recycling every CSR
+    /// and vector buffer (capacities are kept; see
+    /// [`Csr::into_builder`]). A rebuild over a history of the same shape
+    /// performs no heap growth — the property the
+    /// [`Engine`](crate::Engine)'s arena accounting asserts.
+    pub fn rebuild(&mut self, history: &History) {
         let num_sessions = history.num_sessions();
         let num_keys = history.num_keys();
 
         // Dense numbering of committed transactions, session-major.
-        let mut txn_ids = Vec::new();
-        let mut dense = CsrBuilder::new();
-        let mut committed_pos = Vec::new();
-        let mut session_committed = CsrBuilder::new();
+        let mut txn_ids = std::mem::take(&mut self.txn_ids);
+        txn_ids.clear();
+        let mut dense = std::mem::take(&mut self.dense).into_builder();
+        let mut committed_pos = std::mem::take(&mut self.committed_pos);
+        committed_pos.clear();
+        let mut session_committed = std::mem::take(&mut self.session_committed).into_builder();
         for (sid, txns) in history.sessions() {
             let mut committed_in_session = 0u32;
             for (i, t) in txns.iter().enumerate() {
@@ -121,11 +161,11 @@ impl HistoryIndex {
         let dense = dense.finish();
         let session_committed = session_committed.finish();
 
-        let mut keys_written = CsrBuilder::new();
-        let mut keys_read = CsrBuilder::new();
-        let mut first_writers = CsrBuilder::new();
-        let mut ext_reads = CsrBuilder::new();
-        let mut read_pairs = CsrBuilder::new();
+        let mut keys_written = std::mem::take(&mut self.keys_written).into_builder();
+        let mut keys_read = std::mem::take(&mut self.keys_read).into_builder();
+        let mut first_writers = std::mem::take(&mut self.first_writers).into_builder();
+        let mut ext_reads = std::mem::take(&mut self.ext_reads).into_builder();
+        let mut read_pairs = std::mem::take(&mut self.read_pairs).into_builder();
         // Unordered (key, writer) pairs for the two-level by-key CSR; dense
         // ids are session-major, so within one key the writers arrive
         // grouped by session, sessions ascending, session order inside.
@@ -176,8 +216,8 @@ impl HistoryIndex {
         // Two-level by-key CSR: group each key's writers (already in dense
         // order within the key after the counting sort) by session.
         let by_key = Csr::from_pairs(num_keys, &write_pairs);
-        let mut key_sessions = CsrBuilder::new();
-        let mut key_session_writers = CsrBuilder::new();
+        let mut key_sessions = std::mem::take(&mut self.key_sessions).into_builder();
+        let mut key_session_writers = std::mem::take(&mut self.key_session_writers).into_builder();
         for k in 0..num_keys {
             let writers = by_key.row(k);
             let mut i = 0;
@@ -196,22 +236,37 @@ impl HistoryIndex {
         let key_session_writers = key_session_writers.finish();
         debug_assert_eq!(key_session_writers.num_rows(), key_sessions.num_values());
 
-        HistoryIndex {
-            txn_ids,
-            dense,
-            committed_pos,
-            session_committed,
-            keys_written: keys_written.finish(),
-            keys_read: keys_read.finish(),
-            first_writers: first_writers.finish(),
-            ext_reads: ext_reads.finish(),
-            read_pairs: read_pairs.finish(),
-            key_sessions,
-            key_session_writers,
-            num_keys,
-            num_sessions,
-            num_ext_reads,
-        }
+        self.txn_ids = txn_ids;
+        self.dense = dense;
+        self.committed_pos = committed_pos;
+        self.session_committed = session_committed;
+        self.keys_written = keys_written.finish();
+        self.keys_read = keys_read.finish();
+        self.first_writers = first_writers.finish();
+        self.ext_reads = ext_reads.finish();
+        self.read_pairs = read_pairs.finish();
+        self.key_sessions = key_sessions;
+        self.key_session_writers = key_session_writers;
+        self.num_keys = num_keys;
+        self.num_sessions = num_sessions;
+        self.num_ext_reads = num_ext_reads;
+    }
+
+    /// Heap footprint of the index's retained buffers in bytes
+    /// (capacities, not lengths) — the quantity tracked by the engine's
+    /// arena-growth accounting. Build-time temporaries are excluded.
+    pub fn heap_bytes(&self) -> usize {
+        self.txn_ids.capacity() * std::mem::size_of::<TxnId>()
+            + self.committed_pos.capacity() * std::mem::size_of::<u32>()
+            + self.dense.heap_bytes()
+            + self.session_committed.heap_bytes()
+            + self.keys_written.heap_bytes()
+            + self.keys_read.heap_bytes()
+            + self.first_writers.heap_bytes()
+            + self.ext_reads.heap_bytes()
+            + self.read_pairs.heap_bytes()
+            + self.key_sessions.heap_bytes()
+            + self.key_session_writers.heap_bytes()
     }
 
     /// Number of committed transactions, `m`.

@@ -57,6 +57,7 @@
 //! | `co′`, cycles, witnesses (Sec. 3.4) | [`graph`], [`witness`] |
 //! | commit orders & the axiom oracle | [`linearize`] |
 //! | incremental saturation kernels | [`incremental`] |
+//! | reusable checker handle, batching | [`engine`] |
 //!
 //! ## Incremental APIs
 //!
@@ -73,6 +74,7 @@
 pub mod cc;
 pub mod checker;
 pub mod csr;
+pub mod engine;
 pub mod graph;
 pub mod history;
 pub mod incremental;
@@ -97,6 +99,10 @@ pub use checker::{
     Verdict,
 };
 pub use csr::{Csr, CsrBuilder, ReadCols};
+pub use engine::{
+    collect_source, Engine, EngineBuilder, EngineConfig, EngineStats, HistorySource, SourceError,
+    SourcedHistory,
+};
 pub use graph::{base_commit_graph, CommitGraph, Cycle, Edge, EdgeKind};
 pub use history::{BuildError, History, HistoryBuilder, Transaction};
 pub use incremental::{

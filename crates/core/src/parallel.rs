@@ -57,9 +57,31 @@ where
     R: Send,
     F: Fn(usize, &S) -> R + Sync,
 {
+    map_shards_with(threads, shards, || (), |(), i, s| f(i, s))
+}
+
+/// [`map_shards`] with **worker-local state**: each worker thread builds
+/// one `T` via `init` and reuses it across every shard it steals, so
+/// per-shard scratch (kernels, edge buffers, whole checker arenas in
+/// [`Engine::check_many`](crate::Engine::check_many)) is allocated once
+/// per worker instead of once per shard. Results are still returned in
+/// shard order; the sequential path (`threads <= 1` or a single shard)
+/// uses a single `T` for all shards, matching what one worker would do.
+pub fn map_shards_with<S, T, R, Init, F>(threads: usize, shards: &[S], init: Init, f: F) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    Init: Fn() -> T + Sync,
+    F: Fn(&mut T, usize, &S) -> R + Sync,
+{
     let workers = threads.min(shards.len());
     if workers <= 1 {
-        return shards.iter().enumerate().map(|(i, s)| f(i, s)).collect();
+        let mut state = init();
+        return shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| f(&mut state, i, s))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(shards.len());
@@ -67,13 +89,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(shard) = shards.get(i) else {
                             break;
                         };
-                        local.push((i, f(i, shard)));
+                        local.push((i, f(&mut state, i, shard)));
                     }
                     local
                 })

@@ -14,7 +14,7 @@
 //!   writer differs from `t2` yields an edge — iterating the smaller set
 //!   gives the `O(n^{3/2})` bound (Lemma 3.6).
 
-use crate::graph::{base_commit_graph, CommitGraph, EdgeKind};
+use crate::graph::{CommitGraph, EdgeKind};
 use crate::index::{DenseId, HistoryIndex, NONE};
 use crate::types::SessionId;
 use crate::witness::{Violation, WitnessCycle, WitnessEdge};
@@ -76,17 +76,26 @@ pub fn saturate_ra(index: &HistoryIndex) -> CommitGraph {
 /// concatenated in group order — bit-identical to the sequential
 /// session-major sweep for every thread count.
 pub fn saturate_ra_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
-    let mut g = base_commit_graph(index);
+    let mut g = CommitGraph::new(0);
+    saturate_ra_into(index, threads, &mut g);
+    g
+}
+
+/// [`saturate_ra_with`] into a caller-owned graph arena (reset and
+/// refilled; see [`CommitGraph::reset`]) — the [`Engine`](crate::Engine)'s
+/// allocation-recycling path.
+pub fn saturate_ra_into(index: &HistoryIndex, threads: usize, g: &mut CommitGraph) {
+    crate::graph::base_commit_graph_into(index, g);
     let k = index.num_sessions();
     let threads = crate::parallel::effective_threads(threads);
     if threads <= 1 || index.num_committed() < crate::parallel::SEQUENTIAL_CUTOFF || k <= 1 {
         let mut kernel = crate::incremental::RaKernel::new();
         for s in 0..k as u32 {
             for &t3 in index.session_committed(SessionId(s)) {
-                kernel.process(index, t3, &mut g);
+                kernel.process(index, t3, g);
             }
         }
-        return g;
+        return;
     }
     let groups = crate::parallel::session_groups(index, threads * 2);
     let sinks = crate::parallel::map_shards(threads, &groups, |_, sessions| {
@@ -99,8 +108,7 @@ pub fn saturate_ra_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
         }
         sink
     });
-    crate::parallel::merge_sinks(&mut g, sinks);
-    g
+    crate::parallel::merge_sinks(g, sinks);
 }
 
 /// Theorem 1.6: RA with a single session in `O(n)` time.

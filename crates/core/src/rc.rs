@@ -24,7 +24,7 @@
 //! `O(n^{3/2})` bound (Lemma 3.4); for histories whose transactions have
 //! `O(1)` size this collapses to `O(n)`.
 
-use crate::graph::{base_commit_graph, CommitGraph};
+use crate::graph::{base_commit_graph, base_commit_graph_into, CommitGraph};
 use crate::incremental::RcKernel;
 use crate::index::HistoryIndex;
 use crate::parallel::{self, SEQUENTIAL_CUTOFF};
@@ -36,7 +36,7 @@ use crate::parallel::{self, SEQUENTIAL_CUTOFF};
 /// checked separately by [`check`](crate::check)).
 ///
 /// Implemented as a loop over the per-transaction
-/// [`RcKernel`](crate::incremental::RcKernel), the same inference body the
+/// [`RcKernel`], the same inference body the
 /// streaming checker drives one commit at a time.
 pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
     saturate_rc_with(index, 1)
@@ -50,15 +50,24 @@ pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
 /// the resulting graph is bit-identical to the sequential one for every
 /// thread count.
 pub fn saturate_rc_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
-    let mut g = base_commit_graph(index);
+    let mut g = CommitGraph::new(0);
+    saturate_rc_into(index, threads, &mut g);
+    g
+}
+
+/// [`saturate_rc_with`] into a caller-owned graph arena (reset and
+/// refilled; see [`CommitGraph::reset`]) — the [`Engine`](crate::Engine)'s
+/// allocation-recycling path.
+pub fn saturate_rc_into(index: &HistoryIndex, threads: usize, g: &mut CommitGraph) {
+    base_commit_graph_into(index, g);
     let m = index.num_committed();
     let threads = parallel::effective_threads(threads);
     if threads <= 1 || m < SEQUENTIAL_CUTOFF {
         let mut kernel = RcKernel::new();
         for t3 in 0..m as u32 {
-            kernel.process(index, t3, &mut g);
+            kernel.process(index, t3, g);
         }
-        return g;
+        return;
     }
     let shards = parallel::split_even(m, threads * 4);
     let sinks = parallel::map_shards(threads, &shards, |_, range| {
@@ -69,8 +78,7 @@ pub fn saturate_rc_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
         }
         sink
     });
-    parallel::merge_sinks(&mut g, sinks);
-    g
+    parallel::merge_sinks(g, sinks);
 }
 
 /// The weaker *Adya G1* reading of Read Committed (footnote 2 of the

@@ -16,6 +16,12 @@
 //! [`detect_format`] sniffs a file's header, and [`parse_auto`] parses
 //! whichever format it finds.
 //!
+//! Two further modules form the edges of the engine API: [`source`]
+//! implements [`HistorySource`](awdit_core::HistorySource) over file
+//! lists, directories, and NDJSON event logs, and [`report`] defines the
+//! versioned machine-readable JSON [`Report`] schema with pluggable
+//! [`ReportSink`]s.
+//!
 //! ```
 //! use awdit_formats::{parse_auto, write_history, Format};
 //! use awdit_core::HistoryBuilder;
@@ -43,6 +49,8 @@ pub mod dbcop;
 pub mod error;
 pub mod native;
 pub mod plume;
+pub mod report;
+pub mod source;
 pub mod stream;
 
 pub use cobra::{parse_cobra, write_cobra, COBRA_HEADER};
@@ -50,6 +58,11 @@ pub use dbcop::{parse_dbcop, write_dbcop, DBCOP_HEADER};
 pub use error::ParseError;
 pub use native::{parse_native, write_native, NATIVE_HEADER};
 pub use plume::{parse_plume, write_plume};
+pub use report::{
+    EdgeReport, HistoryReport, JsonSink, LevelReport, Report, ReportSink, TextSink,
+    ViolationReport, SCHEMA_VERSION,
+};
+pub use source::{history_of_events, DirSource, FilesSource};
 pub use stream::{parse_event, parse_events, write_event, write_events};
 
 use awdit_core::History;

@@ -1,0 +1,357 @@
+//! [`HistorySource`] implementations over the file formats: explicit file
+//! lists, whole directories, and streaming NDJSON event logs.
+//!
+//! These are the "input edge" of the engine API
+//! ([`Engine::check_source`](awdit_core::Engine::check_source)): the CLI's
+//! multi-file `awdit check` mode is a [`FilesSource`]/[`DirSource`], and a
+//! recorded `awdit watch` event log checks batch-style through the same
+//! entry point (each NDJSON file replays into one [`History`]).
+
+use std::path::{Path, PathBuf};
+
+use awdit_core::{History, HistoryBuilder, HistorySource, SourceError, SourcedHistory};
+use awdit_stream::Event;
+
+use crate::{parse_auto, parse_events, parse_history, Format};
+
+/// Replays a transaction event stream into a complete [`History`]
+/// (sessions are numbered by first appearance).
+///
+/// The inverse of [`events_of_history`](awdit_stream::events_of_history):
+/// per-session event order becomes session order, and the builder
+/// resolves read sources exactly as any other parser would.
+///
+/// # Errors
+///
+/// Returns a message when the stream is ill-formed (events outside an
+/// open transaction, nested `begin`s, or a history that fails to build).
+pub fn history_of_events(events: &[Event]) -> Result<History, String> {
+    let mut b = HistoryBuilder::new();
+    let mut sessions: Vec<(u64, awdit_core::SessionId)> = Vec::new();
+    let mut open: Vec<u64> = Vec::new();
+    let mut session_of =
+        |b: &mut HistoryBuilder, name: u64| match sessions.iter().find(|(n, _)| *n == name) {
+            Some(&(_, sid)) => sid,
+            None => {
+                let sid = b.session();
+                sessions.push((name, sid));
+                sid
+            }
+        };
+    for (i, event) in events.iter().enumerate() {
+        let name = event.session();
+        let sid = session_of(&mut b, name);
+        match *event {
+            Event::Begin { .. } => {
+                if open.contains(&name) {
+                    return Err(format!("event {i}: nested begin on session {name}"));
+                }
+                open.push(name);
+                b.begin(sid);
+            }
+            Event::Write { key, value, .. } => {
+                if !open.contains(&name) {
+                    return Err(format!("event {i}: write outside transaction on {name}"));
+                }
+                b.write(sid, key, value);
+            }
+            Event::Read { key, value, .. } => {
+                if !open.contains(&name) {
+                    return Err(format!("event {i}: read outside transaction on {name}"));
+                }
+                b.read(sid, key, value);
+            }
+            Event::Commit { .. } => {
+                if !open.contains(&name) {
+                    return Err(format!(
+                        "event {i}: commit with no open transaction on {name}"
+                    ));
+                }
+                open.retain(|&n| n != name);
+                b.commit(sid);
+            }
+            Event::Abort { .. } => {
+                if !open.contains(&name) {
+                    return Err(format!(
+                        "event {i}: abort with no open transaction on {name}"
+                    ));
+                }
+                open.retain(|&n| n != name);
+                b.abort(sid);
+            }
+        }
+    }
+    if let Some(name) = open.first() {
+        return Err(format!("stream ends with session {name} still open"));
+    }
+    b.finish().map_err(|e| e.to_string())
+}
+
+/// Parses one history file's text: an explicit [`Format`], or sniffing —
+/// including NDJSON event logs (first line starts with `{`), which are
+/// replayed via [`history_of_events`].
+fn parse_file_text(text: &str, format: Option<Format>) -> Result<History, String> {
+    if let Some(f) = format {
+        return parse_history(text, f).map_err(|e| e.to_string());
+    }
+    let first = text.lines().find(|l| !l.trim().is_empty());
+    if first.map(|l| l.trim_start().starts_with('{')) == Some(true) {
+        let events = parse_events(text).map_err(|e| e.to_string())?;
+        return history_of_events(&events);
+    }
+    parse_auto(text).map_err(|e| e.to_string())
+}
+
+/// A [`HistorySource`] over an explicit list of history files, yielded in
+/// list order. Formats are auto-detected per file (NDJSON event logs
+/// included) unless pinned with [`with_format`](Self::with_format).
+#[derive(Clone, Debug)]
+pub struct FilesSource {
+    paths: Vec<PathBuf>,
+    format: Option<Format>,
+    pos: usize,
+}
+
+impl FilesSource {
+    /// A source over the given paths, in order.
+    pub fn new<I, P>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<PathBuf>,
+    {
+        FilesSource {
+            paths: paths.into_iter().map(Into::into).collect(),
+            format: None,
+            pos: 0,
+        }
+    }
+
+    /// Pins every file to one explicit format instead of auto-detecting.
+    pub fn with_format(mut self, format: Format) -> Self {
+        self.format = Some(format);
+        self
+    }
+
+    /// Number of files remaining.
+    pub fn remaining(&self) -> usize {
+        self.paths.len() - self.pos
+    }
+
+    fn load(&self, path: &Path) -> Result<SourcedHistory, SourceError> {
+        let origin = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| SourceError {
+            origin: origin.clone(),
+            message: format!("cannot read: {e}"),
+        })?;
+        let history = parse_file_text(&text, self.format).map_err(|message| SourceError {
+            origin: origin.clone(),
+            message,
+        })?;
+        Ok(SourcedHistory {
+            name: origin,
+            history,
+        })
+    }
+}
+
+impl HistorySource for FilesSource {
+    fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>> {
+        let path = self.paths.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(self.load(&path))
+    }
+}
+
+/// A [`HistorySource`] over every regular file of a directory, sorted by
+/// file name for deterministic batch order (subdirectories are skipped).
+#[derive(Clone, Debug)]
+pub struct DirSource {
+    inner: FilesSource,
+}
+
+impl DirSource {
+    /// Scans `dir` and builds the sorted file list eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, SourceError> {
+        let dir = dir.as_ref();
+        let origin = dir.display().to_string();
+        let entries = std::fs::read_dir(dir).map_err(|e| SourceError {
+            origin: origin.clone(),
+            message: format!("cannot read directory: {e}"),
+        })?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| SourceError {
+                origin: origin.clone(),
+                message: format!("cannot read directory entry: {e}"),
+            })?;
+            let path = entry.path();
+            if path.is_file() {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        Ok(DirSource {
+            inner: FilesSource::new(paths),
+        })
+    }
+
+    /// Pins every file to one explicit format instead of auto-detecting.
+    pub fn with_format(mut self, format: Format) -> Self {
+        self.inner = self.inner.with_format(format);
+        self
+    }
+
+    /// Number of files found.
+    pub fn len(&self) -> usize {
+        self.inner.remaining()
+    }
+
+    /// Whether the directory held no regular files.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl HistorySource for DirSource {
+    fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>> {
+        self.inner.next_history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{check, collect_source, Engine, IsolationLevel};
+    use awdit_stream::events_of_history;
+
+    fn sample() -> History {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.write(s0, 200, 4);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.read(s1, 200, 4);
+        b.abort(s1);
+        b.finish().unwrap()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("awdit-source-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn events_round_trip_to_history() {
+        let h = sample();
+        let events = events_of_history(&h);
+        let h2 = history_of_events(&events).unwrap();
+        assert_eq!(h.num_txns(), h2.num_txns());
+        assert_eq!(h.size(), h2.size());
+        for level in IsolationLevel::ALL {
+            assert_eq!(
+                check(&h, level).is_consistent(),
+                check(&h2, level).is_consistent()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_event_streams_are_rejected() {
+        let bad = [Event::Commit { session: 0 }];
+        assert!(history_of_events(&bad).is_err());
+        let bad = [Event::Begin { session: 0 }, Event::Begin { session: 0 }];
+        assert!(history_of_events(&bad).is_err());
+        let bad = [Event::Begin { session: 0 }];
+        assert!(history_of_events(&bad).is_err());
+    }
+
+    fn committed_sample() -> History {
+        // Plume-style files drop aborted transactions, so the cross-format
+        // directory test uses a fully-committed history.
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 100, 2);
+        b.write(s0, 200, 4);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 100, 2);
+        b.read(s1, 200, 4);
+        b.commit(s1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dir_source_finds_files_sorted_and_mixed_formats() {
+        let dir = tmpdir("dir");
+        let h = committed_sample();
+        std::fs::write(
+            dir.join("b.awdit"),
+            crate::write_history(&h, Format::Native),
+        )
+        .unwrap();
+        std::fs::write(dir.join("a.plume"), crate::write_history(&h, Format::Plume)).unwrap();
+        std::fs::write(
+            dir.join("c.ndjson"),
+            crate::write_events(&events_of_history(&h)),
+        )
+        .unwrap();
+        let mut src = DirSource::new(&dir).unwrap();
+        assert_eq!(src.len(), 3);
+        let all = collect_source(&mut src).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all[0].name.ends_with("a.plume"));
+        assert!(all[1].name.ends_with("b.awdit"));
+        assert!(all[2].name.ends_with("c.ndjson"));
+        for s in &all {
+            assert_eq!(s.history.size(), h.size(), "{}", s.name);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn files_source_reports_errors_with_origin() {
+        let dir = tmpdir("err");
+        let bad = dir.join("bad.awdit");
+        std::fs::write(&bad, "definitely not a history\n").unwrap();
+        let missing = dir.join("missing.awdit");
+        let mut src = FilesSource::new([bad.clone(), missing.clone()]);
+        let err = src.next_history().unwrap().unwrap_err();
+        assert!(err.origin.ends_with("bad.awdit"));
+        let err = src.next_history().unwrap().unwrap_err();
+        assert!(err.message.contains("cannot read"), "{err}");
+        assert!(src.next_history().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn engine_checks_a_directory_source() {
+        let dir = tmpdir("engine");
+        let h = sample();
+        for i in 0..3 {
+            std::fs::write(
+                dir.join(format!("h{i}.awdit")),
+                crate::write_history(&h, Format::Native),
+            )
+            .unwrap();
+        }
+        let mut engine = Engine::new();
+        let mut src = DirSource::new(&dir).unwrap();
+        let named = engine.check_source(&mut src).unwrap();
+        assert_eq!(named.len(), 3);
+        assert!(named.iter().all(|(_, o)| o.is_consistent()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

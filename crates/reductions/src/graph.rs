@@ -44,8 +44,8 @@ impl UndirectedGraph {
         &self.edges
     }
 
-    /// Neighbors of `v`, sorted after [`finish`](Self::finish) or any
-    /// query.
+    /// Neighbors of `v`, sorted after any triangle query (e.g.
+    /// [`has_triangle`](Self::has_triangle)).
     #[inline]
     pub fn neighbors(&self, v: u32) -> &[u32] {
         &self.adj[v as usize]

@@ -1,9 +1,9 @@
 //! The simulated transactional database.
 //!
 //! [`SimDb`] executes transaction specs against a shared versioned
-//! [`Store`](crate::store::Store), choosing visibility snapshots according
-//! to the configured [`DbIsolation`](crate::config::DbIsolation) mode and
-//! injecting anomalies at the configured rates.
+//! [`Store`], choosing visibility snapshots according to
+//! the configured [`DbIsolation`] mode and injecting anomalies at the
+//! configured rates.
 //!
 //! Transactions run either atomically ([`SimDb::execute`]) or op-by-op
 //! ([`SimDb::start`] / [`SimDb::step`]) so the harness can interleave

@@ -42,11 +42,13 @@ pub mod config;
 pub mod db;
 pub mod harness;
 mod inject;
+pub mod source;
 pub mod spec;
 pub mod store;
 
 pub use config::{AnomalyRates, DbIsolation, SimConfig};
 pub use db::{SimDb, TxnResult};
 pub use harness::{collect_history, Harness, Schedule};
+pub use source::SimSource;
 pub use spec::{OpSpec, TxnSource, TxnSpec};
 pub use store::{Snapshot, Store, Version};

@@ -198,6 +198,42 @@ impl Default for StreamConfig {
     }
 }
 
+impl From<&awdit_core::EngineConfig> for StreamConfig {
+    /// Projects the engine's unified config onto the streaming knobs, so
+    /// batch checks and online monitors built from one
+    /// [`Engine`](awdit_core::Engine) agree on their tuning
+    /// (`max_cycles` maps to [`max_cycle_reports`](StreamConfig::max_cycle_reports)).
+    ///
+    /// The engine's `cc_strategy` is **not** projected: the streaming
+    /// checker runs a single incremental CC kernel, so online verdicts
+    /// are strategy-independent by construction.
+    fn from(cfg: &awdit_core::EngineConfig) -> Self {
+        StreamConfig {
+            level: cfg.level,
+            prune: cfg.prune,
+            prune_interval: cfg.prune_interval,
+            max_cycle_reports: cfg.max_cycles,
+            threads: cfg.threads,
+        }
+    }
+}
+
+/// Streaming extension methods for the core [`Engine`](awdit_core::Engine)
+/// handle (`awdit-core` cannot name this crate's types, so the wiring
+/// lives here).
+pub trait EngineExt {
+    /// An [`OnlineChecker`] configured from the engine's
+    /// [`EngineConfig`](awdit_core::EngineConfig) — the `watch` entry
+    /// point of the engine API.
+    fn watch(&self) -> OnlineChecker;
+}
+
+impl EngineExt for awdit_core::Engine {
+    fn watch(&self) -> OnlineChecker {
+        OnlineChecker::with_config(StreamConfig::from(self.config()))
+    }
+}
+
 /// The final result of a stream check.
 #[derive(Clone, Debug)]
 pub struct StreamOutcome {
@@ -1329,5 +1365,41 @@ impl OnlineChecker {
             };
             self.emit_core(v);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::Engine;
+
+    #[test]
+    fn stream_config_projects_engine_config() {
+        let engine = Engine::builder()
+            .level(IsolationLevel::ReadAtomic)
+            .max_cycles(7)
+            .threads(3)
+            .prune(false)
+            .prune_interval(99)
+            .build();
+        let cfg = StreamConfig::from(engine.config());
+        assert_eq!(cfg.level, IsolationLevel::ReadAtomic);
+        assert_eq!(cfg.max_cycle_reports, 7);
+        assert_eq!(cfg.threads, 3);
+        assert!(!cfg.prune);
+        assert_eq!(cfg.prune_interval, 99);
+    }
+
+    #[test]
+    fn engine_watch_checks_online() {
+        let engine = Engine::builder().level(IsolationLevel::Causal).build();
+        let mut c = engine.watch();
+        c.begin(0).unwrap();
+        c.write(0, 1, 10).unwrap();
+        c.commit(0).unwrap();
+        c.begin(1).unwrap();
+        c.read(1, 1, 10).unwrap();
+        c.commit(1).unwrap();
+        assert!(c.finish().unwrap().is_consistent());
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! A `StreamIndex` is the streaming mirror of
 //! [`awdit_core::HistoryIndex`]: it implements
-//! [`CommitView`](awdit_core::incremental::CommitView) so the saturation
+//! [`CommitView`] so the saturation
 //! kernels cannot tell batch and stream apart. Dense ids are *slab slots*:
 //! watermark pruning retires a transaction, frees its slot, and a later
 //! transaction may reuse it — keeping memory proportional to the number of

@@ -54,7 +54,9 @@ pub mod event;
 pub mod index;
 pub mod stats;
 
-pub use checker::{OnlineChecker, StreamConfig, StreamError, StreamOutcome, StreamViolation};
+pub use checker::{
+    EngineExt, OnlineChecker, StreamConfig, StreamError, StreamOutcome, StreamViolation,
+};
 pub use dag::{DagEdge, IncrementalDag};
 pub use event::{events_of_history, Event};
 pub use index::{StreamIndex, TxnMeta};

@@ -3,23 +3,24 @@
 //!
 //! This facade crate re-exports the whole workspace under one roof:
 //!
-//! * [`core`](awdit_core) — the paper's contribution: optimal checkers for
+//! * [`core`] — the paper's contribution: optimal checkers for
 //!   Read Committed, Read Atomic, and Causal Consistency
-//!   (`O(n^{3/2})`, `O(n^{3/2})`, `O(n·k)`), with witness reporting.
-//! * [`formats`](awdit_formats) — history file formats (native, Plume-,
-//!   DBCop-, Cobra-style).
-//! * [`simdb`](awdit_simdb) — a deterministic transactional KV-store
+//!   (`O(n^{3/2})`, `O(n^{3/2})`, `O(n·k)`), with witness reporting, and
+//!   the reusable [`Engine`] handle for embedded/batched checking.
+//! * [`formats`] — history file formats (native, Plume-,
+//!   DBCop-, Cobra-style), history sources, and machine-readable reports.
+//! * [`simdb`] — a deterministic transactional KV-store
 //!   simulator with pluggable isolation semantics and anomaly injection
 //!   (the reproduction's stand-in for PostgreSQL/CockroachDB/RocksDB).
-//! * [`workloads`](awdit_workloads) — TPC-C-, C-Twitter-, and RUBiS-style
+//! * [`workloads`] — TPC-C-, C-Twitter-, and RUBiS-style
 //!   workload generators.
-//! * [`reductions`](awdit_reductions) — the triangle-freeness reductions
+//! * [`reductions`] — the triangle-freeness reductions
 //!   behind the paper's lower bounds.
-//! * [`baselines`](awdit_baselines) — Plume-, DBCop-, and SAT-style
+//! * [`baselines`] — Plume-, DBCop-, and SAT-style
 //!   competitor checkers plus reference oracles.
-//! * [`sat`](awdit_sat) — a CDCL SAT solver (substrate for the SAT-based
+//! * [`sat`] — a CDCL SAT solver (substrate for the SAT-based
 //!   baselines).
-//! * [`stream`](awdit_stream) — the online checker: incremental
+//! * [`stream`] — the online checker: incremental
 //!   saturation over transaction event streams with watermark-based
 //!   pruning and bounded memory.
 //!
@@ -57,11 +58,15 @@ pub use awdit_stream as stream;
 pub use awdit_workloads as workloads;
 
 pub use awdit_core::{
-    check, check_all_levels, check_all_levels_with, check_with, validate_commit_order, BuildError,
-    CheckOptions, History, HistoryBuilder, HistoryStats, IsolationLevel, Outcome, Verdict,
-    Violation, ViolationKind,
+    check, check_all_levels, check_all_levels_with, check_with, collect_source,
+    validate_commit_order, BuildError, CheckOptions, Engine, EngineBuilder, EngineConfig,
+    EngineStats, History, HistoryBuilder, HistorySource, HistoryStats, IsolationLevel, Outcome,
+    SourceError, SourcedHistory, Verdict, Violation, ViolationKind,
 };
-pub use awdit_formats::{parse_auto, parse_history, write_history, Format};
-pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig};
-pub use awdit_stream::{Event, OnlineChecker, StreamConfig, StreamOutcome, StreamStats};
+pub use awdit_formats::{
+    parse_auto, parse_history, write_history, DirSource, FilesSource, Format, HistoryReport,
+    JsonSink, LevelReport, Report, ReportSink, TextSink,
+};
+pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig, SimSource};
+pub use awdit_stream::{EngineExt, Event, OnlineChecker, StreamConfig, StreamOutcome, StreamStats};
 pub use awdit_workloads::Benchmark;
