@@ -8,7 +8,7 @@
 //! awdit watch [--isolation rc|ra|cc] [--threads N] [--cc-strategy S]
 //!             [--no-prune] [--follow] FILE|-
 //! awdit stats FILE
-//! awdit convert --to FORMAT -o OUT FILE
+//! awdit convert [--to FORMAT] IN [OUT]
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
 //!                --sessions K --txns N --seed S [-o OUT] [--format FORMAT]
 //! ```
@@ -24,17 +24,19 @@
 //! * `2` — usage or input error (unknown flags, unreadable files, parse
 //!   failures).
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use awdit_core::{
-    collect_source, CcStrategy, Engine, EngineConfig, HistoryStats, IsolationLevel, SourcedHistory,
+    collect_source, CcStrategy, Engine, EngineConfig, History, HistoryBuilder, HistorySource,
+    HistoryStats, IsolationLevel, Outcome, SourcedHistory,
 };
 use awdit_formats::{
-    parse_auto, parse_history, write_history, DirSource, FilesSource, Format, HistoryReport,
-    JsonSink, Report, ReportSink, TextSink,
+    read_auto, read_history, write_history_events_to, write_history_to, DirSource, FilesSource,
+    Format, HistoryReport, JsonSink, Report, ReportSink, TextSink,
 };
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
-use awdit_stream::{events_of_history, EngineExt, OnlineChecker};
+use awdit_stream::{EngineExt, OnlineChecker};
 use awdit_workloads::{Benchmark, Uniform};
 
 fn main() -> ExitCode {
@@ -81,17 +83,18 @@ USAGE:
                 [--follow] FILE|-   (NDJSON event stream)
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats FILE
-    awdit convert --to FMT [-o OUT] FILE
+    awdit convert [--format FMT] [--to FMT] IN [OUT]
     awdit generate --benchmark NAME --db MODE --sessions K --txns N
                    [--seed S] [--format FMT] [-o OUT]
 
 FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
-         check also auto-detects NDJSON event logs;
-         convert also accepts --to events (streaming NDJSON)
+         check and convert also auto-detect NDJSON event logs
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
 DB MODES: ser, causal, ra, rc
 THREADS: saturation worker threads (1 = sequential, 0 = all cores);
-         the verdict and witnesses are identical for every value
+         the verdict and witnesses are identical for every value;
+         at 1 thread `check` streams each file straight into the
+         engine's recycled ingest arenas (lowest peak memory)
 CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
          implementations of the batch Causal Consistency checker
          (Algorithm 3); `watch` accepts the flag for config parity, but
@@ -100,6 +103,11 @@ CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
 CHECK: accepts several FILEs and/or a DIR (every file inside, sorted);
          --report json emits the versioned machine-readable report
          (schema v1), --output writes the report to a file
+CONVERT: streams IN (any supported format, auto-detected) to OUT via the
+         incremental reader/writer pairs; the output format comes from
+         --to (native|plume|dbcop|cobra|events) or OUT's extension
+         (.awdit/.plume/.dbcop/.cobra/.ndjson); `-o OUT` also works, and
+         omitting OUT writes to stdout (--to required)
 EXIT CODES: 0 = consistent, 1 = any history inconsistent,
          2 = usage or parse error"
     );
@@ -146,15 +154,23 @@ impl Flags {
     }
 }
 
-fn load_history(path: &str, format: Option<&str>) -> Result<awdit_core::History, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+/// Streams one history file into a fresh builder — line by line, no
+/// full-file `String` (the `check` path goes further and streams into the
+/// engine's recycled arenas).
+fn load_history(path: &str, format: Option<&str>) -> Result<History, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let mut b = HistoryBuilder::new();
     match format {
-        None | Some("auto") => parse_auto(&text).map_err(|e| format!("{path}: {e}")),
+        None | Some("auto") => {
+            read_auto(reader, &mut b).map_err(|e| format!("{path}: {e}"))?;
+        }
         Some(f) => {
             let fmt: Format = f.parse()?;
-            parse_history(&text, fmt).map_err(|e| format!("{path}: {e}"))
+            read_history(reader, fmt, &mut b).map_err(|e| format!("{path}: {e}"))?;
         }
     }
+    b.finish().map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_threads(flags: &Flags) -> Result<usize, String> {
@@ -181,31 +197,43 @@ fn parse_witnesses(flags: &Flags, default: usize) -> Result<usize, String> {
         .map(|w| w.unwrap_or(default))
 }
 
+/// The optional `--format` pin shared by `check`/`convert`.
+fn parse_format_flag(flags: &Flags) -> Result<Option<Format>, String> {
+    match flags.get("format") {
+        None | Some("auto") => Ok(None),
+        Some(f) => Ok(Some(f.parse()?)),
+    }
+}
+
+/// Resolves one `check` positional — a file or a directory — into a
+/// history source (shared by the streaming and materializing paths).
+fn make_source(path: &str, format: Option<Format>) -> Result<Box<dyn HistorySource>, String> {
+    if std::path::Path::new(path).is_dir() {
+        let mut src = DirSource::new(path).map_err(|e| e.to_string())?;
+        if let Some(f) = format {
+            src = src.with_format(f);
+        }
+        if src.is_empty() {
+            return Err(format!("{path}: directory holds no history files"));
+        }
+        Ok(Box::new(src))
+    } else {
+        let mut src = FilesSource::new([path]);
+        if let Some(f) = format {
+            src = src.with_format(f);
+        }
+        Ok(Box::new(src))
+    }
+}
+
 /// Expands the `check` positionals — files and/or directories — into
 /// named histories, in argument order (directory contents sorted).
 fn gather_histories(flags: &Flags) -> Result<Vec<SourcedHistory>, String> {
-    let format: Option<Format> = match flags.get("format") {
-        None | Some("auto") => None,
-        Some(f) => Some(f.parse()?),
-    };
+    let format = parse_format_flag(flags)?;
     let mut sourced = Vec::new();
     for p in &flags.positional {
-        if std::path::Path::new(p).is_dir() {
-            let mut src = DirSource::new(p).map_err(|e| e.to_string())?;
-            if let Some(f) = format {
-                src = src.with_format(f);
-            }
-            if src.is_empty() {
-                return Err(format!("{p}: directory holds no history files"));
-            }
-            sourced.extend(collect_source(&mut src).map_err(|e| e.to_string())?);
-        } else {
-            let mut src = FilesSource::new([p.as_str()]);
-            if let Some(f) = format {
-                src = src.with_format(f);
-            }
-            sourced.extend(collect_source(&mut src).map_err(|e| e.to_string())?);
-        }
+        let mut src = make_source(p, format)?;
+        sourced.extend(collect_source(src.as_mut()).map_err(|e| e.to_string())?);
     }
     Ok(sourced)
 }
@@ -227,35 +255,60 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         ..EngineConfig::default()
     };
 
-    let sourced = gather_histories(&flags)?;
     let mut engine = Engine::with_config(cfg);
     let mut reports: Vec<HistoryReport> = Vec::new();
 
-    if isolation == "all" {
-        // One shared index + Read Consistency pass across all three levels.
-        for s in &sourced {
-            let started = std::time::Instant::now();
-            let outcomes = engine.check_all_levels(&s.history);
-            let ms = started.elapsed().as_secs_f64() * 1e3;
-            reports.push(HistoryReport::new(&s.name, &s.history, &outcomes, ms));
+    if cfg.threads == 1 {
+        // Streaming fast path: every file's records go straight into the
+        // engine's recycled ingest arenas — no whole-file `String`, no
+        // per-history materialization outside the engine. The reported
+        // per-history time covers load + check.
+        let level: Option<IsolationLevel> = if isolation == "all" {
+            None
+        } else {
+            Some(isolation.parse().map_err(|e| format!("{e}"))?)
+        };
+        let format = parse_format_flag(&flags)?;
+        for p in &flags.positional {
+            let mut src = make_source(p, format)?;
+            loop {
+                let started = std::time::Instant::now();
+                let name = match src.next_into(&mut engine) {
+                    None => break,
+                    Some(Err(e)) => return Err(e.to_string()),
+                    Some(Ok(name)) => name,
+                };
+                let outcomes: Vec<Outcome> = match level {
+                    None => engine
+                        .finish_ingest_all_levels()
+                        .map_err(|e| format!("{name}: {e}"))?
+                        .to_vec(),
+                    Some(level) => vec![engine
+                        .finish_ingest_level(level)
+                        .map_err(|e| format!("{name}: {e}"))?],
+                };
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                reports.push(HistoryReport::new(&name, engine.ingested(), &outcomes, ms));
+            }
         }
     } else {
-        let level: IsolationLevel = isolation.parse().map_err(|e| format!("{e}"))?;
-        let threads = cfg.threads;
-        if threads == 1 || sourced.len() <= 1 {
-            // Sequential: exact per-history wall-clock.
+        let sourced = gather_histories(&flags)?;
+        if isolation == "all" {
+            // One shared index + Read Consistency pass across all three
+            // levels.
             for s in &sourced {
                 let started = std::time::Instant::now();
-                let outcome = engine.check_level(&s.history, level);
+                let outcomes = engine.check_all_levels(&s.history);
                 let ms = started.elapsed().as_secs_f64() * 1e3;
-                reports.push(HistoryReport::new(&s.name, &s.history, &[outcome], ms));
+                reports.push(HistoryReport::new(&s.name, &s.history, &outcomes, ms));
             }
         } else {
             // Batched through the engine's pool; per-history time is the
             // amortized share of the batch wall-clock.
+            let level: IsolationLevel = isolation.parse().map_err(|e| format!("{e}"))?;
             let started = std::time::Instant::now();
             let outcomes = engine.check_many_level(sourced.iter().map(|s| &s.history), level);
-            let ms = started.elapsed().as_secs_f64() * 1e3 / sourced.len() as f64;
+            let ms = started.elapsed().as_secs_f64() * 1e3 / sourced.len().max(1) as f64;
             for (s, outcome) in sourced.iter().zip(outcomes) {
                 reports.push(HistoryReport::new(&s.name, &s.history, &[outcome], ms));
             }
@@ -317,10 +370,21 @@ fn cmd_shrink(args: &[String]) -> Result<ExitCode, String> {
         history.size(),
         small.size()
     );
-    let text = write_history(&small, Format::Native);
     match flags.get("out") {
-        Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
-        None => print!("{text}"),
+        Some(out) => {
+            let file =
+                std::fs::File::create(out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            write_history_to(&small, Format::Native, &mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        }
+        None => {
+            let mut out = std::io::stdout().lock();
+            write_history_to(&small, Format::Native, &mut out)
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("cannot write shrunk history: {e}"))?;
+        }
     }
     // Show the witness on the shrunk history (through the engine, like
     // every other check the CLI runs).
@@ -346,24 +410,85 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// What `convert` writes: a history file format, or the NDJSON event
+/// stream `awdit watch` consumes.
+enum ConvertTarget {
+    History(Format),
+    Events,
+}
+
+/// Resolves the output format of `convert`: an explicit `--to`, or the
+/// output path's extension (`.ndjson`/`.jsonl` mean events).
+fn convert_target(to: Option<&str>, out_path: Option<&str>) -> Result<ConvertTarget, String> {
+    if let Some(to) = to {
+        if matches!(to, "events" | "ndjson") {
+            return Ok(ConvertTarget::Events);
+        }
+        return Ok(ConvertTarget::History(to.parse()?));
+    }
+    let Some(path) = out_path else {
+        return Err("convert: missing --to FORMAT (required when writing to stdout)".to_string());
+    };
+    let ext = std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    if matches!(ext, "ndjson" | "jsonl") {
+        return Ok(ConvertTarget::Events);
+    }
+    ext.parse()
+        .map(ConvertTarget::History)
+        .map_err(|_| format!("convert: cannot infer a format from `{path}` (use --to FORMAT)"))
+}
+
 fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args)?;
-    let path = flags
+    let input = flags
         .positional
         .first()
-        .ok_or("convert: missing history file")?;
-    let to = flags.get("to").ok_or("convert: missing --to FORMAT")?;
-    let history = load_history(path, flags.get("format"))?;
-    let text = if to == "events" {
-        awdit_formats::write_events(&events_of_history(&history))
-    } else {
-        let to: Format = to.parse()?;
-        write_history(&history, to)
-    };
-    match flags.get("out") {
-        Some(out) => std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?,
-        None => print!("{text}"),
+        .ok_or("convert: missing input history file")?;
+    // `awdit convert IN OUT`, or the flag spelling `-o OUT`.
+    let out_path = flags
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or(flags.get("out"));
+    let target = convert_target(flags.get("to"), out_path)?;
+
+    // Input side: stream-parse (auto-detected, NDJSON event logs
+    // included) into one columnar history; `--format` pins the reader.
+    let format = parse_format_flag(&flags)?;
+    let mut src = FilesSource::new([input.as_str()]);
+    if let Some(f) = format {
+        src = src.with_format(f);
     }
+    let sourced = src
+        .next_history()
+        .expect("one input path")
+        .map_err(|e| e.to_string())?;
+
+    // Output side: the symmetric streaming writers — records go to the
+    // (buffered) sink as they are produced, no output `String`.
+    fn emit<W: std::io::Write>(
+        history: &History,
+        target: &ConvertTarget,
+        mut out: W,
+    ) -> std::io::Result<()> {
+        match target {
+            ConvertTarget::History(f) => write_history_to(history, *f, &mut out)?,
+            ConvertTarget::Events => write_history_events_to(history, &mut out)?,
+        }
+        out.flush()
+    }
+    let result = match out_path {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            emit(&sourced.history, &target, std::io::BufWriter::new(file))
+        }
+        None => emit(&sourced.history, &target, std::io::stdout().lock()),
+    };
+    result.map_err(|e| format!("convert: {e}"))?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -404,13 +529,22 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
     .map_err(|e| format!("generation failed: {e}"))?;
 
     let format: Format = flags.get("format").unwrap_or("native").parse()?;
-    let text = write_history(&history, format);
     match flags.get("out") {
         Some(out) => {
-            std::fs::write(out, text).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            let file =
+                std::fs::File::create(out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            write_history_to(&history, format, &mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("cannot write `{out}`: {e}"))?;
             eprintln!("wrote {} ({})", out, HistoryStats::of(&history));
         }
-        None => print!("{text}"),
+        None => {
+            let mut out = std::io::stdout().lock();
+            write_history_to(&history, format, &mut out)
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("cannot write history: {e}"))?;
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -393,3 +393,94 @@ fn check_accepts_ndjson_event_logs() {
     let _ = std::fs::remove_file(file);
     let _ = std::fs::remove_file(events);
 }
+
+/// The positional `convert IN OUT` form: the output format is inferred
+/// from OUT's extension, chaining a history through every supported
+/// format (and the NDJSON event form) and back without changing its
+/// verdicts.
+#[test]
+fn convert_positional_chains_all_formats() {
+    let src = tmp("chain.awdit");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "ser"])
+        .args(["--sessions", "3", "--txns", "60", "--seed", "5"])
+        .args(["-o", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    // native -> dbcop -> cobra -> plume -> events -> native, each leg
+    // inferring the target format from the output path's extension.
+    let mut files = vec![src.clone()];
+    for ext in ["dbcop", "cobra", "plume", "ndjson", "awdit"] {
+        let prev = files.last().unwrap().clone();
+        let next = tmp(&format!("chain2.{ext}"));
+        let out = awdit()
+            .args(["convert", prev.to_str().unwrap(), next.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "convert -> {ext}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        files.push(next);
+    }
+
+    // The fully chained file still checks consistent at every level.
+    let last = files.last().unwrap();
+    let out = awdit()
+        .args(["check", "--isolation", "all", last.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // ...and is byte-identical to converting the original directly
+    // (the chain loses nothing: ser histories are fully committed).
+    let direct = tmp("chain-direct.awdit");
+    awdit()
+        .args(["convert", src.to_str().unwrap(), direct.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        std::fs::read_to_string(last).unwrap(),
+        std::fs::read_to_string(&direct).unwrap()
+    );
+
+    for f in files {
+        let _ = std::fs::remove_file(f);
+    }
+    let _ = std::fs::remove_file(direct);
+}
+
+/// Convert usage errors keep the exit-code contract: code 2, nothing
+/// written.
+#[test]
+fn convert_usage_errors_exit_2() {
+    let src = tmp("cerr.awdit");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "ser"])
+        .args(["--sessions", "2", "--txns", "20", "--seed", "8"])
+        .args(["-o", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    // No --to and no output path: cannot infer a format.
+    let out = awdit()
+        .args(["convert", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown extension without --to.
+    let out = awdit()
+        .args(["convert", src.to_str().unwrap(), "/tmp/x.unknownext"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing input file.
+    let out = awdit()
+        .args(["convert", "/nonexistent.awdit", "--to", "cobra"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(src);
+}

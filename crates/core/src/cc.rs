@@ -28,7 +28,7 @@
 
 use crate::graph::{base_commit_graph, base_commit_graph_into, CommitGraph, Cycle, EdgeKind};
 use crate::incremental::{EdgeSink, FnvMap};
-use crate::index::HistoryIndex;
+use crate::index::{HistoryIndex, NONE};
 use crate::parallel;
 use crate::types::SessionId;
 use crate::vector_clock::VectorClock;
@@ -67,6 +67,171 @@ impl std::str::FromStr for CcStrategy {
                 "unknown CC strategy `{s}` (expected pointer-scan or binary-search)"
             )),
         }
+    }
+}
+
+/// Flat, recyclable storage for the CC happens-before clocks: one
+/// `k`-entry row per slot in a single buffer, plus the per-session
+/// frontier clocks and the per-writer scratch counters both strategy
+/// implementations stamp during a pass.
+///
+/// Replacing the former `Vec<VectorClock>` table (one heap allocation per
+/// transaction) with flat rows does two things: a saturation pass touches
+/// one contiguous buffer instead of `m` scattered vectors, and the whole
+/// table is an **arena** — [`begin`](Self::begin) re-arms it without
+/// freeing, so the [`Engine`](crate::Engine) recycles the clock storage
+/// across checks exactly like its index and graph arenas (the
+/// [`EngineStats::arena_growths`](crate::EngineStats) accounting covers
+/// it).
+///
+/// [`CcStrategy::PointerScan`] materializes all `m` rows;
+/// [`CcStrategy::BinarySearch`] allocates rows through the internal free
+/// list as clocks become live and releases them after their last reader,
+/// so its live-clock memory bound carries over — the arena's high-water
+/// mark is the peak live-clock count, not `m`.
+#[derive(Clone, Debug, Default)]
+pub struct ClockTable {
+    k: usize,
+    /// Slot rows: `slot * k .. (slot + 1) * k`.
+    rows: Vec<u32>,
+    /// Released slot ids, reused before growing `rows`.
+    free: Vec<u32>,
+    /// Per-transaction slot id ([`NONE`] when absent/released).
+    slot_of: Vec<u32>,
+    /// Session frontier clocks: `s * k .. (s + 1) * k`.
+    session: Vec<u32>,
+    /// The row being assembled for the current transaction.
+    cur: Vec<u32>,
+    /// Per-writer stamp (liveness counting pass).
+    stamp_a: Vec<u32>,
+    /// Per-writer stamp (join pass).
+    stamp_b: Vec<u32>,
+    /// Per-writer remaining-reader counts (liveness mode).
+    readers_left: Vec<u32>,
+}
+
+impl ClockTable {
+    /// An empty table, ready for [`begin`](Self::begin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-arms the table for a history with `k` sessions and `m` committed
+    /// transactions, keeping every buffer's capacity.
+    pub fn begin(&mut self, k: usize, m: usize) {
+        self.k = k;
+        self.rows.clear();
+        self.free.clear();
+        self.slot_of.clear();
+        self.slot_of.resize(m, NONE);
+        self.session.clear();
+        self.session.resize(k * k, 0);
+        self.cur.clear();
+        self.cur.resize(k, 0);
+        self.stamp_a.clear();
+        self.stamp_a.resize(m, u32::MAX);
+        self.stamp_b.clear();
+        self.stamp_b.resize(m, u32::MAX);
+        self.readers_left.clear();
+        self.readers_left.resize(m, 0);
+    }
+
+    /// Allocates a slot (free list first) whose row contents are
+    /// unspecified until written.
+    fn alloc(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = (self.rows.len() / self.k.max(1)) as u32;
+        self.rows.resize(self.rows.len() + self.k, 0);
+        slot
+    }
+
+    /// Stores the current row as transaction `d`'s clock.
+    fn store(&mut self, d: u32) {
+        let slot = self.alloc();
+        self.slot_of[d as usize] = slot;
+        let r = slot as usize * self.k;
+        self.rows[r..r + self.k].copy_from_slice(&self.cur);
+    }
+
+    /// Releases transaction `d`'s row back to the free list.
+    fn release(&mut self, d: u32) {
+        let slot = std::mem::replace(&mut self.slot_of[d as usize], NONE);
+        if slot != NONE {
+            self.free.push(slot);
+        }
+    }
+
+    /// The stored clock row of transaction `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d`'s clock was never stored or was already released.
+    #[inline]
+    pub fn row(&self, d: u32) -> &[u32] {
+        let slot = self.slot_of[d as usize];
+        assert!(slot != NONE, "clock of t{d} is not live");
+        let r = slot as usize * self.k;
+        &self.rows[r..r + self.k]
+    }
+
+    /// Heap footprint in bytes (capacities, not lengths) — the quantity
+    /// tracked by the engine's arena-growth accounting.
+    pub fn heap_bytes(&self) -> usize {
+        (self.rows.capacity()
+            + self.free.capacity()
+            + self.slot_of.capacity()
+            + self.session.capacity()
+            + self.cur.capacity()
+            + self.stamp_a.capacity()
+            + self.stamp_b.capacity()
+            + self.readers_left.capacity())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Joins the writers' clocks of `d`'s external reads into the current
+    /// row (seeded from `d`'s session frontier) and advances `d`'s own
+    /// entry, then publishes the row as the new session frontier.
+    /// Deduplication of repeated writers uses `stamp_b`.
+    fn compute_row(&mut self, index: &HistoryIndex, d: u32) {
+        let s = index.session_of(d) as usize;
+        let k = self.k;
+        // `cur` and `session` never alias: copy via split borrows.
+        let (session, cur) = (&self.session[s * k..(s + 1) * k], &mut self.cur);
+        cur.copy_from_slice(session);
+        for r in index.ext_reads(d) {
+            let w = r.writer as usize;
+            if self.stamp_b[w] != d {
+                self.stamp_b[w] = d;
+                let slot = self.slot_of[w];
+                debug_assert!(slot != NONE, "writer processed before reader");
+                let row = &self.rows[slot as usize * k..(slot as usize + 1) * k];
+                for (c, &v) in self.cur.iter_mut().zip(row) {
+                    if *c < v {
+                        *c = v;
+                    }
+                }
+            }
+        }
+        let pos = index.committed_pos(d) + 1;
+        if self.cur[s] < pos {
+            self.cur[s] = pos;
+        }
+        self.session[s * k..(s + 1) * k].copy_from_slice(&self.cur);
+    }
+}
+
+/// `ComputeHB` into a recycled [`ClockTable`]: the full clock table, one
+/// row per committed transaction, computed along a topological order of
+/// `so ∪ wr`. Entry `s` of row `t` is the number of committed transactions
+/// of session `s` that happen before `t` — counting `t` itself for its own
+/// session, i.e. the *inclusive* clock.
+pub fn compute_hb_into(index: &HistoryIndex, topo: &[u32], table: &mut ClockTable) {
+    table.begin(index.num_sessions(), index.num_committed());
+    for &t in topo {
+        table.compute_row(index, t);
+        table.store(t);
     }
 }
 
@@ -113,6 +278,25 @@ pub fn saturate_cc_into(
     threads: usize,
     g: &mut CommitGraph,
 ) -> Result<(), Vec<Cycle>> {
+    let mut clocks = ClockTable::new();
+    saturate_cc_scratch(index, strategy, threads, g, &mut clocks)
+}
+
+/// [`saturate_cc_into`] with a caller-owned [`ClockTable`] as well — the
+/// fully-recycled form the [`Engine`](crate::Engine) runs: graph *and*
+/// clock arenas are re-armed in place, so a same-shape check allocates
+/// nothing.
+///
+/// # Errors
+///
+/// As [`saturate_cc`].
+pub fn saturate_cc_scratch(
+    index: &HistoryIndex,
+    strategy: CcStrategy,
+    threads: usize,
+    g: &mut CommitGraph,
+    clocks: &mut ClockTable,
+) -> Result<(), Vec<Cycle>> {
     base_commit_graph_into(index, g);
     let topo = match g.topological_order() {
         Some(t) => t,
@@ -121,48 +305,39 @@ pub fn saturate_cc_into(
     let threads = parallel::effective_threads(threads);
     if threads <= 1 || index.num_committed() < parallel::SEQUENTIAL_CUTOFF {
         match strategy {
-            CcStrategy::PointerScan => pointer_scan(index, g, &topo),
-            CcStrategy::BinarySearch => binary_search(index, g, &topo),
+            CcStrategy::PointerScan => pointer_scan(index, g, &topo, clocks),
+            CcStrategy::BinarySearch => binary_search(index, g, &topo, clocks),
         }
         return Ok(());
     }
     match strategy {
-        CcStrategy::PointerScan => pointer_scan_par(index, g, &topo, threads),
-        CcStrategy::BinarySearch => binary_search_par(index, g, &topo, threads),
+        CcStrategy::PointerScan => pointer_scan_par(index, g, &topo, threads, clocks),
+        CcStrategy::BinarySearch => binary_search_par(index, g, &topo, threads, clocks),
     }
     Ok(())
 }
 
-/// `ComputeHB`: the full clock table, one vector clock per committed
+/// `ComputeHB`: the full clock table as one [`VectorClock`] per committed
 /// transaction, computed along a topological order of `so ∪ wr`.
 ///
 /// Entry `s` of `clock[t]` is the number of committed transactions of
 /// session `s` that happen before `t` — counting `t` itself for its own
-/// session, i.e. the *inclusive* clock.
+/// session, i.e. the *inclusive* clock. This is the boxed-clock
+/// convenience form; the saturators themselves run on the flat
+/// [`ClockTable`] via [`compute_hb_into`].
 pub fn compute_hb(index: &HistoryIndex, g: &CommitGraph, topo: &[u32]) -> Vec<VectorClock> {
+    let _ = g; // the base graph fixes the topological order's domain
     let k = index.num_sessions();
-    let m = index.num_committed();
-    let mut clocks: Vec<VectorClock> = vec![VectorClock::new(0); m];
-    let mut session_clock: Vec<VectorClock> = vec![VectorClock::new(k); k];
-
-    // Writers joined per reader: collect wr predecessors from the base
-    // graph's *successor* lists by a reverse pass? Cheaper: readers pull
-    // from `ext_reads`, deduplicating writers on the fly.
-    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
+    let mut table = ClockTable::new();
+    compute_hb_into(index, topo, &mut table);
+    let mut clocks: Vec<VectorClock> = vec![VectorClock::new(0); index.num_committed()];
     for &t in topo {
-        let s = index.session_of(t) as usize;
-        let mut c = session_clock[s].clone();
-        for r in index.ext_reads(t) {
-            if writer_stamp[r.writer as usize] != t {
-                writer_stamp[r.writer as usize] = t;
-                c.join(&clocks[r.writer as usize]);
-            }
+        let mut c = VectorClock::new(k);
+        for (s, &v) in table.row(t).iter().enumerate() {
+            c.advance(s, v);
         }
-        c.advance(s, index.committed_pos(t) + 1);
-        session_clock[s] = c.clone();
         clocks[t as usize] = c;
     }
-    let _ = g; // the base graph fixes the topological order's domain
     clocks
 }
 
@@ -171,25 +346,20 @@ pub fn compute_hb(index: &HistoryIndex, g: &CommitGraph, topo: &[u32]) -> Vec<Ve
 /// `g`. The pointer table is private to the session (the monotonicity that
 /// makes the scans amortize holds only while `t3` advances within one
 /// session), so distinct sessions can run on distinct workers.
-fn pointer_scan_session<G: EdgeSink>(
-    index: &HistoryIndex,
-    clocks: &[VectorClock],
-    s: u32,
-    g: &mut G,
-) {
+fn pointer_scan_session<G: EdgeSink>(index: &HistoryIndex, clocks: &ClockTable, s: u32, g: &mut G) {
     // Pointers into Writes_s'[x], keyed by (s', key).
     let mut ptr: FnvMap<(u32, crate::types::Key), usize> = FnvMap::default();
     for &t3 in index.session_committed(SessionId(s)) {
-        let clock = &clocks[t3 as usize];
+        let clock = clocks.row(t3);
         for &(x, t1) in index.read_pairs(t3) {
             // Only sessions that write x can contribute a last writer.
             for (s_prime, writes) in index.key_writes(x) {
                 // Strict happens-before: own session excludes t3 itself
                 // (its inclusive entry is pos+1).
                 let bound = if s_prime == s {
-                    clock.get(s_prime as usize).saturating_sub(1)
+                    clock[s_prime as usize].saturating_sub(1)
                 } else {
-                    clock.get(s_prime as usize)
+                    clock[s_prime as usize]
                 };
                 let p = ptr.entry((s_prime, x)).or_insert(0);
                 while *p < writes.len() && index.committed_pos(writes[*p]) < bound {
@@ -207,22 +377,29 @@ fn pointer_scan_session<G: EdgeSink>(
 }
 
 /// Algorithm 3's main loop with monotone `lastWrite` pointers.
-fn pointer_scan(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32]) {
-    let clocks = compute_hb(index, g, topo);
+fn pointer_scan(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], clocks: &mut ClockTable) {
+    compute_hb_into(index, topo, clocks);
     for s in 0..index.num_sessions() as u32 {
-        pointer_scan_session(index, &clocks, s, g);
+        pointer_scan_session(index, &*clocks, s, g);
     }
 }
 
 /// Sharded [`pointer_scan`]: contiguous session groups (weighted by their
 /// transaction counts) across workers, merged in group order.
-fn pointer_scan_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], threads: usize) {
-    let clocks = compute_hb(index, g, topo);
+fn pointer_scan_par(
+    index: &HistoryIndex,
+    g: &mut CommitGraph,
+    topo: &[u32],
+    threads: usize,
+    clocks: &mut ClockTable,
+) {
+    compute_hb_into(index, topo, clocks);
+    let clocks = &*clocks;
     let groups = parallel::session_groups(index, threads * 2);
     let sinks = parallel::map_shards(threads, &groups, |_, sessions| {
         let mut sink = parallel::EdgeBuf::new();
         for s in sessions.clone() {
-            pointer_scan_session(index, &clocks, s as u32, &mut sink);
+            pointer_scan_session(index, clocks, s as u32, &mut sink);
         }
         sink
     });
@@ -230,17 +407,24 @@ fn pointer_scan_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], thr
 }
 
 /// Sharded `BinarySearch` strategy: the clock table is materialized by the
-/// sequential [`compute_hb`] pass, then contiguous chunks of the
+/// sequential [`compute_hb_into`] pass, then contiguous chunks of the
 /// topological order run [`infer_cc_edges`] on workers, merged in chunk
 /// order (identical emission to the sequential on-the-fly variant, which
 /// also processes transactions in topological order).
-fn binary_search_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], threads: usize) {
-    let clocks = compute_hb(index, g, topo);
+fn binary_search_par(
+    index: &HistoryIndex,
+    g: &mut CommitGraph,
+    topo: &[u32],
+    threads: usize,
+    clocks: &mut ClockTable,
+) {
+    compute_hb_into(index, topo, clocks);
+    let clocks = &*clocks;
     let shards = parallel::split_even(topo.len(), threads * 4);
     let sinks = parallel::map_shards(threads, &shards, |_, range| {
         let mut sink = parallel::EdgeBuf::new();
         for &t3 in &topo[range.start as usize..range.end as usize] {
-            crate::incremental::infer_cc_edges(index, t3, &clocks[t3 as usize], &mut sink);
+            crate::incremental::infer_cc_edges(index, t3, clocks.row(t3), &mut sink);
         }
         sink
     });
@@ -248,52 +432,47 @@ fn binary_search_par(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], th
 }
 
 /// The released tool's variant: clocks on the fly along the topological
-/// order, freed after their last reader; binary search for visible writers.
-fn binary_search(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32]) {
-    let k = index.num_sessions();
+/// order, released back to the table's free list after their last reader
+/// (live-clock memory only); binary search for visible writers.
+fn binary_search(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], clocks: &mut ClockTable) {
     let m = index.num_committed();
+    clocks.begin(index.num_sessions(), m);
 
     // Number of distinct reader transactions per writer, so clocks can be
-    // freed eagerly.
-    let mut readers_left: Vec<u32> = vec![0; m];
-    let mut writer_stamp: Vec<u32> = vec![u32::MAX; m];
+    // released eagerly.
     for t in 0..m as u32 {
         for r in index.ext_reads(t) {
-            if writer_stamp[r.writer as usize] != t {
-                writer_stamp[r.writer as usize] = t;
-                readers_left[r.writer as usize] += 1;
+            if clocks.stamp_a[r.writer as usize] != t {
+                clocks.stamp_a[r.writer as usize] = t;
+                clocks.readers_left[r.writer as usize] += 1;
             }
         }
     }
 
-    let mut clocks: Vec<Option<VectorClock>> = vec![None; m];
-    let mut session_clock: Vec<VectorClock> = vec![VectorClock::new(k); k];
-    let mut writer_stamp2: Vec<u32> = vec![u32::MAX; m];
-
     for &t3 in topo {
-        let s = index.session_of(t3) as usize;
-        let mut c = std::mem::replace(&mut session_clock[s], VectorClock::new(0));
+        clocks.compute_row(index, t3);
         for r in index.ext_reads(t3) {
             let w = r.writer as usize;
-            if writer_stamp2[w] != t3 {
-                writer_stamp2[w] = t3;
-                c.join(clocks[w].as_ref().expect("writer processed before reader"));
-                readers_left[w] -= 1;
-                if readers_left[w] == 0 {
-                    clocks[w] = None;
+            // Dedup repeated reads of one writer by stamping `stamp_a` with
+            // `!t3`: the counting pass above stamped with plain reader ids
+            // (`< m`), so complements (`> u32::MAX - m`) cannot collide with
+            // them for any m < 2^31.
+            if clocks.stamp_a[w] != !t3 {
+                clocks.stamp_a[w] = !t3;
+                clocks.readers_left[w] -= 1;
+                if clocks.readers_left[w] == 0 {
+                    clocks.release(r.writer);
                 }
             }
         }
-        c.advance(s, index.committed_pos(t3) + 1);
 
         // Inference for t3, immediately while its clock is at hand — the
         // shared per-transaction body also driven by the streaming checker.
-        crate::incremental::infer_cc_edges(index, t3, &c, g);
+        crate::incremental::infer_cc_edges(index, t3, &clocks.cur, g);
 
-        if readers_left[t3 as usize] > 0 {
-            clocks[t3 as usize] = Some(c.clone());
+        if clocks.readers_left[t3 as usize] > 0 {
+            clocks.store(t3);
         }
-        session_clock[s] = c;
     }
 }
 
@@ -482,6 +661,84 @@ mod tests {
         assert_eq!(clocks[t_reader as usize].get(0), 1);
         assert_eq!(clocks[t_next as usize].get(0), 1);
         assert!(clocks[t_reader as usize].le(&clocks[t_next as usize]));
+    }
+
+    /// The clock table is an arena: a second same-shape saturation (with
+    /// either strategy) reuses every buffer, growing nothing.
+    #[test]
+    fn clock_table_recycles_across_saturations() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        for k in 0..32u64 {
+            b.begin(s1);
+            b.write(s1, k, k + 1);
+            b.commit(s1);
+            b.begin(s2);
+            b.read(s2, k, k + 1);
+            b.commit(s2);
+        }
+        let h = b.finish().unwrap();
+        let index = HistoryIndex::new(&h);
+        for strategy in [CcStrategy::PointerScan, CcStrategy::BinarySearch] {
+            let mut table = ClockTable::new();
+            let mut g = CommitGraph::new(0);
+            saturate_cc_scratch(&index, strategy, 1, &mut g, &mut table).unwrap();
+            let edges = g.num_edges();
+            let bytes = table.heap_bytes();
+            assert!(bytes > 0, "{strategy}: table must hold clock storage");
+            for _ in 0..3 {
+                g.reset(0);
+                saturate_cc_scratch(&index, strategy, 1, &mut g, &mut table).unwrap();
+                assert_eq!(g.num_edges(), edges, "{strategy}");
+                assert_eq!(
+                    table.heap_bytes(),
+                    bytes,
+                    "{strategy}: same-shape saturation must not grow the clock arena"
+                );
+            }
+        }
+    }
+
+    /// The binary-search strategy's live-clock bound carries over to the
+    /// arena: a long chain of single-reader transactions keeps the row
+    /// high-water mark small instead of materializing one row per
+    /// transaction.
+    #[test]
+    fn binary_search_arena_stays_live_bounded() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session();
+        let s2 = b.session();
+        // s2's txn i reads s1's txn i: each writer clock is released as
+        // soon as its single reader is processed.
+        for k in 0..256u64 {
+            b.begin(s1);
+            b.write(s1, k, k + 1);
+            b.commit(s1);
+            b.begin(s2);
+            b.read(s2, k, k + 1);
+            b.commit(s2);
+        }
+        let h = b.finish().unwrap();
+        let index = HistoryIndex::new(&h);
+        let m = index.num_committed();
+        let k = index.num_sessions();
+
+        let mut bs = ClockTable::new();
+        let mut g = CommitGraph::new(0);
+        saturate_cc_scratch(&index, CcStrategy::BinarySearch, 1, &mut g, &mut bs).unwrap();
+        let mut ps = ClockTable::new();
+        let mut g2 = CommitGraph::new(0);
+        saturate_cc_scratch(&index, CcStrategy::PointerScan, 1, &mut g2, &mut ps).unwrap();
+
+        // Pointer-scan materializes all m rows; binary-search far fewer.
+        assert_eq!(ps.rows.len(), m * k);
+        assert!(
+            bs.rows.len() * 4 < ps.rows.len(),
+            "live-bounded rows ({}) should be a fraction of the full table ({})",
+            bs.rows.len(),
+            ps.rows.len()
+        );
     }
 
     /// Transitive causality through a chain of sessions is caught: a reader

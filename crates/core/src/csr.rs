@@ -46,8 +46,11 @@ use crate::types::Key;
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Csr<T> {
-    /// `offsets[r]..offsets[r + 1]` is row `r`'s range in `values`
-    /// (invariant: never empty — zero rows is `vec![0]`).
+    /// `offsets[r]..offsets[r + 1]` is row `r`'s range in `values`.
+    /// Either `rows + 1` entries starting at 0, or empty — the
+    /// no-allocation form of the zero-row container, so
+    /// [`Csr::new`]/`default` (and `mem::take` of a CSR-backed arena)
+    /// touch the heap not at all.
     offsets: Vec<u32>,
     values: Vec<T>,
 }
@@ -59,10 +62,10 @@ impl<T> Default for Csr<T> {
 }
 
 impl<T> Csr<T> {
-    /// An empty container with zero rows.
+    /// An empty container with zero rows (performs no heap allocation).
     pub fn new() -> Self {
         Csr {
-            offsets: vec![0],
+            offsets: Vec::new(),
             values: Vec::new(),
         }
     }
@@ -70,7 +73,7 @@ impl<T> Csr<T> {
     /// Number of rows.
     #[inline]
     pub fn num_rows(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Total number of values across all rows.
@@ -187,8 +190,12 @@ impl<T> CsrBuilder<T> {
         self.close_row();
     }
 
-    /// Finishes into the immutable CSR form.
-    pub fn finish(self) -> Csr<T> {
+    /// Finishes into the immutable CSR form. A zero-row build yields the
+    /// canonical empty container (equal to [`Csr::new`], capacity kept).
+    pub fn finish(mut self) -> Csr<T> {
+        if self.offsets.len() == 1 {
+            self.offsets.clear();
+        }
         Csr {
             offsets: self.offsets,
             values: self.values,

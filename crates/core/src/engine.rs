@@ -51,10 +51,10 @@
 //! # }
 //! ```
 
-use crate::cc::{saturate_cc_into, CcStrategy};
+use crate::cc::{saturate_cc_scratch, CcStrategy, ClockTable};
 use crate::checker::{CheckOptions, CheckStats, Outcome};
 use crate::graph::CommitGraph;
-use crate::history::History;
+use crate::history::{replay_history, BuildError, History, HistoryBuilder, HistorySink};
 use crate::index::HistoryIndex;
 use crate::isolation::IsolationLevel;
 use crate::linearize::commit_order_from_graph;
@@ -62,7 +62,7 @@ use crate::parallel;
 use crate::ra::{check_ra_single_session, check_repeatable_reads, saturate_ra_into};
 use crate::rc::saturate_rc_into;
 use crate::read_consistency::check_read_consistency;
-use crate::types::TxnId;
+use crate::types::{SessionId, TxnId};
 use crate::witness::{ReadConsistencyViolation, Violation, WitnessCycle};
 
 /// The unified tuning knobs shared by every engine entry point — batch
@@ -227,23 +227,27 @@ pub struct EngineStats {
     /// Per-level checks run (a [`check_all_levels`](Engine::check_all_levels)
     /// call counts three).
     pub checks: u64,
-    /// Checks on this handle's own arenas whose index/graph footprint
-    /// **grew** (reallocated). The first check always grows from empty;
-    /// a subsequent check of a same-shape history must not — the
-    /// regression guard for the allocation-recycling path. Checks run on
+    /// Checks on this handle's own arenas whose footprint **grew**
+    /// (reallocated) — covering the index, the commit graph, the CC clock
+    /// table, and the streaming-ingest builder/history arenas. The first
+    /// check always grows from empty; a subsequent check of a same-shape
+    /// history must not — the regression guard for the
+    /// allocation-recycling path. Checks run on
     /// [`check_many`](Engine::check_many) worker arenas are not tracked.
     pub arena_growths: u64,
-    /// Current heap footprint of the handle's index + graph arenas, in
-    /// bytes (capacities, not lengths).
+    /// Current heap footprint of the handle's arenas (index + graph +
+    /// clock table + ingest), in bytes (capacities, not lengths).
     pub arena_bytes: usize,
 }
 
-/// The per-check scratch arenas: a [`HistoryIndex`] and a
-/// [`CommitGraph`], both rebuilt in place check after check.
+/// The per-check scratch arenas: a [`HistoryIndex`], a [`CommitGraph`],
+/// and the CC happens-before [`ClockTable`], all rebuilt in place check
+/// after check.
 #[derive(Debug)]
 struct Scratch {
     index: HistoryIndex,
     graph: CommitGraph,
+    clocks: ClockTable,
 }
 
 impl Scratch {
@@ -251,19 +255,38 @@ impl Scratch {
         Scratch {
             index: HistoryIndex::empty(),
             graph: CommitGraph::new(0),
+            clocks: ClockTable::new(),
         }
     }
 
     fn heap_bytes(&self) -> usize {
-        self.index.heap_bytes() + self.graph.heap_bytes()
+        self.index.heap_bytes() + self.graph.heap_bytes() + self.clocks.heap_bytes()
     }
 }
 
 /// A reusable, configured checker handle. See the [module docs](self).
+///
+/// Besides the per-check scratch arenas, the engine owns a recycled
+/// **ingest arena** (a columnar [`HistoryBuilder`] plus the [`History`]
+/// it finishes into): the engine itself is a [`HistorySink`], so
+/// streaming producers — the format readers in `awdit-formats`, the
+/// simulator, any event source — push events straight into it and
+/// [`finish_ingest`](Engine::finish_ingest) checks the result without
+/// materializing a nested intermediate representation anywhere.
+/// [`check_source`](Engine::check_source) drives that loop for a whole
+/// [`HistorySource`].
 #[derive(Debug)]
 pub struct Engine {
     cfg: EngineConfig,
     scratch: Scratch,
+    /// Streaming ingest sink, recycled across histories.
+    ingest: HistoryBuilder,
+    /// The history arena `ingest` finishes into, recycled likewise.
+    ingested: History,
+    /// `ingested`'s heap footprint, cached at seal time — the arena is
+    /// temporarily `mem::take`n while a check borrows it, so accounting
+    /// must not read `ingested.heap_bytes()` directly.
+    ingested_bytes: usize,
     stats: EngineStats,
 }
 
@@ -284,6 +307,9 @@ impl Engine {
         Engine {
             cfg,
             scratch: Scratch::new(),
+            ingest: HistoryBuilder::new(),
+            ingested: History::default(),
+            ingested_bytes: 0,
             stats: EngineStats::default(),
         }
     }
@@ -312,9 +338,13 @@ impl Engine {
     /// [`check`](Self::check) at an explicit isolation level.
     pub fn check_level(&mut self, history: &History, level: IsolationLevel) -> Outcome {
         let read_consistency = check_read_consistency(history);
-        let Scratch { index, graph } = &mut self.scratch;
+        let Scratch {
+            index,
+            graph,
+            clocks,
+        } = &mut self.scratch;
         index.rebuild(history);
-        let out = check_prepared_into(&self.cfg, index, &read_consistency, level, graph);
+        let out = check_prepared_into(&self.cfg, index, &read_consistency, level, graph, clocks);
         self.account(1, 1);
         out
     }
@@ -323,11 +353,15 @@ impl Engine {
     /// building the index — and checking Read Consistency — once.
     pub fn check_all_levels(&mut self, history: &History) -> [Outcome; 3] {
         let read_consistency = check_read_consistency(history);
-        let Scratch { index, graph } = &mut self.scratch;
+        let Scratch {
+            index,
+            graph,
+            clocks,
+        } = &mut self.scratch;
         index.rebuild(history);
         let cfg = self.cfg;
         let out = IsolationLevel::ALL
-            .map(|level| check_prepared_into(&cfg, index, &read_consistency, level, graph));
+            .map(|level| check_prepared_into(&cfg, index, &read_consistency, level, graph, clocks));
         self.account(1, 3);
         out
     }
@@ -379,6 +413,7 @@ impl Engine {
                 &read_consistency,
                 level,
                 &mut scratch.graph,
+                &mut scratch.clocks,
             )
         });
         self.stats.histories += outcomes.len() as u64;
@@ -386,31 +421,179 @@ impl Engine {
         outcomes
     }
 
-    /// Drains a [`HistorySource`] and checks every history it yields via
-    /// [`check_many`](Self::check_many), pairing each outcome with the
-    /// source-provided name, in source order.
+    /// Drains a [`HistorySource`] and checks every history it yields,
+    /// pairing each outcome with the source-provided name, in source
+    /// order.
+    ///
+    /// With `threads <= 1` this is the **streaming fast path**: each
+    /// history's events are pushed straight into the engine's recycled
+    /// ingest arenas via [`HistorySource::next_into`] and checked by
+    /// [`finish_ingest`](Self::finish_ingest) — no intermediate
+    /// materialization, peak memory bounded by the largest single
+    /// history's columnar form. With more threads, histories are
+    /// collected first and run through the
+    /// [`check_many`](Self::check_many) pool.
     ///
     /// # Errors
     ///
     /// Fails fast on the first source error (unreadable file, parse
-    /// error, generator failure) without checking anything.
+    /// error, generator failure). On the streaming path, histories
+    /// yielded *before* the error have already been checked (and are
+    /// reflected in [`stats`](Self::stats)) but their outcomes are
+    /// discarded; the parallel path checks nothing.
     pub fn check_source<S: HistorySource + ?Sized>(
         &mut self,
         source: &mut S,
     ) -> Result<Vec<(String, Outcome)>, SourceError> {
-        let sourced = collect_source(source)?;
-        let outcomes = self.check_many(sourced.iter().map(|s| &s.history));
-        Ok(sourced.into_iter().map(|s| s.name).zip(outcomes).collect())
+        let threads = parallel::effective_threads(self.cfg.threads);
+        if threads > 1 {
+            let sourced = collect_source(source)?;
+            let outcomes = self.check_many(sourced.iter().map(|s| &s.history));
+            return Ok(sourced.into_iter().map(|s| s.name).zip(outcomes).collect());
+        }
+        let mut out = Vec::new();
+        loop {
+            match source.next_into(&mut self.ingest) {
+                None => return Ok(out),
+                Some(Err(e)) => {
+                    // The sink may hold a partial history: discard it.
+                    self.ingest.reset();
+                    return Err(e);
+                }
+                Some(Ok(name)) => match self.finish_ingest() {
+                    Ok(outcome) => out.push((name, outcome)),
+                    Err(e) => {
+                        return Err(SourceError {
+                            origin: name,
+                            message: e.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+    }
+
+    /// Finishes the history streamed in through the engine's
+    /// [`HistorySink`] methods and checks it at the configured level,
+    /// recycling the ingest *and* check arenas. The finished history
+    /// stays available via [`ingested`](Self::ingested) until the next
+    /// ingest begins.
+    ///
+    /// ```
+    /// use awdit_core::{Engine, HistorySink};
+    ///
+    /// # fn main() -> Result<(), awdit_core::BuildError> {
+    /// let mut engine = Engine::new();
+    /// let s = engine.session();
+    /// engine.begin(s);
+    /// engine.write(s, 1, 10);
+    /// engine.commit(s);
+    /// assert!(engine.finish_ingest()?.is_consistent());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] for malformed event sequences; the
+    /// ingest arenas are reset either way.
+    pub fn finish_ingest(&mut self) -> Result<Outcome, BuildError> {
+        self.finish_ingest_level(self.cfg.level)
+    }
+
+    /// [`finish_ingest`](Self::finish_ingest) at an explicit isolation
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish_ingest`](Self::finish_ingest).
+    pub fn finish_ingest_level(&mut self, level: IsolationLevel) -> Result<Outcome, BuildError> {
+        self.seal_ingest()?;
+        let h = std::mem::take(&mut self.ingested);
+        let out = self.check_level(&h, level);
+        self.ingested = h;
+        Ok(out)
+    }
+
+    /// [`finish_ingest`](Self::finish_ingest) against all three levels,
+    /// building the index once.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish_ingest`](Self::finish_ingest).
+    pub fn finish_ingest_all_levels(&mut self) -> Result<[Outcome; 3], BuildError> {
+        self.seal_ingest()?;
+        let h = std::mem::take(&mut self.ingested);
+        let out = self.check_all_levels(&h);
+        self.ingested = h;
+        Ok(out)
+    }
+
+    /// Finishes the streamed-in events into the recycled history arena.
+    fn seal_ingest(&mut self) -> Result<(), BuildError> {
+        let mut h = std::mem::take(&mut self.ingested);
+        let result = self.ingest.finish_into(&mut h);
+        self.ingested = h;
+        self.ingested_bytes = self.ingested.heap_bytes();
+        result
+    }
+
+    /// The most recently ingested history (empty until the first
+    /// [`finish_ingest`](Self::finish_ingest); valid until the next one).
+    pub fn ingested(&self) -> &History {
+        &self.ingested
+    }
+
+    /// Streams `history` into the engine's ingest arenas and checks it at
+    /// the configured level — [`check`](Self::check) without borrowing
+    /// the caller's history during the check, and the strongest recycling
+    /// form for callers that already hold a `History`.
+    pub fn check_replayed(&mut self, history: &History) -> Outcome {
+        // Discard any partially-pushed events a caller left in the sink,
+        // so the replay checks exactly `history`.
+        self.ingest.reset();
+        replay_history(history, &mut self.ingest);
+        self.finish_ingest()
+            .expect("replaying a finished history cannot fail")
     }
 
     fn account(&mut self, histories: u64, checks: u64) {
         self.stats.histories += histories;
         self.stats.checks += checks;
-        let bytes = self.scratch.heap_bytes();
+        let bytes = self.scratch.heap_bytes() + self.ingest.heap_bytes() + self.ingested_bytes;
         if bytes > self.stats.arena_bytes {
             self.stats.arena_growths += 1;
         }
         self.stats.arena_bytes = bytes;
+    }
+}
+
+/// The engine is itself a [`HistorySink`]: producers push history events
+/// straight into its recycled ingest arenas, then
+/// [`finish_ingest`](Engine::finish_ingest) checks the result — the
+/// zero-materialization ingest path of
+/// [`check_source`](Engine::check_source).
+impl HistorySink for Engine {
+    fn session(&mut self) -> SessionId {
+        self.ingest.session()
+    }
+    fn num_sessions(&self) -> usize {
+        self.ingest.num_sessions()
+    }
+    fn begin(&mut self, session: SessionId) {
+        self.ingest.begin(session);
+    }
+    fn write(&mut self, session: SessionId, key: u64, value: u64) {
+        self.ingest.write(session, key, value);
+    }
+    fn read(&mut self, session: SessionId, key: u64, value: u64) {
+        self.ingest.read(session, key, value);
+    }
+    fn commit(&mut self, session: SessionId) {
+        self.ingest.commit(session);
+    }
+    fn abort(&mut self, session: SessionId) {
+        self.ingest.abort(session);
     }
 }
 
@@ -424,6 +607,7 @@ fn check_prepared_into(
     read_consistency: &[ReadConsistencyViolation],
     level: IsolationLevel,
     graph: &mut CommitGraph,
+    clocks: &mut ClockTable,
 ) -> Outcome {
     let mut violations: Vec<Violation> = read_consistency
         .iter()
@@ -478,7 +662,7 @@ fn check_prepared_into(
             }
         }
         IsolationLevel::Causal => {
-            match saturate_cc_into(index, cfg.cc_strategy, cfg.threads, graph) {
+            match saturate_cc_scratch(index, cfg.cc_strategy, cfg.threads, graph, clocks) {
                 Ok(()) => finish_graph(
                     index,
                     graph,
@@ -567,6 +751,28 @@ impl std::error::Error for SourceError {}
 pub trait HistorySource {
     /// The next history, `None` when exhausted, `Err` on a bad input.
     fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>>;
+
+    /// Streams the next history's events into `sink` instead of
+    /// materializing a [`History`], returning the history's name —
+    /// the allocation-free edge of [`Engine::check_source`].
+    ///
+    /// The default implementation materializes via
+    /// [`next_history`](Self::next_history) and replays; streaming
+    /// sources (the file readers in `awdit-formats`, the simulator
+    /// fleet) override it to push events as they are produced. On `Err`,
+    /// the sink may hold a partial event sequence — the caller must
+    /// discard it (e.g. [`HistoryBuilder::reset`]).
+    ///
+    /// [`HistoryBuilder::reset`]: crate::HistoryBuilder::reset
+    fn next_into(&mut self, sink: &mut dyn HistorySink) -> Option<Result<String, SourceError>> {
+        match self.next_history()? {
+            Ok(s) => {
+                replay_history(&s.history, sink);
+                Some(Ok(s.name))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
 }
 
 /// Every iterator of `Result<SourcedHistory, SourceError>` is a source —
@@ -706,6 +912,29 @@ mod tests {
         assert!(rc.is_consistent() && ra.is_consistent() && cc.is_consistent());
         assert_eq!(e.stats().checks, 3);
         assert_eq!(e.stats().histories, 1);
+    }
+
+    #[test]
+    fn interleaved_ingest_and_direct_checks_share_stable_accounting() {
+        // The ingest arena is `mem::take`n while its check runs; the
+        // cached-bytes accounting must keep arena_growths flat when the
+        // two entry points alternate on same-shape histories.
+        let h = two_session_history(16);
+        let mut e = Engine::new();
+        replay_history(&h, &mut e);
+        e.finish_ingest().unwrap();
+        e.check(&h);
+        let growths = e.stats().arena_growths;
+        for _ in 0..3 {
+            replay_history(&h, &mut e);
+            e.finish_ingest().unwrap();
+            e.check(&h);
+        }
+        assert_eq!(
+            e.stats().arena_growths,
+            growths,
+            "alternating finish_ingest/check on same shapes must not grow"
+        );
     }
 
     #[test]

@@ -7,25 +7,49 @@
 //! producing its value. `wr` is not stored explicitly: the unique-value
 //! assumption lets the [`HistoryBuilder`] resolve each read to its source
 //! write once, at construction time.
+//!
+//! # Layout
+//!
+//! The history is **columnar**: all operations live in one flat [`Csr`]
+//! buffer (one row per transaction, session-major), with a per-session
+//! offsets table and a flat commit-flag column — no nested
+//! `Vec<Vec<Transaction>>`, no per-transaction allocation. Accessors hand
+//! out lightweight [`TxnView`]/[`SessionView`] values borrowing those
+//! columns, so peak memory during ingest is bounded by the columnar output
+//! rather than intermediate nesting, and the whole history is a handful of
+//! allocations regardless of size.
+//!
+//! # Streaming ingest
+//!
+//! [`HistorySink`] is the push-style event vocabulary of history
+//! construction (`session`/`begin`/`write`/`read`/`commit`/`abort`).
+//! [`HistoryBuilder`] implements it by appending to per-session column
+//! buffers; the streaming readers in `awdit-formats`, the simulator in
+//! `awdit-simdb`, and the [`Engine`](crate::Engine)'s recycled ingest
+//! arenas all speak it, so any producer can feed any consumer without
+//! materializing an intermediate representation. [`replay_history`] feeds
+//! a finished history back into a sink (the writer-side inverse).
 
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::csr::Csr;
 use crate::op::{Op, ReadSource};
 use crate::types::{Key, OpLoc, SessionId, TxnId, Value};
 
-/// A transaction: a `po`-ordered list of operations plus a commit flag.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Transaction {
-    ops: Vec<Op>,
+/// A read-only view of one transaction: its `po`-ordered operations plus
+/// the commit flag, borrowing the history's flat columns.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TxnView<'h> {
+    ops: &'h [Op],
     committed: bool,
 }
 
-impl Transaction {
+impl<'h> TxnView<'h> {
     /// The operations of the transaction in program order.
     #[inline]
-    pub fn ops(&self) -> &[Op] {
-        &self.ops
+    pub fn ops(&self) -> &'h [Op] {
+        self.ops
     }
 
     /// Whether the transaction committed (as opposed to aborted).
@@ -47,10 +71,84 @@ impl Transaction {
     }
 }
 
+/// A read-only view of one session: its transactions in session order.
+#[derive(Copy, Clone)]
+pub struct SessionView<'h> {
+    history: &'h History,
+    /// Global (session-major) transaction range of the session.
+    start: u32,
+    end: u32,
+}
+
+impl<'h> SessionView<'h> {
+    /// Number of transactions in the session (committed and aborted).
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Returns `true` if the session has no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The transaction at session position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn txn(&self, i: usize) -> TxnView<'h> {
+        assert!(i < self.len(), "transaction index out of bounds");
+        self.history.global_txn(self.start as usize + i)
+    }
+
+    /// Iterates over the session's transactions in session order.
+    pub fn iter(&self) -> SessionIter<'h> {
+        SessionIter {
+            history: self.history,
+            range: self.start..self.end,
+        }
+    }
+}
+
+impl<'h> IntoIterator for SessionView<'h> {
+    type Item = TxnView<'h>;
+    type IntoIter = SessionIter<'h>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a session's transactions (see [`SessionView::iter`]).
+#[derive(Clone)]
+pub struct SessionIter<'h> {
+    history: &'h History,
+    range: std::ops::Range<u32>,
+}
+
+impl<'h> Iterator for SessionIter<'h> {
+    type Item = TxnView<'h>;
+
+    fn next(&mut self) -> Option<TxnView<'h>> {
+        let g = self.range.next()?;
+        Some(self.history.global_txn(g as usize))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SessionIter<'_> {}
+
 /// An immutable transaction history, ready for isolation checking.
 ///
 /// Construct one with [`HistoryBuilder`]. The history owns an interning table
-/// mapping dense [`Key`]s back to the user-facing `u64` key names.
+/// mapping dense [`Key`]s back to the user-facing `u64` key names. Storage
+/// is columnar — see the [module docs](self).
 ///
 /// # Examples
 ///
@@ -74,16 +172,57 @@ impl Transaction {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct History {
-    sessions: Vec<Vec<Transaction>>,
+    /// Session `s`'s transactions are the global (session-major) rows
+    /// `session_offsets[s]..session_offsets[s + 1]` of `ops`/`committed`.
+    /// Either `k + 1` entries starting at 0, or empty (the no-allocation
+    /// form of the zero-session history).
+    session_offsets: Vec<u32>,
+    /// Row `g`: the operations of global transaction `g`, program order.
+    ops: Csr<Op>,
+    /// Commit flag of global transaction `g`.
+    committed: Vec<bool>,
     key_names: Vec<u64>,
-    size: usize,
+}
+
+impl Default for History {
+    /// The empty history (no sessions, no transactions). Performs no heap
+    /// allocation, so `std::mem::take` on a history arena is free.
+    fn default() -> Self {
+        History {
+            session_offsets: Vec::new(),
+            ops: Csr::new(),
+            committed: Vec::new(),
+            key_names: Vec::new(),
+        }
+    }
 }
 
 impl History {
+    /// The view of global (session-major) transaction `g`.
+    #[inline]
+    fn global_txn(&self, g: usize) -> TxnView<'_> {
+        TxnView {
+            ops: self.ops.row(g),
+            committed: self.committed[g],
+        }
+    }
+
+    /// The global row of `id`, panicking if out of bounds.
+    #[inline]
+    fn global_of(&self, id: TxnId) -> usize {
+        let s = id.session as usize;
+        let g = self.session_offsets[s] as usize + id.index as usize;
+        assert!(
+            g < self.session_offsets[s + 1] as usize,
+            "transaction {id} out of bounds"
+        );
+        g
+    }
+
     /// Number of sessions, `k`.
     #[inline]
     pub fn num_sessions(&self) -> usize {
-        self.sessions.len()
+        self.session_offsets.len().saturating_sub(1)
     }
 
     /// Number of distinct keys appearing in the history, `ℓ`.
@@ -95,21 +234,25 @@ impl History {
     /// Total number of operations, `n` (the *size* of the history).
     #[inline]
     pub fn size(&self) -> usize {
-        self.size
+        self.ops.num_values()
     }
 
     /// The transactions of session `s`, in session order.
     #[inline]
-    pub fn session(&self, s: SessionId) -> &[Transaction] {
-        &self.sessions[s.index()]
+    pub fn session(&self, s: SessionId) -> SessionView<'_> {
+        SessionView {
+            history: self,
+            start: self.session_offsets[s.index()],
+            end: self.session_offsets[s.index() + 1],
+        }
     }
 
     /// Iterates over all sessions.
-    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &[Transaction])> {
-        self.sessions
-            .iter()
-            .enumerate()
-            .map(|(i, txns)| (SessionId(i as u32), txns.as_slice()))
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, SessionView<'_>)> {
+        (0..self.num_sessions()).map(move |s| {
+            let sid = SessionId(s as u32);
+            (sid, self.session(sid))
+        })
     }
 
     /// Looks up a transaction by id.
@@ -118,8 +261,8 @@ impl History {
     ///
     /// Panics if the id does not denote a transaction of this history.
     #[inline]
-    pub fn txn(&self, id: TxnId) -> &Transaction {
-        &self.sessions[id.session as usize][id.index as usize]
+    pub fn txn(&self, id: TxnId) -> TxnView<'_> {
+        self.global_txn(self.global_of(id))
     }
 
     /// Looks up an operation by location.
@@ -129,31 +272,32 @@ impl History {
     /// Panics if the location is out of bounds.
     #[inline]
     pub fn op(&self, loc: OpLoc) -> &Op {
-        &self.txn(loc.txn).ops()[loc.op as usize]
+        &self.ops.row(self.global_of(loc.txn))[loc.op as usize]
     }
 
     /// Iterates over all transactions (committed and aborted) with their ids.
-    pub fn txns(&self) -> impl Iterator<Item = (TxnId, &Transaction)> {
-        self.sessions.iter().enumerate().flat_map(|(s, txns)| {
+    pub fn txns(&self) -> impl Iterator<Item = (TxnId, TxnView<'_>)> {
+        self.sessions().flat_map(|(sid, txns)| {
             txns.iter()
                 .enumerate()
-                .map(move |(i, t)| (TxnId::new(s as u32, i as u32), t))
+                .map(move |(i, t)| (TxnId::new(sid.0, i as u32), t))
         })
     }
 
     /// Iterates over committed transactions only.
-    pub fn committed_txns(&self) -> impl Iterator<Item = (TxnId, &Transaction)> {
+    pub fn committed_txns(&self) -> impl Iterator<Item = (TxnId, TxnView<'_>)> {
         self.txns().filter(|(_, t)| t.is_committed())
     }
 
     /// Number of transactions across all sessions (committed and aborted).
+    #[inline]
     pub fn num_txns(&self) -> usize {
-        self.sessions.iter().map(Vec::len).sum()
+        self.committed.len()
     }
 
     /// Number of committed transactions.
     pub fn num_committed(&self) -> usize {
-        self.committed_txns().count()
+        self.committed.iter().filter(|&&c| c).count()
     }
 
     /// The user-facing name of a dense key.
@@ -164,6 +308,16 @@ impl History {
     #[inline]
     pub fn key_name(&self, key: Key) -> u64 {
         self.key_names[key.index()]
+    }
+
+    /// Heap footprint of the history's columns in bytes (capacities, not
+    /// lengths) — tracked by the [`Engine`](crate::Engine)'s arena-growth
+    /// accounting when the history is one of its recycled ingest arenas.
+    pub fn heap_bytes(&self) -> usize {
+        self.session_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.ops.heap_bytes()
+            + self.committed.capacity()
+            + self.key_names.capacity() * std::mem::size_of::<u64>()
     }
 }
 
@@ -248,6 +402,68 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// The push-style event vocabulary of history construction — the shared
+/// contract between every history *producer* (format readers, the NDJSON
+/// stream replay, the simulator) and every *consumer*
+/// ([`HistoryBuilder`], the [`Engine`](crate::Engine)'s recycled ingest
+/// arenas).
+///
+/// Sessions are created with [`session`](Self::session) and addressed by
+/// the returned [`SessionId`]; events of one session must arrive in that
+/// session's order, while different sessions may interleave freely.
+/// Malformed event sequences (operations outside a transaction, nested
+/// `begin`s) are tolerated by the mutators and reported when the consumer
+/// finishes — mirroring [`HistoryBuilder`]'s infallible-mutator design.
+pub trait HistorySink {
+    /// Adds a new session and returns its id.
+    fn session(&mut self) -> SessionId;
+    /// Number of sessions created so far.
+    fn num_sessions(&self) -> usize;
+    /// Begins a transaction on `session`.
+    fn begin(&mut self, session: SessionId);
+    /// Appends a write of `value` to the key named `key` in the open
+    /// transaction.
+    fn write(&mut self, session: SessionId, key: u64, value: u64);
+    /// Appends a read observing `value` on the key named `key` in the open
+    /// transaction.
+    fn read(&mut self, session: SessionId, key: u64, value: u64);
+    /// Commits the open transaction on `session`.
+    fn commit(&mut self, session: SessionId);
+    /// Aborts the open transaction on `session`.
+    fn abort(&mut self, session: SessionId);
+    /// Ensures at least `k` sessions exist (ids `0..k`).
+    fn ensure_sessions(&mut self, k: usize) {
+        while self.num_sessions() < k {
+            self.session();
+        }
+    }
+}
+
+/// Feeds a finished history into a sink, session-major (the producer-side
+/// inverse of building: what a format reader would emit for an equivalent
+/// file). Feeding into a fresh consumer reproduces the history exactly —
+/// including key interning order, which follows first appearance in
+/// session-major program order.
+pub fn replay_history<S: HistorySink + ?Sized>(history: &History, sink: &mut S) {
+    sink.ensure_sessions(history.num_sessions());
+    for (sid, txns) in history.sessions() {
+        for t in txns.iter() {
+            sink.begin(sid);
+            for op in t.ops() {
+                match *op {
+                    Op::Write { key, value } => sink.write(sid, history.key_name(key), value.0),
+                    Op::Read { key, value, .. } => sink.read(sid, history.key_name(key), value.0),
+                }
+            }
+            if t.is_committed() {
+                sink.commit(sid);
+            } else {
+                sink.abort(sid);
+            }
+        }
+    }
+}
+
 /// Raw (unresolved) operation recorded by the builder.
 #[derive(Copy, Clone, Debug)]
 enum RawOp {
@@ -255,10 +471,38 @@ enum RawOp {
     Read { key: Key, value: Value },
 }
 
-#[derive(Debug)]
-struct RawTxn {
+/// Per-session columnar staging: all of the session's operations in one
+/// flat buffer (the open transaction, if any, is the tail past the closed
+/// transactions' ops), plus parallel length/commit columns for the closed
+/// transactions. A whole session costs O(1) allocations, all recycled by
+/// [`HistoryBuilder::reset`].
+#[derive(Debug, Default)]
+struct SessionBuf {
     ops: Vec<RawOp>,
-    committed: bool,
+    /// Closed transactions' op counts, session order.
+    txn_lens: Vec<u32>,
+    /// Closed transactions' commit flags (parallel to `txn_lens`).
+    committed: Vec<bool>,
+    /// Number of ops belonging to closed transactions (prefix of `ops`).
+    closed_ops: u32,
+    /// Whether a transaction is currently open.
+    open: bool,
+}
+
+impl SessionBuf {
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.txn_lens.clear();
+        self.committed.clear();
+        self.closed_ops = 0;
+        self.open = false;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ops.capacity() * std::mem::size_of::<RawOp>()
+            + self.txn_lens.capacity() * std::mem::size_of::<u32>()
+            + self.committed.capacity()
+    }
 }
 
 /// Incrementally constructs a [`History`].
@@ -269,14 +513,25 @@ struct RawTxn {
 /// resolve to [`ReadSource::ThinAir`] (reported later by the Read Consistency
 /// check) rather than failing the build, mirroring how a black-box tester
 /// must cope with arbitrary database output.
+///
+/// Staging is columnar (one flat op buffer per session), so building a
+/// history of `T` transactions performs `O(k)` allocations, not `O(T)`;
+/// [`finish_into`](Self::finish_into) additionally recycles the output
+/// history's buffers and re-arms the builder, which is how the
+/// [`Engine`](crate::Engine) ingests whole fleets with a fixed set of
+/// arenas. The builder is the canonical [`HistorySink`].
 #[derive(Debug, Default)]
 pub struct HistoryBuilder {
-    sessions: Vec<Vec<RawTxn>>,
-    open: Vec<Option<RawTxn>>,
+    /// Session slot pool; the first `num_sessions` are live. Retired slots
+    /// keep their buffer capacity for the next history.
+    slots: Vec<SessionBuf>,
+    num_sessions: usize,
     key_ids: HashMap<u64, Key>,
     key_names: Vec<u64>,
     next_auto_value: u64,
     first_protocol_error: Option<(SessionId, ProtocolError)>,
+    /// Unique-value write map, rebuilt per finish (capacity recycled).
+    writes: HashMap<(Key, Value), OpLoc>,
 }
 
 impl HistoryBuilder {
@@ -287,15 +542,23 @@ impl HistoryBuilder {
 
     /// Adds a new session and returns its id.
     pub fn session(&mut self) -> SessionId {
-        let id = SessionId(self.sessions.len() as u32);
-        self.sessions.push(Vec::new());
-        self.open.push(None);
+        let id = SessionId(self.num_sessions as u32);
+        if self.num_sessions == self.slots.len() {
+            self.slots.push(SessionBuf::default());
+        }
+        self.num_sessions += 1;
         id
+    }
+
+    /// Number of sessions created so far.
+    #[inline]
+    pub fn num_sessions(&self) -> usize {
+        self.num_sessions
     }
 
     /// Ensures at least `k` sessions exist, returning their ids.
     pub fn sessions(&mut self, k: usize) -> Vec<SessionId> {
-        while self.sessions.len() < k {
+        while self.num_sessions < k {
             self.session();
         }
         (0..k as u32).map(SessionId).collect()
@@ -312,6 +575,12 @@ impl HistoryBuilder {
         k
     }
 
+    #[inline]
+    fn buf(&mut self, session: SessionId) -> &mut SessionBuf {
+        assert!(session.index() < self.num_sessions, "unknown session");
+        &mut self.slots[session.index()]
+    }
+
     /// Begins a transaction on `session`.
     ///
     /// # Panics
@@ -319,18 +588,13 @@ impl HistoryBuilder {
     /// Panics if the session id is unknown. A `begin` while another
     /// transaction is open is reported by [`finish`](Self::finish).
     pub fn begin(&mut self, session: SessionId) {
-        let slot = &mut self.open[session.index()];
-        if slot.is_some() {
-            // Close the previous transaction as aborted and remember the
-            // protocol error; surfacing it from `finish` keeps the builder's
-            // mutators infallible.
+        if self.buf(session).open {
+            // Remember the protocol error; surfacing it from `finish` keeps
+            // the builder's mutators infallible.
             self.protocol_error(session, ProtocolError::Nested);
             return;
         }
-        *slot = Some(RawTxn {
-            ops: Vec::new(),
-            committed: false,
-        });
+        self.buf(session).open = true;
     }
 
     /// Appends a write of `value` to `key_name` in the open transaction.
@@ -378,26 +642,60 @@ impl HistoryBuilder {
     }
 
     fn close(&mut self, session: SessionId, committed: bool) {
-        match self.open[session.index()].take() {
-            Some(mut t) => {
-                t.committed = committed;
-                self.sessions[session.index()].push(t);
-            }
-            None => self.protocol_error(session, ProtocolError::NotOpen),
+        let buf = self.buf(session);
+        if !buf.open {
+            self.protocol_error(session, ProtocolError::NotOpen);
+            return;
         }
+        let len = buf.ops.len() as u32 - buf.closed_ops;
+        buf.txn_lens.push(len);
+        buf.committed.push(committed);
+        buf.closed_ops = buf.ops.len() as u32;
+        buf.open = false;
     }
 
     fn push_op(&mut self, session: SessionId, op: RawOp) {
-        match &mut self.open[session.index()] {
-            Some(t) => t.ops.push(op),
-            None => self.protocol_error(session, ProtocolError::NotOpen),
+        let buf = self.buf(session);
+        if !buf.open {
+            self.protocol_error(session, ProtocolError::NotOpen);
+            return;
         }
+        buf.ops.push(op);
     }
 
     fn protocol_error(&mut self, session: SessionId, kind: ProtocolError) {
         if self.first_protocol_error.is_none() {
             self.first_protocol_error = Some((session, kind));
         }
+    }
+
+    /// Clears the builder for the next history, keeping every buffer's
+    /// capacity (session slots, key tables, the write map). Called
+    /// automatically by [`finish_into`](Self::finish_into); call it
+    /// directly to discard a partially-fed history (e.g. after a parse
+    /// error mid-stream).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots[..self.num_sessions] {
+            s.clear();
+        }
+        self.num_sessions = 0;
+        self.key_ids.clear();
+        self.key_names.clear();
+        self.next_auto_value = 0;
+        self.first_protocol_error = None;
+        self.writes.clear();
+    }
+
+    /// Heap footprint of the builder's staging buffers in bytes
+    /// (capacities, not lengths; hash maps estimated from their
+    /// capacities) — tracked by the engine's arena-growth accounting
+    /// when the builder is its recycled ingest sink.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.iter().map(SessionBuf::heap_bytes).sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<SessionBuf>()
+            + self.key_names.capacity() * std::mem::size_of::<u64>()
+            + self.key_ids.capacity() * std::mem::size_of::<(u64, Key)>()
+            + self.writes.capacity() * std::mem::size_of::<((Key, Value), OpLoc)>()
     }
 
     /// Resolves reads and produces the immutable [`History`].
@@ -410,14 +708,47 @@ impl HistoryBuilder {
     /// [`BuildError::UnclosedTransaction`]) for malformed begin/commit
     /// sequences.
     pub fn finish(mut self) -> Result<History, BuildError> {
+        let mut out = History::default();
+        self.finish_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`finish`](Self::finish) into a caller-owned history arena: `out`'s
+    /// columns are cleared and refilled in place (capacities kept), and the
+    /// builder is [`reset`](Self::reset) for the next history. A second
+    /// same-shape build therefore performs **zero** heap growth on either
+    /// side — the [`Engine`](crate::Engine)'s streaming-ingest path.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`]. On error `out` is left cleared (empty history) and
+    /// the builder is reset.
+    ///
+    /// [`finish`]: Self::finish
+    pub fn finish_into(&mut self, out: &mut History) -> Result<(), BuildError> {
+        let result = self.finish_into_inner(out);
+        self.reset();
+        result
+    }
+
+    fn finish_into_inner(&mut self, out: &mut History) -> Result<(), BuildError> {
+        // Clear the output columns up front so the error paths leave the
+        // canonical empty history behind (equal to `History::default()`).
+        out.session_offsets.clear();
+        out.committed.clear();
+        out.key_names.clear();
+        let mut ops = std::mem::take(&mut out.ops).into_builder();
+
         if let Some((session, kind)) = self.first_protocol_error {
+            out.ops = ops.finish();
             return Err(match kind {
                 ProtocolError::NotOpen => BuildError::NoOpenTransaction { session },
                 ProtocolError::Nested => BuildError::NestedTransaction { session },
             });
         }
-        for (s, slot) in self.open.iter().enumerate() {
-            if slot.is_some() {
+        for (s, buf) in self.slots[..self.num_sessions].iter().enumerate() {
+            if buf.open {
+                out.ops = ops.finish();
                 return Err(BuildError::UnclosedTransaction {
                     session: SessionId(s as u32),
                 });
@@ -425,14 +756,16 @@ impl HistoryBuilder {
         }
 
         // Pass 1: build the unique-value write map (key, value) -> location.
-        let mut writes: HashMap<(Key, Value), OpLoc> = HashMap::new();
-        for (s, txns) in self.sessions.iter().enumerate() {
-            for (i, t) in txns.iter().enumerate() {
+        self.writes.clear();
+        for (s, buf) in self.slots[..self.num_sessions].iter().enumerate() {
+            let mut off = 0usize;
+            for (i, &len) in buf.txn_lens.iter().enumerate() {
                 let txn = TxnId::new(s as u32, i as u32);
-                for (p, op) in t.ops.iter().enumerate() {
-                    if let RawOp::Write { key, value } = *op {
+                for p in 0..len as usize {
+                    if let RawOp::Write { key, value } = buf.ops[off + p] {
                         let loc = OpLoc::new(txn, p as u32);
-                        if let Some(&first) = writes.get(&(key, value)) {
+                        if let Some(&first) = self.writes.get(&(key, value)) {
+                            out.ops = ops.finish();
                             return Err(BuildError::DuplicateWrite {
                                 key_name: self.key_names[key.index()],
                                 value,
@@ -440,58 +773,73 @@ impl HistoryBuilder {
                                 second: loc,
                             });
                         }
-                        writes.insert((key, value), loc);
+                        self.writes.insert((key, value), loc);
                     }
                 }
+                off += len as usize;
             }
         }
 
-        // Pass 2: resolve reads.
-        let mut size = 0usize;
-        let sessions: Vec<Vec<Transaction>> = self
-            .sessions
-            .drain(..)
-            .enumerate()
-            .map(|(s, txns)| {
-                txns.into_iter()
-                    .enumerate()
-                    .map(|(i, t)| {
-                        let txn = TxnId::new(s as u32, i as u32);
-                        size += t.ops.len();
-                        let ops = t
-                            .ops
-                            .into_iter()
-                            .map(|op| match op {
-                                RawOp::Write { key, value } => Op::Write { key, value },
-                                RawOp::Read { key, value } => {
-                                    let source = match writes.get(&(key, value)) {
-                                        Some(&loc) if loc.txn == txn => {
-                                            ReadSource::Internal { op: loc.op }
-                                        }
-                                        Some(&loc) => ReadSource::External {
-                                            txn: loc.txn,
-                                            op: loc.op,
-                                        },
-                                        None => ReadSource::ThinAir,
-                                    };
-                                    Op::Read { key, value, source }
-                                }
-                            })
-                            .collect();
-                        Transaction {
-                            ops,
-                            committed: t.committed,
+        // Pass 2: resolve reads, appending straight to the flat columns.
+        out.session_offsets.push(0);
+        for (s, buf) in self.slots[..self.num_sessions].iter().enumerate() {
+            let mut off = 0usize;
+            for (i, &len) in buf.txn_lens.iter().enumerate() {
+                let txn = TxnId::new(s as u32, i as u32);
+                for p in 0..len as usize {
+                    ops.push_value(match buf.ops[off + p] {
+                        RawOp::Write { key, value } => Op::Write { key, value },
+                        RawOp::Read { key, value } => {
+                            let source = match self.writes.get(&(key, value)) {
+                                Some(&loc) if loc.txn == txn => ReadSource::Internal { op: loc.op },
+                                Some(&loc) => ReadSource::External {
+                                    txn: loc.txn,
+                                    op: loc.op,
+                                },
+                                None => ReadSource::ThinAir,
+                            };
+                            Op::Read { key, value, source }
                         }
-                    })
-                    .collect()
-            })
-            .collect();
+                    });
+                }
+                ops.close_row();
+                out.committed.push(buf.committed[i]);
+                off += len as usize;
+            }
+            out.session_offsets.push(out.committed.len() as u32);
+        }
 
-        Ok(History {
-            sessions,
-            key_names: self.key_names,
-            size,
-        })
+        out.ops = ops.finish();
+        out.key_names.extend_from_slice(&self.key_names);
+        if self.num_sessions == 0 {
+            // Canonical zero-session form, equal to `History::default()`.
+            out.session_offsets.clear();
+        }
+        Ok(())
+    }
+}
+
+impl HistorySink for HistoryBuilder {
+    fn session(&mut self) -> SessionId {
+        HistoryBuilder::session(self)
+    }
+    fn num_sessions(&self) -> usize {
+        HistoryBuilder::num_sessions(self)
+    }
+    fn begin(&mut self, session: SessionId) {
+        HistoryBuilder::begin(self, session);
+    }
+    fn write(&mut self, session: SessionId, key: u64, value: u64) {
+        HistoryBuilder::write(self, session, key, value);
+    }
+    fn read(&mut self, session: SessionId, key: u64, value: u64) {
+        HistoryBuilder::read(self, session, key, value);
+    }
+    fn commit(&mut self, session: SessionId) {
+        HistoryBuilder::commit(self, session);
+    }
+    fn abort(&mut self, session: SessionId) {
+        HistoryBuilder::abort(self, session);
     }
 }
 
@@ -674,5 +1022,93 @@ mod tests {
         b.commit(s);
         let h = b.finish().unwrap();
         assert_eq!(h.key_name(k1), 42);
+    }
+
+    #[test]
+    fn finish_into_recycles_both_sides() {
+        let feed = |b: &mut HistoryBuilder| {
+            let s0 = HistorySink::session(b);
+            let s1 = HistorySink::session(b);
+            for k in 0..8u64 {
+                b.begin(s0);
+                b.write(s0, k, k + 1);
+                b.commit(s0);
+                b.begin(s1);
+                b.read(s1, k, k + 1);
+                b.commit(s1);
+            }
+        };
+        let mut b = HistoryBuilder::new();
+        feed(&mut b);
+        let mut h = History::default();
+        b.finish_into(&mut h).unwrap();
+        let first = h.clone();
+        let bytes_h = h.heap_bytes();
+        let bytes_b = b.heap_bytes();
+        // Builder was reset: same feed produces a bit-identical history
+        // with zero growth of either arena.
+        feed(&mut b);
+        b.finish_into(&mut h).unwrap();
+        assert_eq!(h, first);
+        assert_eq!(h.heap_bytes(), bytes_h);
+        assert_eq!(b.heap_bytes(), bytes_b);
+    }
+
+    #[test]
+    fn finish_into_error_leaves_empty_history_and_reset_builder() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 1);
+        let mut h = History::default();
+        assert!(matches!(
+            b.finish_into(&mut h),
+            Err(BuildError::UnclosedTransaction { .. })
+        ));
+        assert_eq!(h.num_txns(), 0);
+        assert_eq!(h.num_sessions(), 0);
+        assert_eq!(h, History::default(), "error state is canonically empty");
+        // The builder is ready for the next history.
+        assert_eq!(b.num_sessions(), 0);
+        let s = b.session();
+        b.begin(s);
+        b.write(s, 1, 1);
+        b.commit(s);
+        assert!(b.finish_into(&mut h).is_ok());
+        assert_eq!(h.num_txns(), 1);
+    }
+
+    #[test]
+    fn replay_reproduces_history_exactly() {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        b.begin(s0);
+        b.write(s0, 7, 1);
+        b.commit(s0);
+        b.begin(s1);
+        b.read(s1, 7, 1);
+        b.write(s1, 3, 2);
+        b.abort(s1);
+        b.begin(s1);
+        b.read(s1, 7, 99); // thin air survives replay
+        b.commit(s1);
+        let h = b.finish().unwrap();
+        let mut b2 = HistoryBuilder::new();
+        replay_history(&h, &mut b2);
+        assert_eq!(b2.finish().unwrap(), h);
+    }
+
+    #[test]
+    fn session_views_index_and_iterate() {
+        let h = simple_history();
+        let v = h.session(SessionId(0));
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+        assert_eq!(v.txn(0).len(), 2);
+        let collected: Vec<usize> = v.iter().map(|t| t.len()).collect();
+        assert_eq!(collected, vec![2]);
+        let by_value: Vec<bool> = v.into_iter().map(|t| t.is_committed()).collect();
+        assert_eq!(by_value, vec![true]);
     }
 }

@@ -462,14 +462,13 @@ impl HbTracker {
 
 /// The Causal Consistency inference body (Algorithm 3's main loop, shared
 /// by the batch `BinarySearch` strategy and the streaming checker): given
-/// `t3`'s inclusive happens-before clock, orders each session's latest
-/// visible writer of every read key before the observed writer.
-pub fn infer_cc_edges<V: CommitView, G: EdgeSink>(
-    view: &V,
-    t3: DenseId,
-    clock: &VectorClock,
-    g: &mut G,
-) {
+/// `t3`'s inclusive happens-before clock — as a raw per-session entries
+/// slice, so both [`VectorClock`]s (via
+/// [`entries`](VectorClock::entries)) and the flat
+/// [`ClockTable`](crate::cc::ClockTable) rows plug in without conversion —
+/// orders each session's latest visible writer of every read key before
+/// the observed writer.
+pub fn infer_cc_edges<V: CommitView, G: EdgeSink>(view: &V, t3: DenseId, clock: &[u32], g: &mut G) {
     infer_cc_pairs(view, view.session_of(t3), view.read_pairs(t3), clock, g);
 }
 
@@ -482,7 +481,7 @@ pub fn infer_cc_pairs<V: CommitView, G: EdgeSink>(
     view: &V,
     reader_session: u32,
     pairs: &[(Key, DenseId)],
-    clock: &VectorClock,
+    clock: &[u32],
     g: &mut G,
 ) {
     let s = reader_session;
@@ -491,7 +490,7 @@ pub fn infer_cc_pairs<V: CommitView, G: EdgeSink>(
             // Strict happens-before: the reader's own inclusive entry counts
             // the reader itself, so subtract it.
             let entry = if (s_prime as usize) < clock.len() {
-                clock.get(s_prime as usize)
+                clock[s_prime as usize]
             } else {
                 0
             };

@@ -93,7 +93,10 @@ pub mod types;
 pub mod vector_clock;
 pub mod witness;
 
-pub use cc::{causality_cycles, compute_hb, saturate_cc, saturate_cc_with, CcStrategy};
+pub use cc::{
+    causality_cycles, compute_hb, compute_hb_into, saturate_cc, saturate_cc_scratch,
+    saturate_cc_with, CcStrategy, ClockTable,
+};
 pub use checker::{
     check, check_all_levels, check_all_levels_with, check_with, CheckOptions, CheckStats, Outcome,
     Verdict,
@@ -104,7 +107,10 @@ pub use engine::{
     SourcedHistory,
 };
 pub use graph::{base_commit_graph, CommitGraph, Cycle, Edge, EdgeKind};
-pub use history::{BuildError, History, HistoryBuilder, Transaction};
+pub use history::{
+    replay_history, BuildError, History, HistoryBuilder, HistorySink, SessionIter, SessionView,
+    TxnView,
+};
 pub use incremental::{
     infer_cc_edges, infer_cc_pairs, CommitView, EdgeSink, HbTracker, RaKernel, RcKernel,
 };

@@ -12,47 +12,122 @@
 //! A 1            # session 1 aborts its open transaction
 //! ```
 
-use awdit_core::{History, HistoryBuilder, Op};
+use std::io::{BufRead, Write};
+
+use awdit_core::{History, HistoryBuilder, HistorySink, Op, SessionId};
 
 use crate::error::ParseError;
+use crate::reader::LineReader;
 
 /// The first line of every Cobra-style file.
 pub const COBRA_HEADER: &str = "cobra-log";
 
-/// Serializes a history in the Cobra style (sessions emitted in order,
+/// Streams `history` out in the Cobra style (sessions emitted in order,
 /// transactions not interleaved — any interleaving parses back to the same
 /// history, since session order alone matters).
-pub fn write_cobra(history: &History) -> String {
-    let mut out = String::with_capacity(history.size() * 12 + 64);
-    out.push_str(COBRA_HEADER);
-    out.push('\n');
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_cobra_to<W: Write + ?Sized>(history: &History, out: &mut W) -> std::io::Result<()> {
+    out.write_all(COBRA_HEADER.as_bytes())?;
+    out.write_all(b"\n")?;
     for (sid, txns) in history.sessions() {
-        for t in txns {
-            out.push_str(&format!("T {}\n", sid.0));
+        for t in txns.iter() {
+            writeln!(out, "T {}", sid.0)?;
             for op in t.ops() {
                 match *op {
-                    Op::Write { key, value } => out.push_str(&format!(
-                        "W {} {} {}\n",
-                        sid.0,
-                        history.key_name(key),
-                        value.0
-                    )),
-                    Op::Read { key, value, .. } => out.push_str(&format!(
-                        "R {} {} {}\n",
-                        sid.0,
-                        history.key_name(key),
-                        value.0
-                    )),
+                    Op::Write { key, value } => {
+                        writeln!(out, "W {} {} {}", sid.0, history.key_name(key), value.0)?;
+                    }
+                    Op::Read { key, value, .. } => {
+                        writeln!(out, "R {} {} {}", sid.0, history.key_name(key), value.0)?;
+                    }
                 }
             }
-            out.push_str(&format!(
-                "{} {}\n",
+            writeln!(
+                out,
+                "{} {}",
                 if t.is_committed() { "C" } else { "A" },
                 sid.0
-            ));
+            )?;
         }
     }
-    out
+    Ok(())
+}
+
+/// Serializes a history in the Cobra style.
+pub fn write_cobra(history: &History) -> String {
+    let mut out = Vec::with_capacity(history.size() * 12 + 64);
+    write_cobra_to(history, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("cobra format is ASCII")
+}
+
+/// Incrementally reads a Cobra-style history from `input`, emitting events
+/// into `sink` as records are consumed.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed records or I/O failure; the
+/// sink may hold a partial history by then. (Transactions left open at
+/// end of file surface when the sink is finished.)
+pub fn read_cobra<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_cobra_lines(&mut LineReader::new(input), sink)
+}
+
+pub(crate) fn read_cobra_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    crate::reader::expect_header(lines, COBRA_HEADER)?;
+    while let Some((raw, lineno)) = lines.next_line()? {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        let err = |msg: &str| ParseError::new(lineno, format!("{msg}: `{line}`"));
+        let session: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("missing session id"))?;
+        sink.ensure_sessions(session + 1);
+        let sid = SessionId(session as u32);
+        match tag {
+            "T" | "C" | "A" => {
+                if parts.next().is_some() {
+                    return Err(err(match tag {
+                        "T" => "malformed begin record",
+                        "C" => "malformed commit record",
+                        _ => "malformed abort record",
+                    }));
+                }
+                match tag {
+                    "T" => sink.begin(sid),
+                    "C" => sink.commit(sid),
+                    _ => sink.abort(sid),
+                }
+            }
+            "W" | "R" => {
+                let key: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                let value: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                if parts.next().is_some() || key.is_none() || value.is_none() {
+                    return Err(err("malformed operation record"));
+                }
+                if tag == "W" {
+                    sink.write(sid, key.unwrap(), value.unwrap());
+                } else {
+                    sink.read(sid, key.unwrap(), value.unwrap());
+                }
+            }
+            other => return Err(ParseError::new(lineno, format!("unknown record `{other}`"))),
+        }
+    }
+    Ok(())
 }
 
 /// Parses a Cobra-style history.
@@ -62,67 +137,8 @@ pub fn write_cobra(history: &History) -> String {
 /// Returns a [`ParseError`] for malformed records or transactions left
 /// open at end of file.
 pub fn parse_cobra(text: &str) -> Result<History, ParseError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, l)) if l.trim() == COBRA_HEADER => {}
-        _ => {
-            return Err(ParseError::new(
-                1,
-                format!("expected header `{COBRA_HEADER}`"),
-            ))
-        }
-    }
     let mut b = HistoryBuilder::new();
-    let mut max_session = 0usize;
-    for (i, raw) in lines {
-        let lineno = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let err = |msg: &str| ParseError::new(lineno, format!("{msg}: `{line}`"));
-        let session: usize = parts
-            .get(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| err("missing session id"))?;
-        max_session = max_session.max(session);
-        let ids = b.sessions(session + 1);
-        let sid = ids[session];
-        match parts[0] {
-            "T" => {
-                if parts.len() != 2 {
-                    return Err(err("malformed begin record"));
-                }
-                b.begin(sid);
-            }
-            "C" => {
-                if parts.len() != 2 {
-                    return Err(err("malformed commit record"));
-                }
-                b.commit(sid);
-            }
-            "A" => {
-                if parts.len() != 2 {
-                    return Err(err("malformed abort record"));
-                }
-                b.abort(sid);
-            }
-            "W" | "R" => {
-                if parts.len() != 4 {
-                    return Err(err("malformed operation record"));
-                }
-                let key: u64 = parts[2].parse().map_err(|_| err("bad key"))?;
-                let value: u64 = parts[3].parse().map_err(|_| err("bad value"))?;
-                if parts[0] == "W" {
-                    b.write(sid, key, value);
-                } else {
-                    b.read(sid, key, value);
-                }
-            }
-            other => return Err(ParseError::new(lineno, format!("unknown record `{other}`"))),
-        }
-    }
+    read_cobra(text.as_bytes(), &mut b)?;
     b.finish().map_err(ParseError::from)
 }
 
@@ -151,6 +167,7 @@ mod tests {
         let h2 = parse_cobra(&text).unwrap();
         assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
         assert_eq!(write_cobra(&h2), text);
+        assert_eq!(h2, h);
     }
 
     #[test]

@@ -16,44 +16,204 @@
 //! R 100 2
 //! ```
 
-use awdit_core::{History, HistoryBuilder, Op};
+use std::io::{BufRead, Write};
+
+use awdit_core::{History, HistoryBuilder, HistorySink, Op, SessionId};
 
 use crate::error::ParseError;
+use crate::reader::LineReader;
 
 /// The first line of every DBCop-style file.
 pub const DBCOP_HEADER: &str = "dbcop-history";
 
-/// Serializes a history in the DBCop style.
-pub fn write_dbcop(history: &History) -> String {
-    let mut out = String::with_capacity(history.size() * 12 + 64);
-    out.push_str(DBCOP_HEADER);
-    out.push('\n');
-    out.push_str(&format!("sessions {}\n", history.num_sessions()));
+/// Streams `history` out in the DBCop style.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_dbcop_to<W: Write + ?Sized>(history: &History, out: &mut W) -> std::io::Result<()> {
+    out.write_all(DBCOP_HEADER.as_bytes())?;
+    out.write_all(b"\n")?;
+    writeln!(out, "sessions {}", history.num_sessions())?;
     for (sid, txns) in history.sessions() {
-        out.push_str(&format!("session {} txns {}\n", sid.0, txns.len()));
-        for t in txns {
-            out.push_str(&format!(
-                "txn {} {}\n",
+        writeln!(out, "session {} txns {}", sid.0, txns.len())?;
+        for t in txns.iter() {
+            writeln!(
+                out,
+                "txn {} {}",
                 if t.is_committed() {
                     "committed"
                 } else {
                     "aborted"
                 },
                 t.len()
-            ));
+            )?;
             for op in t.ops() {
                 match *op {
                     Op::Write { key, value } => {
-                        out.push_str(&format!("W {} {}\n", history.key_name(key), value.0));
+                        writeln!(out, "W {} {}", history.key_name(key), value.0)?;
                     }
                     Op::Read { key, value, .. } => {
-                        out.push_str(&format!("R {} {}\n", history.key_name(key), value.0));
+                        writeln!(out, "R {} {}", history.key_name(key), value.0)?;
                     }
                 }
             }
         }
     }
-    out
+    Ok(())
+}
+
+/// Serializes a history in the DBCop style.
+pub fn write_dbcop(history: &History) -> String {
+    let mut out = Vec::with_capacity(history.size() * 12 + 64);
+    write_dbcop_to(history, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("dbcop format is ASCII")
+}
+
+/// Consumes the next non-blank line and applies `f` to it (trimmed, with
+/// its number) — parsing in place, so counted records cost no per-line
+/// allocation.
+fn expect_line<R: BufRead, T>(
+    lines: &mut LineReader<R>,
+    f: impl FnOnce(&str, usize) -> Result<T, ParseError>,
+) -> Result<T, ParseError> {
+    loop {
+        match lines.next_line()? {
+            None => return Err(ParseError::new(0, "unexpected end of file")),
+            Some((raw, lineno)) => {
+                let line = raw.trim();
+                if !line.is_empty() {
+                    return f(line, lineno);
+                }
+            }
+        }
+    }
+}
+
+/// Incrementally reads a DBCop-style history from `input`, emitting events
+/// into `sink` as records are consumed.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when counts do not match the data, lines are
+/// malformed, or I/O fails; the sink may hold a partial history by then.
+pub fn read_dbcop<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_dbcop_lines(&mut LineReader::new(input), sink)
+}
+
+pub(crate) fn read_dbcop_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    expect_line(lines, |line, lineno| {
+        if line != DBCOP_HEADER {
+            return Err(ParseError::new(
+                lineno,
+                format!("expected header `{DBCOP_HEADER}`"),
+            ));
+        }
+        Ok(())
+    })?;
+    let num_sessions: usize = expect_line(lines, |line, lineno| {
+        line.strip_prefix("sessions ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::new(lineno, "expected `sessions N`"))
+    })?;
+
+    sink.ensure_sessions(num_sessions);
+
+    for expected_sid in 0..num_sessions {
+        let num_txns: usize = expect_line(lines, |line, lineno| {
+            let mut parts = line.split_whitespace();
+            let ok = parts.next() == Some("session");
+            let sid = parts.next().and_then(|p| p.parse::<usize>().ok());
+            let ok = ok && parts.next() == Some("txns");
+            let txns = parts.next().and_then(|p| p.parse::<usize>().ok());
+            if !ok || sid.is_none() || txns.is_none() || parts.next().is_some() {
+                return Err(ParseError::new(lineno, "expected `session N txns M`"));
+            }
+            if sid != Some(expected_sid) {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("expected session {expected_sid}, found {}", sid.unwrap()),
+                ));
+            }
+            Ok(txns.unwrap())
+        })?;
+        let session = SessionId(expected_sid as u32);
+        for _ in 0..num_txns {
+            let (committed, num_ops) = expect_line(lines, |line, lineno| {
+                let mut parts = line.split_whitespace();
+                if parts.next() != Some("txn") {
+                    return Err(ParseError::new(
+                        lineno,
+                        "expected `txn committed|aborted N`",
+                    ));
+                }
+                let committed = match parts.next() {
+                    Some("committed") => true,
+                    Some("aborted") => false,
+                    other => {
+                        return Err(ParseError::new(
+                            lineno,
+                            format!(
+                                "expected committed|aborted, found `{}`",
+                                other.unwrap_or("")
+                            ),
+                        ))
+                    }
+                };
+                let ops: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| ParseError::new(lineno, "bad op count"))?;
+                if parts.next().is_some() {
+                    return Err(ParseError::new(
+                        lineno,
+                        "expected `txn committed|aborted N`",
+                    ));
+                }
+                Ok((committed, ops))
+            })?;
+            sink.begin(session);
+            for _ in 0..num_ops {
+                let (is_write, key, value) = expect_line(lines, |line, lineno| {
+                    let mut parts = line.split_whitespace();
+                    let tag = parts.next();
+                    let key: Option<u64> = parts.next().and_then(|p| p.parse().ok());
+                    let value: Option<u64> = parts.next().and_then(|p| p.parse().ok());
+                    if parts.next().is_some() || key.is_none() || value.is_none() {
+                        return Err(ParseError::new(lineno, "expected `W|R key value`"));
+                    }
+                    let is_write = match tag {
+                        Some("W") => true,
+                        Some("R") => false,
+                        other => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("expected W or R, found `{}`", other.unwrap_or("")),
+                            ))
+                        }
+                    };
+                    Ok((is_write, key.unwrap(), value.unwrap()))
+                })?;
+                if is_write {
+                    sink.write(session, key, value);
+                } else {
+                    sink.read(session, key, value);
+                }
+            }
+            if committed {
+                sink.commit(session);
+            } else {
+                sink.abort(session);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Parses a DBCop-style history.
@@ -63,107 +223,8 @@ pub fn write_dbcop(history: &History) -> String {
 /// Returns a [`ParseError`] when counts do not match the data or lines are
 /// malformed.
 pub fn parse_dbcop(text: &str) -> Result<History, ParseError> {
-    let mut lines = text.lines().enumerate().peekable();
-    let expect_line = |lines: &mut std::iter::Peekable<
-        std::iter::Enumerate<std::str::Lines<'_>>,
-    >|
-     -> Result<(usize, String), ParseError> {
-        for (i, raw) in lines.by_ref() {
-            let line = raw.trim();
-            if !line.is_empty() {
-                return Ok((i + 1, line.to_string()));
-            }
-        }
-        Err(ParseError::new(0, "unexpected end of file"))
-    };
-
-    let (lineno, header) = expect_line(&mut lines)?;
-    if header != DBCOP_HEADER {
-        return Err(ParseError::new(
-            lineno,
-            format!("expected header `{DBCOP_HEADER}`"),
-        ));
-    }
-    let (lineno, sessions_line) = expect_line(&mut lines)?;
-    let num_sessions: usize = sessions_line
-        .strip_prefix("sessions ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| ParseError::new(lineno, "expected `sessions N`"))?;
-
     let mut b = HistoryBuilder::new();
-    let session_ids = b.sessions(num_sessions);
-
-    for expected_sid in 0..num_sessions {
-        let (lineno, line) = expect_line(&mut lines)?;
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        if parts.len() != 4 || parts[0] != "session" || parts[2] != "txns" {
-            return Err(ParseError::new(lineno, "expected `session N txns M`"));
-        }
-        let sid: usize = parts[1]
-            .parse()
-            .map_err(|_| ParseError::new(lineno, "bad session id"))?;
-        if sid != expected_sid {
-            return Err(ParseError::new(
-                lineno,
-                format!("expected session {expected_sid}, found {sid}"),
-            ));
-        }
-        let num_txns: usize = parts[3]
-            .parse()
-            .map_err(|_| ParseError::new(lineno, "bad txn count"))?;
-        for _ in 0..num_txns {
-            let (lineno, line) = expect_line(&mut lines)?;
-            let parts: Vec<&str> = line.split_whitespace().collect();
-            if parts.len() != 3 || parts[0] != "txn" {
-                return Err(ParseError::new(
-                    lineno,
-                    "expected `txn committed|aborted N`",
-                ));
-            }
-            let committed = match parts[1] {
-                "committed" => true,
-                "aborted" => false,
-                other => {
-                    return Err(ParseError::new(
-                        lineno,
-                        format!("expected committed|aborted, found `{other}`"),
-                    ))
-                }
-            };
-            let num_ops: usize = parts[2]
-                .parse()
-                .map_err(|_| ParseError::new(lineno, "bad op count"))?;
-            b.begin(session_ids[sid]);
-            for _ in 0..num_ops {
-                let (lineno, line) = expect_line(&mut lines)?;
-                let parts: Vec<&str> = line.split_whitespace().collect();
-                if parts.len() != 3 {
-                    return Err(ParseError::new(lineno, "expected `W|R key value`"));
-                }
-                let key: u64 = parts[1]
-                    .parse()
-                    .map_err(|_| ParseError::new(lineno, "bad key"))?;
-                let value: u64 = parts[2]
-                    .parse()
-                    .map_err(|_| ParseError::new(lineno, "bad value"))?;
-                match parts[0] {
-                    "W" => b.write(session_ids[sid], key, value),
-                    "R" => b.read(session_ids[sid], key, value),
-                    other => {
-                        return Err(ParseError::new(
-                            lineno,
-                            format!("expected W or R, found `{other}`"),
-                        ))
-                    }
-                }
-            }
-            if committed {
-                b.commit(session_ids[sid]);
-            } else {
-                b.abort(session_ids[sid]);
-            }
-        }
-    }
+    read_dbcop(text.as_bytes(), &mut b)?;
     b.finish().map_err(ParseError::from)
 }
 
@@ -196,6 +257,7 @@ mod tests {
         let h2 = parse_dbcop(&text).unwrap();
         assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
         assert_eq!(write_dbcop(&h2), text);
+        assert_eq!(h2, h);
     }
 
     #[test]

@@ -49,23 +49,30 @@ pub mod dbcop;
 pub mod error;
 pub mod native;
 pub mod plume;
+pub mod reader;
 pub mod report;
 pub mod source;
 pub mod stream;
 
-pub use cobra::{parse_cobra, write_cobra, COBRA_HEADER};
-pub use dbcop::{parse_dbcop, write_dbcop, DBCOP_HEADER};
+pub use cobra::{parse_cobra, read_cobra, write_cobra, write_cobra_to, COBRA_HEADER};
+pub use dbcop::{parse_dbcop, read_dbcop, write_dbcop, write_dbcop_to, DBCOP_HEADER};
 pub use error::ParseError;
-pub use native::{parse_native, write_native, NATIVE_HEADER};
-pub use plume::{parse_plume, write_plume};
+pub use native::{parse_native, read_native, write_native, write_native_to, NATIVE_HEADER};
+pub use plume::{parse_plume, read_plume, write_plume, write_plume_to};
+pub use reader::LineReader;
 pub use report::{
     EdgeReport, HistoryReport, JsonSink, LevelReport, Report, ReportSink, TextSink,
     ViolationReport, SCHEMA_VERSION,
 };
-pub use source::{history_of_events, DirSource, FilesSource};
-pub use stream::{parse_event, parse_events, write_event, write_events};
+pub use source::{events_into_sink, history_of_events, DirSource, FilesSource};
+pub use stream::{
+    parse_event, parse_events, read_events, write_event, write_event_to, write_events,
+    write_events_to, write_history_events_to,
+};
 
-use awdit_core::History;
+use std::io::{BufRead, Write};
+
+use awdit_core::{History, HistorySink};
 
 /// The supported history file formats.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -120,6 +127,88 @@ impl std::str::FromStr for Format {
 /// line looks like an operation.
 pub fn detect_format(text: &str) -> Option<Format> {
     let first = text.lines().find(|l| !l.trim().is_empty())?.trim();
+    classify_first_line(first)
+}
+
+/// Streams `history` out in the chosen format (the allocation-free form
+/// of [`write_history`]; wrap files in a `BufWriter`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_history_to<W: Write + ?Sized>(
+    history: &History,
+    format: Format,
+    out: &mut W,
+) -> std::io::Result<()> {
+    match format {
+        Format::Native => write_native_to(history, out),
+        Format::Plume => write_plume_to(history, out),
+        Format::Dbcop => write_dbcop_to(history, out),
+        Format::Cobra => write_cobra_to(history, out),
+    }
+}
+
+/// Serializes `history` in the chosen format.
+pub fn write_history(history: &History, format: Format) -> String {
+    match format {
+        Format::Native => write_native(history),
+        Format::Plume => write_plume(history),
+        Format::Dbcop => write_dbcop(history),
+        Format::Cobra => write_cobra(history),
+    }
+}
+
+/// Incrementally reads a history in the chosen format from any
+/// [`BufRead`], emitting events into `sink` as records are consumed — no
+/// full-input buffering anywhere.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or I/O failure; the sink
+/// may hold a partial history by then (discard it, e.g. with
+/// [`HistoryBuilder::reset`](awdit_core::HistoryBuilder::reset)).
+pub fn read_history<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    format: Format,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_history_lines(&mut LineReader::new(input), format, sink)
+}
+
+pub(crate) fn read_history_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    format: Format,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    match format {
+        Format::Native => native::read_native_lines(lines, sink),
+        Format::Plume => plume::read_plume_lines(lines, sink),
+        Format::Dbcop => dbcop::read_dbcop_lines(lines, sink),
+        Format::Cobra => cobra::read_cobra_lines(lines, sink),
+    }
+}
+
+/// Sniffs the format from the reader's first non-blank line (left
+/// unconsumed), mirroring [`detect_format`].
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`ParseError`]s.
+pub(crate) fn sniff_format<R: BufRead>(
+    lines: &mut LineReader<R>,
+) -> Result<Option<Format>, ParseError> {
+    if !lines.skip_blank_lines()? {
+        return Ok(None);
+    }
+    let Some((line, _)) = lines.peek_line()? else {
+        return Ok(None);
+    };
+    Ok(classify_first_line(line.trim()))
+}
+
+/// [`detect_format`]'s per-line core.
+fn classify_first_line(first: &str) -> Option<Format> {
     if first == NATIVE_HEADER {
         Some(Format::Native)
     } else if first == DBCOP_HEADER {
@@ -133,14 +222,26 @@ pub fn detect_format(text: &str) -> Option<Format> {
     }
 }
 
-/// Serializes `history` in the chosen format.
-pub fn write_history(history: &History, format: Format) -> String {
-    match format {
-        Format::Native => write_native(history),
-        Format::Plume => write_plume(history),
-        Format::Dbcop => write_dbcop(history),
-        Format::Cobra => write_cobra(history),
-    }
+/// Detects the format from any [`BufRead`] and reads into `sink`,
+/// returning the detected format — the streaming form of [`parse_auto`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the format cannot be detected, on
+/// malformed input, or on I/O failure.
+pub fn read_auto<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<Format, ParseError> {
+    let mut lines = LineReader::new(input);
+    let format = sniff_format(&mut lines)?.ok_or_else(|| {
+        ParseError::new(
+            lines.line_no().max(1),
+            "unrecognized history format".to_string(),
+        )
+    })?;
+    read_history_lines(&mut lines, format, sink)?;
+    Ok(format)
 }
 
 /// Parses `text` in the chosen format.

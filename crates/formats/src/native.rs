@@ -14,63 +14,80 @@
 //! `c:` marks a committed transaction, `a:` an aborted one; operations are
 //! `w(key,value)` / `r(key,value)` in program order. Blank lines and `#`
 //! comments are ignored.
+//!
+//! [`read_native`] is the incremental reader (any [`BufRead`] into any
+//! [`HistorySink`]); [`write_native_to`] the symmetric streaming writer
+//! (no per-operation allocation). [`parse_native`]/[`write_native`] are
+//! the whole-`str`/`String` conveniences on top.
 
-use awdit_core::{History, HistoryBuilder, Op};
+use std::io::{BufRead, Write};
+
+use awdit_core::{History, HistoryBuilder, HistorySink, Op, SessionId};
 
 use crate::error::ParseError;
+use crate::reader::LineReader;
 
 /// The first line of every native-format file.
 pub const NATIVE_HEADER: &str = "awdit-history v1";
 
-/// Serializes a history in the native format.
-pub fn write_native(history: &History) -> String {
-    let mut out = String::with_capacity(history.size() * 12 + 64);
-    out.push_str(NATIVE_HEADER);
-    out.push('\n');
-    for (sid, txns) in history.sessions() {
-        out.push_str(&format!("session {}\n", sid.0));
-        for t in txns {
-            out.push_str(if t.is_committed() { "c:" } else { "a:" });
-            for op in t.ops() {
-                match *op {
-                    Op::Write { key, value } => {
-                        out.push_str(&format!(" w({},{})", history.key_name(key), value.0));
-                    }
-                    Op::Read { key, value, .. } => {
-                        out.push_str(&format!(" r({},{})", history.key_name(key), value.0));
-                    }
-                }
-            }
-            out.push('\n');
-        }
-    }
-    out
-}
-
-/// Parses a native-format history.
+/// Streams `history` out in the native format.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with the offending line on malformed input, or
-/// a wrapped [`BuildError`](awdit_core::BuildError) if the operations form
-/// an invalid history (e.g. duplicate writes).
-pub fn parse_native(text: &str) -> Result<History, ParseError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, l)) if l.trim() == NATIVE_HEADER => {}
-        Some((i, l)) => {
-            return Err(ParseError::new(
-                i + 1,
-                format!("expected header `{NATIVE_HEADER}`, found `{l}`"),
-            ))
+/// Propagates I/O errors from `out`.
+pub fn write_native_to<W: Write + ?Sized>(history: &History, out: &mut W) -> std::io::Result<()> {
+    out.write_all(NATIVE_HEADER.as_bytes())?;
+    out.write_all(b"\n")?;
+    for (sid, txns) in history.sessions() {
+        writeln!(out, "session {}", sid.0)?;
+        for t in txns.iter() {
+            out.write_all(if t.is_committed() { b"c:" } else { b"a:" })?;
+            for op in t.ops() {
+                match *op {
+                    Op::Write { key, value } => {
+                        write!(out, " w({},{})", history.key_name(key), value.0)?;
+                    }
+                    Op::Read { key, value, .. } => {
+                        write!(out, " r({},{})", history.key_name(key), value.0)?;
+                    }
+                }
+            }
+            out.write_all(b"\n")?;
         }
-        None => return Err(ParseError::new(1, "empty file")),
     }
+    Ok(())
+}
 
-    let mut b = HistoryBuilder::new();
-    let mut current = None;
-    for (i, raw) in lines {
-        let lineno = i + 1;
+/// Serializes a history in the native format.
+pub fn write_native(history: &History) -> String {
+    let mut out = Vec::with_capacity(history.size() * 12 + 64);
+    write_native_to(history, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("native format is ASCII")
+}
+
+/// Incrementally reads a native-format history from `input`, emitting
+/// events into `sink` as lines are consumed.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input or
+/// I/O failure. The sink may have received a partial history by then;
+/// discard it (e.g. [`HistoryBuilder::reset`]).
+pub fn read_native<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_native_lines(&mut LineReader::new(input), sink)
+}
+
+pub(crate) fn read_native_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    crate::reader::expect_header(lines, NATIVE_HEADER)?;
+
+    let mut current: Option<SessionId> = None;
+    while let Some((raw, lineno)) = lines.next_line()? {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -80,8 +97,8 @@ pub fn parse_native(text: &str) -> Result<History, ParseError> {
                 ParseError::new(lineno, format!("bad session id `{}`", rest.trim()))
             })?;
             // Sessions must appear in order; create up to the id.
-            let sessions = b.sessions(id + 1);
-            current = Some(sessions[id]);
+            sink.ensure_sessions(id + 1);
+            current = Some(SessionId(id as u32));
             continue;
         }
         let (committed, rest) = if let Some(rest) = line.strip_prefix("c:") {
@@ -96,20 +113,33 @@ pub fn parse_native(text: &str) -> Result<History, ParseError> {
         };
         let session =
             current.ok_or_else(|| ParseError::new(lineno, "transaction before any session"))?;
-        b.begin(session);
+        sink.begin(session);
         for tok in rest.split_whitespace() {
             let (kind, args) = parse_op_token(tok, lineno)?;
             match kind {
-                b'w' => b.write(session, args.0, args.1),
-                _ => b.read(session, args.0, args.1),
+                b'w' => sink.write(session, args.0, args.1),
+                _ => sink.read(session, args.0, args.1),
             }
         }
         if committed {
-            b.commit(session);
+            sink.commit(session);
         } else {
-            b.abort(session);
+            sink.abort(session);
         }
     }
+    Ok(())
+}
+
+/// Parses a native-format history.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input, or
+/// a wrapped [`BuildError`](awdit_core::BuildError) if the operations form
+/// an invalid history (e.g. duplicate writes).
+pub fn parse_native(text: &str) -> Result<History, ParseError> {
+    let mut b = HistoryBuilder::new();
+    read_native(text.as_bytes(), &mut b)?;
     b.finish().map_err(ParseError::from)
 }
 
@@ -159,8 +189,9 @@ mod tests {
         let text = write_native(&h);
         let h2 = parse_native(&text).unwrap();
         assert_eq!(HistoryStats::of(&h), HistoryStats::of(&h2));
-        // Serialization is a fixed point.
+        // Serialization is a fixed point — and the round trip is exact.
         assert_eq!(write_native(&h2), text);
+        assert_eq!(h2, h);
     }
 
     #[test]
@@ -202,5 +233,19 @@ mod tests {
         let text = "awdit-history v1\nsession 2\nc: w(1,1)\n";
         let h = parse_native(text).unwrap();
         assert_eq!(h.num_sessions(), 3);
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_string_parse() {
+        let h = sample();
+        let text = write_native(&h);
+        // A 1-byte buffer forces the reader through every refill path.
+        let mut b = HistoryBuilder::new();
+        read_native(
+            std::io::BufReader::with_capacity(1, text.as_bytes()),
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(b.finish().unwrap(), parse_native(&text).unwrap());
     }
 }

@@ -14,19 +14,25 @@
 //! Aborted transactions are not representable (Plume histories contain
 //! committed transactions only).
 
-use awdit_core::{History, HistoryBuilder, Op};
+use std::io::{BufRead, Write};
+
+use awdit_core::{History, HistoryBuilder, HistorySink, Op, SessionId};
 
 use crate::error::ParseError;
+use crate::reader::LineReader;
 
-/// Serializes a history in the Plume style.
+/// Streams `history` out in the Plume style.
 ///
 /// Aborted transactions are skipped (with their operations), matching the
 /// format's committed-only data model.
-pub fn write_plume(history: &History) -> String {
-    let mut out = String::with_capacity(history.size() * 16);
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_plume_to<W: Write + ?Sized>(history: &History, out: &mut W) -> std::io::Result<()> {
     for (sid, txns) in history.sessions() {
         let mut txn_id = 0usize;
-        for t in txns {
+        for t in txns.iter() {
             if !t.is_committed() {
                 continue;
             }
@@ -35,32 +41,49 @@ pub fn write_plume(history: &History) -> String {
                     Op::Write { key, value } => ('w', key, value),
                     Op::Read { key, value, .. } => ('r', key, value),
                 };
-                out.push_str(&format!(
-                    "{c}({},{},{},{txn_id})\n",
+                writeln!(
+                    out,
+                    "{c}({},{},{},{txn_id})",
                     history.key_name(key),
                     value.0,
                     sid.0
-                ));
+                )?;
             }
             txn_id += 1;
         }
     }
-    out
+    Ok(())
 }
 
-/// Parses a Plume-style history.
+/// Serializes a history in the Plume style.
+pub fn write_plume(history: &History) -> String {
+    let mut out = Vec::with_capacity(history.size() * 16);
+    write_plume_to(history, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("plume format is ASCII")
+}
+
+/// Incrementally reads a Plume-style history from `input`, emitting events
+/// into `sink` as lines are consumed.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] on malformed lines, out-of-order transaction
-/// ids, or invalid histories.
-pub fn parse_plume(text: &str) -> Result<History, ParseError> {
-    let mut b = HistoryBuilder::new();
+/// ids, or I/O failure; the sink may hold a partial history by then.
+pub fn read_plume<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_plume_lines(&mut LineReader::new(input), sink)
+}
+
+pub(crate) fn read_plume_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    sink: &mut S,
+) -> Result<(), ParseError> {
     // Per session: the current open transaction id.
     let mut open: Vec<Option<u64>> = Vec::new();
 
-    for (i, raw) in text.lines().enumerate() {
-        let lineno = i + 1;
+    while let Some((raw, lineno)) = lines.next_line()? {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -75,24 +98,26 @@ pub fn parse_plume(text: &str) -> Result<History, ParseError> {
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
             .ok_or_else(err)?;
-        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
-        if parts.len() != 4 {
+        let mut parts = inner.split(',').map(str::trim);
+        let mut field = || parts.next().ok_or_else(err);
+        let key: u64 = field()?.parse().map_err(|_| err())?;
+        let value: u64 = field()?.parse().map_err(|_| err())?;
+        let session: usize = field()?.parse().map_err(|_| err())?;
+        let txn: u64 = field()?.parse().map_err(|_| err())?;
+        if parts.next().is_some() {
             return Err(err());
         }
-        let key: u64 = parts[0].parse().map_err(|_| err())?;
-        let value: u64 = parts[1].parse().map_err(|_| err())?;
-        let session: usize = parts[2].parse().map_err(|_| err())?;
-        let txn: u64 = parts[3].parse().map_err(|_| err())?;
 
-        let sessions = b.sessions(session + 1);
+        sink.ensure_sessions(session + 1);
         while open.len() <= session {
             open.push(None);
         }
+        let sid = SessionId(session as u32);
         match open[session] {
             Some(cur) if cur == txn => {}
             Some(cur) if txn > cur => {
-                b.commit(sessions[session]);
-                b.begin(sessions[session]);
+                sink.commit(sid);
+                sink.begin(sid);
                 open[session] = Some(txn);
             }
             Some(cur) => {
@@ -102,23 +127,34 @@ pub fn parse_plume(text: &str) -> Result<History, ParseError> {
                 ));
             }
             None => {
-                b.begin(sessions[session]);
+                sink.begin(sid);
                 open[session] = Some(txn);
             }
         }
         if kind == b'w' {
-            b.write(sessions[session], key, value);
+            sink.write(sid, key, value);
         } else {
-            b.read(sessions[session], key, value);
+            sink.read(sid, key, value);
         }
     }
     // Close all open transactions.
-    let sessions = b.sessions(open.len());
     for (s, o) in open.iter().enumerate() {
         if o.is_some() {
-            b.commit(sessions[s]);
+            sink.commit(SessionId(s as u32));
         }
     }
+    Ok(())
+}
+
+/// Parses a Plume-style history.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed lines, out-of-order transaction
+/// ids, or invalid histories.
+pub fn parse_plume(text: &str) -> Result<History, ParseError> {
+    let mut b = HistoryBuilder::new();
+    read_plume(text.as_bytes(), &mut b)?;
     b.finish().map_err(ParseError::from)
 }
 
@@ -155,6 +191,8 @@ mod tests {
             );
         }
         assert_eq!(write_plume(&h2), text);
+        // Fully-committed histories round-trip exactly.
+        assert_eq!(h2, h);
     }
 
     #[test]
@@ -185,6 +223,7 @@ mod tests {
     fn malformed_lines_rejected() {
         assert!(parse_plume("x(1,1,0,0)\n").is_err());
         assert!(parse_plume("w(1,1,0)\n").is_err());
+        assert!(parse_plume("w(1,1,0,0,9)\n").is_err());
         assert!(parse_plume("w 1 1 0 0\n").is_err());
     }
 

@@ -7,12 +7,39 @@
 //! recorded `awdit watch` event log checks batch-style through the same
 //! entry point (each NDJSON file replays into one [`History`]).
 
+use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
-use awdit_core::{History, HistoryBuilder, HistorySource, SourceError, SourcedHistory};
+use awdit_core::{
+    History, HistoryBuilder, HistorySink, HistorySource, SourceError, SourcedHistory,
+};
 use awdit_stream::Event;
 
-use crate::{parse_auto, parse_events, parse_history, Format};
+use crate::reader::LineReader;
+use crate::stream::{read_events_lines, EventReplayer};
+use crate::{read_history_lines, sniff_format, Format, ParseError};
+
+/// Replays a transaction event stream into any [`HistorySink`] (sessions
+/// numbered by first appearance) — the slice-based sibling of
+/// [`read_events`](crate::read_events).
+///
+/// # Errors
+///
+/// Returns a message when the stream is ill-formed (events outside an
+/// open transaction, nested `begin`s, or a stream ending with an open
+/// transaction), prefixed with the offending event's index.
+pub fn events_into_sink<S: HistorySink + ?Sized>(
+    events: &[Event],
+    sink: &mut S,
+) -> Result<(), String> {
+    let mut replay = EventReplayer::new();
+    for (i, event) in events.iter().enumerate() {
+        replay
+            .apply(sink, event)
+            .map_err(|m| format!("event {i}: {m}"))?;
+    }
+    replay.finish()
+}
 
 /// Replays a transaction event stream into a complete [`History`]
 /// (sessions are numbered by first appearance).
@@ -27,79 +54,41 @@ use crate::{parse_auto, parse_events, parse_history, Format};
 /// open transaction, nested `begin`s, or a history that fails to build).
 pub fn history_of_events(events: &[Event]) -> Result<History, String> {
     let mut b = HistoryBuilder::new();
-    let mut sessions: Vec<(u64, awdit_core::SessionId)> = Vec::new();
-    let mut open: Vec<u64> = Vec::new();
-    let mut session_of =
-        |b: &mut HistoryBuilder, name: u64| match sessions.iter().find(|(n, _)| *n == name) {
-            Some(&(_, sid)) => sid,
-            None => {
-                let sid = b.session();
-                sessions.push((name, sid));
-                sid
-            }
-        };
-    for (i, event) in events.iter().enumerate() {
-        let name = event.session();
-        let sid = session_of(&mut b, name);
-        match *event {
-            Event::Begin { .. } => {
-                if open.contains(&name) {
-                    return Err(format!("event {i}: nested begin on session {name}"));
-                }
-                open.push(name);
-                b.begin(sid);
-            }
-            Event::Write { key, value, .. } => {
-                if !open.contains(&name) {
-                    return Err(format!("event {i}: write outside transaction on {name}"));
-                }
-                b.write(sid, key, value);
-            }
-            Event::Read { key, value, .. } => {
-                if !open.contains(&name) {
-                    return Err(format!("event {i}: read outside transaction on {name}"));
-                }
-                b.read(sid, key, value);
-            }
-            Event::Commit { .. } => {
-                if !open.contains(&name) {
-                    return Err(format!(
-                        "event {i}: commit with no open transaction on {name}"
-                    ));
-                }
-                open.retain(|&n| n != name);
-                b.commit(sid);
-            }
-            Event::Abort { .. } => {
-                if !open.contains(&name) {
-                    return Err(format!(
-                        "event {i}: abort with no open transaction on {name}"
-                    ));
-                }
-                open.retain(|&n| n != name);
-                b.abort(sid);
-            }
-        }
-    }
-    if let Some(name) = open.first() {
-        return Err(format!("stream ends with session {name} still open"));
-    }
+    events_into_sink(events, &mut b)?;
     b.finish().map_err(|e| e.to_string())
 }
 
-/// Parses one history file's text: an explicit [`Format`], or sniffing —
-/// including NDJSON event logs (first line starts with `{`), which are
-/// replayed via [`history_of_events`].
-fn parse_file_text(text: &str, format: Option<Format>) -> Result<History, String> {
-    if let Some(f) = format {
-        return parse_history(text, f).map_err(|e| e.to_string());
-    }
-    let first = text.lines().find(|l| !l.trim().is_empty());
-    if first.map(|l| l.trim_start().starts_with('{')) == Some(true) {
-        let events = parse_events(text).map_err(|e| e.to_string())?;
-        return history_of_events(&events);
-    }
-    parse_auto(text).map_err(|e| e.to_string())
+/// Streams one history file into `sink`: an explicit [`Format`], or
+/// sniffing — including NDJSON event logs (first line starts with `{`).
+/// The file is read line by line; no full-file `String` exists at any
+/// point.
+fn read_file_into(
+    path: &Path,
+    format: Option<Format>,
+    sink: &mut (impl HistorySink + ?Sized),
+) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut lines = LineReader::new(BufReader::new(file));
+    let result: Result<(), ParseError> = (|| {
+        if let Some(f) = format {
+            return read_history_lines(&mut lines, f, sink);
+        }
+        if lines.skip_blank_lines()? {
+            if let Some((line, _)) = lines.peek_line()? {
+                if line.trim_start().starts_with('{') {
+                    return read_events_lines(&mut lines, sink);
+                }
+            }
+        }
+        match sniff_format(&mut lines)? {
+            Some(f) => read_history_lines(&mut lines, f, sink),
+            None => Err(ParseError::new(
+                1,
+                "unrecognized history format".to_string(),
+            )),
+        }
+    })();
+    result.map_err(|e| e.to_string())
 }
 
 /// A [`HistorySource`] over an explicit list of history files, yielded in
@@ -137,20 +126,28 @@ impl FilesSource {
         self.paths.len() - self.pos
     }
 
-    fn load(&self, path: &Path) -> Result<SourcedHistory, SourceError> {
+    /// Streams the file at `path` into `sink`, returning its display name.
+    fn load_into(
+        &self,
+        path: &Path,
+        sink: &mut (impl HistorySink + ?Sized),
+    ) -> Result<String, SourceError> {
         let origin = path.display().to_string();
-        let text = std::fs::read_to_string(path).map_err(|e| SourceError {
-            origin: origin.clone(),
-            message: format!("cannot read: {e}"),
-        })?;
-        let history = parse_file_text(&text, self.format).map_err(|message| SourceError {
+        read_file_into(path, self.format, sink).map_err(|message| SourceError {
             origin: origin.clone(),
             message,
         })?;
-        Ok(SourcedHistory {
-            name: origin,
-            history,
-        })
+        Ok(origin)
+    }
+
+    fn load(&self, path: &Path) -> Result<SourcedHistory, SourceError> {
+        let mut b = HistoryBuilder::new();
+        let name = self.load_into(path, &mut b)?;
+        let history = b.finish().map_err(|e| SourceError {
+            origin: name.clone(),
+            message: e.to_string(),
+        })?;
+        Ok(SourcedHistory { name, history })
     }
 }
 
@@ -159,6 +156,19 @@ impl HistorySource for FilesSource {
         let path = self.paths.get(self.pos)?.clone();
         self.pos += 1;
         Some(self.load(&path))
+    }
+
+    /// The streaming edge: the file's records are pushed into `sink` as
+    /// they are read — never materializing a [`History`], which is what
+    /// lets [`Engine::check_source`](awdit_core::Engine::check_source)
+    /// ingest straight into its recycled arenas.
+    fn next_into(
+        &mut self,
+        sink: &mut dyn awdit_core::HistorySink,
+    ) -> Option<Result<String, SourceError>> {
+        let path = self.paths.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(self.load_into(&path, sink))
     }
 }
 
@@ -219,6 +229,13 @@ impl DirSource {
 impl HistorySource for DirSource {
     fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>> {
         self.inner.next_history()
+    }
+
+    fn next_into(
+        &mut self,
+        sink: &mut dyn awdit_core::HistorySink,
+    ) -> Option<Result<String, SourceError>> {
+        self.inner.next_into(sink)
     }
 }
 

@@ -15,45 +15,218 @@
 //! ignored, and blank lines and `#` comment lines are skipped — so logs
 //! with occasional annotations still parse.
 
+use std::io::{BufRead, Write};
+
+use awdit_core::{HistorySink, SessionId};
 use awdit_stream::Event;
 
 use crate::error::ParseError;
+use crate::reader::LineReader;
 
-/// Serializes one event as a canonical NDJSON line (no trailing newline).
-pub fn write_event(event: &Event) -> String {
+/// Streams one event as a canonical NDJSON line (no trailing newline)
+/// into `out` — no intermediate `String`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_event_to<W: Write + ?Sized>(event: &Event, out: &mut W) -> std::io::Result<()> {
     match *event {
         Event::Begin { session } => {
-            format!("{{\"type\":\"begin\",\"session\":{session}}}")
+            write!(out, "{{\"type\":\"begin\",\"session\":{session}}}")
         }
         Event::Write {
             session,
             key,
             value,
-        } => {
-            format!("{{\"type\":\"write\",\"session\":{session},\"key\":{key},\"value\":{value}}}")
-        }
+        } => write!(
+            out,
+            "{{\"type\":\"write\",\"session\":{session},\"key\":{key},\"value\":{value}}}"
+        ),
         Event::Read {
             session,
             key,
             value,
-        } => format!("{{\"type\":\"read\",\"session\":{session},\"key\":{key},\"value\":{value}}}"),
+        } => write!(
+            out,
+            "{{\"type\":\"read\",\"session\":{session},\"key\":{key},\"value\":{value}}}"
+        ),
         Event::Commit { session } => {
-            format!("{{\"type\":\"commit\",\"session\":{session}}}")
+            write!(out, "{{\"type\":\"commit\",\"session\":{session}}}")
         }
         Event::Abort { session } => {
-            format!("{{\"type\":\"abort\",\"session\":{session}}}")
+            write!(out, "{{\"type\":\"abort\",\"session\":{session}}}")
         }
     }
 }
 
+/// Streams a sequence of events, one NDJSON line each.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_events_to<'a, W: Write + ?Sized>(
+    events: impl IntoIterator<Item = &'a Event>,
+    out: &mut W,
+) -> std::io::Result<()> {
+    for e in events {
+        write_event_to(e, out)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Streams a whole history's event-stream form (the round-robin
+/// interleaving of [`events_of_history`](awdit_stream::events_of_history))
+/// as NDJSON lines, one event at a time — no materialized `Vec<Event>`,
+/// so converting a history to an event log holds only the columnar
+/// history itself.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_history_events_to<W: Write + ?Sized>(
+    history: &awdit_core::History,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let mut result = Ok(());
+    awdit_stream::for_each_event(history, |e| {
+        if result.is_ok() {
+            result = write_event_to(e, out).and_then(|()| out.write_all(b"\n"));
+        }
+    });
+    result
+}
+
+/// Serializes one event as a canonical NDJSON line (no trailing newline).
+pub fn write_event(event: &Event) -> String {
+    let mut out = Vec::with_capacity(64);
+    write_event_to(event, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("NDJSON events are ASCII")
+}
+
 /// Serializes a sequence of events, one line each.
 pub fn write_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
-    let mut out = String::new();
-    for e in events {
-        out.push_str(&write_event(e));
-        out.push('\n');
+    let mut out = Vec::new();
+    write_events_to(events, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("NDJSON events are ASCII")
+}
+
+/// Replays transaction events into a [`HistorySink`], numbering sessions
+/// by first appearance and validating begin/commit bracketing — the
+/// shared core of [`read_events`] and
+/// [`history_of_events`](crate::history_of_events).
+#[derive(Debug, Default)]
+pub(crate) struct EventReplayer {
+    sessions: Vec<(u64, SessionId)>,
+    open: Vec<u64>,
+}
+
+impl EventReplayer {
+    pub(crate) fn new() -> Self {
+        Self::default()
     }
-    out
+
+    /// Applies one event to `sink`; errors describe the protocol fault
+    /// without positional context (the caller adds line/event numbers).
+    pub(crate) fn apply<S: HistorySink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        event: &Event,
+    ) -> Result<(), String> {
+        let name = event.session();
+        let sid = match self.sessions.iter().find(|(n, _)| *n == name) {
+            Some(&(_, sid)) => sid,
+            None => {
+                let sid = sink.session();
+                self.sessions.push((name, sid));
+                sid
+            }
+        };
+        let is_open = self.open.contains(&name);
+        match *event {
+            Event::Begin { .. } => {
+                if is_open {
+                    return Err(format!("nested begin on session {name}"));
+                }
+                self.open.push(name);
+                sink.begin(sid);
+            }
+            Event::Write { key, value, .. } => {
+                if !is_open {
+                    return Err(format!("write outside transaction on {name}"));
+                }
+                sink.write(sid, key, value);
+            }
+            Event::Read { key, value, .. } => {
+                if !is_open {
+                    return Err(format!("read outside transaction on {name}"));
+                }
+                sink.read(sid, key, value);
+            }
+            Event::Commit { .. } => {
+                if !is_open {
+                    return Err(format!("commit with no open transaction on {name}"));
+                }
+                self.open.retain(|&n| n != name);
+                sink.commit(sid);
+            }
+            Event::Abort { .. } => {
+                if !is_open {
+                    return Err(format!("abort with no open transaction on {name}"));
+                }
+                self.open.retain(|&n| n != name);
+                sink.abort(sid);
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-stream check: every session must have closed its last
+    /// transaction.
+    pub(crate) fn finish(&self) -> Result<(), String> {
+        if let Some(name) = self.open.first() {
+            return Err(format!("stream ends with session {name} still open"));
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally reads an NDJSON event log from `input`, replaying the
+/// events into `sink` (sessions numbered by first appearance) — the
+/// streaming form of
+/// [`history_of_events`](crate::history_of_events). Blank lines and `#`
+/// comment lines are skipped.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed JSON, protocol faults (events
+/// outside an open transaction, nested `begin`s, a stream ending with an
+/// open transaction), or I/O failure.
+pub fn read_events<R: BufRead, S: HistorySink + ?Sized>(
+    input: R,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_events_lines(&mut LineReader::new(input), sink)
+}
+
+pub(crate) fn read_events_lines<R: BufRead, S: HistorySink + ?Sized>(
+    lines: &mut LineReader<R>,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    let mut replay = EventReplayer::new();
+    while let Some((raw, lineno)) = lines.next_line()? {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let event = parse_event(trimmed, lineno)?;
+        replay
+            .apply(sink, &event)
+            .map_err(|m| ParseError::new(lineno, m))?;
+    }
+    replay
+        .finish()
+        .map_err(|m| ParseError::new(lines.line_no().max(1), m))
 }
 
 /// Parses one NDJSON line into an event. `line_no` is used for error

@@ -369,6 +369,38 @@ impl SimDb {
         self.store.read_latest(key, &txn.snap).map(|v| v.value)
     }
 
+    /// Streams the execution record into any
+    /// [`HistorySink`](awdit_core::HistorySink) — the generator-side
+    /// ingest edge: fleets feed a recycled
+    /// [`Engine`](awdit_core::Engine) sink directly, never materializing
+    /// a nested per-history representation.
+    ///
+    /// Open transactions, if any, are skipped (only finished transactions
+    /// are part of the record). Sessions `0..k` are created in the sink
+    /// via [`ensure_sessions`](awdit_core::HistorySink::ensure_sessions);
+    /// feed a fresh (or freshly reset) sink.
+    pub fn emit_into<S: awdit_core::HistorySink + ?Sized>(&self, sink: &mut S) {
+        sink.ensure_sessions(self.config.sessions);
+        for (s, txns) in self.log.iter().enumerate() {
+            let sid = awdit_core::SessionId(s as u32);
+            for t in txns {
+                sink.begin(sid);
+                for op in &t.ops {
+                    if op.is_read {
+                        sink.read(sid, op.key, op.value);
+                    } else {
+                        sink.write(sid, op.key, op.value);
+                    }
+                }
+                if t.committed {
+                    sink.commit(sid);
+                } else {
+                    sink.abort(sid);
+                }
+            }
+        }
+    }
+
     /// Replays the execution record into a checked [`History`].
     ///
     /// Open transactions, if any, are discarded (only finished transactions
@@ -381,24 +413,7 @@ impl SimDb {
     /// injection produced a duplicate, which would be a bug.
     pub fn into_history(self) -> Result<History, BuildError> {
         let mut b = HistoryBuilder::new();
-        let sessions: Vec<_> = (0..self.config.sessions).map(|_| b.session()).collect();
-        for (s, txns) in self.log.iter().enumerate() {
-            for t in txns {
-                b.begin(sessions[s]);
-                for op in &t.ops {
-                    if op.is_read {
-                        b.read(sessions[s], op.key, op.value);
-                    } else {
-                        b.write(sessions[s], op.key, op.value);
-                    }
-                }
-                if t.committed {
-                    b.commit(sessions[s]);
-                } else {
-                    b.abort(sessions[s]);
-                }
-            }
-        }
+        self.emit_into(&mut b);
         b.finish()
     }
 }

@@ -123,6 +123,13 @@ impl Harness {
     pub fn finish(self) -> Result<History, BuildError> {
         self.db.into_history()
     }
+
+    /// Streams the recorded history into any
+    /// [`HistorySink`](awdit_core::HistorySink) without materializing a
+    /// [`History`] — see [`SimDb::emit_into`].
+    pub fn emit_into<S: awdit_core::HistorySink + ?Sized>(&self, sink: &mut S) {
+        self.db.emit_into(sink);
+    }
 }
 
 /// One-call convenience: run `workload` for `txns` transactions under

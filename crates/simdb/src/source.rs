@@ -67,6 +67,19 @@ where
     pub fn remaining(&self) -> usize {
         self.seeds.end.saturating_sub(self.seeds.start) as usize
     }
+
+    /// Pops the next seed, deriving the history name, the per-seed
+    /// config, and a fresh workload — shared by both source edges so the
+    /// streaming and materializing paths cannot drift.
+    fn next_seeded(&mut self) -> Option<(String, SimConfig, W)> {
+        let seed = self.seeds.next()?;
+        let name = format!("sim-{}-s{}", self.config.isolation, seed);
+        let config = SimConfig {
+            seed,
+            ..self.config
+        };
+        Some((name, config, (self.make)(seed)))
+    }
 }
 
 impl<W, F> HistorySource for SimSource<W, F>
@@ -75,13 +88,7 @@ where
     F: FnMut(u64) -> W,
 {
     fn next_history(&mut self) -> Option<Result<SourcedHistory, SourceError>> {
-        let seed = self.seeds.next()?;
-        let name = format!("sim-{}-s{}", self.config.isolation, seed);
-        let config = SimConfig {
-            seed,
-            ..self.config
-        };
-        let mut workload = (self.make)(seed);
+        let (name, config, mut workload) = self.next_seeded()?;
         Some(match collect_history(config, &mut workload, self.txns) {
             Ok(history) => Ok(SourcedHistory { name, history }),
             Err(e) => Err(SourceError {
@@ -89,6 +96,21 @@ where
                 message: e.to_string(),
             }),
         })
+    }
+
+    /// The streaming edge: the simulated run's record is pushed straight
+    /// into `sink` (an [`Engine`](awdit_core::Engine)'s recycled ingest
+    /// arenas, typically) — the fleet never materializes a per-history
+    /// nested representation.
+    fn next_into(
+        &mut self,
+        sink: &mut dyn awdit_core::HistorySink,
+    ) -> Option<Result<String, SourceError>> {
+        let (name, config, mut workload) = self.next_seeded()?;
+        let mut harness = crate::harness::Harness::new(config);
+        harness.drive(&mut workload, self.txns);
+        harness.emit_into(sink);
+        Some(Ok(name))
     }
 }
 

@@ -1041,7 +1041,7 @@ impl OnlineChecker {
         let meta = self.index.meta(slot);
         let pairs = &meta.read_pairs;
         if threads <= 1 || pairs.len() < 2 * MIN_PAIRS_PER_SHARD {
-            infer_cc_edges(&self.index, slot, clock, edges);
+            infer_cc_edges(&self.index, slot, clock.entries(), edges);
             return;
         }
         let index = &self.index;
@@ -1051,7 +1051,7 @@ impl OnlineChecker {
         let sinks = parallel::map_shards(threads, &shards, |_, r| {
             let mut sink = parallel::EdgeBuf::new();
             let chunk = &pairs[r.start as usize..r.end as usize];
-            infer_cc_pairs(index, session, chunk, clock, &mut sink);
+            infer_cc_pairs(index, session, chunk, clock.entries(), &mut sink);
             sink
         });
         parallel::merge_sinks(edges, sinks);

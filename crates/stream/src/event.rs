@@ -60,31 +60,32 @@ impl Event {
     }
 }
 
-/// Flattens a finished [`History`] into an event stream, interleaving
-/// sessions round-robin (one whole transaction per session per round).
+/// Visits a finished [`History`]'s event-stream form one event at a
+/// time, interleaving sessions round-robin (one whole transaction per
+/// session per round) — the streaming core of [`events_of_history`],
+/// for writers that need no materialized `Vec<Event>`.
 ///
 /// Per-session event order equals session order, as the online checker
 /// requires; the cross-session interleaving is one plausible arrival order
 /// among many — any of them yields the same verdict.
-pub fn events_of_history(h: &History) -> Vec<Event> {
+pub fn for_each_event(h: &History, mut f: impl FnMut(&Event)) {
     let k = h.num_sessions();
     let mut next = vec![0usize; k];
-    let mut events = Vec::with_capacity(h.size() + 2 * h.num_txns());
     let mut progressed = true;
     while progressed {
         progressed = false;
-        for s in 0..k {
+        for (s, pos) in next.iter_mut().enumerate() {
             let txns = h.session(SessionId(s as u32));
-            if next[s] >= txns.len() {
+            if *pos >= txns.len() {
                 continue;
             }
             progressed = true;
-            let t = &txns[next[s]];
-            next[s] += 1;
+            let t = txns.txn(*pos);
+            *pos += 1;
             let session = s as u64;
-            events.push(Event::Begin { session });
+            f(&Event::Begin { session });
             for op in t.ops() {
-                events.push(match *op {
+                f(&match *op {
                     Op::Write { key, value } => Event::Write {
                         session,
                         key: h.key_name(key),
@@ -97,13 +98,20 @@ pub fn events_of_history(h: &History) -> Vec<Event> {
                     },
                 });
             }
-            events.push(if t.is_committed() {
+            f(&if t.is_committed() {
                 Event::Commit { session }
             } else {
                 Event::Abort { session }
             });
         }
     }
+}
+
+/// Flattens a finished [`History`] into an event stream — the
+/// materialized form of [`for_each_event`].
+pub fn events_of_history(h: &History) -> Vec<Event> {
+    let mut events = Vec::with_capacity(h.size() + 2 * h.num_txns());
+    for_each_event(h, |e| events.push(*e));
     events
 }
 

@@ -58,6 +58,6 @@ pub use checker::{
     EngineExt, OnlineChecker, StreamConfig, StreamError, StreamOutcome, StreamViolation,
 };
 pub use dag::{DagEdge, IncrementalDag};
-pub use event::{events_of_history, Event};
+pub use event::{events_of_history, for_each_event, Event};
 pub use index::{StreamIndex, TxnMeta};
 pub use stats::StreamStats;

@@ -58,14 +58,14 @@ pub use awdit_stream as stream;
 pub use awdit_workloads as workloads;
 
 pub use awdit_core::{
-    check, check_all_levels, check_all_levels_with, check_with, collect_source,
+    check, check_all_levels, check_all_levels_with, check_with, collect_source, replay_history,
     validate_commit_order, BuildError, CheckOptions, Engine, EngineBuilder, EngineConfig,
-    EngineStats, History, HistoryBuilder, HistorySource, HistoryStats, IsolationLevel, Outcome,
-    SourceError, SourcedHistory, Verdict, Violation, ViolationKind,
+    EngineStats, History, HistoryBuilder, HistorySink, HistorySource, HistoryStats, IsolationLevel,
+    Outcome, SourceError, SourcedHistory, Verdict, Violation, ViolationKind,
 };
 pub use awdit_formats::{
-    parse_auto, parse_history, write_history, DirSource, FilesSource, Format, HistoryReport,
-    JsonSink, LevelReport, Report, ReportSink, TextSink,
+    parse_auto, parse_history, read_auto, read_history, write_history, write_history_to, DirSource,
+    FilesSource, Format, HistoryReport, JsonSink, LevelReport, Report, ReportSink, TextSink,
 };
 pub use awdit_simdb::{collect_history, AnomalyRates, DbIsolation, SimConfig, SimSource};
 pub use awdit_stream::{EngineExt, Event, OnlineChecker, StreamConfig, StreamOutcome, StreamStats};

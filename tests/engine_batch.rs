@@ -199,6 +199,55 @@ fn second_same_shape_check_performs_no_arena_growth() {
     );
 }
 
+/// The CC happens-before clock table is one of the engine's recycled
+/// arenas (the PR-3 follow-up: index and graph recycled, clocks were
+/// still per-check): its bytes show up in the accounting, the first
+/// causal check grows it, and repeats recycle it — under both lookup
+/// strategies.
+#[test]
+fn cc_clock_table_is_a_recycled_engine_arena() {
+    let config = SimConfig::new(DbIsolation::Causal, 16, 77).with_max_lag(8);
+    let mut w = Uniform::default();
+    let h = collect_history(config, &mut w, 1200).expect("history builds");
+
+    // Reference footprint: the same engine shape with the clock table
+    // still empty (read-committed checks never touch it).
+    let mut rc = Engine::builder()
+        .level(IsolationLevel::ReadCommitted)
+        .build();
+    rc.check(&h);
+    let rc_bytes = rc.stats().arena_bytes;
+
+    for strategy in [CcStrategy::PointerScan, CcStrategy::BinarySearch] {
+        let mut engine = Engine::builder()
+            .level(IsolationLevel::Causal)
+            .cc_strategy(strategy)
+            .build();
+        engine.check(&h);
+        let first = engine.stats();
+        assert_eq!(first.arena_growths, 1, "{strategy}: first check grows");
+        for _ in 0..3 {
+            engine.check(&h);
+        }
+        let after = engine.stats();
+        assert_eq!(
+            after.arena_growths, 1,
+            "{strategy}: same-shape causal checks must recycle the clock table"
+        );
+        assert_eq!(after.arena_bytes, first.arena_bytes, "{strategy}");
+        if strategy == CcStrategy::PointerScan {
+            // Pointer-scan materializes the full m×k table — its bytes
+            // must be visible in the arena accounting.
+            assert!(
+                first.arena_bytes > rc_bytes,
+                "clock table bytes missing from accounting: CC {} <= RC {}",
+                first.arena_bytes,
+                rc_bytes
+            );
+        }
+    }
+}
+
 /// Checking through a fresh-per-call wrapper and through a reused engine
 /// must agree even when histories alternate shapes (arena resets are not
 /// allowed to leak state between checks).

@@ -36,14 +36,14 @@ fn replay(h: &History, checker: &mut OnlineChecker) {
     let mut progressed = true;
     while progressed {
         progressed = false;
-        for s in 0..k {
+        for (s, pos) in next.iter_mut().enumerate() {
             let txns = h.session(awdit_core::SessionId(s as u32));
-            if next[s] >= txns.len() {
+            if *pos >= txns.len() {
                 continue;
             }
             progressed = true;
-            let t = &txns[next[s]];
-            next[s] += 1;
+            let t = txns.txn(*pos);
+            *pos += 1;
             let sid = s as u64;
             checker.begin(sid).unwrap();
             for op in t.ops() {
