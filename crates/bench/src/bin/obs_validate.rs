@@ -1,0 +1,86 @@
+//! `obs_validate` — CI gate for the observability outputs.
+//!
+//! ```text
+//! obs_validate [--trace FILE] [--metrics FILE] [--require-phase NAME]...
+//! ```
+//!
+//! Validates that a Chrome trace written by `awdit check --trace` is
+//! well-formed (valid JSON, balanced nested spans, monotone timestamps)
+//! and that a Prometheus snapshot from `--metrics` is scrape-able, with
+//! every value finite and non-negative. `--require-phase` asserts a span
+//! name appears in the trace (repeatable). Exits non-zero on any
+//! failure, so a CI step can pipe real CLI output through it.
+
+use std::process::ExitCode;
+
+use awdit_obs::chrome::validate_trace;
+use awdit_obs::metrics::parse_prometheus;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("obs_validate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut required_phases: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--trace" => trace = Some(value("--trace")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--require-phase" => required_phases.push(value("--require-phase")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if trace.is_none() && metrics.is_none() {
+        return Err("nothing to validate: pass --trace FILE and/or --metrics FILE".to_string());
+    }
+
+    if let Some(path) = trace {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let summary = validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        for phase in &required_phases {
+            if !summary.phase_names.contains(phase) {
+                return Err(format!(
+                    "{path}: required phase `{phase}` absent (saw {:?})",
+                    summary.phase_names
+                ));
+            }
+        }
+        println!(
+            "trace ok: {} events, {} complete spans, {} threads, max depth {}",
+            summary.events, summary.complete_spans, summary.threads, summary.max_depth
+        );
+    }
+
+    if let Some(path) = metrics {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let series = parse_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+        if series.is_empty() {
+            return Err(format!("{path}: no series in snapshot"));
+        }
+        for (name, value) in &series {
+            if !value.is_finite() || *value < 0.0 {
+                return Err(format!("{path}: series `{name}` has bad value {value}"));
+            }
+        }
+        println!("metrics ok: {} series", series.len());
+    }
+
+    Ok(())
+}

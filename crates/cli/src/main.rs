@@ -4,10 +4,12 @@
 //! ```text
 //! awdit check [--isolation rc|ra|cc|all] [--threads N] [--cc-strategy S]
 //!             [--format auto|native|plume|dbcop|cobra] [--report text|json]
+//!             [--trace FILE] [--metrics FILE|-]
 //!             [--output FILE] FILE... | DIR
 //! awdit watch [--isolation rc|ra|cc] [--threads N] [--cc-strategy S]
-//!             [--no-prune] [--follow] FILE|-
-//! awdit stats FILE
+//!             [--no-prune] [--follow] [--trace FILE] [--metrics FILE|-]
+//!             [--stats-interval SECS] FILE|-
+//! awdit stats [--report text|json] FILE
 //! awdit convert [--to FORMAT] IN [OUT]
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
 //!                --sessions K --txns N --seed S [-o OUT] [--format FORMAT]
@@ -26,15 +28,19 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use awdit_core::{
     collect_source, CcStrategy, Engine, EngineConfig, History, HistoryBuilder, HistorySource,
     HistoryStats, IsolationLevel, Outcome, SourcedHistory,
 };
 use awdit_formats::{
-    read_auto, read_history, write_history_events_to, write_history_to, DirSource, FilesSource,
-    Format, HistoryReport, JsonSink, Report, ReportSink, TextSink,
+    history_stats_json, read_auto, read_history, write_history_events_to, write_history_to,
+    DirSource, EngineStatsReport, FilesSource, Format, HistoryReport, JsonSink, PhaseTimingReport,
+    Report, ReportSink, TextSink,
 };
+use awdit_obs::chrome::ChromeTraceRecorder;
+use awdit_obs::{phase_delta, Obs, PhaseTiming};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
 use awdit_stream::{EngineExt, OnlineChecker};
 use awdit_workloads::{Benchmark, Uniform};
@@ -77,12 +83,14 @@ fn print_usage() {
 USAGE:
     awdit check [--isolation rc|ra|cc|all] [--threads N] [--format FMT]
                 [--witnesses N] [--cc-strategy STRAT] [--report text|json]
+                [--trace FILE] [--metrics FILE|-]
                 [--output FILE] FILE... | DIR
     awdit watch [--isolation rc|ra|cc] [--threads N] [--interval N]
                 [--witnesses N] [--cc-strategy STRAT] [--no-prune]
+                [--trace FILE] [--metrics FILE|-] [--stats-interval SECS]
                 [--follow] FILE|-   (NDJSON event stream)
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
-    awdit stats FILE
+    awdit stats [--report text|json] FILE
     awdit convert [--format FMT] [--to FMT] IN [OUT]
     awdit generate --benchmark NAME --db MODE --sessions K --txns N
                    [--seed S] [--format FMT] [-o OUT]
@@ -102,7 +110,13 @@ CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
          its verdicts are strategy-independent
 CHECK: accepts several FILEs and/or a DIR (every file inside, sorted);
          --report json emits the versioned machine-readable report
-         (schema v1), --output writes the report to a file
+         (schema v2: per-phase timings + engine stats when traced),
+         --output writes the report to a file
+OBSERVABILITY: --trace FILE writes a Chrome trace_event JSON of every
+         engine phase (open in chrome://tracing or Perfetto); --metrics
+         writes a Prometheus text snapshot to FILE (`-` = stdout);
+         `watch --stats-interval SECS` prints a [stats] heartbeat on
+         stderr while following a stream
 CONVERT: streams IN (any supported format, auto-detected) to OUT via the
          incremental reader/writer pairs; the output format comes from
          --to (native|plume|dbcop|cobra|events) or OUT's extension
@@ -197,6 +211,80 @@ fn parse_witnesses(flags: &Flags, default: usize) -> Result<usize, String> {
         .map(|w| w.unwrap_or(default))
 }
 
+/// The observability side of `check`/`watch`: `--trace FILE` records a
+/// Chrome `trace_event` JSON of every engine phase, `--metrics FILE|-`
+/// exports the Prometheus text snapshot when the command finishes.
+/// Either flag switches the engine's [`Obs`] handle on; with neither the
+/// run pays only the disabled-path check per would-be span.
+struct ObsSetup {
+    obs: Obs,
+    trace: Option<(String, Arc<ChromeTraceRecorder>)>,
+    metrics: Option<String>,
+}
+
+impl ObsSetup {
+    fn from_flags(flags: &Flags) -> Self {
+        let trace_path = flags.get("trace").map(str::to_string);
+        let metrics = flags.get("metrics").map(str::to_string);
+        if trace_path.is_none() && metrics.is_none() {
+            return ObsSetup {
+                obs: Obs::disabled(),
+                trace: None,
+                metrics: None,
+            };
+        }
+        let trace = trace_path.map(|p| (p, Arc::new(ChromeTraceRecorder::new())));
+        let mut builder = Obs::builder();
+        if let Some((_, rec)) = &trace {
+            builder = builder.recorder_arc(rec.clone());
+        }
+        ObsSetup {
+            obs: builder.build(),
+            trace,
+            metrics,
+        }
+    }
+
+    /// Snapshot of the phase aggregates, for per-history deltas.
+    fn phases(&self) -> Vec<PhaseTiming> {
+        self.obs.phase_timings()
+    }
+
+    /// The phases closed since `before`, in report wire form.
+    fn timings_since(&self, before: &[PhaseTiming]) -> Vec<PhaseTimingReport> {
+        phase_delta(before, &self.phases())
+            .iter()
+            .map(|t| PhaseTimingReport {
+                phase: t.name.to_string(),
+                spans: t.count,
+                total_ms: t.total_ms(),
+            })
+            .collect()
+    }
+
+    /// Writes the trace and metrics outputs (called once, at the end).
+    fn finish(&self) -> Result<(), String> {
+        if let Some((path, rec)) = &self.trace {
+            rec.write_json(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+            eprintln!("trace:    wrote {} ({} events)", path, rec.events().len());
+        }
+        if let Some(dest) = &self.metrics {
+            let text = self.obs.export_prometheus();
+            if dest == "-" {
+                let mut out = std::io::stdout().lock();
+                out.write_all(text.as_bytes())
+                    .and_then(|()| out.flush())
+                    .map_err(|e| format!("cannot write metrics: {e}"))?;
+            } else {
+                std::fs::write(dest, text)
+                    .map_err(|e| format!("cannot write metrics `{dest}`: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The optional `--format` pin shared by `check`/`convert`.
 fn parse_format_flag(flags: &Flags) -> Result<Option<Format>, String> {
     match flags.get("format") {
@@ -255,7 +343,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         ..EngineConfig::default()
     };
 
+    let setup = ObsSetup::from_flags(&flags);
     let mut engine = Engine::with_config(cfg);
+    engine.set_obs(setup.obs.clone());
     let mut reports: Vec<HistoryReport> = Vec::new();
 
     if cfg.threads == 1 {
@@ -272,8 +362,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         for p in &flags.positional {
             let mut src = make_source(p, format)?;
             loop {
+                let phases_before = setup.phases();
                 let started = std::time::Instant::now();
-                let name = match src.next_into(&mut engine) {
+                let next = {
+                    let _s = setup.obs.span("ingest");
+                    src.next_into(&mut engine)
+                };
+                let name = match next {
                     None => break,
                     Some(Err(e)) => return Err(e.to_string()),
                     Some(Ok(name)) => name,
@@ -288,7 +383,10 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|e| format!("{name}: {e}"))?],
                 };
                 let ms = started.elapsed().as_secs_f64() * 1e3;
-                reports.push(HistoryReport::new(&name, engine.ingested(), &outcomes, ms));
+                reports.push(
+                    HistoryReport::new(&name, engine.ingested(), &outcomes, ms)
+                        .with_timings(setup.timings_since(&phases_before)),
+                );
             }
         }
     } else {
@@ -297,10 +395,14 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             // One shared index + Read Consistency pass across all three
             // levels.
             for s in &sourced {
+                let phases_before = setup.phases();
                 let started = std::time::Instant::now();
                 let outcomes = engine.check_all_levels(&s.history);
                 let ms = started.elapsed().as_secs_f64() * 1e3;
-                reports.push(HistoryReport::new(&s.name, &s.history, &outcomes, ms));
+                reports.push(
+                    HistoryReport::new(&s.name, &s.history, &outcomes, ms)
+                        .with_timings(setup.timings_since(&phases_before)),
+                );
             }
         } else {
             // Batched through the engine's pool; per-history time is the
@@ -315,12 +417,19 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let report = Report::new(reports);
+    let stats = engine.stats();
+    let report = Report::new(reports).with_engine(EngineStatsReport {
+        histories: stats.histories,
+        checks: stats.checks,
+        arena_growths: stats.arena_growths,
+        arena_bytes: stats.arena_bytes as u64,
+    });
     emit_report(
         &report,
         report_mode,
         flags.get("output").or(flags.get("out")),
     )?;
+    setup.finish()?;
     if report.any_inconsistent() {
         return Ok(ExitCode::FAILURE);
     }
@@ -406,7 +515,19 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         .first()
         .ok_or("stats: missing history file")?;
     let history = load_history(path, flags.get("format"))?;
-    println!("{}", HistoryStats::of(&history));
+    match flags.get("report").unwrap_or("text") {
+        "text" => println!("{}", HistoryStats::of(&history)),
+        "json" => {
+            // `arena_bytes` is the columnar heap footprint of the loaded
+            // history — what an engine's ingest arena would hold for it.
+            let json = history_stats_json(
+                &HistoryStats::of(&history),
+                Some(history.heap_bytes() as u64),
+            );
+            println!("{json}");
+        }
+        other => return Err(format!("bad --report value `{other}` (text|json)")),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -569,9 +690,17 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         .map(|w| w.parse().map_err(|_| "bad --interval value".to_string()))
         .transpose()?
         .unwrap_or(256);
+    let stats_interval: Option<u64> = flags
+        .get("stats-interval")
+        .map(|w| {
+            w.parse()
+                .map_err(|_| "bad --stats-interval value".to_string())
+        })
+        .transpose()?;
 
     // The online monitor hangs off the same engine config as `check`.
-    let engine = Engine::with_config(EngineConfig {
+    let setup = ObsSetup::from_flags(&flags);
+    let mut engine = Engine::with_config(EngineConfig {
         level,
         prune,
         prune_interval,
@@ -580,6 +709,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         cc_strategy: parse_cc_strategy(&flags)?,
         want_commit_order: false,
     });
+    engine.set_obs(setup.obs.clone());
     let mut checker = engine.watch();
     eprintln!(
         "watching {path} for {level} violations (pruning {})",
@@ -597,17 +727,42 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         checker
             .apply(&event)
             .map_err(|e| format!("line {line_no}: {e}"))?;
+        let mut printed = false;
         for v in checker.drain_violations() {
             println!("[event {}] VIOLATION: {v}", checker.stats().events);
+            printed = true;
+        }
+        // Downstream monitors tailing a pipe must see each violation as
+        // it happens, not when the block buffer fills.
+        if printed {
+            std::io::stdout()
+                .flush()
+                .map_err(|e| format!("stdout: {e}"))?;
         }
         Ok(())
     };
+
+    // `--stats-interval N`: a periodic heartbeat on stderr, so a
+    // long-running `--follow` session shows progress between violations.
+    let mut last_stats = std::time::Instant::now();
+    fn maybe_heartbeat(last: &mut std::time::Instant, every: Option<u64>, checker: &OnlineChecker) {
+        let Some(secs) = every else { return };
+        if last.elapsed().as_secs() >= secs {
+            let s = checker.stats();
+            eprintln!(
+                "[stats] events={} processed={} staged={} live={} retired={} violations={}",
+                s.events, s.processed, s.staged_txns, s.live_txns, s.retired_txns, s.violations
+            );
+            *last = std::time::Instant::now();
+        }
+    }
 
     if path == "-" {
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let line = line.map_err(|e| format!("stdin: {e}"))?;
             feed(&mut checker, &line)?;
+            maybe_heartbeat(&mut last_stats, stats_interval, &checker);
         }
     } else {
         let mut file =
@@ -632,6 +787,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
                 }
                 break;
             }
+            maybe_heartbeat(&mut last_stats, stats_interval, &checker);
             std::thread::sleep(std::time::Duration::from_millis(200));
         }
     }
@@ -656,6 +812,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         },
         stats.violations
     );
+    setup.finish()?;
     if !outcome.is_consistent() {
         return Ok(ExitCode::FAILURE);
     }

@@ -453,6 +453,168 @@ fn convert_positional_chains_all_formats() {
     let _ = std::fs::remove_file(direct);
 }
 
+/// `check --trace --metrics` writes a well-formed Chrome trace covering
+/// the engine's phases and a Prometheus snapshot that reconciles with
+/// the JSON report's engine-stats block; the report carries per-phase
+/// timings (schema v2).
+#[test]
+fn trace_and_metrics_outputs_validate() {
+    let file = tmp("obs.awdit");
+    let trace = tmp("obs-trace.json");
+    let metrics = tmp("obs-metrics.prom");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "200", "--seed", "7"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["check", "--isolation", "all", "--report", "json"])
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The JSON report carries the v2 timings + engine blocks.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = awdit_formats::Report::from_json(&stdout).expect("schema v2 parses");
+    let timings = &report.histories[0].timings;
+    for phase in ["ingest", "index_rebuild", "saturate_cc", "cycle_extraction"] {
+        assert!(
+            timings.iter().any(|t| t.phase == phase && t.spans > 0),
+            "missing phase `{phase}` in {timings:?}"
+        );
+    }
+    let engine = report.engine.expect("engine stats block");
+    assert_eq!(engine.histories, 1);
+    assert_eq!(engine.checks, 3);
+    assert!(engine.arena_bytes > 0);
+
+    // The trace file is valid Chrome trace_event JSON with nested,
+    // balanced spans (`check` wraps the per-level phases).
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let summary = awdit_obs::chrome::validate_trace(&text).expect("trace validates");
+    assert!(summary.complete_spans >= 10, "{summary:?}");
+    assert!(summary.max_depth >= 2, "{summary:?}");
+    for phase in ["check", "saturate_cc", "cycle_extraction"] {
+        assert!(
+            summary.phase_names.contains(&phase.to_string()),
+            "{summary:?}"
+        );
+    }
+
+    // The Prometheus snapshot parses and reconciles with the report.
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    let series = awdit_obs::metrics::parse_prometheus(&prom).expect("prometheus parses");
+    let get = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing series `{name}`"))
+            .1
+    };
+    assert_eq!(get("awdit_engine_histories_total"), engine.histories as f64);
+    assert_eq!(get("awdit_engine_checks_total"), engine.checks as f64);
+    assert_eq!(get("awdit_engine_arena_bytes"), engine.arena_bytes as f64);
+
+    for f in [file, trace, metrics] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// `watch --metrics` exports the stream-side gauges/counters, and GC
+/// activity shows up as `stream_gc` spans in the trace.
+#[test]
+fn watch_exports_stream_metrics_and_gc_spans() {
+    let file = tmp("wobs.awdit");
+    let events = tmp("wobs.ndjson");
+    let trace = tmp("wobs-trace.json");
+    let metrics = tmp("wobs-metrics.prom");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "200", "--seed", "7"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    awdit()
+        .args(["convert", "--to", "events"])
+        .args(["-o", events.to_str().unwrap()])
+        .arg(file.to_str().unwrap())
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["watch", "--isolation", "cc", "--interval", "16"])
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .arg(events.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    let series = awdit_obs::metrics::parse_prometheus(&prom).expect("prometheus parses");
+    let get = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing series `{name}`"))
+            .1
+    };
+    assert!(get("awdit_stream_events_total") > 0.0);
+    assert!(get("awdit_stream_processed_total") > 0.0);
+    assert!(get("awdit_stream_gcs_total") >= 1.0, "prune every 16 txns");
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let summary = awdit_obs::chrome::validate_trace(&text).expect("trace validates");
+    assert!(
+        summary.phase_names.contains(&"stream_gc".to_string()),
+        "{summary:?}"
+    );
+
+    for f in [file, events, trace, metrics] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// `stats --report json` emits a standalone machine-readable stats
+/// object, arena footprint included.
+#[test]
+fn stats_report_json_is_machine_readable() {
+    let file = tmp("sjson.awdit");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "6", "--txns", "100", "--seed", "4"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = awdit()
+        .args(["stats", "--report", "json", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = awdit_obs::chrome::json_lint(&stdout).expect("valid json");
+    let awdit_obs::chrome::Json::Object(fields) = value else {
+        panic!("stats json is not an object: {stdout}");
+    };
+    for key in ["sessions", "txns", "ops", "keys", "arena_bytes"] {
+        assert!(fields.iter().any(|(n, _)| n == key), "missing `{key}`");
+    }
+    let _ = std::fs::remove_file(file);
+}
+
 /// Convert usage errors keep the exit-code contract: code 2, nothing
 /// written.
 #[test]

@@ -228,6 +228,8 @@ impl ClockTable {
 /// of session `s` that happen before `t` — counting `t` itself for its own
 /// session, i.e. the *inclusive* clock.
 pub fn compute_hb_into(index: &HistoryIndex, topo: &[u32], table: &mut ClockTable) {
+    let obs = awdit_obs::current();
+    let _span = obs.span("cc_clock_pass");
     table.begin(index.num_sessions(), index.num_committed());
     for &t in topo {
         table.compute_row(index, t);
@@ -297,11 +299,17 @@ pub fn saturate_cc_scratch(
     g: &mut CommitGraph,
     clocks: &mut ClockTable,
 ) -> Result<(), Vec<Cycle>> {
-    base_commit_graph_into(index, g);
+    let obs = awdit_obs::current();
+    {
+        let _span = obs.span("cc_base_graph");
+        base_commit_graph_into(index, g);
+    }
+    let topo_span = obs.span("cc_topo_order");
     let topo = match g.topological_order() {
         Some(t) => t,
         None => return Err(g.find_cycles(usize::MAX)),
     };
+    drop(topo_span);
     let threads = parallel::effective_threads(threads);
     if threads <= 1 || index.num_committed() < parallel::SEQUENTIAL_CUTOFF {
         match strategy {

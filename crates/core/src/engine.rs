@@ -64,6 +64,7 @@ use crate::rc::saturate_rc_into;
 use crate::read_consistency::check_read_consistency;
 use crate::types::{SessionId, TxnId};
 use crate::witness::{ReadConsistencyViolation, Violation, WitnessCycle};
+use awdit_obs::Obs;
 
 /// The unified tuning knobs shared by every engine entry point — batch
 /// checks, batched fleets ([`Engine::check_many`]), and online monitors
@@ -155,6 +156,7 @@ impl From<CheckOptions> for EngineConfig {
 #[derive(Clone, Debug, Default)]
 pub struct EngineBuilder {
     cfg: EngineConfig,
+    obs: Obs,
 }
 
 impl EngineBuilder {
@@ -165,7 +167,18 @@ impl EngineBuilder {
 
     /// A builder starting from an explicit config.
     pub fn from_config(cfg: EngineConfig) -> Self {
-        EngineBuilder { cfg }
+        EngineBuilder {
+            cfg,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle: phase spans, engine metrics, and
+    /// arena-growth events flow into it from every check this engine
+    /// runs. Defaults to [`Obs::disabled`] (a single branch per phase).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the isolation level checked by the default entry points.
@@ -213,7 +226,9 @@ impl EngineBuilder {
 
     /// Finishes into an [`Engine`].
     pub fn build(self) -> Engine {
-        Engine::with_config(self.cfg)
+        let mut engine = Engine::with_config(self.cfg);
+        engine.obs = self.obs;
+        engine
     }
 }
 
@@ -288,6 +303,8 @@ pub struct Engine {
     /// must not read `ingested.heap_bytes()` directly.
     ingested_bytes: usize,
     stats: EngineStats,
+    /// Observability handle; disabled by default.
+    obs: Obs,
 }
 
 impl Default for Engine {
@@ -311,6 +328,7 @@ impl Engine {
             ingested: History::default(),
             ingested_bytes: 0,
             stats: EngineStats::default(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -329,6 +347,20 @@ impl Engine {
         self.stats
     }
 
+    /// The engine's observability handle ([`Obs::disabled`] unless one
+    /// was attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Attaches an observability handle after construction (see
+    /// [`EngineBuilder::obs`]). Metric counters record only activity from
+    /// this point on; attach before the first check if they should
+    /// reconcile with [`stats`](Self::stats) exactly.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     /// Checks one history against the configured level, recycling the
     /// handle's scratch arenas.
     pub fn check(&mut self, history: &History) -> Outcome {
@@ -337,13 +369,22 @@ impl Engine {
 
     /// [`check`](Self::check) at an explicit isolation level.
     pub fn check_level(&mut self, history: &History, level: IsolationLevel) -> Outcome {
-        let read_consistency = check_read_consistency(history);
+        let obs = self.obs.clone();
+        let _ctx = awdit_obs::set_current(&obs);
+        let _check = obs.span("check");
+        let read_consistency = {
+            let _s = obs.span("read_consistency");
+            check_read_consistency(history)
+        };
         let Scratch {
             index,
             graph,
             clocks,
         } = &mut self.scratch;
-        index.rebuild(history);
+        {
+            let _s = obs.span("index_rebuild");
+            index.rebuild(history);
+        }
         let out = check_prepared_into(&self.cfg, index, &read_consistency, level, graph, clocks);
         self.account(1, 1);
         out
@@ -352,13 +393,22 @@ impl Engine {
     /// Checks one history against all three levels, weakest first,
     /// building the index — and checking Read Consistency — once.
     pub fn check_all_levels(&mut self, history: &History) -> [Outcome; 3] {
-        let read_consistency = check_read_consistency(history);
+        let obs = self.obs.clone();
+        let _ctx = awdit_obs::set_current(&obs);
+        let _check = obs.span("check");
+        let read_consistency = {
+            let _s = obs.span("read_consistency");
+            check_read_consistency(history)
+        };
         let Scratch {
             index,
             graph,
             clocks,
         } = &mut self.scratch;
-        index.rebuild(history);
+        {
+            let _s = obs.span("index_rebuild");
+            index.rebuild(history);
+        }
         let cfg = self.cfg;
         let out = IsolationLevel::ALL
             .map(|level| check_prepared_into(&cfg, index, &read_consistency, level, graph, clocks));
@@ -404,9 +454,23 @@ impl Engine {
             threads: 1,
             ..self.cfg
         };
+        // Install this engine's obs as the thread-current context: the
+        // pool captures it and re-installs it inside each worker, so the
+        // per-history spans below land on the right handle.
+        let obs = self.obs.clone();
+        let _ctx = awdit_obs::set_current(&obs);
+        let _batch = obs.span("check_many");
         let outcomes = parallel::map_shards_with(threads, &items, Scratch::new, |scratch, _, h| {
-            let read_consistency = check_read_consistency(h);
-            scratch.index.rebuild(h);
+            let obs = awdit_obs::current();
+            let _check = obs.span("check");
+            let read_consistency = {
+                let _s = obs.span("read_consistency");
+                check_read_consistency(h)
+            };
+            {
+                let _s = obs.span("index_rebuild");
+                scratch.index.rebuild(h);
+            }
             check_prepared_into(
                 &cfg,
                 &scratch.index,
@@ -418,6 +482,14 @@ impl Engine {
         });
         self.stats.histories += outcomes.len() as u64;
         self.stats.checks += outcomes.len() as u64;
+        if let Some(metrics) = obs.metrics() {
+            metrics
+                .counter("awdit_engine_histories_total")
+                .add(outcomes.len() as u64);
+            metrics
+                .counter("awdit_engine_checks_total")
+                .add(outcomes.len() as u64);
+        }
         outcomes
     }
 
@@ -453,7 +525,11 @@ impl Engine {
         }
         let mut out = Vec::new();
         loop {
-            match source.next_into(&mut self.ingest) {
+            let next = {
+                let _s = self.obs.span("ingest");
+                source.next_into(&mut self.ingest)
+            };
+            match next {
                 None => return Ok(out),
                 Some(Err(e)) => {
                     // The sink may hold a partial history: discard it.
@@ -531,6 +607,7 @@ impl Engine {
 
     /// Finishes the streamed-in events into the recycled history arena.
     fn seal_ingest(&mut self) -> Result<(), BuildError> {
+        let _s = self.obs.span("ingest_seal");
         let mut h = std::mem::take(&mut self.ingested);
         let result = self.ingest.finish_into(&mut h);
         self.ingested = h;
@@ -561,10 +638,22 @@ impl Engine {
         self.stats.histories += histories;
         self.stats.checks += checks;
         let bytes = self.scratch.heap_bytes() + self.ingest.heap_bytes() + self.ingested_bytes;
-        if bytes > self.stats.arena_bytes {
+        let grew = bytes > self.stats.arena_bytes;
+        if grew {
             self.stats.arena_growths += 1;
+            self.obs.instant("arena_growth");
         }
         self.stats.arena_bytes = bytes;
+        if let Some(metrics) = self.obs.metrics() {
+            metrics
+                .counter("awdit_engine_histories_total")
+                .add(histories);
+            metrics.counter("awdit_engine_checks_total").add(checks);
+            if grew {
+                metrics.counter("awdit_engine_arena_growths_total").inc();
+            }
+            metrics.gauge("awdit_engine_arena_bytes").set(bytes as f64);
+        }
     }
 }
 
@@ -609,6 +698,9 @@ fn check_prepared_into(
     graph: &mut CommitGraph,
     clocks: &mut ClockTable,
 ) -> Outcome {
+    // Runs on engine threads *and* pool workers, so the handle comes from
+    // the thread-current context rather than a parameter.
+    let obs = awdit_obs::current();
     let mut violations: Vec<Violation> = read_consistency
         .iter()
         .map(|v| Violation::ReadConsistency(*v))
@@ -622,7 +714,10 @@ fn check_prepared_into(
 
     match level {
         IsolationLevel::ReadCommitted => {
-            saturate_rc_into(index, cfg.threads, graph);
+            {
+                let _s = obs.span("saturate_rc");
+                saturate_rc_into(index, cfg.threads, graph);
+            }
             finish_graph(
                 index,
                 graph,
@@ -646,7 +741,10 @@ fn check_prepared_into(
             } else {
                 let rr = check_repeatable_reads(index);
                 if rr.is_empty() {
-                    saturate_ra_into(index, cfg.threads, graph);
+                    {
+                        let _s = obs.span("saturate_ra");
+                        saturate_ra_into(index, cfg.threads, graph);
+                    }
                     finish_graph(
                         index,
                         graph,
@@ -662,7 +760,11 @@ fn check_prepared_into(
             }
         }
         IsolationLevel::Causal => {
-            match saturate_cc_scratch(index, cfg.cc_strategy, cfg.threads, graph, clocks) {
+            let sat = {
+                let _s = obs.span("saturate_cc");
+                saturate_cc_scratch(index, cfg.cc_strategy, cfg.threads, graph, clocks)
+            };
+            match sat {
                 Ok(()) => finish_graph(
                     index,
                     graph,
@@ -695,15 +797,23 @@ fn finish_graph(
     commit_order: &mut Option<Vec<TxnId>>,
     stats: &mut CheckStats,
 ) {
-    // The analysis phases traverse edges repeatedly: repack into CSR.
-    g.freeze();
+    let obs = awdit_obs::current();
+    {
+        // The analysis phases traverse edges repeatedly: repack into CSR.
+        let _s = obs.span("graph_freeze");
+        g.freeze();
+    }
     stats.graph_edges = g.num_edges();
     // Tallied by `CommitGraph::add_edge` as saturation emitted them — no
     // `O(m·deg)` post-hoc scan.
     stats.inferred_edges = g.num_inferred_edges();
-    let cycles = g.find_cycles(cfg.max_cycles);
+    let cycles = {
+        let _s = obs.span("cycle_extraction");
+        g.find_cycles(cfg.max_cycles)
+    };
     if cycles.is_empty() {
         if cfg.want_commit_order {
+            let _s = obs.span("commit_order");
             *commit_order = commit_order_from_graph(index, g);
         }
     } else {

@@ -83,29 +83,62 @@ where
             .map(|(i, s)| f(&mut state, i, s))
             .collect();
     }
+    // The fork–join is instrumented through the *calling thread's* obs
+    // context: workers are fresh scoped threads with no thread-locals of
+    // their own, so the pool captures the caller's handle and re-installs
+    // it inside each worker (nested instrumented code — the CC clock
+    // pass, whole checks under `Engine::check_many` — then finds it via
+    // `awdit_obs::current()`). Per-shard busy timing only runs when the
+    // handle is enabled; the disabled path adds one branch per shard.
+    let obs = awdit_obs::current();
+    let timed = obs.enabled();
+    let pool_start = timed.then(std::time::Instant::now);
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(shards.len());
+    let mut busy_ns = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _ctx = awdit_obs::set_current(&obs);
+                    let _span = obs.span("pool_worker");
                     let mut state = init();
                     let mut local = Vec::new();
+                    let mut busy = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(shard) = shards.get(i) else {
                             break;
                         };
+                        let t = timed.then(std::time::Instant::now);
                         local.push((i, f(&mut state, i, shard)));
+                        if let Some(t) = t {
+                            busy += t.elapsed().as_nanos() as u64;
+                        }
                     }
-                    local
+                    (local, busy)
                 })
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("saturation worker panicked"));
+            let (local, busy) = h.join().expect("saturation worker panicked");
+            tagged.extend(local);
+            busy_ns += busy;
         }
     });
+    if let (Some(start), Some(metrics)) = (pool_start, obs.metrics()) {
+        // Capacity = wall time × workers; utilization is the fraction of
+        // that capacity the shard kernels actually ran for.
+        let capacity_ns = (start.elapsed().as_nanos() as u64).saturating_mul(workers as u64);
+        metrics.counter("awdit_pool_forks_total").inc();
+        metrics.counter("awdit_pool_busy_ns_total").add(busy_ns);
+        metrics.counter("awdit_pool_wall_ns_total").add(capacity_ns);
+        if capacity_ns > 0 {
+            metrics
+                .gauge("awdit_pool_utilization")
+                .set(busy_ns as f64 / capacity_ns as f64);
+        }
+    }
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }

@@ -61,8 +61,9 @@ pub use native::{parse_native, read_native, write_native, write_native_to, NATIV
 pub use plume::{parse_plume, read_plume, write_plume, write_plume_to};
 pub use reader::LineReader;
 pub use report::{
-    EdgeReport, HistoryReport, JsonSink, LevelReport, Report, ReportSink, TextSink,
-    ViolationReport, SCHEMA_VERSION,
+    history_stats_json, EdgeReport, EngineStatsReport, HistoryReport, JsonSink, LevelReport,
+    PhaseTimingReport, Report, ReportSink, TextSink, ViolationReport, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };
 pub use source::{events_into_sink, history_of_events, DirSource, FilesSource};
 pub use stream::{

@@ -21,12 +21,14 @@
 //! The JSON shape (see the README for a worked example):
 //!
 //! ```text
-//! { "schema_version": 1, "tool": "awdit",
+//! { "schema_version": 2, "tool": "awdit",
 //!   "histories": [ { "name", "sessions", "txns", "ops", "keys", "time_ms",
 //!     "levels": [ { "level", "verdict", "committed_txns", "graph_edges",
 //!       "inferred_edges",
 //!       "violations": [ { "kind", "message",
-//!         "cycle": [ { "from", "to", "edge", "key"? } ] } ] } ] } ] }
+//!         "cycle": [ { "from", "to", "edge", "key"? } ] } ] } ],
+//!     "timings"?: [ { "phase", "spans", "total_ms" } ] } ],
+//!   "engine"?: { "histories", "checks", "arena_growths", "arena_bytes" } }
 //! ```
 
 use std::io::Write;
@@ -36,7 +38,16 @@ use awdit_core::{EdgeKind, History, Outcome, Verdict, Violation, WitnessCycle};
 
 /// Version of the JSON report schema emitted by [`Report::to_json`].
 /// Bumped on any incompatible change of field names or meanings.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: **1** — the original shape; **2** — adds the optional
+/// per-history `timings` block (phase-level profiling from `awdit-obs`)
+/// and the optional top-level `engine` stats block. Both additions are
+/// optional fields, so v1 documents still parse
+/// ([`MIN_SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`Report::from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One edge of a witness cycle, in wire form: transactions are
 /// `"s<session>.t<index>"` strings (the same spelling the text output
@@ -156,6 +167,72 @@ impl LevelReport {
     }
 }
 
+/// One aggregated engine phase attributed to a history: how many spans
+/// of this phase closed while it was checked, and their total duration.
+/// Produced from `awdit_obs::PhaseTiming` snapshots (schema v2+).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PhaseTimingReport {
+    /// Phase (span) name, e.g. `saturate_cc`, `index_rebuild`.
+    pub phase: String,
+    /// Spans of this phase that closed.
+    pub spans: u64,
+    /// Total wall-clock duration, milliseconds.
+    pub total_ms: f64,
+}
+
+impl PhaseTimingReport {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.obj(|w| {
+            w.field_str("phase", &self.phase);
+            w.field_u64("spans", self.spans);
+            w.field_f64("total_ms", self.total_ms);
+        });
+    }
+
+    fn parse(v: &json::Value) -> Result<Self, String> {
+        Ok(PhaseTimingReport {
+            phase: v.get_str("phase")?,
+            spans: v.get_u64("spans")?,
+            total_ms: v.get_f64("total_ms")?,
+        })
+    }
+}
+
+/// The engine's usage counters in wire form — the report analog of
+/// `awdit_core::EngineStats`, including the arena accounting (schema
+/// v2+).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineStatsReport {
+    /// Histories checked through the engine handle.
+    pub histories: u64,
+    /// Per-level checks run.
+    pub checks: u64,
+    /// Checks whose arena footprint grew.
+    pub arena_growths: u64,
+    /// Current arena heap footprint, bytes.
+    pub arena_bytes: u64,
+}
+
+impl EngineStatsReport {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.obj(|w| {
+            w.field_u64("histories", self.histories);
+            w.field_u64("checks", self.checks);
+            w.field_u64("arena_growths", self.arena_growths);
+            w.field_u64("arena_bytes", self.arena_bytes);
+        });
+    }
+
+    fn parse(v: &json::Value) -> Result<Self, String> {
+        Ok(EngineStatsReport {
+            histories: v.get_u64("histories")?,
+            checks: v.get_u64("checks")?,
+            arena_growths: v.get_u64("arena_growths")?,
+            arena_bytes: v.get_u64("arena_bytes")?,
+        })
+    }
+}
+
 /// All levels checked for one history, with its shape and timing.
 #[derive(Clone, PartialEq, Debug)]
 pub struct HistoryReport {
@@ -174,6 +251,10 @@ pub struct HistoryReport {
     /// One entry per level checked, in check order (weakest first when
     /// several).
     pub levels: Vec<LevelReport>,
+    /// Phase-level profiling for this history (schema v2+). Empty when
+    /// the producer ran without an observability recorder; omitted from
+    /// the JSON document in that case.
+    pub timings: Vec<PhaseTimingReport>,
 }
 
 impl HistoryReport {
@@ -188,7 +269,15 @@ impl HistoryReport {
             keys: stats.keys as u64,
             time_ms,
             levels: outcomes.iter().map(LevelReport::from_outcome).collect(),
+            timings: Vec::new(),
         }
+    }
+
+    /// Attaches phase-level timings (builder style).
+    #[must_use]
+    pub fn with_timings(mut self, timings: Vec<PhaseTimingReport>) -> Self {
+        self.timings = timings;
+        self
     }
 
     /// Whether every checked level is consistent.
@@ -205,6 +294,9 @@ pub struct Report {
     pub schema_version: u64,
     /// One entry per checked history, in input order.
     pub histories: Vec<HistoryReport>,
+    /// Engine-wide usage counters over the whole batch (schema v2+);
+    /// omitted from the JSON document when absent.
+    pub engine: Option<EngineStatsReport>,
 }
 
 impl Report {
@@ -214,7 +306,15 @@ impl Report {
         Report {
             schema_version: SCHEMA_VERSION,
             histories,
+            engine: None,
         }
+    }
+
+    /// Attaches engine-wide stats (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineStatsReport) -> Self {
+        self.engine = Some(engine);
+        self
     }
 
     /// Whether **any** history failed any checked level — the CLI's
@@ -232,6 +332,9 @@ impl Report {
             w.field("histories", |w| {
                 w.arr(self.histories.iter(), |w, h| h.write_json(w));
             });
+            if let Some(engine) = &self.engine {
+                w.field("engine", |w| engine.write_json(w));
+            }
         });
         w.finish()
     }
@@ -245,9 +348,10 @@ impl Report {
     pub fn from_json(text: &str) -> Result<Report, String> {
         let value = json::parse(text)?;
         let schema_version = value.get_u64("schema_version")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {schema_version} \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let histories = value
@@ -255,9 +359,14 @@ impl Report {
             .iter()
             .map(HistoryReport::parse)
             .collect::<Result<Vec<_>, _>>()?;
+        let engine = match value.get_opt("engine") {
+            Some(e) => Some(EngineStatsReport::parse(e)?),
+            None => None,
+        };
         Ok(Report {
             schema_version,
             histories,
+            engine,
         })
     }
 }
@@ -274,10 +383,23 @@ impl HistoryReport {
             w.field("levels", |w| {
                 w.arr(self.levels.iter(), |w, l| l.write_json(w));
             });
+            if !self.timings.is_empty() {
+                w.field("timings", |w| {
+                    w.arr(self.timings.iter(), |w, t| t.write_json(w));
+                });
+            }
         });
     }
 
     fn parse(v: &json::Value) -> Result<Self, String> {
+        let timings = match v.get_opt("timings") {
+            Some(t) => t
+                .as_arr()?
+                .iter()
+                .map(PhaseTimingReport::parse)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(HistoryReport {
             name: v.get_str("name")?,
             sessions: v.get_u64("sessions")?,
@@ -290,6 +412,7 @@ impl HistoryReport {
                 .iter()
                 .map(LevelReport::parse)
                 .collect::<Result<Vec<_>, _>>()?,
+            timings,
         })
     }
 }
@@ -423,6 +546,13 @@ impl<W: Write> ReportSink for TextSink<W> {
                 writeln!(w, "levels:   {} (shared index)", names.join(", "))?;
             }
             writeln!(w, "time:     {:.3} ms", h.time_ms)?;
+            for t in &h.timings {
+                writeln!(
+                    w,
+                    "phase:    {:<18} {:>8.3} ms  ({} spans)",
+                    t.phase, t.total_ms, t.spans
+                )?;
+            }
             for l in &h.levels {
                 if h.levels.len() > 1 {
                     writeln!(w, "verdict:  {} [{}]", l.verdict, l.level)?;
@@ -437,8 +567,40 @@ impl<W: Write> ReportSink for TextSink<W> {
                 }
             }
         }
+        if let Some(e) = &report.engine {
+            writeln!(
+                w,
+                "engine:   {} histories, {} checks, {} arena growths, {} arena bytes",
+                e.histories, e.checks, e.arena_growths, e.arena_bytes
+            )?;
+        }
         Ok(())
     }
+}
+
+/// Serializes a [`HistoryStats`] to a small standalone JSON object (the
+/// `awdit stats --report json` payload): every field of the stats
+/// struct under its own name, plus an optional `arena_bytes` entry for
+/// the columnar heap footprint of the loaded history.
+pub fn history_stats_json(stats: &HistoryStats, arena_bytes: Option<u64>) -> String {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_u64("sessions", stats.sessions as u64);
+        w.field_u64("txns", stats.txns as u64);
+        w.field_u64("committed", stats.committed as u64);
+        w.field_u64("aborted", stats.aborted as u64);
+        w.field_u64("ops", stats.ops as u64);
+        w.field_u64("reads", stats.reads as u64);
+        w.field_u64("writes", stats.writes as u64);
+        w.field_u64("keys", stats.keys as u64);
+        w.field_u64("max_txn_size", stats.max_txn_size as u64);
+        w.field_u64("internal_reads", stats.internal_reads as u64);
+        w.field_u64("thin_air_reads", stats.thin_air_reads as u64);
+        if let Some(bytes) = arena_bytes {
+            w.field_u64("arena_bytes", bytes);
+        }
+    });
+    w.finish()
 }
 
 /// A tiny JSON writer: 2-space indentation, correct string escaping, no
@@ -941,10 +1103,77 @@ mod tests {
     fn schema_version_is_enforced() {
         let json = sample_report()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         assert!(Report::from_json(&json).unwrap_err().contains("schema"));
         assert!(Report::from_json("not json").is_err());
         assert!(Report::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 producer writes no `timings`/`engine` blocks; the v2
+        // parser must accept the document and default them.
+        let json = sample_report()
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let back = Report::from_json(&json).expect("v1 parses");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.engine.is_none());
+        assert!(back.histories.iter().all(|h| h.timings.is_empty()));
+        // Version 0 is below the supported floor.
+        let too_old = json.replace("\"schema_version\": 1", "\"schema_version\": 0");
+        assert!(Report::from_json(&too_old).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn timings_and_engine_blocks_round_trip() {
+        let mut report = sample_report().with_engine(EngineStatsReport {
+            histories: 1,
+            checks: 3,
+            arena_growths: 1,
+            arena_bytes: 4096,
+        });
+        report.histories[0].timings = vec![
+            PhaseTimingReport {
+                phase: "index_rebuild".to_string(),
+                spans: 1,
+                total_ms: 0.25,
+            },
+            PhaseTimingReport {
+                phase: "saturate_cc".to_string(),
+                spans: 2,
+                total_ms: 1.5,
+            },
+        ];
+        let json = report.to_json();
+        assert!(json.contains("\"timings\""), "{json}");
+        assert!(json.contains("\"engine\""), "{json}");
+        let back = Report::from_json(&json).expect("parses");
+        assert_eq!(report, back);
+        assert_eq!(json, back.to_json());
+
+        let mut text_out = Vec::new();
+        TextSink(&mut text_out).emit(&report).unwrap();
+        let text = String::from_utf8(text_out).unwrap();
+        assert!(text.contains("phase:    saturate_cc"), "{text}");
+        assert!(text.contains("engine:   1 histories, 3 checks"), "{text}");
+    }
+
+    #[test]
+    fn history_stats_serialize_standalone() {
+        let stats = HistoryStats::of(&violating_history());
+        let json = history_stats_json(&stats, Some(2048));
+        let value = json::parse(&json).expect("valid json");
+        assert_eq!(value.get_u64("arena_bytes").unwrap(), 2048);
+        assert!(!history_stats_json(&stats, None).contains("arena_bytes"));
+        assert_eq!(value.get_u64("sessions").unwrap(), stats.sessions as u64);
+        assert_eq!(value.get_u64("txns").unwrap(), stats.txns as u64);
+        assert_eq!(value.get_u64("ops").unwrap(), stats.ops as u64);
+        assert_eq!(value.get_u64("writes").unwrap(), stats.writes as u64);
+        assert_eq!(
+            value.get_u64("max_txn_size").unwrap(),
+            stats.max_txn_size as u64
+        );
     }
 
     #[test]
@@ -954,7 +1183,7 @@ mod tests {
         JsonSink(&mut json_out).emit(&report).unwrap();
         assert!(String::from_utf8(json_out)
             .unwrap()
-            .contains("\"schema_version\": 1"));
+            .contains("\"schema_version\": 2"));
 
         let mut text_out = Vec::new();
         TextSink(&mut text_out).emit(&report).unwrap();

@@ -1,0 +1,523 @@
+//! Chrome `trace_event`-format output: a [`Recorder`] that collects
+//! events and writes JSON loadable by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev), plus [`validate_trace`] /
+//! [`json_lint`] for checking well-formedness in tests and CI.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::Recorder;
+
+/// How many independent event buffers the recorder fans writes across.
+const SHARDS: usize = 16;
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span or instant name.
+    pub name: &'static str,
+    /// Chrome phase: `'B'` (span begin), `'E'` (span end), `'i'` (instant).
+    pub phase: char,
+    /// Thread ordinal.
+    pub tid: u64,
+    /// Microseconds since the process monotonic epoch.
+    pub ts_us: u64,
+    /// Global sequence number; total order over all events.
+    pub seq: u64,
+}
+
+/// A [`Recorder`] that buffers events in sharded vectors (one mutex per
+/// shard keyed by thread ordinal, so concurrent workers rarely contend)
+/// and replays them as Chrome `trace_event` JSON.
+pub struct ChromeTraceRecorder {
+    seq: AtomicU64,
+    shards: [Mutex<Vec<TraceEvent>>; SHARDS],
+}
+
+impl Default for ChromeTraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ChromeTraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChromeTraceRecorder(seq={})",
+            self.seq.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl ChromeTraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        ChromeTraceRecorder {
+            seq: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    fn push(&self, name: &'static str, phase: char, tid: u64, ts_us: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = tid as usize % SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("trace shard lock")
+            .push(TraceEvent {
+                name,
+                phase,
+                tid,
+                ts_us,
+                seq,
+            });
+    }
+
+    /// All events recorded so far, merged across shards in global
+    /// sequence order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("trace shard lock").iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Renders the Chrome `trace_event` JSON object:
+    /// `{"displayTimeUnit":"ms","traceEvents":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let scope = if e.phase == 'i' { ",\"s\":\"t\"" } else { "" };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"awdit\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}{scope}}}",
+                escape(e.name),
+                e.phase,
+                e.tid,
+                e.ts_us,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl Recorder for ChromeTraceRecorder {
+    fn span_enter(&self, name: &'static str, tid: u64, ts_us: u64) {
+        self.push(name, 'B', tid, ts_us);
+    }
+    fn span_exit(&self, name: &'static str, tid: u64, ts_us: u64) {
+        self.push(name, 'E', tid, ts_us);
+    }
+    fn instant(&self, name: &'static str, tid: u64, ts_us: u64) {
+        self.push(name, 'i', tid, ts_us);
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What [`validate_trace`] found in a well-formed trace file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total trace events.
+    pub events: u64,
+    /// Matched begin/end pairs.
+    pub complete_spans: u64,
+    /// Distinct thread ids.
+    pub threads: u64,
+    /// Deepest span nesting observed on any thread.
+    pub max_depth: u64,
+    /// Distinct span/instant names, sorted.
+    pub phase_names: Vec<String>,
+}
+
+/// Validates a Chrome trace_event JSON document: parses the JSON,
+/// checks every event has `name`/`ph`/`tid`/`ts`, that per-thread `B`/`E`
+/// events nest (every `E` closes the matching open `B`, nothing left
+/// open), and that timestamps are monotone per thread. Returns a
+/// [`TraceSummary`] on success.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = json_lint(text)?;
+    let events = match &root {
+        Json::Object(fields) => match fields.iter().find(|(k, _)| k == "traceEvents") {
+            Some((_, Json::Array(events))) => events,
+            Some(_) => return Err("traceEvents is not an array".to_string()),
+            None => return Err("missing traceEvents".to_string()),
+        },
+        Json::Array(events) => events,
+        _ => return Err("trace root must be an object or array".to_string()),
+    };
+    let mut summary = TraceSummary::default();
+    let mut names = std::collections::BTreeSet::new();
+    // Per-tid open-span stack and last timestamp.
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let Json::Object(fields) = event else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(format!("event {i}: missing name")),
+        };
+        let phase = match get("ph") {
+            Some(Json::String(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("event {i}: missing ph")),
+        };
+        let tid = match get("tid") {
+            Some(Json::Number(n)) => *n as u64,
+            _ => return Err(format!("event {i}: missing tid")),
+        };
+        let ts = match get("ts") {
+            Some(Json::Number(n)) => *n,
+            _ => return Err(format!("event {i}: missing ts")),
+        };
+        if let Some(prev) = last_ts.get(&tid) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: timestamp {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        summary.events += 1;
+        names.insert(name.clone());
+        let stack = stacks.entry(tid).or_default();
+        match phase.as_str() {
+            "B" => {
+                stack.push(name);
+                summary.max_depth = summary.max_depth.max(stack.len() as u64);
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => summary.complete_spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E {name:?} does not close open span {open:?} on tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: E {name:?} with no open span on tid {tid}"
+                    ))
+                }
+            },
+            "i" | "I" => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: unclosed spans at end of trace: {stack:?}"
+            ));
+        }
+    }
+    summary.threads = stacks.len() as u64;
+    summary.phase_names = names.into_iter().collect();
+    Ok(summary)
+}
+
+/// A parsed JSON value, as produced by [`json_lint`]. Object fields keep
+/// document order (duplicates allowed, as JSON permits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, fields in document order.
+    Object(Vec<(String, Json)>),
+}
+
+/// Parses `text` as a single JSON document, rejecting trailing garbage.
+/// This is the whole-language parser backing [`validate_trace`] and the
+/// CI output validator; it exists because `awdit-obs` sits *below*
+/// `awdit-formats` in the dependency graph and cannot borrow its parser.
+pub fn json_lint(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::String(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|_| Json::Null),
+        Some(_) => parse_number(bytes, pos).map(Json::Number),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad utf8".to_string())?;
+    text.parse::<f64>()
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad utf8".to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                        *pos += 4;
+                        // Surrogate pair?
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1..*pos + 3) == Some(b"\\u") {
+                                let hex2 = bytes
+                                    .get(*pos + 3..*pos + 7)
+                                    .ok_or_else(|| "truncated surrogate".to_string())?;
+                                let hex2 = std::str::from_utf8(hex2)
+                                    .map_err(|_| "bad utf8".to_string())?;
+                                let low = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| format!("bad \\u{hex2}"))?;
+                                *pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| format!("invalid codepoint in \\u{hex}"))?);
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "bad utf8 in string".to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_round_trips_through_validator() {
+        let rec = ChromeTraceRecorder::new();
+        rec.span_enter("check", 0, 10);
+        rec.span_enter("saturate_cc", 0, 20);
+        rec.instant("arena_growth", 0, 25);
+        rec.span_exit("saturate_cc", 0, 30);
+        rec.span_exit("check", 0, 40);
+        rec.span_enter("pool_worker", 1, 15);
+        rec.span_exit("pool_worker", 1, 35);
+        let json = rec.to_json();
+        let summary = validate_trace(&json).unwrap();
+        assert_eq!(summary.events, 7);
+        assert_eq!(summary.complete_spans, 3);
+        assert_eq!(summary.threads, 2);
+        assert_eq!(summary.max_depth, 2);
+        assert!(summary.phase_names.contains(&"saturate_cc".to_string()));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_spans() {
+        let bad = r#"{"traceEvents":[{"name":"a","ph":"B","tid":0,"ts":1}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("unclosed"));
+        let bad = r#"{"traceEvents":[{"name":"a","ph":"E","tid":0,"ts":1}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("no open span"));
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"B","tid":0,"ts":1},
+            {"name":"b","ph":"E","tid":0,"ts":2}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("does not close"));
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"B","tid":0,"ts":5},
+            {"name":"a","ph":"E","tid":0,"ts":3}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn validator_accepts_bare_array_form() {
+        let trace = r#"[{"name":"a","ph":"i","tid":3,"ts":1}]"#;
+        let summary = validate_trace(trace).unwrap();
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.threads, 1);
+    }
+
+    #[test]
+    fn json_lint_full_language() {
+        let doc = r#"{"a":[1,-2.5,1e3],"b":"x\n\"A😀","c":null,"d":[true,false],"e":{}}"#;
+        let Json::Object(fields) = json_lint(doc).unwrap() else {
+            panic!("not an object");
+        };
+        assert_eq!(fields.len(), 5);
+        let b = fields.iter().find(|(k, _)| k == "b").unwrap();
+        assert_eq!(b.1, Json::String("x\n\"A\u{1F600}".to_string()));
+        assert!(json_lint("{\"a\":1} trailing").is_err());
+        assert!(json_lint("{").is_err());
+        assert!(json_lint("[1,]").is_err());
+    }
+
+    #[test]
+    fn concurrent_recording_is_totally_ordered() {
+        let rec = std::sync::Arc::new(ChromeTraceRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let tid = crate::thread_ordinal();
+                    for _ in 0..50 {
+                        let ts = crate::now_micros();
+                        rec.span_enter("w", tid, ts);
+                        rec.span_exit("w", tid, crate::now_micros().max(ts));
+                    }
+                });
+            }
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 400);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(validate_trace(&rec.to_json()).is_ok());
+    }
+}

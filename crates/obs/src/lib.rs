@@ -1,0 +1,464 @@
+//! # awdit-obs — zero-dependency observability for the AWDIT stack
+//!
+//! Checking at hardware speed only matters if you can *see* where the
+//! time goes. This crate is the observability substrate the rest of the
+//! workspace instruments itself with — standard library only, no
+//! crates.io dependencies, and a disabled path cheap enough to leave
+//! compiled into every hot loop:
+//!
+//! * **Tracing spans** — a [`Recorder`] trait receiving span
+//!   enter/exit/instant events with monotonic microsecond timestamps and
+//!   stable per-thread ids, RAII [`Span`] guards, and [`NoopRecorder`]
+//!   for recorder slots that should swallow events. The real off switch
+//!   is [`Obs::disabled`]: one `Option` check on span creation, no
+//!   timestamp read, no allocation.
+//! * **Metrics** — a [`MetricsRegistry`] of
+//!   named counters, gauges, and log-bucketed histograms. Counters are
+//!   sharded across cache-padded atomics so parallel saturation workers
+//!   record without contending; snapshots export as Prometheus text
+//!   exposition (the future `awdit serve /metrics` body) and JSON.
+//! * **Phase profiling** — every [`Span`] also aggregates into a
+//!   per-phase `(count, total time)` table ([`Obs::phase_timings`]),
+//!   which is what feeds the JSON report's `timings` block and the
+//!   `awdit check --metrics` phase counters.
+//! * **Chrome traces** — [`ChromeTraceRecorder`](chrome::ChromeTraceRecorder)
+//!   collects events and writes the Chrome `trace_event` JSON format, so
+//!   a check can be loaded straight into `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev); [`chrome::validate_trace`]
+//!   checks well-formedness (balanced spans, per-thread monotone
+//!   timestamps, valid JSON) for tests and CI.
+//!
+//! # Handles and the current context
+//!
+//! An [`Obs`] is a cheaply clonable handle (an `Option<Arc<…>>`): clone
+//! it freely into engines, checkers, and worker threads. Components that
+//! cannot thread a handle through their signatures (the sharded
+//! saturators deep inside `awdit-core`) read the **thread-current**
+//! context instead: callers install their handle with [`set_current`]
+//! (an RAII guard) and instrumented leaves pick it up with [`current`].
+//! Fork–join pools are expected to capture the caller's current context
+//! and re-install it inside each worker thread, which is exactly what
+//! `awdit_core::parallel` does.
+//!
+//! ```
+//! use awdit_obs::{chrome::ChromeTraceRecorder, Obs};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(ChromeTraceRecorder::new());
+//! let obs = Obs::builder().recorder_arc(recorder.clone()).build();
+//! {
+//!     let _outer = obs.span("check");
+//!     let _inner = obs.span("saturate_cc");
+//! } // spans close in reverse order on drop
+//! obs.metrics().unwrap().counter("awdit_checks_total").inc();
+//! assert_eq!(recorder.events().len(), 4); // two enters, two exits
+//! assert_eq!(obs.phase_timings().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+mod recorder;
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+use metrics::MetricsRegistry;
+pub use recorder::{now_micros, thread_ordinal, NoopRecorder, Recorder};
+
+/// The shared state behind an enabled [`Obs`] handle.
+struct Inner {
+    recorder: Option<Arc<dyn Recorder>>,
+    metrics: MetricsRegistry,
+    phases: Phases,
+}
+
+/// A cheaply clonable observability handle: either **disabled** (the
+/// default — every operation is a single branch) or an `Arc` over a
+/// recorder slot, a metrics registry, and the phase-timing table.
+///
+/// See the [crate docs](self) for the overall design.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(inner) => f
+                .debug_struct("Obs")
+                .field("recorder", &inner.recorder.is_some())
+                .finish(),
+        }
+    }
+}
+
+/// Builds an enabled [`Obs`] handle.
+#[derive(Default)]
+pub struct ObsBuilder {
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl ObsBuilder {
+    /// Attaches a tracing recorder (spans still aggregate phase timings
+    /// and metrics without one).
+    pub fn recorder<R: Recorder + 'static>(self, recorder: R) -> Self {
+        self.recorder_arc(Arc::new(recorder))
+    }
+
+    /// [`recorder`](Self::recorder) from an existing `Arc`, so the caller
+    /// keeps a handle for reading the events back out.
+    pub fn recorder_arc(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Finishes into an enabled [`Obs`].
+    pub fn build(self) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                recorder: self.recorder,
+                metrics: MetricsRegistry::new(),
+                phases: Phases::default(),
+            })),
+        }
+    }
+}
+
+impl Obs {
+    /// The disabled handle: spans, instants, and metrics lookups all
+    /// short-circuit on one `Option` check. This is [`Default`].
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with metrics and phase profiling but no tracing
+    /// recorder — the cheapest always-on production configuration.
+    pub fn new() -> Obs {
+        Obs::builder().build()
+    }
+
+    /// Starts a fluent [`ObsBuilder`].
+    pub fn builder() -> ObsBuilder {
+        ObsBuilder::default()
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens an RAII span: enter is recorded now, exit when the returned
+    /// guard drops. Disabled handles return an inert guard without
+    /// reading the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { live: None },
+            Some(inner) => {
+                let tid = thread_ordinal();
+                let start = now_micros();
+                if let Some(r) = &inner.recorder {
+                    r.span_enter(name, tid, start);
+                }
+                Span {
+                    live: Some((inner.clone(), name, tid, start)),
+                }
+            }
+        }
+    }
+
+    /// Records a zero-duration instant event (e.g. an arena growth).
+    #[inline]
+    pub fn instant(&self, name: &'static str) {
+        if let Some(inner) = &self.inner {
+            if let Some(r) = &inner.recorder {
+                r.instant(name, thread_ordinal(), now_micros());
+            }
+        }
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// The aggregated per-phase timings of every span closed so far,
+    /// sorted by total time, longest first.
+    pub fn phase_timings(&self) -> Vec<PhaseTiming> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = inner.phases.snapshot();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(b.name)));
+        out
+    }
+
+    /// Exports the metrics registry *and* the phase table as one
+    /// Prometheus text exposition document (phases appear as
+    /// `awdit_phase_us_total{phase="…"}` / `awdit_phase_spans_total{…}`
+    /// counters). Empty string when disabled.
+    pub fn export_prometheus(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let mut snap = inner.metrics.snapshot();
+        for p in self.phase_timings() {
+            snap.counters.push((
+                format!("awdit_phase_spans_total{{phase=\"{}\"}}", p.name),
+                p.count,
+            ));
+            snap.counters.push((
+                format!("awdit_phase_us_total{{phase=\"{}\"}}", p.name),
+                p.total_us,
+            ));
+        }
+        snap.counters.sort();
+        snap.to_prometheus()
+    }
+}
+
+/// One aggregated phase: how many spans with this name closed and how
+/// much wall time they covered.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PhaseTiming {
+    /// The span name.
+    pub name: &'static str,
+    /// Spans closed.
+    pub count: u64,
+    /// Total wall-clock duration, microseconds.
+    pub total_us: u64,
+}
+
+impl PhaseTiming {
+    /// Total wall-clock duration in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us as f64 / 1e3
+    }
+}
+
+/// The difference `after - before` of two phase-timing snapshots, for
+/// attributing phase time to one checked history out of a longer run.
+/// Phases absent from `before` are taken whole; phases that did not
+/// advance are dropped.
+pub fn phase_delta(before: &[PhaseTiming], after: &[PhaseTiming]) -> Vec<PhaseTiming> {
+    let mut out = Vec::new();
+    for a in after {
+        let prev = before.iter().find(|b| b.name == a.name);
+        let (count, total_us) = match prev {
+            Some(b) => (a.count - b.count, a.total_us - b.total_us),
+            None => (a.count, a.total_us),
+        };
+        if count > 0 {
+            out.push(PhaseTiming {
+                name: a.name,
+                count,
+                total_us,
+            });
+        }
+    }
+    out
+}
+
+/// RAII span guard returned by [`Obs::span`]; records the exit event and
+/// the phase aggregate when dropped. Owns its handle (an `Arc` bump per
+/// span), so it never borrows the [`Obs`] it came from.
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    live: Option<(Arc<Inner>, &'static str, u64, u64)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, tid, start)) = self.live.take() {
+            let end = now_micros();
+            if let Some(r) = &inner.recorder {
+                r.span_exit(name, tid, end);
+            }
+            inner.phases.record(name, end.saturating_sub(start));
+        }
+    }
+}
+
+/// The per-phase aggregate table. Phase names are `&'static str` and few
+/// (span sites are static), so a small locked vector with linear lookup
+/// beats a hashing structure — and spans are phase-granular, not
+/// per-event, so the lock is cold.
+#[derive(Default)]
+struct Phases {
+    slots: Mutex<Vec<(&'static str, u64, u64)>>,
+}
+
+impl Phases {
+    fn record(&self, name: &'static str, us: u64) {
+        let mut slots = self.slots.lock().expect("phase table lock");
+        match slots.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += us;
+            }
+            None => slots.push((name, 1, us)),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<PhaseTiming> {
+        self.slots
+            .lock()
+            .expect("phase table lock")
+            .iter()
+            .map(|&(name, count, total_us)| PhaseTiming {
+                name,
+                count,
+                total_us,
+            })
+            .collect()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Obs> = RefCell::new(Obs::disabled());
+}
+
+/// The calling thread's current [`Obs`] context (disabled unless a
+/// [`set_current`] guard is live). This is how instrumented leaves that
+/// cannot take an `Obs` parameter — the saturators, the clock pass —
+/// find their handle.
+pub fn current() -> Obs {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs `obs` as the calling thread's current context, returning a
+/// guard that restores the previous context on drop. Pools re-install
+/// the captured context inside each worker thread.
+pub fn set_current(obs: &Obs) -> CurrentGuard {
+    let prev = CURRENT.with(|c| c.replace(obs.clone()));
+    CurrentGuard { prev: Some(prev) }
+}
+
+/// Restores the previously current [`Obs`] when dropped (see
+/// [`set_current`]).
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub struct CurrentGuard {
+    prev: Option<Obs>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| {
+                *c.borrow_mut() = prev;
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::ChromeTraceRecorder;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        {
+            let _s = obs.span("anything");
+        }
+        obs.instant("nothing");
+        assert!(obs.metrics().is_none());
+        assert!(obs.phase_timings().is_empty());
+        assert_eq!(obs.export_prometheus(), "");
+    }
+
+    #[test]
+    fn spans_aggregate_phase_timings() {
+        let obs = Obs::new();
+        for _ in 0..3 {
+            let _s = obs.span("alpha");
+        }
+        {
+            let _s = obs.span("beta");
+        }
+        let timings = obs.phase_timings();
+        assert_eq!(timings.len(), 2);
+        let alpha = timings.iter().find(|t| t.name == "alpha").unwrap();
+        assert_eq!(alpha.count, 3);
+        let beta = timings.iter().find(|t| t.name == "beta").unwrap();
+        assert_eq!(beta.count, 1);
+    }
+
+    #[test]
+    fn recorder_sees_balanced_events() {
+        let rec = std::sync::Arc::new(ChromeTraceRecorder::new());
+        let obs = Obs::builder().recorder_arc(rec.clone()).build();
+        {
+            let _outer = obs.span("outer");
+            let _inner = obs.span("inner");
+            obs.instant("tick");
+        }
+        let events = rec.events();
+        // B outer, B inner, i tick, E inner, E outer.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].phase, 'B');
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[2].phase, 'i');
+        assert_eq!(events[4].phase, 'E');
+        assert_eq!(events[4].name, "outer");
+    }
+
+    #[test]
+    fn current_guard_nests_and_restores() {
+        assert!(!current().enabled());
+        let outer = Obs::new();
+        {
+            let _g1 = set_current(&outer);
+            assert!(current().enabled());
+            {
+                let inner = Obs::disabled();
+                let _g2 = set_current(&inner);
+                assert!(!current().enabled());
+            }
+            assert!(current().enabled());
+        }
+        assert!(!current().enabled());
+    }
+
+    #[test]
+    fn phase_delta_attributes_increments() {
+        let obs = Obs::new();
+        {
+            let _s = obs.span("a");
+        }
+        let before = obs.phase_timings();
+        {
+            let _s = obs.span("a");
+        }
+        {
+            let _s = obs.span("b");
+        }
+        let delta = phase_delta(&before, &obs.phase_timings());
+        assert_eq!(delta.len(), 2);
+        assert!(delta.iter().all(|p| p.count == 1));
+    }
+
+    #[test]
+    fn export_prometheus_includes_phases_and_metrics() {
+        let obs = Obs::new();
+        obs.metrics().unwrap().counter("awdit_checks_total").add(2);
+        {
+            let _s = obs.span("saturate_cc");
+        }
+        let text = obs.export_prometheus();
+        assert!(text.contains("awdit_checks_total 2"), "{text}");
+        assert!(
+            text.contains("awdit_phase_spans_total{phase=\"saturate_cc\"} 1"),
+            "{text}"
+        );
+        assert!(crate::chrome::json_lint("{}").is_ok());
+    }
+}

@@ -1,0 +1,556 @@
+//! Named counters, gauges, and log-bucketed histograms with a sharded
+//! design so parallel workers record without contending, plus the
+//! Prometheus text and JSON exporters.
+//!
+//! A metric name may embed a Prometheus label set verbatim, e.g.
+//! `awdit_phase_us_total{phase="saturate_cc"}`: the exporter groups such
+//! series under one `# TYPE` line for the base name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent cache-padded cells each counter fans writes
+/// across. Sixteen covers the pool's worker-count ceiling without making
+/// snapshots expensive.
+const SHARDS: usize = 16;
+
+/// One cache-line-padded atomic cell, so two shards never share a line.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedAtomic(AtomicU64);
+
+/// A monotonically increasing counter. Increments scatter across
+/// `SHARDS` padded cells keyed by the caller's thread ordinal, so
+/// saturation workers on different threads never touch the same cache
+/// line; reads sum the cells.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedAtomic; SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` (relaxed; visible to any later [`get`](Self::get)).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let shard = crate::thread_ordinal() as usize % SHARDS;
+        self.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A last-write-wins gauge holding one `f64` (stored as its bit
+/// pattern in an atomic, so sets from any thread are safe).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Number of log2 buckets a histogram keeps: bucket `i` counts samples
+/// with `floor(log2(v)) == i - 1` (bucket 0 holds zeros), so the range
+/// covers `u64` values entirely.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A histogram of `u64` samples in log2 buckets. Bucket increments are
+/// single relaxed atomics (different samples usually hit different
+/// buckets, and bucket contention is tolerable); the count/sum pair is
+/// sharded like [`Counter`] since every sample touches it.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
+    count: Counter,
+    sum: Counter,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: Counter::default(),
+            sum: Counter::default(),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let bucket = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.inc();
+        self.sum.add(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// The non-empty buckets as `(upper_bound_inclusive, count)` pairs,
+    /// smallest bound first. Bucket 0's bound is 0; bucket `i`'s bound is
+    /// `2^i - 1`.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let bound = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).wrapping_sub(1)
+                };
+                let bound = if i >= 64 { u64::MAX } else { bound };
+                Some((bound, n))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metrics. Registration takes a write lock once per
+/// name; recording on an already-registered handle is lock-free.
+/// Components cache the `Arc` handles they return.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.read().expect("metrics lock").len();
+        write!(f, "MetricsRegistry({n} metrics)")
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or registers the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().expect("metrics lock").get(name) {
+            return c.clone();
+        }
+        let mut metrics = self.metrics.write().expect("metrics lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().expect("metrics lock").get(name) {
+            return g.clone();
+        }
+        let mut metrics = self.metrics.write().expect("metrics lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Gets or registers the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().expect("metrics lock").get(name) {
+            return h.clone();
+        }
+        let mut metrics = self.metrics.write().expect("metrics lock");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read().expect("metrics lock");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                }),
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty `(upper_bound_inclusive, count)` buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A frozen, name-sorted copy of a [`MetricsRegistry`], exportable as
+/// Prometheus text or JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// `awdit_foo_total{x="y"}` → `awdit_foo_total`: the series name without
+/// any embedded label set.
+fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders Prometheus text exposition format (version 0.0.4): one
+    /// `# TYPE` line per base metric name, then its samples. Histograms
+    /// expand to cumulative `_bucket{le=…}` plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line: Option<String> = None;
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            let line = format!("# TYPE {base} {kind}\n");
+            if last_type_line.as_deref() != Some(line.as_str()) {
+                out.push_str(&line);
+                last_type_line = Some(line);
+            }
+        };
+        for (name, value) in &self.counters {
+            type_line(&mut out, base_name(name), "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            type_line(&mut out, base_name(name), "gauge");
+            out.push_str(&format!("{name} {}\n", fmt_f64(*value)));
+        }
+        for h in &self.histograms {
+            let base = base_name(&h.name);
+            type_line(&mut out, base, "histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in &h.buckets {
+                cumulative += count;
+                out.push_str(&format!("{base}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{base}_sum {}\n", h.sum));
+            out.push_str(&format!("{base}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
+    /// and `histograms` maps.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(&format!(":{}", fmt_f64(*value)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, &h.name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            ));
+            for (j, (bound, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bound},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses Prometheus text exposition into `(series_name, value)` pairs
+/// (comments skipped, label sets kept verbatim in the name). Used by the
+/// test suite and the CI validator to check that exported snapshots are
+/// scrape-able.
+pub fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is everything after the last space *outside* a label
+        // set; series names never contain spaces outside braces here.
+        let split = line
+            .rfind(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let (name, value) = (line[..split].trim_end(), line[split + 1..].trim());
+        if name.is_empty() {
+            return Err(format!("line {}: empty series name", lineno + 1));
+        }
+        let first = name.chars().next().unwrap();
+        if !(first.is_ascii_alphabetic() || first == '_') {
+            return Err(format!("line {}: bad series name {name:?}", lineno + 1));
+        }
+        if name.matches('{').count() != name.matches('}').count() {
+            return Err(format!(
+                "line {}: unbalanced braces in {name:?}",
+                lineno + 1
+            ));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("awdit_test_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(reg.counter("awdit_test_total").get(), 4000);
+    }
+
+    #[test]
+    fn gauge_holds_floats() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let buckets = h.buckets();
+        // 0 → bucket 0 (bound 0); 1 → bound 1; 2,3 → bound 3; 1024 → bound 2047.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+    }
+
+    #[test]
+    fn registry_kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.gauge("x");
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("awdit_events_total").add(7);
+        reg.gauge("awdit_pool_utilization").set(0.5);
+        reg.histogram("awdit_txn_size").observe(3);
+        let text = reg.snapshot().to_prometheus();
+        let parsed = parse_prometheus(&text).unwrap();
+        let get = |n: &str| parsed.iter().find(|(name, _)| name == n).map(|&(_, v)| v);
+        assert_eq!(get("awdit_events_total"), Some(7.0));
+        assert_eq!(get("awdit_pool_utilization"), Some(0.5));
+        assert_eq!(get("awdit_txn_size_count"), Some(1.0));
+        assert_eq!(get("awdit_txn_size_sum"), Some(3.0));
+        assert_eq!(get("awdit_txn_size_bucket{le=\"+Inf\"}"), Some(1.0));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters
+            .push(("awdit_phase_us_total{phase=\"a\"}".to_string(), 1));
+        snap.counters
+            .push(("awdit_phase_us_total{phase=\"b\"}".to_string(), 2));
+        let text = snap.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE awdit_phase_us_total counter").count(),
+            1
+        );
+        assert!(parse_prometheus(&text).is_ok());
+    }
+
+    #[test]
+    fn json_export_is_valid() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").inc();
+        reg.gauge("g").set(1.25);
+        reg.histogram("h").observe(9);
+        let json = reg.snapshot().to_json();
+        crate::chrome::json_lint(&json).unwrap();
+        assert!(json.contains("\"a_total\":1"));
+    }
+
+    #[test]
+    fn parse_prometheus_rejects_garbage() {
+        assert!(parse_prometheus("novalue").is_err());
+        assert!(parse_prometheus("name notanumber").is_err());
+        assert!(parse_prometheus("bad{ 1").is_err());
+        assert!(parse_prometheus("# just a comment\n").unwrap().is_empty());
+    }
+}

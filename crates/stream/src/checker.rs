@@ -50,6 +50,9 @@ use awdit_core::witness::{
     ReadConsistencyViolation, Violation, ViolationKind, WitnessCycle, WitnessEdge,
 };
 use awdit_core::{IsolationLevel, Key, OpLoc, TxnId, Value, VectorClock};
+use awdit_obs::metrics::{Counter, Gauge};
+use awdit_obs::Obs;
+use std::sync::Arc;
 
 use crate::dag::{DagEdge, IncrementalDag};
 use crate::event::Event;
@@ -230,7 +233,43 @@ pub trait EngineExt {
 
 impl EngineExt for awdit_core::Engine {
     fn watch(&self) -> OnlineChecker {
-        OnlineChecker::with_config(StreamConfig::from(self.config()))
+        let mut checker = OnlineChecker::with_config(StreamConfig::from(self.config()));
+        checker.set_obs(self.obs().clone());
+        checker
+    }
+}
+
+/// Cached metric handles so per-event recording never takes the registry
+/// lock. Counter totals reconcile exactly with the matching
+/// [`StreamStats`] fields when the handle is attached before the first
+/// event.
+#[derive(Debug)]
+struct StreamMetrics {
+    events: Arc<Counter>,
+    processed: Arc<Counter>,
+    retired: Arc<Counter>,
+    violations: Arc<Counter>,
+    horizon_misses: Arc<Counter>,
+    gcs: Arc<Counter>,
+    staged: Arc<Gauge>,
+    live: Arc<Gauge>,
+    live_edges: Arc<Gauge>,
+}
+
+impl StreamMetrics {
+    fn from_obs(obs: &Obs) -> Option<Self> {
+        let m = obs.metrics()?;
+        Some(StreamMetrics {
+            events: m.counter("awdit_stream_events_total"),
+            processed: m.counter("awdit_stream_processed_total"),
+            retired: m.counter("awdit_stream_retired_total"),
+            violations: m.counter("awdit_stream_violations_total"),
+            horizon_misses: m.counter("awdit_stream_horizon_misses_total"),
+            gcs: m.counter("awdit_stream_gcs_total"),
+            staged: m.gauge("awdit_stream_staged_txns"),
+            live: m.gauge("awdit_stream_live_txns"),
+            live_edges: m.gauge("awdit_stream_live_edges"),
+        })
     }
 }
 
@@ -397,6 +436,8 @@ pub struct OnlineChecker {
     violations: Vec<StreamViolation>,
     processed_since_gc: u64,
     stats: StreamStats,
+    obs: Obs,
+    metrics: Option<StreamMetrics>,
 }
 
 impl OnlineChecker {
@@ -434,7 +475,24 @@ impl OnlineChecker {
             violations: Vec::new(),
             processed_since_gc: 0,
             stats: StreamStats::default(),
+            obs: Obs::disabled(),
+            metrics: None,
         }
+    }
+
+    /// Attaches an observability handle: stream metrics
+    /// (`awdit_stream_*` counters and gauges) and GC spans flow into it.
+    /// Counter totals reconcile exactly with [`stats`](Self::stats) when
+    /// attached before the first event. `Engine::watch` propagates the
+    /// engine's handle automatically.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.metrics = StreamMetrics::from_obs(&obs);
+        self.obs = obs;
+    }
+
+    /// The checker's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The level being checked.
@@ -477,6 +535,9 @@ impl OnlineChecker {
 
     fn apply_inner(&mut self, event: &Event) -> Result<(), StreamError> {
         self.stats.events += 1;
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+        }
         match *event {
             Event::Begin { session } => {
                 let s = self.ensure_session(session);
@@ -706,6 +767,9 @@ impl OnlineChecker {
         );
         self.stats.staged_txns += 1;
         self.stats.peak_staged_txns = self.stats.peak_staged_txns.max(self.stats.staged_txns);
+        if let Some(m) = &self.metrics {
+            m.staged.set(self.stats.staged_txns as f64);
+        }
         if deps == 0 {
             self.ready.push_back(id);
         }
@@ -755,6 +819,9 @@ impl OnlineChecker {
 
     fn emit(&mut self, v: StreamViolation) {
         self.stats.violations += 1;
+        if let Some(m) = &self.metrics {
+            m.violations.inc();
+        }
         self.violations.push(v);
     }
 
@@ -794,6 +861,9 @@ impl OnlineChecker {
                         }
                         ReadSrc::Horizon => {
                             self.stats.horizon_misses += 1;
+                            if let Some(m) = &self.metrics {
+                                m.horizon_misses.inc();
+                            }
                             out.push(StreamViolation::BeyondHorizon {
                                 txn: id,
                                 op: p as u32,
@@ -1023,6 +1093,12 @@ impl OnlineChecker {
         self.stats.processed += 1;
         self.stats.live_txns = self.index.num_live() as u64;
         self.stats.peak_live_txns = self.stats.peak_live_txns.max(self.stats.live_txns);
+        if let Some(m) = &self.metrics {
+            m.processed.inc();
+            m.staged.set(self.stats.staged_txns as f64);
+            m.live.set(self.stats.live_txns as f64);
+            m.live_edges.set(self.stats.live_edges as f64);
+        }
 
         self.processed_since_gc += 1;
         if self.cfg.prune && self.processed_since_gc >= self.cfg.prune_interval {
@@ -1086,6 +1162,10 @@ impl OnlineChecker {
 
     /// Watermark pruning: retire settled transactions (see module docs).
     fn prune(&mut self) {
+        let _span = self.obs.span("stream_gc");
+        if let Some(m) = &self.metrics {
+            m.gcs.inc();
+        }
         let wm = self.tracker.watermark();
         let mut candidates: Vec<(u64, u32)> = self
             .index
@@ -1189,6 +1269,11 @@ impl OnlineChecker {
         self.stats.retired_txns += 1;
         self.stats.live_txns = self.index.num_live() as u64;
         self.stats.live_edges = self.dag.num_edges();
+        if let Some(m) = &self.metrics {
+            m.retired.inc();
+            m.live.set(self.stats.live_txns as f64);
+            m.live_edges.set(self.stats.live_edges as f64);
+        }
     }
 
     /// Ends the stream: force-aborts open transactions, resolves pending
@@ -1228,6 +1313,9 @@ impl OnlineChecker {
         self.finish_deadlocked();
 
         self.stats.staged_txns = self.staged.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.staged.set(self.stats.staged_txns as f64);
+        }
         Ok(StreamOutcome {
             level: self.cfg.level,
             violations: std::mem::take(&mut self.violations),

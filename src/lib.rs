@@ -23,6 +23,10 @@
 //! * [`stream`] — the online checker: incremental
 //!   saturation over transaction event streams with watermark-based
 //!   pruning and bounded memory.
+//! * [`obs`] — zero-dependency observability: tracing spans
+//!   with Chrome `trace_event` export, a sharded metrics registry with
+//!   Prometheus text export, and phase-level profiling hooks wired
+//!   through the engine, the parallel pool, and the stream checker.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -51,6 +55,7 @@
 pub use awdit_baselines as baselines;
 pub use awdit_core as core;
 pub use awdit_formats as formats;
+pub use awdit_obs as obs;
 pub use awdit_reductions as reductions;
 pub use awdit_sat as sat;
 pub use awdit_simdb as simdb;

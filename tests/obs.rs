@@ -1,0 +1,247 @@
+//! Observability must be a read-only lens on the checkers: attaching a
+//! recorder and metrics registry cannot change any verdict, violation,
+//! or statistic, and what the lens reports must reconcile exactly with
+//! the engine's own counters.
+//!
+//! Four contracts are pinned here:
+//!
+//! 1. **Differential transparency** — instrumented and uninstrumented
+//!    runs produce identical outcomes (verdict, violations in order,
+//!    check stats) across all three isolation levels and thread counts
+//!    1 and 8.
+//! 2. **Trace well-formedness** — the Chrome `trace_event` export is
+//!    valid JSON with balanced, properly nested `B`/`E` spans and
+//!    monotone timestamps per thread.
+//! 3. **Prometheus golden output** — the text exposition format is
+//!    byte-stable for a known registry.
+//! 4. **Metric/stat reconciliation** — engine and stream counters equal
+//!    the corresponding `EngineStats`/`StreamStats` fields when the
+//!    `Obs` handle is attached before the first event.
+
+use awdit::baselines::{random_noisy_history, random_plausible_history, GenParams};
+use awdit::obs::chrome::{json_lint, validate_trace, ChromeTraceRecorder};
+use awdit::obs::Obs;
+use awdit::stream::{events_of_history, StreamConfig};
+use awdit::{Engine, History, IsolationLevel};
+use std::sync::Arc;
+
+fn gen_histories() -> Vec<(String, History)> {
+    let params = GenParams {
+        sessions: 4,
+        txns: 60,
+        keys: 8,
+        max_txn_ops: 6,
+        ..GenParams::default()
+    };
+    let mut out = Vec::new();
+    for seed in 0..4u64 {
+        out.push((
+            format!("plausible-{seed}"),
+            random_plausible_history(seed, params),
+        ));
+        out.push((format!("noisy-{seed}"), random_noisy_history(seed, params)));
+    }
+    out
+}
+
+/// Everything observable about an outcome, as one comparable string.
+fn fingerprint(h: &History, level: IsolationLevel, threads: usize, obs: Option<&Obs>) -> String {
+    let mut engine = Engine::builder().level(level).threads(threads).build();
+    if let Some(obs) = obs {
+        engine.set_obs(obs.clone());
+    }
+    let o = engine.check(h);
+    format!("{:?}|{:?}|{:?}", o.verdict(), o.violations(), o.stats())
+}
+
+#[test]
+fn instrumentation_never_changes_outcomes() {
+    for (name, h) in gen_histories() {
+        for level in IsolationLevel::ALL {
+            for threads in [1usize, 8] {
+                let plain = fingerprint(&h, level, threads, None);
+                // Full instrumentation: recorder + metrics + phases.
+                let obs = Obs::builder().recorder(ChromeTraceRecorder::new()).build();
+                let traced = fingerprint(&h, level, threads, Some(&obs));
+                assert_eq!(
+                    plain, traced,
+                    "outcome drift on {name} at {level:?} threads={threads}"
+                );
+                // Metrics-only instrumentation (no recorder) too.
+                let obs = Obs::new();
+                let metered = fingerprint(&h, level, threads, Some(&obs));
+                assert_eq!(
+                    plain, metered,
+                    "metrics-only drift on {name} at {level:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_are_well_formed() {
+    let recorder = Arc::new(ChromeTraceRecorder::new());
+    let obs = Obs::builder().recorder_arc(recorder.clone()).build();
+    let mut engine = Engine::builder()
+        .level(IsolationLevel::Causal)
+        .threads(8)
+        .obs(obs)
+        .build();
+    for (_, h) in gen_histories() {
+        engine.check(&h);
+        let all = engine.check_all_levels(&h);
+        assert_eq!(all.len(), 3);
+    }
+    let json = recorder.to_json();
+    // Valid JSON at all (own parser, no serde anywhere in the tree)...
+    json_lint(&json).expect("trace is valid JSON");
+    // ...and a well-formed trace: balanced nested spans, monotone per-tid
+    // timestamps, the engine's phase names present.
+    let summary = validate_trace(&json).expect("trace validates");
+    assert!(summary.complete_spans > 0);
+    assert!(summary.max_depth >= 2, "spans must nest: {summary:?}");
+    for phase in ["check", "read_consistency", "index_rebuild", "saturate_cc"] {
+        assert!(
+            summary.phase_names.contains(&phase.to_string()),
+            "missing {phase} in {summary:?}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_export_is_byte_stable() {
+    let obs = Obs::new();
+    let m = obs.metrics().expect("enabled obs has a registry");
+    m.counter("awdit_requests_total").add(3);
+    m.counter("awdit_errors_total{kind=\"parse\"}").add(1);
+    m.counter("awdit_errors_total{kind=\"io\"}").add(2);
+    m.gauge("awdit_pool_utilization").set(0.75);
+    m.gauge("awdit_live_txns").set(12.0);
+    let h = m.histogram("awdit_batch_us");
+    h.observe(1);
+    h.observe(3);
+    h.observe(100);
+    // Counters, then gauges, then histograms — each alphabetically,
+    // labeled series grouped under one `# TYPE` line, histogram buckets
+    // cumulative with log2-boundaries (1, 3, ..., 2^i - 1) and `+Inf`.
+    let golden = "\
+# TYPE awdit_errors_total counter
+awdit_errors_total{kind=\"io\"} 2
+awdit_errors_total{kind=\"parse\"} 1
+# TYPE awdit_requests_total counter
+awdit_requests_total 3
+# TYPE awdit_live_txns gauge
+awdit_live_txns 12
+# TYPE awdit_pool_utilization gauge
+awdit_pool_utilization 0.75
+# TYPE awdit_batch_us histogram
+awdit_batch_us_bucket{le=\"1\"} 1
+awdit_batch_us_bucket{le=\"3\"} 2
+awdit_batch_us_bucket{le=\"127\"} 3
+awdit_batch_us_bucket{le=\"+Inf\"} 3
+awdit_batch_us_sum 104
+awdit_batch_us_count 3
+";
+    assert_eq!(obs.export_prometheus(), golden);
+    // And the export stays parseable by the scrape-side helper.
+    let series = awdit::obs::metrics::parse_prometheus(&obs.export_prometheus()).unwrap();
+    assert!(series
+        .iter()
+        .any(|(n, v)| n == "awdit_requests_total" && *v == 3.0));
+}
+
+#[test]
+fn engine_metrics_reconcile_with_engine_stats() {
+    let obs = Obs::new();
+    let mut engine = Engine::builder()
+        .level(IsolationLevel::Causal)
+        .obs(obs.clone())
+        .build();
+    let histories = gen_histories();
+    for (_, h) in &histories {
+        engine.check(h);
+    }
+    engine.check_all_levels(&histories[0].1);
+
+    let stats = engine.stats();
+    let snap = obs.metrics().unwrap().snapshot();
+    assert_eq!(
+        snap.counter("awdit_engine_histories_total"),
+        Some(stats.histories)
+    );
+    assert_eq!(
+        snap.counter("awdit_engine_checks_total"),
+        Some(stats.checks)
+    );
+    assert_eq!(
+        snap.counter("awdit_engine_arena_growths_total"),
+        Some(stats.arena_growths)
+    );
+    assert_eq!(
+        snap.gauge("awdit_engine_arena_bytes"),
+        Some(stats.arena_bytes as f64)
+    );
+    // Phase aggregates exist for every span the engine claims to emit.
+    let phases = obs.phase_timings();
+    for p in ["check", "read_consistency", "index_rebuild", "saturate_cc"] {
+        assert!(
+            phases.iter().any(|t| t.name == p && t.count > 0),
+            "missing phase {p}"
+        );
+    }
+}
+
+#[test]
+fn stream_metrics_reconcile_with_stream_stats() {
+    for (name, h) in gen_histories() {
+        let obs = Obs::new();
+        let mut checker = awdit::OnlineChecker::with_config(StreamConfig {
+            level: IsolationLevel::Causal,
+            prune_interval: 8,
+            ..StreamConfig::default()
+        });
+        checker.set_obs(obs.clone());
+        for e in events_of_history(&h) {
+            checker.apply(&e).unwrap();
+        }
+        let outcome = checker.finish().unwrap();
+        let s = outcome.stats();
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(
+            snap.counter("awdit_stream_events_total"),
+            Some(s.events),
+            "{name}"
+        );
+        assert_eq!(
+            snap.counter("awdit_stream_processed_total"),
+            Some(s.processed),
+            "{name}"
+        );
+        assert_eq!(
+            snap.counter("awdit_stream_retired_total"),
+            Some(s.retired_txns),
+            "{name}"
+        );
+        assert_eq!(
+            snap.counter("awdit_stream_violations_total"),
+            Some(s.violations),
+            "{name}"
+        );
+        assert_eq!(
+            snap.counter("awdit_stream_horizon_misses_total"),
+            Some(s.horizon_misses),
+            "{name}"
+        );
+        assert_eq!(
+            snap.gauge("awdit_stream_live_txns"),
+            Some(s.live_txns as f64),
+            "{name}"
+        );
+        assert_eq!(
+            snap.gauge("awdit_stream_staged_txns"),
+            Some(s.staged_txns as f64),
+            "{name}"
+        );
+    }
+}
