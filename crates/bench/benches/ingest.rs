@@ -9,6 +9,13 @@
 //!   builder + history arena (`HistoryBuilder::finish_into`), the
 //!   machinery behind `Engine::check_source`'s fast path.
 //!
+//! * **binary-load** — the `.awb` columnar file mmap-loaded straight
+//!   into a recycled arena (no parsing, no read resolution);
+//! * **shard-parse** — the parallel sharded text parser at each thread
+//!   count in `AWDIT_BENCH_THREADS` (comma-separated, default `1,2,4,8`);
+//! * **engine-overlap-{on,off}** — `Engine::check_source` over a fleet
+//!   of files with read/check overlap enabled versus disabled.
+//!
 //! Throughput is operations per second of the parsed history.
 //! `AWDIT_BENCH_TXNS` overrides the history length so CI can smoke-run
 //! the whole path with a tiny budget.
@@ -24,9 +31,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use awdit_core::{Engine, History, HistoryBuilder, IsolationLevel};
+use awdit_core::{Engine, History, HistoryBuilder, HistorySink, IsolationLevel, SessionId};
 use awdit_formats::{
-    parse_history, read_history, write_history, write_native_to, FilesSource, Format,
+    parse_history, read_awb_path_into, read_history, read_sharded, write_awb, write_history,
+    write_native_to, FilesSource, Format,
 };
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
 use awdit_workloads::Uniform;
@@ -63,6 +71,36 @@ fn env_or(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Thread counts for the shard sweep: `AWDIT_BENCH_THREADS=1,2,8`.
+fn bench_threads() -> Vec<usize> {
+    std::env::var("AWDIT_BENCH_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// A sink that hands the `.awb` loader a recycled arena, so the bench
+/// measures the bulk-load path the engine takes (no event replay).
+struct ArenaOnly(History);
+
+impl HistorySink for ArenaOnly {
+    fn session(&mut self) -> SessionId {
+        unreachable!("bulk loads never replay")
+    }
+    fn num_sessions(&self) -> usize {
+        0
+    }
+    fn begin(&mut self, _: SessionId) {}
+    fn write(&mut self, _: SessionId, _: u64, _: u64) {}
+    fn read(&mut self, _: SessionId, _: u64, _: u64) {}
+    fn commit(&mut self, _: SessionId) {}
+    fn abort(&mut self, _: SessionId) {}
+    fn load_resolved(&mut self) -> Option<&mut History> {
+        Some(&mut self.0)
+    }
 }
 
 fn big_history(txns: usize) -> History {
@@ -159,6 +197,64 @@ fn bench_ingest(c: &mut Criterion) {
                     read_history(BufReader::new(file), *format, &mut builder).expect("read");
                     builder.finish_into(&mut arena).expect("finish");
                     arena.size()
+                })
+            },
+        );
+    }
+
+    // The binary columnar format, mmap-loaded into a recycled arena —
+    // the "ingest at I/O speed" headline number to hold against the
+    // fastest text parse above.
+    let awb = dir.join("history.awb");
+    std::fs::write(&awb, write_awb(&h)).expect("write awb fixture");
+    group.bench_with_input(BenchmarkId::new("binary-load", ops), &awb, |b, path| {
+        let mut sink = ArenaOnly(History::default());
+        b.iter(|| {
+            read_awb_path_into(path, &mut sink).expect("load");
+            sink.0.size()
+        })
+    });
+
+    // Parallel sharded parsing of the native text, swept over threads.
+    let native_bytes = std::fs::read(&files[0].1).expect("read native fixture");
+    for threads in bench_threads() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("shard-parse-native-t{threads}"), ops),
+            &native_bytes,
+            |b, bytes| {
+                let mut builder = HistoryBuilder::new();
+                let mut arena = History::default();
+                b.iter(|| {
+                    read_sharded(bytes, Format::Native, threads, &mut builder).expect("parse");
+                    builder.finish_into(&mut arena).expect("finish");
+                    arena.size()
+                })
+            },
+        );
+    }
+
+    // Read/check overlap across a fleet of files: parse N+1 while
+    // checking N, versus the strictly serial loop.
+    let fleet: Vec<std::path::PathBuf> = (0..4)
+        .map(|i| {
+            let path = dir.join(format!("fleet-{i}.awdit"));
+            std::fs::write(&path, write_history(&h, Format::Native)).expect("write fleet");
+            path
+        })
+        .collect();
+    for overlap in [false, true] {
+        let label = if overlap { "on" } else { "off" };
+        group.bench_with_input(
+            BenchmarkId::new(format!("engine-overlap-{label}"), ops),
+            &fleet,
+            |b, fleet| {
+                let mut engine = Engine::builder()
+                    .level(IsolationLevel::ReadCommitted)
+                    .overlap(overlap)
+                    .build();
+                b.iter(|| {
+                    let mut src = FilesSource::new(fleet.iter().cloned());
+                    engine.check_source(&mut src).expect("check").len()
                 })
             },
         );

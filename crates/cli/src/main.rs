@@ -83,8 +83,8 @@ fn print_usage() {
 USAGE:
     awdit check [--isolation rc|ra|cc|all] [--threads N] [--format FMT]
                 [--witnesses N] [--cc-strategy STRAT] [--report text|json]
-                [--trace FILE] [--metrics FILE|-]
-                [--output FILE] FILE... | DIR
+                [--stable-report] [--no-overlap] [--trace FILE]
+                [--metrics FILE|-] [--output FILE] FILE... | DIR
     awdit watch [--isolation rc|ra|cc] [--threads N] [--interval N]
                 [--witnesses N] [--cc-strategy STRAT] [--no-prune]
                 [--trace FILE] [--metrics FILE|-] [--stats-interval SECS]
@@ -96,13 +96,16 @@ USAGE:
                    [--seed S] [--format FMT] [-o OUT]
 
 FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
-         check and convert also auto-detect NDJSON event logs
+         check and convert also auto-detect NDJSON event logs and the
+         binary columnar .awb form (magic-sniffed, mmap-loaded)
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
 DB MODES: ser, causal, ra, rc
 THREADS: saturation worker threads (1 = sequential, 0 = all cores);
          the verdict and witnesses are identical for every value;
          at 1 thread `check` streams each file straight into the
-         engine's recycled ingest arenas (lowest peak memory)
+         engine's recycled ingest arenas (lowest peak memory);
+         above 1, text files also parse in parallel byte-range
+         shards, bit-identical to the sequential parse
 CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
          implementations of the batch Causal Consistency checker
          (Algorithm 3); `watch` accepts the flag for config parity, but
@@ -111,7 +114,10 @@ CC STRATEGIES: binary-search (default), pointer-scan — interchangeable
 CHECK: accepts several FILEs and/or a DIR (every file inside, sorted);
          --report json emits the versioned machine-readable report
          (schema v2: per-phase timings + engine stats when traced),
-         --output writes the report to a file
+         --output writes the report to a file; --stable-report zeroes
+         timings and omits engine stats so identical inputs give
+         byte-identical JSON; --no-overlap disables the read/check
+         pipeline (parse and check strictly alternate)
 OBSERVABILITY: --trace FILE writes a Chrome trace_event JSON of every
          engine phase (open in chrome://tracing or Perfetto); --metrics
          writes a Prometheus text snapshot to FILE (`-` = stdout);
@@ -119,9 +125,9 @@ OBSERVABILITY: --trace FILE writes a Chrome trace_event JSON of every
          stderr while following a stream
 CONVERT: streams IN (any supported format, auto-detected) to OUT via the
          incremental reader/writer pairs; the output format comes from
-         --to (native|plume|dbcop|cobra|events) or OUT's extension
-         (.awdit/.plume/.dbcop/.cobra/.ndjson); `-o OUT` also works, and
-         omitting OUT writes to stdout (--to required)
+         --to (native|plume|dbcop|cobra|events|awb) or OUT's extension
+         (.awdit/.plume/.dbcop/.cobra/.ndjson/.awb); `-o OUT` also
+         works, and omitting OUT writes to stdout (--to required)
 EXIT CODES: 0 = consistent, 1 = any history inconsistent,
          2 = usage or parse error"
     );
@@ -137,7 +143,7 @@ impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut positional = Vec::new();
-        const SWITCHES: [&str; 2] = ["no-prune", "follow"];
+        const SWITCHES: [&str; 4] = ["no-prune", "follow", "no-overlap", "stable-report"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -295,9 +301,16 @@ fn parse_format_flag(flags: &Flags) -> Result<Option<Format>, String> {
 
 /// Resolves one `check` positional — a file or a directory — into a
 /// history source (shared by the streaming and materializing paths).
-fn make_source(path: &str, format: Option<Format>) -> Result<Box<dyn HistorySource>, String> {
+/// `threads > 1` turns on sharded text parsing inside the source.
+fn make_source(
+    path: &str,
+    format: Option<Format>,
+    threads: usize,
+) -> Result<Box<dyn HistorySource>, String> {
     if std::path::Path::new(path).is_dir() {
-        let mut src = DirSource::new(path).map_err(|e| e.to_string())?;
+        let mut src = DirSource::new(path)
+            .map_err(|e| e.to_string())?
+            .with_threads(threads);
         if let Some(f) = format {
             src = src.with_format(f);
         }
@@ -306,7 +319,7 @@ fn make_source(path: &str, format: Option<Format>) -> Result<Box<dyn HistorySour
         }
         Ok(Box::new(src))
     } else {
-        let mut src = FilesSource::new([path]);
+        let mut src = FilesSource::new([path]).with_threads(threads);
         if let Some(f) = format {
             src = src.with_format(f);
         }
@@ -316,11 +329,11 @@ fn make_source(path: &str, format: Option<Format>) -> Result<Box<dyn HistorySour
 
 /// Expands the `check` positionals — files and/or directories — into
 /// named histories, in argument order (directory contents sorted).
-fn gather_histories(flags: &Flags) -> Result<Vec<SourcedHistory>, String> {
+fn gather_histories(flags: &Flags, threads: usize) -> Result<Vec<SourcedHistory>, String> {
     let format = parse_format_flag(flags)?;
     let mut sourced = Vec::new();
     for p in &flags.positional {
-        let mut src = make_source(p, format)?;
+        let mut src = make_source(p, format, threads)?;
         sourced.extend(collect_source(src.as_mut()).map_err(|e| e.to_string())?);
     }
     Ok(sourced)
@@ -336,10 +349,12 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     if !matches!(report_mode, "text" | "json") {
         return Err(format!("bad --report value `{report_mode}` (text|json)"));
     }
+    let stable = flags.get("stable-report").is_some();
     let cfg = EngineConfig {
         max_cycles: parse_witnesses(&flags, 16)?,
         threads: parse_threads(&flags)?,
         cc_strategy: parse_cc_strategy(&flags)?,
+        overlap: flags.get("no-overlap").is_none(),
         ..EngineConfig::default()
     };
 
@@ -360,7 +375,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         };
         let format = parse_format_flag(&flags)?;
         for p in &flags.positional {
-            let mut src = make_source(p, format)?;
+            let mut src = make_source(p, format, cfg.threads)?;
             loop {
                 let phases_before = setup.phases();
                 let started = std::time::Instant::now();
@@ -382,7 +397,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                         .finish_ingest_level(level)
                         .map_err(|e| format!("{name}: {e}"))?],
                 };
-                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let ms = if stable {
+                    0.0
+                } else {
+                    started.elapsed().as_secs_f64() * 1e3
+                };
                 reports.push(
                     HistoryReport::new(&name, engine.ingested(), &outcomes, ms)
                         .with_timings(setup.timings_since(&phases_before)),
@@ -390,7 +409,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     } else {
-        let sourced = gather_histories(&flags)?;
+        let sourced = gather_histories(&flags, cfg.threads)?;
         if isolation == "all" {
             // One shared index + Read Consistency pass across all three
             // levels.
@@ -398,7 +417,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 let phases_before = setup.phases();
                 let started = std::time::Instant::now();
                 let outcomes = engine.check_all_levels(&s.history);
-                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let ms = if stable {
+                    0.0
+                } else {
+                    started.elapsed().as_secs_f64() * 1e3
+                };
                 reports.push(
                     HistoryReport::new(&s.name, &s.history, &outcomes, ms)
                         .with_timings(setup.timings_since(&phases_before)),
@@ -410,7 +433,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             let level: IsolationLevel = isolation.parse().map_err(|e| format!("{e}"))?;
             let started = std::time::Instant::now();
             let outcomes = engine.check_many_level(sourced.iter().map(|s| &s.history), level);
-            let ms = started.elapsed().as_secs_f64() * 1e3 / sourced.len().max(1) as f64;
+            let ms = if stable {
+                0.0
+            } else {
+                started.elapsed().as_secs_f64() * 1e3 / sourced.len().max(1) as f64
+            };
             for (s, outcome) in sourced.iter().zip(outcomes) {
                 reports.push(HistoryReport::new(&s.name, &s.history, &[outcome], ms));
             }
@@ -418,12 +445,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let stats = engine.stats();
-    let report = Report::new(reports).with_engine(EngineStatsReport {
-        histories: stats.histories,
-        checks: stats.checks,
-        arena_growths: stats.arena_growths,
-        arena_bytes: stats.arena_bytes as u64,
-    });
+    let mut report = Report::new(reports);
+    if !stable {
+        // `--stable-report` omits the run-specific engine stats (and
+        // zeroes every timing) so identical inputs produce byte-identical
+        // JSON across runs and ingest paths.
+        report = report.with_engine(EngineStatsReport {
+            histories: stats.histories,
+            checks: stats.checks,
+            arena_growths: stats.arena_growths,
+            arena_bytes: stats.arena_bytes as u64,
+        });
+    }
     emit_report(
         &report,
         report_mode,
@@ -531,19 +564,24 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// What `convert` writes: a history file format, or the NDJSON event
-/// stream `awdit watch` consumes.
+/// What `convert` writes: a history file format, the NDJSON event
+/// stream `awdit watch` consumes, or the binary columnar `.awb` form.
 enum ConvertTarget {
     History(Format),
     Events,
+    Binary,
 }
 
 /// Resolves the output format of `convert`: an explicit `--to`, or the
-/// output path's extension (`.ndjson`/`.jsonl` mean events).
+/// output path's extension (`.ndjson`/`.jsonl` mean events, `.awb` the
+/// binary columnar form).
 fn convert_target(to: Option<&str>, out_path: Option<&str>) -> Result<ConvertTarget, String> {
     if let Some(to) = to {
         if matches!(to, "events" | "ndjson") {
             return Ok(ConvertTarget::Events);
+        }
+        if to == "awb" || to == "binary" {
+            return Ok(ConvertTarget::Binary);
         }
         return Ok(ConvertTarget::History(to.parse()?));
     }
@@ -556,6 +594,9 @@ fn convert_target(to: Option<&str>, out_path: Option<&str>) -> Result<ConvertTar
         .unwrap_or("");
     if matches!(ext, "ndjson" | "jsonl") {
         return Ok(ConvertTarget::Events);
+    }
+    if ext.eq_ignore_ascii_case("awb") {
+        return Ok(ConvertTarget::Binary);
     }
     ext.parse()
         .map(ConvertTarget::History)
@@ -598,6 +639,7 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
         match target {
             ConvertTarget::History(f) => write_history_to(history, *f, &mut out)?,
             ConvertTarget::Events => write_history_events_to(history, &mut out)?,
+            ConvertTarget::Binary => awdit_formats::write_awb_to(history, &mut out)?,
         }
         out.flush()
     }
@@ -708,6 +750,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         threads: parse_threads(&flags)?,
         cc_strategy: parse_cc_strategy(&flags)?,
         want_commit_order: false,
+        ..EngineConfig::default()
     });
     engine.set_obs(setup.obs.clone());
     let mut checker = engine.watch();

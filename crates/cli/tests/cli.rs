@@ -646,3 +646,113 @@ fn convert_usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     let _ = std::fs::remove_file(src);
 }
+
+#[test]
+fn convert_to_awb_and_back_checks_identically() {
+    let src = tmp("awb.awdit");
+    let bin = tmp("awb.awb");
+    let back = tmp("awb-back.plume");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "120", "--seed", "11"])
+        .args(["-o", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    // Text -> binary: the output must carry the magic.
+    let out = awdit()
+        .args(["convert", src.to_str().unwrap(), bin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&bin).unwrap();
+    assert!(bytes.starts_with(b"AWBHIST\0"), "missing .awb magic");
+
+    // Binary -> text again (input format is magic-sniffed).
+    let out = awdit()
+        .args(["convert", bin.to_str().unwrap(), back.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Stable JSON reports of the text and binary runs agree except for
+    // the history name.
+    let report = |path: &PathBuf| {
+        let out = awdit()
+            .args([
+                "check",
+                "--isolation",
+                "all",
+                "--stable-report",
+                "--report",
+                "json",
+            ])
+            .arg(path.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let text_json = report(&src).replace(src.file_name().unwrap().to_str().unwrap(), "H");
+    let bin_json = report(&bin).replace(bin.file_name().unwrap().to_str().unwrap(), "H");
+    assert_eq!(text_json, bin_json, "stable reports diverged");
+
+    for f in [&src, &bin, &back] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn check_threads_and_overlap_flags_agree() {
+    let file = tmp("flags.awdit");
+    awdit()
+        .args(["generate", "--benchmark", "uniform", "--db", "causal"])
+        .args(["--sessions", "4", "--txns", "150", "--seed", "3"])
+        .args(["-o", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let run = |extra: &[&str]| {
+        let out = awdit()
+            .args([
+                "check",
+                "--isolation",
+                "all",
+                "--stable-report",
+                "--report",
+                "json",
+            ])
+            .args(extra)
+            .arg(file.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{extra:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let reference = run(&[]);
+    assert_eq!(reference, run(&["--no-overlap"]));
+    assert_eq!(reference, run(&["--threads", "8"]));
+    assert_eq!(reference, run(&["--threads", "2", "--no-overlap"]));
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn unrecognized_binary_input_exits_2_with_clean_error() {
+    let junk = tmp("junk.awdit");
+    let bytes: Vec<u8> = (0..512u32).map(|i| (i * 7 % 256) as u8).collect();
+    std::fs::write(&junk, bytes).unwrap();
+    let out = awdit()
+        .args(["check", junk.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unrecognized binary data"),
+        "unexpected stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(junk);
+}

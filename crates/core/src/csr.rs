@@ -100,6 +100,29 @@ impl<T> Csr<T> {
         &self.values
     }
 
+    /// The raw offsets table: either `rows + 1` entries starting at 0, or
+    /// empty (the canonical zero-row form). This is the serialization view
+    /// used by the binary on-disk history format.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Decomposes into the raw `(offsets, values)` buffers.
+    pub(crate) fn into_raw_parts(self) -> (Vec<u32>, Vec<T>) {
+        (self.offsets, self.values)
+    }
+
+    /// Reassembles from raw parts. The caller must have validated the CSR
+    /// invariants (monotonic offsets starting at 0 and ending at
+    /// `values.len()`, or an empty offsets table with no values).
+    pub(crate) fn from_raw_parts(offsets: Vec<u32>, values: Vec<T>) -> Self {
+        debug_assert!(offsets.is_empty() || offsets[0] == 0);
+        debug_assert!(offsets.is_empty() || *offsets.last().unwrap() as usize == values.len());
+        debug_assert!(!offsets.is_empty() || values.is_empty());
+        Csr { offsets, values }
+    }
+
     /// Iterates `(row, row values)` in row order.
     pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[T])> {
         (0..self.num_rows()).map(move |r| (r, self.row(r)))

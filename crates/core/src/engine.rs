@@ -85,9 +85,17 @@ pub struct EngineConfig {
     /// check (and, for online monitors, reported per stream).
     pub max_cycles: usize,
     /// Worker threads (`1` = sequential, `0` = all cores). Shared by the
-    /// sharded saturators and the [`check_many`](Engine::check_many)
-    /// fork–join pool; outcomes are bit-identical for every value.
+    /// sharded saturators, the [`check_many`](Engine::check_many)
+    /// fork–join pool, and (via [`HistorySource::set_threads`]) sharded
+    /// source parsing; outcomes are bit-identical for every value.
     pub threads: usize,
+    /// Overlap ingest with checking in
+    /// [`check_source`](Engine::check_source)'s streaming path: history
+    /// `N + 1` parses on the calling thread while history `N` is checked
+    /// on one worker, double-buffering the ingest arenas. Outcomes are
+    /// bit-identical either way; off trades the overlap win for strictly
+    /// single-threaded execution.
+    pub overlap: bool,
     /// Online monitors only: whether watermark pruning runs (off = exact
     /// batch agreement, memory grows with the stream).
     pub prune: bool,
@@ -104,6 +112,7 @@ impl Default for EngineConfig {
             want_commit_order: false,
             max_cycles: 16,
             threads: 1,
+            overlap: true,
             prune: true,
             prune_interval: 256,
         }
@@ -211,6 +220,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggles read/check overlap in
+    /// [`check_source`](Engine::check_source)'s streaming path.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.cfg.overlap = overlap;
+        self
+    }
+
     /// Online monitors only: toggles watermark pruning.
     pub fn prune(mut self, prune: bool) -> Self {
         self.cfg.prune = prune;
@@ -298,6 +314,16 @@ pub struct Engine {
     ingest: HistoryBuilder,
     /// The history arena `ingest` finishes into, recycled likewise.
     ingested: History,
+    /// Set when a producer bulk-loaded a resolved history straight into
+    /// `ingested` via [`HistorySink::load_resolved`]:
+    /// [`seal_ingest`](Self::seal_ingest) must then skip the (empty)
+    /// builder.
+    direct_loaded: bool,
+    /// Second double-buffer pair for the overlapped
+    /// [`check_source`](Self::check_source) path, idle otherwise.
+    spare_ingest: HistoryBuilder,
+    /// See `spare_ingest`.
+    spare: History,
     /// `ingested`'s heap footprint, cached at seal time — the arena is
     /// temporarily `mem::take`n while a check borrows it, so accounting
     /// must not read `ingested.heap_bytes()` directly.
@@ -326,6 +352,9 @@ impl Engine {
             scratch: Scratch::new(),
             ingest: HistoryBuilder::new(),
             ingested: History::default(),
+            direct_loaded: false,
+            spare_ingest: HistoryBuilder::new(),
+            spare: History::default(),
             ingested_bytes: 0,
             stats: EngineStats::default(),
             obs: Obs::disabled(),
@@ -371,21 +400,7 @@ impl Engine {
     pub fn check_level(&mut self, history: &History, level: IsolationLevel) -> Outcome {
         let obs = self.obs.clone();
         let _ctx = awdit_obs::set_current(&obs);
-        let _check = obs.span("check");
-        let read_consistency = {
-            let _s = obs.span("read_consistency");
-            check_read_consistency(history)
-        };
-        let Scratch {
-            index,
-            graph,
-            clocks,
-        } = &mut self.scratch;
-        {
-            let _s = obs.span("index_rebuild");
-            index.rebuild(history);
-        }
-        let out = check_prepared_into(&self.cfg, index, &read_consistency, level, graph, clocks);
+        let out = check_with_scratch(&self.cfg, &mut self.scratch, history, level);
         self.account(1, 1);
         out
     }
@@ -461,24 +476,7 @@ impl Engine {
         let _ctx = awdit_obs::set_current(&obs);
         let _batch = obs.span("check_many");
         let outcomes = parallel::map_shards_with(threads, &items, Scratch::new, |scratch, _, h| {
-            let obs = awdit_obs::current();
-            let _check = obs.span("check");
-            let read_consistency = {
-                let _s = obs.span("read_consistency");
-                check_read_consistency(h)
-            };
-            {
-                let _s = obs.span("index_rebuild");
-                scratch.index.rebuild(h);
-            }
-            check_prepared_into(
-                &cfg,
-                &scratch.index,
-                &read_consistency,
-                level,
-                &mut scratch.graph,
-                &mut scratch.clocks,
-            )
+            check_with_scratch(&cfg, scratch, h, level)
         });
         self.stats.histories += outcomes.len() as u64;
         self.stats.checks += outcomes.len() as u64;
@@ -502,14 +500,20 @@ impl Engine {
     /// ingest arenas via [`HistorySource::next_into`] and checked by
     /// [`finish_ingest`](Self::finish_ingest) — no intermediate
     /// materialization, peak memory bounded by the largest single
-    /// history's columnar form. With more threads, histories are
-    /// collected first and run through the
-    /// [`check_many`](Self::check_many) pool.
+    /// history's columnar form. With [`EngineConfig::overlap`] on
+    /// (default), ingest and checking run concurrently: history `N + 1`
+    /// parses on the calling thread while history `N` is checked on one
+    /// scoped worker, handing double-buffered arenas back and forth
+    /// through a bounded slot — same outcomes, same recycling, ~2×
+    /// throughput when parse and check cost are balanced. With more
+    /// threads, histories are collected first and run through the
+    /// [`check_many`](Self::check_many) pool (and the source is told via
+    /// [`HistorySource::set_threads`] so file sources parse sharded).
     ///
     /// # Errors
     ///
     /// Fails fast on the first source error (unreadable file, parse
-    /// error, generator failure). On the streaming path, histories
+    /// error, generator failure). On the streaming paths, histories
     /// yielded *before* the error have already been checked (and are
     /// reflected in [`stats`](Self::stats)) but their outcomes are
     /// discarded; the parallel path checks nothing.
@@ -517,11 +521,19 @@ impl Engine {
         &mut self,
         source: &mut S,
     ) -> Result<Vec<(String, Outcome)>, SourceError> {
+        // Parsers and sharded sources report ingest metrics through the
+        // thread-current handle.
+        let obs = self.obs.clone();
+        let _ctx = awdit_obs::set_current(&obs);
         let threads = parallel::effective_threads(self.cfg.threads);
+        source.set_threads(threads);
         if threads > 1 {
             let sourced = collect_source(source)?;
             let outcomes = self.check_many(sourced.iter().map(|s| &s.history));
             return Ok(sourced.into_iter().map(|s| s.name).zip(outcomes).collect());
+        }
+        if self.cfg.overlap {
+            return self.check_source_overlapped(source);
         }
         let mut out = Vec::new();
         loop {
@@ -534,6 +546,7 @@ impl Engine {
                 Some(Err(e)) => {
                     // The sink may hold a partial history: discard it.
                     self.ingest.reset();
+                    self.direct_loaded = false;
                     return Err(e);
                 }
                 Some(Ok(name)) => match self.finish_ingest() {
@@ -546,6 +559,160 @@ impl Engine {
                     }
                 },
             }
+        }
+    }
+
+    /// The overlapped streaming path of [`check_source`](Self::check_source):
+    /// the calling thread parses, one scoped worker checks, and the two
+    /// double-buffered `(builder, arena)` pairs shuttle between them
+    /// through capacity-one [`parallel::HandoffSlot`]s — bounded memory,
+    /// no queueing, source order preserved.
+    fn check_source_overlapped<S: HistorySource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<(String, Outcome)>, SourceError> {
+        use std::time::Instant;
+
+        let obs = self.obs.clone();
+        let _ctx = awdit_obs::set_current(&obs);
+        let started = Instant::now();
+        let mut parse_busy = std::time::Duration::ZERO;
+
+        let mut free: Vec<ArenaSink> = vec![
+            ArenaSink {
+                builder: std::mem::take(&mut self.ingest),
+                arena: std::mem::take(&mut self.ingested),
+                direct: false,
+            },
+            ArenaSink {
+                builder: std::mem::take(&mut self.spare_ingest),
+                arena: std::mem::take(&mut self.spare),
+                direct: false,
+            },
+        ];
+
+        let cfg = self.cfg;
+        let scratch = &mut self.scratch;
+        let work: parallel::HandoffSlot<(String, ArenaSink)> = parallel::HandoffSlot::new();
+        let done: parallel::HandoffSlot<ArenaSink> = parallel::HandoffSlot::new();
+
+        let (out, check_busy, mut failure) = std::thread::scope(|scope| {
+            let worker_obs = obs.clone();
+            let (work, done) = (&work, &done);
+            let checker = scope.spawn(move || {
+                let _ctx = awdit_obs::set_current(&worker_obs);
+                let mut out = Vec::new();
+                let mut busy = std::time::Duration::ZERO;
+                while let Some((name, sink)) = work.recv() {
+                    let t = Instant::now();
+                    let outcome = check_with_scratch(&cfg, scratch, &sink.arena, cfg.level);
+                    busy += t.elapsed();
+                    out.push((name, outcome));
+                    if done.send(sink).is_err() {
+                        break;
+                    }
+                }
+                (out, busy)
+            });
+
+            let mut in_flight = 0usize;
+            let mut failure: Option<SourceError> = None;
+            loop {
+                let mut unit = match free.pop() {
+                    Some(unit) => unit,
+                    None => match done.recv() {
+                        Some(unit) => {
+                            in_flight -= 1;
+                            unit
+                        }
+                        None => break,
+                    },
+                };
+                let t = Instant::now();
+                let next = {
+                    let _s = obs.span("ingest");
+                    source.next_into(&mut unit)
+                };
+                match next {
+                    None => {
+                        parse_busy += t.elapsed();
+                        free.push(unit);
+                        break;
+                    }
+                    Some(Err(e)) => {
+                        parse_busy += t.elapsed();
+                        unit.discard();
+                        free.push(unit);
+                        failure = Some(e);
+                        break;
+                    }
+                    Some(Ok(name)) => {
+                        let sealed = {
+                            let _s = obs.span("ingest_seal");
+                            unit.seal()
+                        };
+                        parse_busy += t.elapsed();
+                        match sealed {
+                            Ok(()) => {
+                                if let Err((_, unit)) = work.send((name, unit)) {
+                                    free.push(unit);
+                                    break;
+                                }
+                                in_flight += 1;
+                            }
+                            Err(e) => {
+                                free.push(unit);
+                                failure = Some(SourceError {
+                                    origin: name,
+                                    message: e.to_string(),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            work.close();
+            while in_flight > 0 {
+                match done.recv() {
+                    Some(unit) => {
+                        free.push(unit);
+                        in_flight -= 1;
+                    }
+                    None => break,
+                }
+            }
+            let (out, check_busy) = checker.join().expect("overlap checker panicked");
+            (out, check_busy, failure)
+        });
+
+        // Hand the double-buffer pairs back to their engine slots (order
+        // is immaterial: both are interchangeable recycled arenas).
+        debug_assert_eq!(free.len(), 2, "an overlap arena pair went missing");
+        if let Some(unit) = free.pop() {
+            self.ingest = unit.builder;
+            self.ingested = unit.arena;
+        }
+        if let Some(unit) = free.pop() {
+            self.spare_ingest = unit.builder;
+            self.spare = unit.arena;
+        }
+        self.ingested_bytes = self.ingested.heap_bytes();
+        let checked = out.len() as u64;
+        if checked > 0 {
+            self.account(checked, checked);
+        }
+        if let Some(metrics) = obs.metrics() {
+            let wall = started.elapsed().as_secs_f64();
+            if wall > 0.0 {
+                // 1.0 = both threads busy the whole time (perfect overlap).
+                let util = (parse_busy.as_secs_f64() + check_busy.as_secs_f64()) / (2.0 * wall);
+                metrics.gauge("awdit_overlap_utilization").set(util);
+            }
+        }
+        match failure.take() {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 
@@ -608,6 +775,12 @@ impl Engine {
     /// Finishes the streamed-in events into the recycled history arena.
     fn seal_ingest(&mut self) -> Result<(), BuildError> {
         let _s = self.obs.span("ingest_seal");
+        if std::mem::take(&mut self.direct_loaded) && self.ingest.num_sessions() == 0 {
+            // A producer bulk-loaded a resolved history straight into the
+            // arena (see `HistorySink::load_resolved`): nothing to build.
+            self.ingested_bytes = self.ingested.heap_bytes();
+            return Ok(());
+        }
         let mut h = std::mem::take(&mut self.ingested);
         let result = self.ingest.finish_into(&mut h);
         self.ingested = h;
@@ -637,7 +810,11 @@ impl Engine {
     fn account(&mut self, histories: u64, checks: u64) {
         self.stats.histories += histories;
         self.stats.checks += checks;
-        let bytes = self.scratch.heap_bytes() + self.ingest.heap_bytes() + self.ingested_bytes;
+        let bytes = self.scratch.heap_bytes()
+            + self.ingest.heap_bytes()
+            + self.ingested_bytes
+            + self.spare_ingest.heap_bytes()
+            + self.spare.heap_bytes();
         let grew = bytes > self.stats.arena_bytes;
         if grew {
             self.stats.arena_growths += 1;
@@ -684,6 +861,104 @@ impl HistorySink for Engine {
     fn abort(&mut self, session: SessionId) {
         self.ingest.abort(session);
     }
+    fn load_resolved(&mut self) -> Option<&mut History> {
+        // Binary loaders deposit a fully resolved history straight into
+        // the recycled arena, skipping the builder's event replay and
+        // read-resolution pass entirely.
+        self.ingest.reset();
+        self.direct_loaded = true;
+        Some(&mut self.ingested)
+    }
+}
+
+/// One half of the overlapped ingest double-buffer: a recycled
+/// [`HistoryBuilder`] for streamed events plus the [`History`] arena it
+/// seals into (or that a binary loader fills directly via
+/// [`HistorySink::load_resolved`]).
+#[derive(Debug)]
+struct ArenaSink {
+    builder: HistoryBuilder,
+    arena: History,
+    direct: bool,
+}
+
+impl ArenaSink {
+    /// Finishes the streamed events into the arena (a no-op after a
+    /// direct bulk load).
+    fn seal(&mut self) -> Result<(), BuildError> {
+        if std::mem::take(&mut self.direct) && self.builder.num_sessions() == 0 {
+            return Ok(());
+        }
+        let mut h = std::mem::take(&mut self.arena);
+        let result = self.builder.finish_into(&mut h);
+        self.arena = h;
+        result
+    }
+
+    /// Drops a partial ingest after a source error.
+    fn discard(&mut self) {
+        self.builder.reset();
+        self.direct = false;
+    }
+}
+
+impl HistorySink for ArenaSink {
+    fn session(&mut self) -> SessionId {
+        self.builder.session()
+    }
+    fn num_sessions(&self) -> usize {
+        self.builder.num_sessions()
+    }
+    fn begin(&mut self, session: SessionId) {
+        self.builder.begin(session);
+    }
+    fn write(&mut self, session: SessionId, key: u64, value: u64) {
+        self.builder.write(session, key, value);
+    }
+    fn read(&mut self, session: SessionId, key: u64, value: u64) {
+        self.builder.read(session, key, value);
+    }
+    fn commit(&mut self, session: SessionId) {
+        self.builder.commit(session);
+    }
+    fn abort(&mut self, session: SessionId) {
+        self.builder.abort(session);
+    }
+    fn load_resolved(&mut self) -> Option<&mut History> {
+        self.builder.reset();
+        self.direct = true;
+        Some(&mut self.arena)
+    }
+}
+
+/// One full check — Read Consistency, index rebuild, per-level
+/// saturation — against an explicit scratch-arena set, with phase spans
+/// flowing to the **thread-current** obs handle: the shared body of
+/// [`Engine::check_level`], the [`check_many`](Engine::check_many)
+/// workers, and the overlapped [`check_source`](Engine::check_source)
+/// checker thread.
+fn check_with_scratch(
+    cfg: &EngineConfig,
+    scratch: &mut Scratch,
+    history: &History,
+    level: IsolationLevel,
+) -> Outcome {
+    let obs = awdit_obs::current();
+    let _check = obs.span("check");
+    let read_consistency = {
+        let _s = obs.span("read_consistency");
+        check_read_consistency(history)
+    };
+    let Scratch {
+        index,
+        graph,
+        clocks,
+    } = scratch;
+    {
+        let _s = obs.span("index_rebuild");
+        index.rebuild(history);
+    }
+    check_prepared_into(cfg, index, &read_consistency, level, graph, clocks)
 }
 
 /// The per-level check over a pre-built index and pre-computed Read
@@ -883,6 +1158,12 @@ pub trait HistorySource {
             Err(e) => Some(Err(e)),
         }
     }
+
+    /// Hints how many parser threads the source may use per history
+    /// (`Engine::check_source` passes its resolved thread count). Sources
+    /// that can parse sharded (the file sources in `awdit-formats`)
+    /// honor it; the default ignores it.
+    fn set_threads(&mut self, _threads: usize) {}
 }
 
 /// Every iterator of `Result<SourcedHistory, SourceError>` is a source —

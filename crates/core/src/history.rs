@@ -319,7 +319,266 @@ impl History {
             + self.committed.capacity()
             + self.key_names.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// The per-session offsets table: session `s` owns global transactions
+    /// `session_offsets[s]..session_offsets[s + 1]`. Either `k + 1` entries
+    /// starting at 0, or empty for the zero-session history. Part of the
+    /// raw-columns serialization surface used by the binary history format.
+    #[inline]
+    pub fn session_offsets(&self) -> &[u32] {
+        &self.session_offsets
+    }
+
+    /// The per-transaction offsets into [`flat_ops`](Self::flat_ops):
+    /// global transaction `g` owns ops `txn_op_offsets[g]..
+    /// txn_op_offsets[g + 1]`. Either `num_txns + 1` entries starting at
+    /// 0, or empty for the zero-transaction history.
+    #[inline]
+    pub fn txn_op_offsets(&self) -> &[u32] {
+        self.ops.offsets()
+    }
+
+    /// All operations in one flat buffer, session-major program order.
+    #[inline]
+    pub fn flat_ops(&self) -> &[Op] {
+        self.ops.values()
+    }
+
+    /// The commit-flag column, one entry per global transaction.
+    #[inline]
+    pub fn committed_flags(&self) -> &[bool] {
+        &self.committed
+    }
+
+    /// The key interning table: `key_names[k]` is the user-facing name of
+    /// dense key `k`, in first-appearance order.
+    #[inline]
+    pub fn key_names(&self) -> &[u64] {
+        &self.key_names
+    }
+
+    /// Takes the history's column buffers out for recycling, leaving the
+    /// empty history behind. The returned buffers are cleared but keep
+    /// their capacity — the arena-reuse path of the binary `.awb` loader,
+    /// which refills them and reassembles with
+    /// [`from_columns`](Self::from_columns).
+    pub fn recycle_columns(&mut self) -> HistoryColumns {
+        let taken = std::mem::take(self);
+        let (txn_offsets, ops) = taken.ops.into_raw_parts();
+        let mut cols = HistoryColumns {
+            session_offsets: taken.session_offsets,
+            txn_offsets,
+            ops,
+            committed: taken.committed,
+            key_names: taken.key_names,
+        };
+        cols.clear();
+        cols
+    }
+
+    /// Reassembles a history from raw column buffers, validating every
+    /// structural invariant the accessors rely on: canonical monotone
+    /// offset tables with the right endpoints, in-bounds keys, and read
+    /// sources that point at in-bounds writes of the same `(key, value)`
+    /// pair. This is the trusted entry point of the binary `.awb` loader —
+    /// any buffers accepted here behave exactly like builder output and
+    /// can never make the accessors panic.
+    ///
+    /// Semantic properties the builder enforces *across* operations (the
+    /// unique-value write assumption) are **not** re-derived here; they
+    /// hold for any columns obtained from a real history, and re-checking
+    /// them would cost the hash pass this path exists to avoid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ColumnsError`] naming the first violated invariant.
+    pub fn from_columns(cols: HistoryColumns) -> Result<History, ColumnsError> {
+        let HistoryColumns {
+            session_offsets,
+            txn_offsets,
+            ops,
+            committed,
+            key_names,
+        } = cols;
+        let num_txns = committed.len();
+
+        if session_offsets.is_empty() {
+            if num_txns != 0 {
+                return Err(ColumnsError::BadSessionOffsets);
+            }
+        } else {
+            // The canonical zero-session form is the *empty* table, not `[0]`.
+            if session_offsets.len() == 1
+                || session_offsets[0] != 0
+                || *session_offsets.last().unwrap() as usize != num_txns
+                || session_offsets.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(ColumnsError::BadSessionOffsets);
+            }
+        }
+
+        if num_txns == 0 {
+            if !txn_offsets.is_empty() || !ops.is_empty() {
+                return Err(ColumnsError::BadTxnOffsets);
+            }
+        } else if txn_offsets.len() != num_txns + 1
+            || txn_offsets[0] != 0
+            || *txn_offsets.last().unwrap() as usize != ops.len()
+            || txn_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(ColumnsError::BadTxnOffsets);
+        }
+
+        {
+            let mut seen = std::collections::HashSet::with_capacity(key_names.len());
+            for &name in &key_names {
+                if !seen.insert(name) {
+                    return Err(ColumnsError::DuplicateKeyName { name });
+                }
+            }
+        }
+
+        let num_sessions = session_offsets.len().saturating_sub(1);
+        // Checks that `(txn, op)` names a write of `(key, value)`.
+        let check_source = |txn: TxnId, src_op: u32, key: Key, value: Value| -> bool {
+            let s = txn.session as usize;
+            if s >= num_sessions {
+                return false;
+            }
+            let g = session_offsets[s] as usize + txn.index as usize;
+            if g >= session_offsets[s + 1] as usize {
+                return false;
+            }
+            let row = txn_offsets[g] as usize..txn_offsets[g + 1] as usize;
+            if src_op as usize >= row.len() {
+                return false;
+            }
+            matches!(ops[row.start + src_op as usize],
+                Op::Write { key: wk, value: wv } if wk == key && wv == value)
+        };
+
+        for s in 0..num_sessions {
+            for g in session_offsets[s] as usize..session_offsets[s + 1] as usize {
+                let row = txn_offsets[g] as usize..txn_offsets[g + 1] as usize;
+                let txn = TxnId::new(s as u32, (g - session_offsets[s] as usize) as u32);
+                for (i, op) in ops[row.clone()].iter().enumerate() {
+                    if op.key().index() >= key_names.len() {
+                        return Err(ColumnsError::KeyOutOfBounds {
+                            global_txn: g,
+                            op: i,
+                        });
+                    }
+                    let (key, value) = (op.key(), op.value());
+                    let ok = match *op {
+                        Op::Write { .. } => true,
+                        Op::Read { source, .. } => match source {
+                            ReadSource::ThinAir => true,
+                            ReadSource::Internal { op: src } => check_source(txn, src, key, value),
+                            ReadSource::External {
+                                txn: src_txn,
+                                op: src,
+                            } => check_source(src_txn, src, key, value),
+                        },
+                    };
+                    if !ok {
+                        return Err(ColumnsError::BadReadSource {
+                            global_txn: g,
+                            op: i,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(History {
+            session_offsets,
+            ops: Csr::from_raw_parts(txn_offsets, ops),
+            committed,
+            key_names,
+        })
+    }
 }
+
+/// The owned raw column buffers of a [`History`], the exchange type of the
+/// binary on-disk format: [`History::recycle_columns`] hands them out
+/// (cleared, capacity kept) for a loader to refill, and
+/// [`History::from_columns`] validates and reassembles them.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HistoryColumns {
+    /// Per-session global-transaction offsets (`k + 1` entries or empty).
+    pub session_offsets: Vec<u32>,
+    /// Per-transaction offsets into `ops` (`num_txns + 1` entries or empty).
+    pub txn_offsets: Vec<u32>,
+    /// All operations, session-major program order.
+    pub ops: Vec<Op>,
+    /// Commit flag per global transaction.
+    pub committed: Vec<bool>,
+    /// Key interning table in first-appearance order.
+    pub key_names: Vec<u64>,
+}
+
+impl HistoryColumns {
+    /// Clears every buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.session_offsets.clear();
+        self.txn_offsets.clear();
+        self.ops.clear();
+        self.committed.clear();
+        self.key_names.clear();
+    }
+}
+
+/// Errors detected by [`History::from_columns`]: the first structural
+/// invariant the supplied column buffers violate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ColumnsError {
+    /// The session offsets table is not a canonical monotone table ending
+    /// at the transaction count.
+    BadSessionOffsets,
+    /// The per-transaction op offsets table is not a canonical monotone
+    /// table ending at the op count.
+    BadTxnOffsets,
+    /// An operation names a dense key outside the interning table.
+    KeyOutOfBounds {
+        /// Global (session-major) index of the offending transaction.
+        global_txn: usize,
+        /// Op index within the transaction.
+        op: usize,
+    },
+    /// A read's source does not point at an in-bounds write of the same
+    /// `(key, value)` pair.
+    BadReadSource {
+        /// Global (session-major) index of the offending transaction.
+        global_txn: usize,
+        /// Op index within the transaction.
+        op: usize,
+    },
+    /// Two interning slots carry the same key name.
+    DuplicateKeyName {
+        /// The duplicated user-facing key name.
+        name: u64,
+    },
+}
+
+impl fmt::Display for ColumnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnsError::BadSessionOffsets => write!(f, "malformed session offsets table"),
+            ColumnsError::BadTxnOffsets => write!(f, "malformed transaction offsets table"),
+            ColumnsError::KeyOutOfBounds { global_txn, op } => {
+                write!(f, "key out of bounds at txn {global_txn} op {op}")
+            }
+            ColumnsError::BadReadSource { global_txn, op } => {
+                write!(f, "invalid read source at txn {global_txn} op {op}")
+            }
+            ColumnsError::DuplicateKeyName { name } => {
+                write!(f, "duplicate key name {name} in interning table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColumnsError {}
 
 impl fmt::Display for History {
     /// Renders the history in the native text format's spirit: one session
@@ -436,6 +695,17 @@ pub trait HistorySink {
         while self.num_sessions() < k {
             self.session();
         }
+    }
+
+    /// Bulk-load hook for producers that already hold a *resolved*
+    /// columnar history (the binary `.awb` loader): a consumer that can
+    /// accept one directly returns a mutable handle to its arena, letting
+    /// the producer skip the event vocabulary — and with it the whole
+    /// read-resolution pass. The default returns `None`, in which case
+    /// producers fall back to replaying events. A producer must use either
+    /// this hook or the event methods for any one history, never both.
+    fn load_resolved(&mut self) -> Option<&mut History> {
+        None
     }
 }
 
@@ -1097,6 +1367,92 @@ mod tests {
         let mut b2 = HistoryBuilder::new();
         replay_history(&h, &mut b2);
         assert_eq!(b2.finish().unwrap(), h);
+    }
+
+    fn columns_of(h: &History) -> HistoryColumns {
+        HistoryColumns {
+            session_offsets: h.session_offsets().to_vec(),
+            txn_offsets: h.txn_op_offsets().to_vec(),
+            ops: h.flat_ops().to_vec(),
+            committed: h.committed_flags().to_vec(),
+            key_names: h.key_names().to_vec(),
+        }
+    }
+
+    #[test]
+    fn columns_round_trip_identically() {
+        let h = simple_history();
+        let rebuilt = History::from_columns(columns_of(&h)).unwrap();
+        assert_eq!(rebuilt, h);
+
+        let empty = History::from_columns(HistoryColumns::default()).unwrap();
+        assert_eq!(empty, History::default());
+    }
+
+    #[test]
+    fn recycle_columns_empties_and_keeps_capacity() {
+        let mut h = simple_history();
+        let cols = h.recycle_columns();
+        assert_eq!(h, History::default());
+        assert!(cols.ops.is_empty());
+        assert!(cols.ops.capacity() >= 4);
+    }
+
+    #[test]
+    fn from_columns_rejects_broken_invariants() {
+        let h = simple_history();
+        let base = columns_of(&h);
+
+        let mut c = base.clone();
+        c.session_offsets[1] = 9;
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::BadSessionOffsets)
+        ));
+
+        let mut c = base.clone();
+        c.txn_offsets.pop();
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::BadTxnOffsets)
+        ));
+
+        let mut c = base.clone();
+        c.key_names.clear();
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::KeyOutOfBounds { .. })
+        ));
+
+        let mut c = base.clone();
+        c.key_names[1] = c.key_names[0];
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::DuplicateKeyName { .. })
+        ));
+
+        // Point session 1's read at a non-existent op of txn (0, 0).
+        let mut c = base.clone();
+        c.ops[2] = Op::Read {
+            key: Key(0),
+            value: Value(1),
+            source: ReadSource::External {
+                txn: TxnId::new(0, 0),
+                op: 7,
+            },
+        };
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::BadReadSource { .. })
+        ));
+
+        // A non-canonical `[0]` session table is rejected.
+        let mut c = HistoryColumns::default();
+        c.session_offsets.push(0);
+        assert!(matches!(
+            History::from_columns(c),
+            Err(ColumnsError::BadSessionOffsets)
+        ));
     }
 
     #[test]

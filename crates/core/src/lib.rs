@@ -108,8 +108,8 @@ pub use engine::{
 };
 pub use graph::{base_commit_graph, CommitGraph, Cycle, Edge, EdgeKind};
 pub use history::{
-    replay_history, BuildError, History, HistoryBuilder, HistorySink, SessionIter, SessionView,
-    TxnView,
+    replay_history, BuildError, ColumnsError, History, HistoryBuilder, HistoryColumns, HistorySink,
+    SessionIter, SessionView, TxnView,
 };
 pub use incremental::{
     infer_cc_edges, infer_cc_pairs, CommitView, EdgeSink, HbTracker, RaKernel, RcKernel,

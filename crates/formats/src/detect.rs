@@ -1,0 +1,180 @@
+//! Centralized input-kind detection: one place that decides whether a
+//! file is a text history (and which [`Format`]), an NDJSON event log, or
+//! a binary `.awb` history.
+//!
+//! Detection is content-first — magic bytes, then the first non-blank
+//! line — with the file extension as fallback for content the sniffer
+//! cannot classify. Every consumer ([`FilesSource`](crate::FilesSource),
+//! [`read_auto`](crate::read_auto), the CLI) dispatches through here, so
+//! sniff-vs-extension precedence cannot drift between entry points.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use crate::binary::{sniff_awb, AWB_EXTENSION};
+use crate::{classify_first_line, Format};
+
+/// How many leading bytes the sniffer reads from a file.
+pub const SNIFF_BYTES: usize = 4096;
+
+/// The kind of history input behind a path or byte stream.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Detected {
+    /// A text history in the given format.
+    History(Format),
+    /// An NDJSON transaction event log (`awdit watch` recordings).
+    Events,
+    /// A binary `.awb` columnar history.
+    Binary,
+}
+
+impl std::fmt::Display for Detected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Detected::History(format) => write!(f, "{format}"),
+            Detected::Events => f.write_str("events"),
+            Detected::Binary => f.write_str(AWB_EXTENSION),
+        }
+    }
+}
+
+/// Classifies input from its leading bytes: `.awb` magic first, then the
+/// first non-blank text line (`{` marks an event log, otherwise the text
+/// format headers decide). Returns `None` for content that matches
+/// nothing — including non-UTF-8 binary junk without the magic.
+pub fn detect_bytes(prefix: &[u8]) -> Option<Detected> {
+    if sniff_awb(prefix) {
+        return Some(Detected::Binary);
+    }
+    let mut rest = prefix;
+    while !rest.is_empty() {
+        let (mut line, tail) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, &[][..]),
+        };
+        rest = tail;
+        if let [head @ .., b'\r'] = line {
+            line = head;
+        }
+        let line = std::str::from_utf8(line).ok()?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('{') {
+            return Some(Detected::Events);
+        }
+        return classify_first_line(trimmed).map(Detected::History);
+    }
+    None
+}
+
+/// Returns `true` if `prefix` looks like binary data (and is not a valid
+/// `.awb` header): the case [`detect_bytes`] rejects that deserves a
+/// "binary file" message instead of a text-parser error cascade.
+pub fn looks_binary(prefix: &[u8]) -> bool {
+    !sniff_awb(prefix) && prefix.contains(&0)
+}
+
+/// Classifies a path by its extension alone: `awb` is binary,
+/// `ndjson`/`jsonl` are event logs, and the text [`Format`] extensions
+/// (plus `native`) map to their formats.
+pub fn detect_extension(path: &Path) -> Option<Detected> {
+    let ext = path.extension()?.to_str()?;
+    if ext.eq_ignore_ascii_case(AWB_EXTENSION) {
+        return Some(Detected::Binary);
+    }
+    if ext.eq_ignore_ascii_case("ndjson") || ext.eq_ignore_ascii_case("jsonl") {
+        return Some(Detected::Events);
+    }
+    ext.parse::<Format>().ok().map(Detected::History)
+}
+
+/// Reads up to [`SNIFF_BYTES`] from `file` (leaving the cursor wherever
+/// the read stopped — callers seek back before parsing).
+pub(crate) fn read_prefix(file: &mut File) -> std::io::Result<Vec<u8>> {
+    let mut prefix = Vec::with_capacity(SNIFF_BYTES);
+    file.take(SNIFF_BYTES as u64).read_to_end(&mut prefix)?;
+    Ok(prefix)
+}
+
+/// Classifies the file at `path`: content sniff first
+/// ([`detect_bytes`]), extension fallback ([`detect_extension`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors opening or reading the file.
+pub fn detect_path(path: &Path) -> std::io::Result<Option<Detected>> {
+    let mut file = File::open(path)?;
+    let prefix = read_prefix(&mut file)?;
+    Ok(detect_bytes(&prefix).or_else(|| detect_extension(path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{COBRA_HEADER, DBCOP_HEADER, NATIVE_HEADER};
+
+    #[test]
+    fn content_beats_extension() {
+        assert_eq!(
+            detect_bytes(format!("\n  \n{NATIVE_HEADER}\n").as_bytes()),
+            Some(Detected::History(Format::Native))
+        );
+        assert_eq!(
+            detect_bytes(format!("{DBCOP_HEADER}\n").as_bytes()),
+            Some(Detected::History(Format::Dbcop))
+        );
+        assert_eq!(
+            detect_bytes(format!("{COBRA_HEADER}\n").as_bytes()),
+            Some(Detected::History(Format::Cobra))
+        );
+        assert_eq!(
+            detect_bytes(b"w(1,2,0,0)\n"),
+            Some(Detected::History(Format::Plume))
+        );
+        assert_eq!(
+            detect_bytes(b"{\"type\":\"begin\"}\n"),
+            Some(Detected::Events)
+        );
+        assert_eq!(
+            detect_bytes(&crate::binary::AWB_MAGIC),
+            Some(Detected::Binary)
+        );
+        assert_eq!(detect_bytes(b"hello world\n"), None);
+        assert_eq!(detect_bytes(b""), None);
+    }
+
+    #[test]
+    fn binary_junk_is_flagged_not_misparsed() {
+        let junk = [0u8, 159, 146, 150, 0, 1, 2];
+        assert_eq!(detect_bytes(&junk), None);
+        assert!(looks_binary(&junk));
+        assert!(!looks_binary(b"plain text"));
+    }
+
+    #[test]
+    fn extensions_cover_every_kind() {
+        assert_eq!(
+            detect_extension(Path::new("x/h.awb")),
+            Some(Detected::Binary)
+        );
+        assert_eq!(
+            detect_extension(Path::new("h.ndjson")),
+            Some(Detected::Events)
+        );
+        assert_eq!(
+            detect_extension(Path::new("h.jsonl")),
+            Some(Detected::Events)
+        );
+        for f in Format::ALL {
+            assert_eq!(
+                detect_extension(Path::new(&format!("h.{}", f.extension()))),
+                Some(Detected::History(f))
+            );
+        }
+        assert_eq!(detect_extension(Path::new("h.txt")), None);
+        assert_eq!(detect_extension(Path::new("h")), None);
+    }
+}

@@ -13,8 +13,12 @@
 //! | Cobra-style | [`cobra`] | tagged per-session log records |
 //! | streaming NDJSON | [`stream`] | one transaction event per line (for `awdit watch`) |
 //!
-//! [`detect_format`] sniffs a file's header, and [`parse_auto`] parses
-//! whichever format it finds.
+//! Beyond the text formats, [`binary`] defines the mmap-able binary
+//! columnar `.awb` format, [`shard`] parses large text files in parallel
+//! byte-range shards with bit-identical output, and [`detect`]
+//! centralizes content-sniff-then-extension dispatch across every kind
+//! of input. [`detect_format`] sniffs a text header, and [`parse_auto`]
+//! parses whichever format it finds.
 //!
 //! Two further modules form the edges of the engine API: [`source`]
 //! implements [`HistorySource`](awdit_core::HistorySource) over file
@@ -41,21 +45,33 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `#[allow(unsafe_code)]` island is
+// the tiny mmap wrapper in [`binary`].
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod cobra;
 pub mod dbcop;
+pub mod detect;
 pub mod error;
 pub mod native;
 pub mod plume;
 pub mod reader;
 pub mod report;
+pub mod shard;
 pub mod source;
 pub mod stream;
 
+pub use binary::{
+    decode_awb_into, decode_awb_into_sink, parse_awb, read_awb_path_into, sniff_awb, write_awb,
+    write_awb_to, AwbError, AWB_EXTENSION, AWB_MAGIC, AWB_VERSION,
+};
 pub use cobra::{parse_cobra, read_cobra, write_cobra, write_cobra_to, COBRA_HEADER};
 pub use dbcop::{parse_dbcop, read_dbcop, write_dbcop, write_dbcop_to, DBCOP_HEADER};
+pub use detect::{
+    detect_bytes, detect_extension, detect_path, looks_binary, Detected, SNIFF_BYTES,
+};
 pub use error::ParseError;
 pub use native::{parse_native, read_native, write_native, write_native_to, NATIVE_HEADER};
 pub use plume::{parse_plume, read_plume, write_plume, write_plume_to};
@@ -65,6 +81,7 @@ pub use report::{
     PhaseTimingReport, Report, ReportSink, TextSink, ViolationReport, MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
 };
+pub use shard::{read_sharded, read_sharded_at, SHARD_MIN_BYTES};
 pub use source::{events_into_sink, history_of_events, DirSource, FilesSource};
 pub use stream::{
     parse_event, parse_events, read_events, write_event, write_event_to, write_events,
@@ -190,26 +207,8 @@ pub(crate) fn read_history_lines<R: BufRead, S: HistorySink + ?Sized>(
     }
 }
 
-/// Sniffs the format from the reader's first non-blank line (left
-/// unconsumed), mirroring [`detect_format`].
-///
-/// # Errors
-///
-/// Propagates I/O failures as [`ParseError`]s.
-pub(crate) fn sniff_format<R: BufRead>(
-    lines: &mut LineReader<R>,
-) -> Result<Option<Format>, ParseError> {
-    if !lines.skip_blank_lines()? {
-        return Ok(None);
-    }
-    let Some((line, _)) = lines.peek_line()? else {
-        return Ok(None);
-    };
-    Ok(classify_first_line(line.trim()))
-}
-
 /// [`detect_format`]'s per-line core.
-fn classify_first_line(first: &str) -> Option<Format> {
+pub(crate) fn classify_first_line(first: &str) -> Option<Format> {
     if first == NATIVE_HEADER {
         Some(Format::Native)
     } else if first == DBCOP_HEADER {
@@ -223,26 +222,54 @@ fn classify_first_line(first: &str) -> Option<Format> {
     }
 }
 
-/// Detects the format from any [`BufRead`] and reads into `sink`,
-/// returning the detected format — the streaming form of [`parse_auto`].
+/// Detects the kind of input from any [`BufRead`] and reads into `sink`,
+/// returning what was detected — the streaming form of [`parse_auto`]
+/// that additionally understands binary `.awb` histories and NDJSON
+/// event logs.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] if the format cannot be detected, on
+/// Returns a [`ParseError`] if the input cannot be classified, on
 /// malformed input, or on I/O failure.
 pub fn read_auto<R: BufRead, S: HistorySink + ?Sized>(
-    input: R,
+    mut input: R,
     sink: &mut S,
-) -> Result<Format, ParseError> {
-    let mut lines = LineReader::new(input);
-    let format = sniff_format(&mut lines)?.ok_or_else(|| {
-        ParseError::new(
-            lines.line_no().max(1),
-            "unrecognized history format".to_string(),
-        )
-    })?;
+) -> Result<Detected, ParseError> {
+    use std::io::Read;
+
+    // Pull just enough bytes to check for the `.awb` magic without
+    // assuming the input is text.
+    let mut prefix = Vec::with_capacity(AWB_MAGIC.len());
+    (&mut input)
+        .take(AWB_MAGIC.len() as u64)
+        .read_to_end(&mut prefix)
+        .map_err(|e| ParseError::new(0, format!("cannot read: {e}")))?;
+    if sniff_awb(&prefix) {
+        let mut bytes = prefix;
+        input
+            .read_to_end(&mut bytes)
+            .map_err(|e| ParseError::new(0, format!("cannot read: {e}")))?;
+        decode_awb_into_sink(&bytes, sink).map_err(|e| ParseError::new(0, e.to_string()))?;
+        return Ok(Detected::Binary);
+    }
+
+    let mut lines = LineReader::new(prefix.as_slice().chain(input));
+    let unrecognized = |lines: &LineReader<_>| {
+        ParseError::new(lines.line_no().max(1), "unrecognized history format")
+    };
+    if !lines.skip_blank_lines()? {
+        return Err(unrecognized(&lines));
+    }
+    let Some((line, _)) = lines.peek_line()? else {
+        return Err(unrecognized(&lines));
+    };
+    if line.trim_start().starts_with('{') {
+        stream::read_events_lines(&mut lines, sink)?;
+        return Ok(Detected::Events);
+    }
+    let format = classify_first_line(line.trim()).ok_or_else(|| unrecognized(&lines))?;
     read_history_lines(&mut lines, format, sink)?;
-    Ok(format)
+    Ok(Detected::History(format))
 }
 
 /// Parses `text` in the chosen format.

@@ -1,0 +1,853 @@
+//! Parallel sharded parsing of text history files.
+//!
+//! A large history buffer is split into byte-range shards **snapped to
+//! line starts**, each shard is parsed on the
+//! [`awdit_core::parallel`] pool into a columnar *staging*
+//! record of what its lines mean, and the stages are merged **in shard
+//! order** into the sink — emitting exactly the event sequence the
+//! sequential reader would, so the resulting history (key interning
+//! included) is bit-identical at every thread count.
+//!
+//! Contextual line grammar is what makes this non-trivial: a native
+//! shard can begin mid-session-block (its transactions belong to a
+//! session line in an earlier shard), a Plume transaction can span a
+//! shard cut, and DBCop lines mean nothing without the counted structure
+//! around them. Each stage therefore records *context-free* facts only,
+//! and the merge replays the contextual rules over the concatenated
+//! stages — a cheap, allocation-light pass.
+//!
+//! **Error parity is by fallback**: shard parsers accept exactly the
+//! lines the sequential reader accepts given *some* context; any
+//! rejected line, contextual violation, or invalid UTF-8 marks the parse
+//! *anomalous* and the whole buffer is re-parsed sequentially — before
+//! anything reaches the sink — so error messages, line numbers, and
+//! partial-sink contents match the sequential reader exactly. Valid
+//! input never takes the fallback; malformed input pays one extra scan.
+
+use std::ops::Range;
+
+use awdit_core::{parallel, HistorySink, SessionId};
+
+use crate::error::ParseError;
+use crate::{read_history, Format, COBRA_HEADER, DBCOP_HEADER, NATIVE_HEADER};
+
+/// Minimum bytes per shard: below this, per-shard overheads (staging
+/// vectors, thread handoff) beat the parsing they save.
+pub const SHARD_MIN_BYTES: usize = 64 * 1024;
+
+/// Parses `data` in `format` into `sink` using up to `threads` parser
+/// workers, producing a history bit-identical to
+/// [`read_history`](crate::read_history()). Small inputs and
+/// `threads <= 1` fall through to the sequential reader.
+///
+/// # Errors
+///
+/// Exactly the sequential reader's errors (see the module docs).
+pub fn read_sharded<S: HistorySink + ?Sized>(
+    data: &[u8],
+    format: Format,
+    threads: usize,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    if threads <= 1 || data.len() < 2 * SHARD_MIN_BYTES {
+        return read_sequential(data, format, sink);
+    }
+    let shards = threads.min(data.len() / SHARD_MIN_BYTES).max(2);
+    let cuts: Vec<usize> = (1..shards).map(|i| i * data.len() / shards).collect();
+    read_sharded_at(data, format, &cuts, threads, sink)
+}
+
+/// [`read_sharded`] with explicit proposed cut positions — the test and
+/// bench hook for forcing shard boundaries mid-line, mid-transaction, or
+/// mid-session. Cuts may be arbitrary byte offsets; each is snapped
+/// forward to the next line start before use.
+///
+/// # Errors
+///
+/// As [`read_sharded`].
+pub fn read_sharded_at<S: HistorySink + ?Sized>(
+    data: &[u8],
+    format: Format,
+    cuts: &[usize],
+    threads: usize,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| snap_to_line_start(data, c)).collect();
+    bounds.push(0);
+    bounds.push(data.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    let ranges: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+    if ranges.len() <= 1 {
+        return read_sequential(data, format, sink);
+    }
+
+    let obs = awdit_obs::current();
+    let stages: Vec<Option<Stage>> = {
+        let _span = obs.span("ingest_shard_parse");
+        parallel::map_shards(threads, &ranges, |i, range| {
+            stage_shard(&data[range.clone()], format, i == 0)
+        })
+    };
+
+    let _span = obs.span("ingest_merge");
+    let stages: Option<Vec<Stage>> = stages.into_iter().collect();
+    let ok = match &stages {
+        None => false,
+        Some(stages) => match format {
+            Format::Native => merge_native(stages, sink),
+            Format::Plume => merge_plume(stages, sink),
+            Format::Dbcop => merge_dbcop(stages, sink),
+            Format::Cobra => merge_cobra(stages, sink),
+        },
+    };
+    if ok {
+        Ok(())
+    } else {
+        // An anomaly somewhere in the buffer: nothing has touched the
+        // sink yet, so the sequential reader reproduces the exact error
+        // (or accepts input the shard grammar over-rejected).
+        read_sequential(data, format, sink)
+    }
+}
+
+fn read_sequential<S: HistorySink + ?Sized>(
+    data: &[u8],
+    format: Format,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_history(data, format, sink)
+}
+
+/// Snaps `pos` forward to the nearest line start (0, one past a `\n`, or
+/// end of input).
+fn snap_to_line_start(data: &[u8], pos: usize) -> usize {
+    if pos == 0 || pos >= data.len() {
+        return pos.min(data.len());
+    }
+    if data[pos - 1] == b'\n' {
+        return pos;
+    }
+    match data[pos..].iter().position(|&b| b == b'\n') {
+        Some(i) => pos + i + 1,
+        None => data.len(),
+    }
+}
+
+/// Iterates the lines of a byte shard with the [`LineReader`]'s exact
+/// newline handling: `\n` terminators stripped, a `\r` before a stripped
+/// `\n` stripped too, and a final unterminated line (no `\n`) yielded
+/// with any trailing `\r` kept.
+///
+/// [`LineReader`]: crate::LineReader
+struct ByteLines<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteLines<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        ByteLines { data, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for ByteLines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let rest = &self.data[self.pos..];
+        match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                self.pos += i + 1;
+                let line = &rest[..i];
+                Some(match line {
+                    [head @ .., b'\r'] => head,
+                    _ => line,
+                })
+            }
+            None => {
+                self.pos = self.data.len();
+                Some(rest)
+            }
+        }
+    }
+}
+
+/// One shard's staged, context-free parse.
+enum Stage {
+    Native(NativeStage),
+    Plume(Vec<PlumeOp>),
+    Dbcop(Vec<DbcopLine>),
+    Cobra(Vec<CobraRec>),
+}
+
+#[derive(Default)]
+struct NativeStage {
+    events: Vec<NativeEvent>,
+    /// Flat `(kind, key, value)` ops; each `Txn` event consumes the next
+    /// `ops` entries.
+    ops: Vec<(u8, u64, u64)>,
+}
+
+enum NativeEvent {
+    /// A `session N` line.
+    Session(usize),
+    /// A `c:`/`a:` transaction line with its op count.
+    Txn { committed: bool, ops: u32 },
+}
+
+struct PlumeOp {
+    write: bool,
+    key: u64,
+    value: u64,
+    session: usize,
+    txn: u64,
+}
+
+enum DbcopLine {
+    /// The `dbcop-history` header line.
+    Header,
+    /// `sessions N`.
+    Preamble(usize),
+    /// `session I txns M`.
+    SessionHdr { sid: usize, txns: usize },
+    /// `txn committed|aborted N`.
+    TxnHdr { committed: bool, ops: usize },
+    /// `W|R key value`.
+    Op { write: bool, key: u64, value: u64 },
+    /// Anything else — an anomaly unless the counted structure already
+    /// ended (the sequential reader never reads past it).
+    Other,
+}
+
+struct CobraRec {
+    tag: u8,
+    session: usize,
+    key: u64,
+    value: u64,
+}
+
+fn stage_shard(shard: &[u8], format: Format, first: bool) -> Option<Stage> {
+    match format {
+        Format::Native => stage_native(shard, first).map(Stage::Native),
+        Format::Plume => stage_plume(shard).map(Stage::Plume),
+        Format::Dbcop => stage_dbcop(shard).map(Stage::Dbcop),
+        Format::Cobra => stage_cobra(shard, first).map(Stage::Cobra),
+    }
+}
+
+/// `w(key,value)` / `r(key,value)`, mirroring the native reader's token
+/// grammar exactly.
+fn parse_paren_op(tok: &str) -> Option<(u8, u64, u64)> {
+    let kind = match tok.as_bytes().first() {
+        Some(b'w') => b'w',
+        Some(b'r') => b'r',
+        _ => return None,
+    };
+    let inner = tok[1..].strip_prefix('(')?.strip_suffix(')')?;
+    let (k, v) = inner.split_once(',')?;
+    let key: u64 = k.trim().parse().ok()?;
+    let value: u64 = v.trim().parse().ok()?;
+    Some((kind, key, value))
+}
+
+fn stage_native(shard: &[u8], first: bool) -> Option<NativeStage> {
+    let mut stage = NativeStage::default();
+    let mut need_header = first;
+    for raw in ByteLines::new(shard) {
+        let raw = std::str::from_utf8(raw).ok()?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if need_header {
+            if line != NATIVE_HEADER {
+                return None;
+            }
+            need_header = false;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("session") {
+            let id: usize = rest.trim().parse().ok()?;
+            stage.events.push(NativeEvent::Session(id));
+            continue;
+        }
+        let (committed, rest) = if let Some(rest) = line.strip_prefix("c:") {
+            (true, rest)
+        } else if let Some(rest) = line.strip_prefix("a:") {
+            (false, rest)
+        } else {
+            return None;
+        };
+        let mut ops = 0u32;
+        for tok in rest.split_whitespace() {
+            let (kind, key, value) = parse_paren_op(tok)?;
+            stage.ops.push((kind, key, value));
+            ops += 1;
+        }
+        stage.events.push(NativeEvent::Txn { committed, ops });
+    }
+    // A first shard of nothing but blanks/comments leaves the header for
+    // the next shard — anomalous; the fallback sorts it out.
+    if need_header && !stage.events.is_empty() {
+        return None;
+    }
+    Some(stage)
+}
+
+fn merge_native<S: HistorySink + ?Sized>(stages: &[Stage], sink: &mut S) -> bool {
+    let stages: Vec<&NativeStage> = stages
+        .iter()
+        .map(|s| match s {
+            Stage::Native(n) => n,
+            _ => unreachable!("mixed stage formats"),
+        })
+        .collect();
+    // Validate the one contextual rule before anything reaches the sink:
+    // a transaction line needs a session line somewhere before it.
+    let mut has_session = false;
+    for st in &stages {
+        for ev in &st.events {
+            match ev {
+                NativeEvent::Session(_) => has_session = true,
+                NativeEvent::Txn { .. } if !has_session => return false,
+                NativeEvent::Txn { .. } => {}
+            }
+        }
+    }
+    let mut current = SessionId(0);
+    for st in &stages {
+        let mut op_cursor = 0usize;
+        for ev in &st.events {
+            match *ev {
+                NativeEvent::Session(id) => {
+                    sink.ensure_sessions(id + 1);
+                    current = SessionId(id as u32);
+                }
+                NativeEvent::Txn { committed, ops } => {
+                    sink.begin(current);
+                    for &(kind, key, value) in &st.ops[op_cursor..op_cursor + ops as usize] {
+                        if kind == b'w' {
+                            sink.write(current, key, value);
+                        } else {
+                            sink.read(current, key, value);
+                        }
+                    }
+                    op_cursor += ops as usize;
+                    if committed {
+                        sink.commit(current);
+                    } else {
+                        sink.abort(current);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn stage_plume(shard: &[u8]) -> Option<Vec<PlumeOp>> {
+    let mut ops = Vec::new();
+    for raw in ByteLines::new(shard) {
+        let raw = std::str::from_utf8(raw).ok()?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let write = match line.as_bytes().first() {
+            Some(b'w') => true,
+            Some(b'r') => false,
+            _ => return None,
+        };
+        let inner = line[1..].strip_prefix('(')?.strip_suffix(')')?;
+        let mut parts = inner.split(',').map(str::trim);
+        let key: u64 = parts.next()?.parse().ok()?;
+        let value: u64 = parts.next()?.parse().ok()?;
+        let session: usize = parts.next()?.parse().ok()?;
+        let txn: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        ops.push(PlumeOp {
+            write,
+            key,
+            value,
+            session,
+            txn,
+        });
+    }
+    Some(ops)
+}
+
+fn merge_plume<S: HistorySink + ?Sized>(stages: &[Stage], sink: &mut S) -> bool {
+    let all = || {
+        stages.iter().flat_map(|s| match s {
+            Stage::Plume(ops) => ops.iter(),
+            _ => unreachable!("mixed stage formats"),
+        })
+    };
+    // Validate: per-session transaction ids never go backwards.
+    let mut open: Vec<Option<u64>> = Vec::new();
+    for op in all() {
+        if open.len() <= op.session {
+            open.resize(op.session + 1, None);
+        }
+        match open[op.session] {
+            Some(cur) if op.txn < cur => return false,
+            _ => open[op.session] = Some(op.txn),
+        }
+    }
+    // Apply, mirroring the sequential reader's per-line protocol.
+    let mut open: Vec<Option<u64>> = vec![None; open.len()];
+    for op in all() {
+        sink.ensure_sessions(op.session + 1);
+        let sid = SessionId(op.session as u32);
+        match open[op.session] {
+            Some(cur) if cur == op.txn => {}
+            Some(_) => {
+                sink.commit(sid);
+                sink.begin(sid);
+                open[op.session] = Some(op.txn);
+            }
+            None => {
+                sink.begin(sid);
+                open[op.session] = Some(op.txn);
+            }
+        }
+        if op.write {
+            sink.write(sid, op.key, op.value);
+        } else {
+            sink.read(sid, op.key, op.value);
+        }
+    }
+    for (s, o) in open.iter().enumerate() {
+        if o.is_some() {
+            sink.commit(SessionId(s as u32));
+        }
+    }
+    true
+}
+
+fn stage_dbcop(shard: &[u8]) -> Option<Vec<DbcopLine>> {
+    let mut out = Vec::new();
+    for raw in ByteLines::new(shard) {
+        // The DBCop reader does no comment stripping — lines are only
+        // trimmed. Invalid UTF-8 is an anomaly like everywhere else.
+        let line = std::str::from_utf8(raw).ok()?.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(classify_dbcop(line));
+    }
+    Some(out)
+}
+
+fn classify_dbcop(line: &str) -> DbcopLine {
+    if line == DBCOP_HEADER {
+        return DbcopLine::Header;
+    }
+    if let Some(n) = line.strip_prefix("sessions ").and_then(|s| s.parse().ok()) {
+        return DbcopLine::Preamble(n);
+    }
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some("session") => {
+            let sid = parts.next().and_then(|p| p.parse().ok());
+            let tag = parts.next();
+            let txns = parts.next().and_then(|p| p.parse().ok());
+            if let (Some(sid), Some("txns"), Some(txns), None) = (sid, tag, txns, parts.next()) {
+                return DbcopLine::SessionHdr { sid, txns };
+            }
+        }
+        Some("txn") => {
+            let committed = match parts.next() {
+                Some("committed") => Some(true),
+                Some("aborted") => Some(false),
+                _ => None,
+            };
+            let ops = parts.next().and_then(|p| p.parse().ok());
+            if let (Some(committed), Some(ops), None) = (committed, ops, parts.next()) {
+                return DbcopLine::TxnHdr { committed, ops };
+            }
+        }
+        Some(tag @ ("W" | "R")) => {
+            let key = parts.next().and_then(|p| p.parse().ok());
+            let value = parts.next().and_then(|p| p.parse().ok());
+            if let (Some(key), Some(value), None) = (key, value, parts.next()) {
+                return DbcopLine::Op {
+                    write: tag == "W",
+                    key,
+                    value,
+                };
+            }
+        }
+        _ => {}
+    }
+    DbcopLine::Other
+}
+
+/// Walks the staged DBCop lines through the format's counted state
+/// machine. With `emit` false this is the pre-sink validation pass; with
+/// `emit` true it replays the sequential reader's event sequence.
+/// Returns `false` on any structural mismatch (before the structure
+/// completes — the sequential reader ignores everything after it).
+fn walk_dbcop<S: HistorySink + ?Sized>(lines: &[&DbcopLine], sink: &mut S, emit: bool) -> bool {
+    #[derive(Copy, Clone, PartialEq)]
+    enum Phase {
+        Header,
+        Preamble,
+        Session,
+        Txn,
+        Op,
+        Done,
+    }
+    let mut phase = Phase::Header;
+    let (mut num_sessions, mut sid, mut txns_left, mut ops_left) = (0usize, 0usize, 0usize, 0usize);
+    let mut committed = false;
+
+    // Closes out zero-count levels: no txns left -> next session (or
+    // done); no ops left -> close the txn.
+    for &line in lines {
+        match phase {
+            Phase::Done => break,
+            Phase::Header => match line {
+                DbcopLine::Header => phase = Phase::Preamble,
+                _ => return false,
+            },
+            Phase::Preamble => match *line {
+                DbcopLine::Preamble(n) => {
+                    num_sessions = n;
+                    if emit {
+                        sink.ensure_sessions(n);
+                    }
+                    sid = 0;
+                    phase = if n == 0 { Phase::Done } else { Phase::Session };
+                }
+                _ => return false,
+            },
+            Phase::Session => match *line {
+                DbcopLine::SessionHdr { sid: got, txns } if got == sid => {
+                    txns_left = txns;
+                    phase = if txns == 0 {
+                        sid += 1;
+                        if sid == num_sessions {
+                            Phase::Done
+                        } else {
+                            Phase::Session
+                        }
+                    } else {
+                        Phase::Txn
+                    };
+                }
+                _ => return false,
+            },
+            Phase::Txn => match *line {
+                DbcopLine::TxnHdr {
+                    committed: c,
+                    ops: n,
+                } => {
+                    if emit {
+                        sink.begin(SessionId(sid as u32));
+                    }
+                    committed = c;
+                    ops_left = n;
+                    phase = Phase::Op;
+                    if n == 0 {
+                        phase = if close_dbcop_txn(sink, emit, committed, sid, &mut txns_left) {
+                            Phase::Txn
+                        } else {
+                            sid += 1;
+                            if sid == num_sessions {
+                                Phase::Done
+                            } else {
+                                Phase::Session
+                            }
+                        };
+                    }
+                }
+                _ => return false,
+            },
+            Phase::Op => match *line {
+                DbcopLine::Op { write, key, value } => {
+                    if emit {
+                        if write {
+                            sink.write(SessionId(sid as u32), key, value);
+                        } else {
+                            sink.read(SessionId(sid as u32), key, value);
+                        }
+                    }
+                    ops_left -= 1;
+                    if ops_left == 0 {
+                        phase = if close_dbcop_txn(sink, emit, committed, sid, &mut txns_left) {
+                            Phase::Txn
+                        } else {
+                            sid += 1;
+                            if sid == num_sessions {
+                                Phase::Done
+                            } else {
+                                Phase::Session
+                            }
+                        };
+                    }
+                }
+                _ => return false,
+            },
+        }
+    }
+    // The sequential reader errors with "unexpected end of file" if the
+    // counted structure is incomplete — an anomaly here.
+    matches!(phase, Phase::Done)
+}
+
+/// Emits the commit/abort for a finished DBCop transaction; returns
+/// `true` when the session still has transactions to read.
+fn close_dbcop_txn<S: HistorySink + ?Sized>(
+    sink: &mut S,
+    emit: bool,
+    committed: bool,
+    sid: usize,
+    txns_left: &mut usize,
+) -> bool {
+    if emit {
+        if committed {
+            sink.commit(SessionId(sid as u32));
+        } else {
+            sink.abort(SessionId(sid as u32));
+        }
+    }
+    *txns_left -= 1;
+    *txns_left != 0
+}
+
+fn merge_dbcop<S: HistorySink + ?Sized>(stages: &[Stage], sink: &mut S) -> bool {
+    let lines: Vec<&DbcopLine> = stages
+        .iter()
+        .flat_map(|s| match s {
+            Stage::Dbcop(lines) => lines.iter(),
+            _ => unreachable!("mixed stage formats"),
+        })
+        .collect();
+    if !walk_dbcop(&lines, sink, false) {
+        return false;
+    }
+    walk_dbcop(&lines, sink, true)
+}
+
+fn stage_cobra(shard: &[u8], first: bool) -> Option<Vec<CobraRec>> {
+    let mut out = Vec::new();
+    let mut need_header = first;
+    for raw in ByteLines::new(shard) {
+        let raw = std::str::from_utf8(raw).ok()?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if need_header {
+            if line != COBRA_HEADER {
+                return None;
+            }
+            need_header = false;
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        let session: usize = parts.next()?.parse().ok()?;
+        let (key, value) = match tag {
+            "T" | "C" | "A" => {
+                if parts.next().is_some() {
+                    return None;
+                }
+                (0, 0)
+            }
+            "W" | "R" => {
+                let key: u64 = parts.next()?.parse().ok()?;
+                let value: u64 = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                (key, value)
+            }
+            _ => return None,
+        };
+        out.push(CobraRec {
+            tag: tag.as_bytes()[0],
+            session,
+            key,
+            value,
+        });
+    }
+    if need_header && !out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+fn merge_cobra<S: HistorySink + ?Sized>(stages: &[Stage], sink: &mut S) -> bool {
+    // Cobra records are fully self-describing — no contextual rules, so
+    // apply directly.
+    for st in stages {
+        let recs = match st {
+            Stage::Cobra(recs) => recs,
+            _ => unreachable!("mixed stage formats"),
+        };
+        for rec in recs {
+            sink.ensure_sessions(rec.session + 1);
+            let sid = SessionId(rec.session as u32);
+            match rec.tag {
+                b'T' => sink.begin(sid),
+                b'C' => sink.commit(sid),
+                b'A' => sink.abort(sid),
+                b'W' => sink.write(sid, rec.key, rec.value),
+                _ => sink.read(sid, rec.key, rec.value),
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awdit_core::{History, HistoryBuilder};
+
+    fn parse_seq(text: &str, format: Format) -> History {
+        let mut b = HistoryBuilder::new();
+        read_history(text.as_bytes(), format, &mut b).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn parse_sharded_at(text: &str, format: Format, cuts: &[usize]) -> History {
+        let mut b = HistoryBuilder::new();
+        read_sharded_at(text.as_bytes(), format, cuts, 2, &mut b).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn sample_text(format: Format) -> String {
+        let mut b = HistoryBuilder::new();
+        let s0 = b.session();
+        let s1 = b.session();
+        let s2 = b.session();
+        for i in 0..20u64 {
+            b.begin(s0);
+            b.write(s0, i % 5, i + 1000);
+            b.commit(s0);
+            b.begin(s1);
+            b.read(s1, i % 5, i + 1000);
+            b.write(s1, 50 + i, i + 2000);
+            b.commit(s1);
+        }
+        b.begin(s2);
+        b.write(s2, 7, 1);
+        b.commit(s2);
+        let h = b.finish().unwrap();
+        crate::write_history(&h, format)
+    }
+
+    #[test]
+    fn every_cut_position_matches_sequential() {
+        // Exhaustive single-cut sweep over a small history: every byte
+        // offset (mid-line, mid-transaction, mid-session included) must
+        // still produce the sequential result.
+        for format in Format::ALL {
+            let text = sample_text(format);
+            let expected = parse_seq(&text, format);
+            for cut in 0..text.len() {
+                let got = parse_sharded_at(&text, format, &[cut]);
+                assert_eq!(got, expected, "{format} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cut_positions_match_sequential() {
+        for format in Format::ALL {
+            let text = sample_text(format);
+            let expected = parse_seq(&text, format);
+            let n = text.len();
+            for cuts in [
+                vec![n / 4, n / 2, 3 * n / 4],
+                vec![1, 2, 3],
+                vec![n - 1, n / 3],
+                vec![0, n],
+            ] {
+                let got = parse_sharded_at(&text, format, &cuts);
+                assert_eq!(got, expected, "{format} cuts {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_input_errors_match_sequential() {
+        let cases = [
+            (Format::Native, "awdit-history v1\nsession 0\nc: w(1;2)\n"),
+            (Format::Native, "awdit-history v1\nc: w(1,2)\n"),
+            (Format::Native, "session 0\nc: w(1,2)\n"),
+            (Format::Plume, "w(1,2,0,0)\nnope\n"),
+            (Format::Plume, "w(1,2,0,1)\nw(2,3,0,0)\n"),
+            (
+                Format::Dbcop,
+                "dbcop-history\nsessions 2\nsession 1 txns 0\n",
+            ),
+            (Format::Dbcop, "dbcop-history\nsessions 1\n"),
+            (Format::Cobra, "cobra-log\nX 0\n"),
+            (Format::Cobra, "cobra-log\nW 0 1\n"),
+        ];
+        for (format, text) in cases {
+            let mut b = HistoryBuilder::new();
+            let seq = read_history(text.as_bytes(), format, &mut b).unwrap_err();
+            for cut in 0..text.len() {
+                let mut b = HistoryBuilder::new();
+                let got = read_sharded_at(text.as_bytes(), format, &[cut], 2, &mut b)
+                    .expect_err("sharded parse accepted what sequential rejects");
+                assert_eq!(got, seq, "{format} cut {cut}: `{text}`");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_junk_after_dbcop_structure_is_ignored_like_sequential() {
+        let text =
+            "dbcop-history\nsessions 1\nsession 0 txns 1\ntxn committed 1\nW 1 2\nutter junk\n";
+        let expected = parse_seq(text, Format::Dbcop);
+        for cut in 0..text.len() {
+            assert_eq!(
+                parse_sharded_at(text, Format::Dbcop, &[cut]),
+                expected,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapping_lands_on_line_starts() {
+        let data = b"abc\ndef\r\nghi";
+        assert_eq!(snap_to_line_start(data, 0), 0);
+        assert_eq!(snap_to_line_start(data, 1), 4);
+        assert_eq!(snap_to_line_start(data, 4), 4);
+        assert_eq!(snap_to_line_start(data, 5), 9);
+        assert_eq!(snap_to_line_start(data, 10), 12);
+        assert_eq!(snap_to_line_start(data, 99), 12);
+    }
+
+    #[test]
+    fn byte_lines_match_line_reader_edge_cases() {
+        let collect = |data: &'static [u8]| -> Vec<&[u8]> { ByteLines::new(data).collect() };
+        assert_eq!(collect(b"a\nb"), vec![b"a" as &[u8], b"b"]);
+        assert_eq!(collect(b"a\r\nb\n"), vec![b"a" as &[u8], b"b"]);
+        // A final line without `\n` keeps its `\r` (LineReader parity).
+        assert_eq!(collect(b"a\r"), vec![b"a\r" as &[u8]]);
+        assert_eq!(collect(b""), Vec::<&[u8]>::new());
+        assert_eq!(collect(b"\n\n"), vec![b"" as &[u8], b""]);
+    }
+
+    #[test]
+    fn read_sharded_small_input_takes_sequential_path() {
+        let text = sample_text(Format::Native);
+        let mut b = HistoryBuilder::new();
+        read_sharded(text.as_bytes(), Format::Native, 8, &mut b).unwrap();
+        assert_eq!(b.finish().unwrap(), parse_seq(&text, Format::Native));
+    }
+}

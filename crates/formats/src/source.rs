@@ -15,9 +15,12 @@ use awdit_core::{
 };
 use awdit_stream::Event;
 
+use crate::binary::read_awb_path_into;
+use crate::detect::{detect_bytes, detect_extension, looks_binary, read_prefix, Detected};
 use crate::reader::LineReader;
+use crate::shard::read_sharded;
 use crate::stream::{read_events_lines, EventReplayer};
-use crate::{read_history_lines, sniff_format, Format, ParseError};
+use crate::{read_history_lines, Format, ParseError};
 
 /// Replays a transaction event stream into any [`HistorySink`] (sessions
 /// numbered by first appearance) — the slice-based sibling of
@@ -58,47 +61,95 @@ pub fn history_of_events(events: &[Event]) -> Result<History, String> {
     b.finish().map_err(|e| e.to_string())
 }
 
-/// Streams one history file into `sink`: an explicit [`Format`], or
-/// sniffing — including NDJSON event logs (first line starts with `{`).
-/// The file is read line by line; no full-file `String` exists at any
-/// point.
-fn read_file_into(
+/// Streams one history file into `sink`, dispatching on
+/// [`detect`](crate::detect) (content sniff first, extension fallback)
+/// unless a [`Format`] is pinned: binary `.awb` files bulk-load (mmap
+/// where available), NDJSON event logs replay, and text histories either
+/// stream line by line (`threads <= 1`, no full-file buffer anywhere) or
+/// parse in parallel shards through the recycled `buf`.
+fn read_path_into(
     path: &Path,
     format: Option<Format>,
+    threads: usize,
+    buf: &mut Vec<u8>,
     sink: &mut (impl HistorySink + ?Sized),
 ) -> Result<(), String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot read: {e}"))?;
-    let mut lines = LineReader::new(BufReader::new(file));
-    let result: Result<(), ParseError> = (|| {
-        if let Some(f) = format {
-            return read_history_lines(&mut lines, f, sink);
-        }
-        if lines.skip_blank_lines()? {
-            if let Some((line, _)) = lines.peek_line()? {
-                if line.trim_start().starts_with('{') {
-                    return read_events_lines(&mut lines, sink);
+    use std::io::{Read, Seek, SeekFrom};
+
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read: {e}"))?;
+    let detected = match format {
+        Some(f) => Detected::History(f),
+        None => {
+            let prefix = read_prefix(&mut file).map_err(|e| format!("cannot read: {e}"))?;
+            // Content sniffing wins; binary-looking data must never fall
+            // back to a *text* extension (it would misparse as UTF-8).
+            let sniffed = match detect_bytes(&prefix) {
+                Some(d) => Some(d),
+                None if looks_binary(&prefix) => {
+                    return Err("unrecognized binary data (not an .awb history)".to_string());
+                }
+                None => detect_extension(path),
+            };
+            match sniffed {
+                Some(d) => {
+                    file.seek(SeekFrom::Start(0))
+                        .map_err(|e| format!("cannot read: {e}"))?;
+                    d
+                }
+                None => {
+                    return Err(ParseError::new(1, "unrecognized history format").to_string());
                 }
             }
         }
-        match sniff_format(&mut lines)? {
-            Some(f) => read_history_lines(&mut lines, f, sink),
-            None => Err(ParseError::new(
-                1,
-                "unrecognized history format".to_string(),
-            )),
+    };
+    let bytes = match detected {
+        Detected::Binary => {
+            drop(file);
+            read_awb_path_into(path, sink).map_err(|e| e.to_string())?;
+            std::fs::metadata(path).map_or(0, |m| m.len())
         }
-    })();
-    result.map_err(|e| e.to_string())
+        Detected::Events => {
+            let mut lines = LineReader::new(BufReader::new(file));
+            read_events_lines(&mut lines, sink).map_err(|e| e.to_string())?;
+            std::fs::metadata(path).map_or(0, |m| m.len())
+        }
+        Detected::History(f) if threads > 1 => {
+            buf.clear();
+            file.read_to_end(buf)
+                .map_err(|e| format!("cannot read: {e}"))?;
+            read_sharded(buf, f, threads, sink).map_err(|e| e.to_string())?;
+            buf.len() as u64
+        }
+        Detected::History(f) => {
+            let mut lines = LineReader::new(BufReader::new(file));
+            read_history_lines(&mut lines, f, sink).map_err(|e| e.to_string())?;
+            std::fs::metadata(path).map_or(0, |m| m.len())
+        }
+    };
+    if let Some(metrics) = awdit_obs::current().metrics() {
+        metrics.counter("awdit_ingest_bytes_total").add(bytes);
+    }
+    Ok(())
 }
 
 /// A [`HistorySource`] over an explicit list of history files, yielded in
-/// list order. Formats are auto-detected per file (NDJSON event logs
-/// included) unless pinned with [`with_format`](Self::with_format).
+/// list order. Each file's kind — text format, binary `.awb`, NDJSON
+/// event log — is auto-detected via [`detect`](crate::detect) unless
+/// pinned with [`with_format`](Self::with_format). With
+/// [`with_threads`](Self::with_threads) (or
+/// [`HistorySource::set_threads`], as
+/// [`Engine::check_source`](awdit_core::Engine::check_source) calls it)
+/// above one, text files parse in parallel shards — bit-identical to the
+/// streaming parse.
 #[derive(Clone, Debug)]
 pub struct FilesSource {
     paths: Vec<PathBuf>,
     format: Option<Format>,
     pos: usize,
+    threads: usize,
+    /// Whole-file buffer for sharded parsing, recycled across files
+    /// (empty and unused while `threads <= 1`).
+    buf: Vec<u8>,
 }
 
 impl FilesSource {
@@ -112,12 +163,21 @@ impl FilesSource {
             paths: paths.into_iter().map(Into::into).collect(),
             format: None,
             pos: 0,
+            threads: 1,
+            buf: Vec::new(),
         }
     }
 
     /// Pins every file to one explicit format instead of auto-detecting.
     pub fn with_format(mut self, format: Format) -> Self {
         self.format = Some(format);
+        self
+    }
+
+    /// Parses text files in up to `threads` parallel shards (`1` =
+    /// stream sequentially, `0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = awdit_core::parallel::effective_threads(threads);
         self
     }
 
@@ -128,19 +188,21 @@ impl FilesSource {
 
     /// Streams the file at `path` into `sink`, returning its display name.
     fn load_into(
-        &self,
+        &mut self,
         path: &Path,
         sink: &mut (impl HistorySink + ?Sized),
     ) -> Result<String, SourceError> {
         let origin = path.display().to_string();
-        read_file_into(path, self.format, sink).map_err(|message| SourceError {
-            origin: origin.clone(),
-            message,
-        })?;
+        read_path_into(path, self.format, self.threads, &mut self.buf, sink).map_err(
+            |message| SourceError {
+                origin: origin.clone(),
+                message,
+            },
+        )?;
         Ok(origin)
     }
 
-    fn load(&self, path: &Path) -> Result<SourcedHistory, SourceError> {
+    fn load(&mut self, path: &Path) -> Result<SourcedHistory, SourceError> {
         let mut b = HistoryBuilder::new();
         let name = self.load_into(path, &mut b)?;
         let history = b.finish().map_err(|e| SourceError {
@@ -169,6 +231,10 @@ impl HistorySource for FilesSource {
         let path = self.paths.get(self.pos)?.clone();
         self.pos += 1;
         Some(self.load_into(&path, sink))
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = awdit_core::parallel::effective_threads(threads);
     }
 }
 
@@ -215,6 +281,13 @@ impl DirSource {
         self
     }
 
+    /// Parses text files in up to `threads` parallel shards (see
+    /// [`FilesSource::with_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.inner = self.inner.with_threads(threads);
+        self
+    }
+
     /// Number of files found.
     pub fn len(&self) -> usize {
         self.inner.remaining()
@@ -236,6 +309,10 @@ impl HistorySource for DirSource {
         sink: &mut dyn awdit_core::HistorySink,
     ) -> Option<Result<String, SourceError>> {
         self.inner.next_into(sink)
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
     }
 }
 

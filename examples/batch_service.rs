@@ -13,8 +13,8 @@ use awdit::formats::DirSource;
 use awdit::stream::EngineExt;
 use awdit::workloads::Uniform;
 use awdit::{
-    collect_source, write_history, AnomalyRates, DbIsolation, Engine, Format, HistoryReport,
-    IsolationLevel, Report, SimConfig, SimSource,
+    collect_source, write_awb, write_history, AnomalyRates, DbIsolation, Engine, Format,
+    HistoryReport, IsolationLevel, Report, SimConfig, SimSource,
 };
 
 fn main() {
@@ -30,9 +30,18 @@ fn main() {
     });
     let mut producer = SimSource::new(base, 150, 0..8, |_seed| Uniform::new(48, 4, 0.5));
     let fleet = collect_source(&mut producer).expect("fleet generates");
-    for s in &fleet {
-        let path = dir.join(format!("{}.awdit", s.name));
-        std::fs::write(&path, write_history(&s.history, Format::Native)).expect("write history");
+    for (i, s) in fleet.iter().enumerate() {
+        // Mix text and binary producers: every other history lands as a
+        // mmap-loadable `.awb` columnar file. The engine's format
+        // dispatch sniffs content, so one directory can hold both.
+        if i % 2 == 0 {
+            let path = dir.join(format!("{}.awdit", s.name));
+            std::fs::write(&path, write_history(&s.history, Format::Native))
+                .expect("write history");
+        } else {
+            let path = dir.join(format!("{}.awb", s.name));
+            std::fs::write(&path, write_awb(&s.history)).expect("write history");
+        }
     }
     println!("produced {} histories in {}", fleet.len(), dir.display());
 

@@ -14,7 +14,7 @@ use std::io::BufReader;
 use awdit::core::HistorySink;
 use awdit::formats::{
     events_into_sink, history_of_events, parse_events, read_auto, read_events, write_events,
-    write_events_to, write_history_to,
+    write_events_to, write_history_to, Detected,
 };
 use awdit::stream::events_of_history;
 use awdit::{
@@ -266,7 +266,7 @@ fn read_auto_detects_all_formats() {
         let text = write_history(&h, format);
         let mut b = HistoryBuilder::new();
         let detected = read_auto(BufReader::with_capacity(2, text.as_bytes()), &mut b).unwrap();
-        assert_eq!(detected, format);
+        assert_eq!(detected, Detected::History(format), "{format}");
         assert_eq!(b.finish().unwrap(), h, "{format}");
     }
 }
