@@ -1,0 +1,159 @@
+//! `awdit serve` intake benches: events/s per tenant and p99 intake
+//! latency at 1, 4, and 16 concurrent tenants, measured over real TCP
+//! sockets against an in-process server.
+//!
+//! `AWDIT_BENCH_EVENTS` overrides the per-fleet event budget so CI can
+//! smoke-run the network path with a tiny budget.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use awdit_obs::Obs;
+use awdit_serve::{ServeConfig, Server};
+use awdit_stream::{Event, StreamConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Events sent per request body.
+const CHUNK: usize = 1024;
+
+fn event_budget(default: usize) -> usize {
+    std::env::var("AWDIT_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A mostly-fresh multi-session workload (same shape as the streaming
+/// benches), pre-serialized into NDJSON request bodies of `CHUNK` events.
+fn make_bodies(target: usize, seed: u64) -> Vec<String> {
+    const SESSIONS: u64 = 8;
+    const KEYS: u64 = 64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut latest: Vec<Option<u64>> = vec![None; KEYS as usize];
+    let mut next_value = 1u64;
+    let mut events = Vec::with_capacity(target + 64);
+    while events.len() < target {
+        for session in 0..SESSIONS {
+            events.push(Event::Begin { session });
+            for _ in 0..3 {
+                let key = rng.gen_range(0..KEYS);
+                if rng.gen_bool(0.5) {
+                    if let Some(value) = latest[key as usize] {
+                        events.push(Event::Read {
+                            session,
+                            key,
+                            value,
+                        });
+                    }
+                } else {
+                    let value = next_value;
+                    next_value += 1;
+                    events.push(Event::Write {
+                        session,
+                        key,
+                        value,
+                    });
+                    latest[key as usize] = Some(value);
+                }
+            }
+            events.push(Event::Commit { session });
+        }
+    }
+    events
+        .chunks(CHUNK)
+        .map(awdit_formats::write_events)
+        .collect()
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) {
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    sock.write_all(req.as_bytes()).expect("send");
+    let _ = sock.shutdown(std::net::Shutdown::Write);
+    let mut resp = Vec::new();
+    sock.read_to_end(&mut resp).expect("read");
+    assert!(resp.starts_with(b"HTTP/1.1 200"), "intake failed");
+}
+
+/// Streams `bodies` into `tenants` concurrent sessions (each tenant gets
+/// the full body list) and finishes them; returns the total events sent.
+fn drive_fleet(server: &Server, tenants: usize, bodies: &[String], round: usize) -> u64 {
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for t in 0..tenants {
+            let id = format!("bench-{round}-{t}");
+            scope.spawn(move || {
+                for body in bodies {
+                    post(addr, &format!("/v1/sessions/{id}/events"), body);
+                }
+                post(addr, &format!("/v1/sessions/{id}/finish"), "");
+            });
+        }
+    });
+    (bodies.iter().map(|b| b.lines().count()).sum::<usize>() * tenants) as u64
+}
+
+fn bench_serve_intake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve-intake");
+    group.sample_size(10);
+    let budget = event_budget(32_000);
+    for tenants in [1usize, 4, 16] {
+        // Fixed total work per fleet: each tenant streams budget/tenants
+        // events, so the three points compare multiplexing overhead, not
+        // workload size.
+        let bodies = make_bodies(budget / tenants, 0xC0FFEE + tenants as u64);
+        let per_tenant: usize = bodies.iter().map(|b| b.lines().count()).sum();
+        group.throughput(Throughput::Elements((per_tenant * tenants) as u64));
+
+        let obs = Obs::new();
+        let server = Arc::new(
+            Server::bind(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: 4,
+                stream: StreamConfig::default(),
+                obs: obs.clone(),
+                ..ServeConfig::default()
+            })
+            .expect("bind"),
+        );
+        let runner = server.clone();
+        let handle = std::thread::spawn(move || runner.run().expect("run"));
+
+        let mut round = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("tenants", tenants),
+            &bodies,
+            |b, bodies| {
+                b.iter(|| {
+                    round += 1;
+                    drive_fleet(&server, tenants, bodies, round)
+                })
+            },
+        );
+
+        // p99 intake latency straight from the server's own histogram —
+        // the number an operator would scrape from /metrics.
+        if let Some(m) = obs.metrics() {
+            let h = m.histogram("awdit_serve_intake_micros");
+            eprintln!(
+                "serve-intake/tenants={tenants}: {} requests, p50={}us p99={}us (CHUNK={CHUNK} events/request)",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+        }
+        server.shutdown_token().trigger();
+        handle.join().expect("server thread");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_intake);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! awdit watch [--isolation rc|ra|cc] [--threads N] [--cc-strategy S]
 //!             [--no-prune] [--follow] [--trace FILE] [--metrics FILE|-]
 //!             [--stats-interval SECS] FILE|-
+//! awdit serve [--addr HOST:PORT] [--threads N] [--isolation rc|ra|cc]
+//!             [--no-prune] [--interval N] [--staging-budget N]
 //! awdit stats [--report text|json] FILE
 //! awdit convert [--to FORMAT] IN [OUT]
 //! awdit generate --benchmark tpcc|ctwitter|rubis|uniform --db ser|causal|ra|rc
@@ -35,14 +37,15 @@ use awdit_core::{
     HistoryStats, IsolationLevel, Outcome, SourcedHistory,
 };
 use awdit_formats::{
-    history_stats_json, read_auto, read_history, write_history_events_to, write_history_to,
-    DirSource, EngineStatsReport, FilesSource, Format, HistoryReport, JsonSink, PhaseTimingReport,
-    Report, ReportSink, TextSink,
+    detect_bytes, detect_path, history_stats_json, looks_binary, read_auto, read_history,
+    write_history_events_to, write_history_to, Detected, DirSource, EngineStatsReport, FilesSource,
+    Format, HistoryReport, JsonSink, PhaseTimingReport, Report, ReportSink, TextSink,
 };
 use awdit_obs::chrome::ChromeTraceRecorder;
 use awdit_obs::{phase_delta, Obs, PhaseTiming};
+use awdit_serve::{install_signal_handlers, HttpLimits, ServeConfig, Server};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
-use awdit_stream::{EngineExt, OnlineChecker};
+use awdit_stream::{EngineExt, OnlineChecker, ShutdownToken, StreamConfig};
 use awdit_workloads::{Benchmark, Uniform};
 
 fn main() -> ExitCode {
@@ -64,6 +67,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "shrink" => cmd_shrink(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
@@ -89,6 +93,10 @@ USAGE:
                 [--witnesses N] [--cc-strategy STRAT] [--no-prune]
                 [--trace FILE] [--metrics FILE|-] [--stats-interval SECS]
                 [--follow] FILE|-   (NDJSON event stream)
+    awdit serve [--addr HOST:PORT] [--threads N] [--isolation rc|ra|cc]
+                [--no-prune] [--interval N] [--staging-budget N]
+                [--max-body BYTES] [--timeout SECS]
+                [--trace FILE] [--metrics FILE|-]
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats [--report text|json] FILE
     awdit convert [--format FMT] [--to FMT] IN [OUT]
@@ -123,6 +131,13 @@ OBSERVABILITY: --trace FILE writes a Chrome trace_event JSON of every
          writes a Prometheus text snapshot to FILE (`-` = stdout);
          `watch --stats-interval SECS` prints a [stats] heartbeat on
          stderr while following a stream
+SERVE: a multi-tenant daemon over the online checker — stream NDJSON
+         into named sessions (POST /v1/sessions/ID/events), upload whole
+         histories for a batch verdict (POST /v1/check), poll violations
+         (GET /v1/sessions/ID/violations), scrape GET /metrics and
+         /healthz; port 0 picks an ephemeral port (printed on stdout);
+         SIGINT/SIGTERM drains every open session and prints its final
+         summary; exits 1 if any drained session was inconsistent
 CONVERT: streams IN (any supported format, auto-detected) to OUT via the
          incremental reader/writer pairs; the output format comes from
          --to (native|plume|dbcop|cobra|events|awb) or OUT's extension
@@ -754,6 +769,16 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     });
     engine.set_obs(setup.obs.clone());
     let mut checker = engine.watch();
+
+    // Long-lived invocations (`--follow`, stdin pipes) finalize cleanly
+    // on SIGINT/SIGTERM instead of dying mid-stream: the handler trips
+    // the token, the read loop notices, and the terminal summary below
+    // still runs.
+    let shutdown = ShutdownToken::new();
+    if follow || path == "-" {
+        install_signal_handlers(shutdown.clone());
+    }
+    checker.set_shutdown(shutdown.clone());
     eprintln!(
         "watching {path} for {level} violations (pruning {})",
         if prune { "on" } else { "off" }
@@ -800,14 +825,54 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
+    // Feeding a history file (or arbitrary binary junk) into the event
+    // stream parser would drown the user in per-line parse errors; sniff
+    // the input and fail once, cleanly, with the right exit code (2).
+    fn reject_non_events(what: &str, detected: Option<Detected>) -> Result<(), String> {
+        match detected {
+            None | Some(Detected::Events) => Ok(()),
+            Some(Detected::Binary) => Err(format!(
+                "{what}: binary input is not an NDJSON event stream \
+                 (use `awdit check` for .awb histories)"
+            )),
+            Some(Detected::History(fmt)) => Err(format!(
+                "{what}: detected a {fmt} history, not an NDJSON event stream \
+                 (use `awdit check`, or `awdit convert --to events`)"
+            )),
+        }
+    }
+
     if path == "-" {
         let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            let line = line.map_err(|e| format!("stdin: {e}"))?;
-            feed(&mut checker, &line)?;
-            maybe_heartbeat(&mut last_stats, stats_interval, &checker);
+        let mut lock = stdin.lock();
+        let prefix = lock.fill_buf().map_err(|e| format!("stdin: {e}"))?;
+        if looks_binary(prefix) {
+            return Err("stdin: binary input is not an NDJSON event stream \
+                 (use `awdit check` for .awb histories)"
+                .to_string());
+        }
+        reject_non_events("stdin", detect_bytes(prefix))?;
+        let mut line = String::new();
+        loop {
+            if shutdown.is_triggered() {
+                eprintln!("shutdown requested; finalizing");
+                break;
+            }
+            line.clear();
+            match lock.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    feed(&mut checker, &line)?;
+                    maybe_heartbeat(&mut last_stats, stats_interval, &checker);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("stdin: {e}")),
+            }
         }
     } else {
+        let detected = detect_path(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        reject_non_events(path, detected)?;
         let mut file =
             std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
         let mut buf = String::new();
@@ -816,8 +881,11 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
             file.seek(std::io::SeekFrom::Start(pos))
                 .map_err(|e| format!("{path}: {e}"))?;
             buf.clear();
-            file.read_to_string(&mut buf)
-                .map_err(|e| format!("{path}: {e}"))?;
+            match file.read_to_string(&mut buf) {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("{path}: {e}")),
+            }
             // Only consume whole lines; a partial tail is re-read next poll.
             let consumed = buf.rfind('\n').map(|i| i + 1).unwrap_or(0);
             for line in buf[..consumed].lines() {
@@ -828,6 +896,10 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
                 for line in buf[consumed..].lines() {
                     feed(&mut checker, line)?;
                 }
+                break;
+            }
+            if shutdown.is_triggered() {
+                eprintln!("shutdown requested; finalizing");
                 break;
             }
             maybe_heartbeat(&mut last_stats, stats_interval, &checker);
@@ -857,6 +929,109 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     );
     setup.finish()?;
     if !outcome.is_consistent() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if let Some(extra) = flags.positional.first() {
+        return Err(format!("serve: unexpected argument `{extra}`"));
+    }
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let level: IsolationLevel = flags
+        .get("isolation")
+        .unwrap_or("cc")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let prune = flags.get("no-prune").is_none();
+    let prune_interval: u64 = flags
+        .get("interval")
+        .map(|w| w.parse().map_err(|_| "bad --interval value".to_string()))
+        .transpose()?
+        .unwrap_or(256);
+    let staging_budget: u64 = flags
+        .get("staging-budget")
+        .map(|w| {
+            w.parse()
+                .map_err(|_| "bad --staging-budget value".to_string())
+        })
+        .transpose()?
+        .unwrap_or(4096);
+    let max_body_bytes: u64 = flags
+        .get("max-body")
+        .map(|w| w.parse().map_err(|_| "bad --max-body value".to_string()))
+        .transpose()?
+        .unwrap_or(64 * 1024 * 1024);
+    let timeout_secs: u64 = flags
+        .get("timeout")
+        .map(|w| w.parse().map_err(|_| "bad --timeout value".to_string()))
+        .transpose()?
+        .unwrap_or(10);
+    let threads = flags
+        .get("threads")
+        .map(|w| w.parse().map_err(|_| "bad --threads value".to_string()))
+        .transpose()?
+        .unwrap_or(0usize);
+
+    // The /metrics endpoint is the point of running a daemon, so metrics
+    // stay on even without --metrics; --trace/--metrics additionally get
+    // their usual end-of-run exports.
+    let setup = ObsSetup::from_flags(&flags);
+    let obs = if setup.obs.enabled() {
+        setup.obs.clone()
+    } else {
+        Obs::new()
+    };
+    let stream = StreamConfig {
+        level,
+        prune,
+        prune_interval: prune_interval.max(1),
+        max_cycle_reports: parse_witnesses(&flags, 64)?,
+        threads: 1,
+    };
+    let server = Server::bind(ServeConfig {
+        addr,
+        threads,
+        stream,
+        staging_budget,
+        limits: HttpLimits {
+            max_body_bytes,
+            read_timeout: std::time::Duration::from_secs(timeout_secs.max(1)),
+        },
+        obs,
+    })
+    .map_err(|e| format!("serve: cannot bind: {e}"))?;
+    install_signal_handlers(server.shutdown_token());
+
+    // The bound address goes to stdout (scripts bind port 0 and scrape
+    // it); everything chatty stays on stderr.
+    println!("awdit serve listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "level {level}, pruning {}, staging budget {staging_budget}; ctrl-c drains",
+        if prune { "on" } else { "off" },
+    );
+
+    let summary = server.run().map_err(|e| format!("serve: {e}"))?;
+    let mut inconsistent = false;
+    for s in &summary.sessions {
+        inconsistent |= !s.consistent;
+        let verdict = match (&s.error, s.consistent) {
+            (Some(e), _) => format!("error ({e})"),
+            (None, true) => "consistent".to_string(),
+            (None, false) => "inconsistent".to_string(),
+        };
+        println!(
+            "session {}: {} ({} events, {} violations)",
+            s.id, verdict, s.stats.events, s.stats.violations
+        );
+    }
+    setup.finish()?;
+    if inconsistent {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

@@ -290,6 +290,14 @@ impl RaKernel {
         Self::default()
     }
 
+    /// Forgets the per-session latest-writer tables so the kernel can
+    /// start a fresh stream, retaining map capacity. The dedup stamps are
+    /// round-guarded and need no clearing (the round counter keeps
+    /// increasing across resets, so stale stamps can never match).
+    pub fn reset(&mut self) {
+        self.last_write.clear();
+    }
+
     /// Runs Algorithm 2's per-transaction body for `t3`, emitting inferred
     /// edges into `g` and updating the session's latest-writer table.
     pub fn process<V: CommitView, G: EdgeSink>(&mut self, view: &V, t3: DenseId, g: &mut G) {
@@ -369,6 +377,15 @@ impl HbTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drops every stored clock and session frontier so the tracker can
+    /// start a fresh stream, retaining the clock slab's capacity. The
+    /// writer dedup stamps survive untouched — they are round-guarded, and
+    /// the round counter keeps increasing across resets.
+    pub fn reset(&mut self) {
+        self.clocks.clear();
+        self.session_clock.clear();
     }
 
     /// Makes sure `k` sessions are tracked (clocks are widened lazily).

@@ -322,6 +322,22 @@ pub enum ViolationKind {
     CommitOrderCycle,
 }
 
+impl ViolationKind {
+    /// The stable kebab-case wire name, shared by the JSON report schema
+    /// and the serve API (e.g. `commit-order-cycle`).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ViolationKind::ThinAirRead => "thin-air-read",
+            ViolationKind::AbortedRead => "aborted-read",
+            ViolationKind::FutureRead => "future-read",
+            ViolationKind::NotLatestWrite => "not-latest-write",
+            ViolationKind::NonRepeatableRead => "non-repeatable-read",
+            ViolationKind::CausalityCycle => "causality-cycle",
+            ViolationKind::CommitOrderCycle => "commit-order-cycle",
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -105,15 +105,7 @@ pub struct ViolationReport {
 impl ViolationReport {
     /// Builds the wire form of one checker violation.
     pub fn from_violation(v: &Violation) -> Self {
-        let kind = match v.kind() {
-            awdit_core::ViolationKind::ThinAirRead => "thin-air-read",
-            awdit_core::ViolationKind::AbortedRead => "aborted-read",
-            awdit_core::ViolationKind::FutureRead => "future-read",
-            awdit_core::ViolationKind::NotLatestWrite => "not-latest-write",
-            awdit_core::ViolationKind::NonRepeatableRead => "non-repeatable-read",
-            awdit_core::ViolationKind::CausalityCycle => "causality-cycle",
-            awdit_core::ViolationKind::CommitOrderCycle => "commit-order-cycle",
-        };
+        let kind = v.kind().wire_name();
         let cycle = match v {
             Violation::CausalityCycle(c) => Some(EdgeReport::from_cycle(c)),
             Violation::CommitOrderCycle { cycle, .. } => Some(EdgeReport::from_cycle(cycle)),

@@ -133,6 +133,16 @@ impl Histogram {
         self.sum.get()
     }
 
+    /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the
+    /// observed samples: the inclusive upper edge of the first log2 bucket
+    /// at which the cumulative count reaches `q · count`. Because buckets
+    /// double, the bound is within 2× of the true quantile — plenty for
+    /// latency reporting (p50/p99) from lock-free counters. Returns 0 when
+    /// nothing has been observed.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(&self.buckets(), self.count(), q)
+    }
+
     /// The non-empty buckets as `(upper_bound_inclusive, count)` pairs,
     /// smallest bound first. Bucket 0's bound is 0; bucket `i`'s bound is
     /// `2^i - 1`.
@@ -275,6 +285,30 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Non-empty `(upper_bound_inclusive, count)` buckets.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Quantile upper bound, as [`Histogram::quantile`] but over the
+    /// frozen buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(&self.buckets, self.count, q)
+    }
+}
+
+/// Shared quantile walk over `(upper_bound, count)` buckets.
+fn quantile_of(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for &(bound, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return bound;
+        }
+    }
+    buckets.last().map(|&(b, _)| b).unwrap_or(0)
 }
 
 /// A frozen, name-sorted copy of a [`MetricsRegistry`], exportable as

@@ -1,0 +1,662 @@
+//! A minimal hand-rolled HTTP/1.1 layer over blocking sockets.
+//!
+//! `awdit serve` is std-only, so this module implements exactly the slice
+//! of RFC 9112 the daemon needs: request-line and header parsing with a
+//! bounded head, `Content-Length` and `chunked` request bodies readable
+//! either whole or as a bounded byte/line stream, and plain-text response
+//! writing with keep-alive accounting. Everything a client can get wrong
+//! — torn frames, oversized heads, bogus lengths, truncated chunked
+//! framing, non-UTF-8 event lines — surfaces as a typed [`HttpError`]
+//! that the connection loop turns into a clean 4xx, never a panic.
+
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+/// Hard cap on the request line plus all header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on one NDJSON event line inside a streamed body.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Per-connection request framing limits.
+#[derive(Copy, Clone, Debug)]
+pub struct HttpLimits {
+    /// Largest accepted request body, after de-chunking.
+    pub max_body_bytes: u64,
+    /// Socket read timeout (maps to 408 when it fires mid-request).
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_body_bytes: 64 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything that can go wrong while framing a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client closed the connection before sending a request —
+    /// the normal end of a keep-alive connection, not an error.
+    Closed,
+    /// The bytes on the wire are not valid HTTP/1.1 framing (→ 400).
+    Malformed(String),
+    /// The head or body exceeds its budget (→ 431 / 413).
+    TooLarge(&'static str),
+    /// The socket read timeout fired mid-request (→ 408).
+    Timeout,
+    /// A transport error; the connection is dropped without a response.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => f.write_str("connection closed"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+            HttpError::Timeout => f.write_str("read timed out"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            io::ErrorKind::UnexpectedEof => HttpError::Malformed("unexpected end of stream".into()),
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// A parsed request head (the body is read separately via [`BodyReader`]).
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method.
+    pub method: String,
+    /// Decoded path, query string stripped.
+    pub path: String,
+    /// `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First header value under `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter under `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one line (up to and including `\n`) into `buf`, bounded by what
+/// remains of the head budget. Returns the number of bytes consumed.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    budget: usize,
+) -> Result<usize, HttpError> {
+    let start = buf.len();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if buf.len() == start {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::Malformed("truncated line".into()));
+        }
+        let (consume, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        if buf.len() - start + consume > budget {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        buf.extend_from_slice(&available[..consume]);
+        reader.consume(consume);
+        if done {
+            return Ok(buf.len() - start);
+        }
+    }
+}
+
+fn trim_crlf(line: &[u8]) -> &[u8] {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// Reads and parses one request head. [`HttpError::Closed`] before the
+/// first byte means the keep-alive connection ended cleanly.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    read_line_bounded(reader, &mut head, MAX_HEAD_BYTES)?;
+    let request_line = trim_crlf(&head);
+    let request_line = std::str::from_utf8(request_line)
+        .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{}`",
+                request_line.escape_debug()
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let method = method.to_ascii_uppercase();
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    let mut budget = MAX_HEAD_BYTES.saturating_sub(head.len());
+    loop {
+        let mut line = Vec::with_capacity(64);
+        read_line_bounded(reader, &mut line, budget).map_err(|e| match e {
+            // EOF between request line and blank line is a torn frame.
+            HttpError::Closed => HttpError::Malformed("truncated head".into()),
+            other => other,
+        })?;
+        budget = budget.saturating_sub(line.len());
+        let line = trim_crlf(&line);
+        if line.is_empty() {
+            break;
+        }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| HttpError::Malformed("header line is not UTF-8".into()))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header `{}`", line.escape_debug())))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        headers,
+    })
+}
+
+/// How the request body is framed on the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BodyKind {
+    /// No body (no `Content-Length`, no `Transfer-Encoding`).
+    Empty,
+    /// Exactly this many bytes follow the head.
+    Sized(u64),
+    /// `Transfer-Encoding: chunked` framing.
+    Chunked,
+}
+
+/// Determines the body framing from the head, validating the length
+/// headers.
+pub fn body_kind(req: &Request) -> Result<BodyKind, HttpError> {
+    if let Some(te) = req.header("transfer-encoding") {
+        if te.eq_ignore_ascii_case("chunked") {
+            return Ok(BodyKind::Chunked);
+        }
+        return Err(HttpError::Malformed(format!(
+            "unsupported transfer-encoding `{te}`"
+        )));
+    }
+    match req.header("content-length") {
+        None => Ok(BodyKind::Empty),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(0) => Ok(BodyKind::Empty),
+            Ok(n) => Ok(BodyKind::Sized(n)),
+            Err(_) => Err(HttpError::Malformed(format!("bad content-length `{v}`"))),
+        },
+    }
+}
+
+#[derive(Copy, Clone)]
+enum BodyState {
+    Done,
+    Sized { remaining: u64 },
+    Chunked { in_chunk: u64 },
+}
+
+/// Incremental, bounded reader over one request body: de-chunks,
+/// enforces the body budget, and reports truncation as
+/// [`HttpError::Malformed`]. Wraps the connection's `BufRead` without
+/// consuming past the body, so keep-alive survives.
+pub struct BodyReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    state: BodyState,
+    total: u64,
+    max: u64,
+}
+
+impl<'a, R: BufRead> BodyReader<'a, R> {
+    /// A reader for `kind`, bounded by `limits.max_body_bytes`.
+    pub fn new(inner: &'a mut R, kind: BodyKind, limits: &HttpLimits) -> Self {
+        let state = match kind {
+            BodyKind::Empty => BodyState::Done,
+            BodyKind::Sized(n) => BodyState::Sized { remaining: n },
+            BodyKind::Chunked => BodyState::Chunked { in_chunk: 0 },
+        };
+        BodyReader {
+            inner,
+            state,
+            total: 0,
+            max: limits.max_body_bytes,
+        }
+    }
+
+    /// Total body bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.total
+    }
+
+    /// Reads the next piece of the body into `buf`; `Ok(0)` marks the
+    /// end of the body.
+    pub fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, HttpError> {
+        let n = loop {
+            match self.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Sized { remaining } => {
+                    if remaining == 0 {
+                        self.state = BodyState::Done;
+                        return Ok(0);
+                    }
+                    let want = remaining.min(buf.len() as u64) as usize;
+                    let n = self.inner.read(&mut buf[..want]).map_err(HttpError::from)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed(
+                            "body shorter than content-length".into(),
+                        ));
+                    }
+                    self.state = BodyState::Sized {
+                        remaining: remaining - n as u64,
+                    };
+                    break n;
+                }
+                BodyState::Chunked { in_chunk } => {
+                    if in_chunk == 0 {
+                        let size = self.next_chunk()?;
+                        if size == 0 {
+                            return Ok(0);
+                        }
+                        self.state = BodyState::Chunked { in_chunk: size };
+                        continue;
+                    }
+                    let want = in_chunk.min(buf.len() as u64) as usize;
+                    let n = self.inner.read(&mut buf[..want]).map_err(HttpError::from)?;
+                    if n == 0 {
+                        return Err(HttpError::Malformed("truncated chunk".into()));
+                    }
+                    let left = in_chunk - n as u64;
+                    self.state = BodyState::Chunked { in_chunk: left };
+                    if left == 0 {
+                        self.expect_crlf()?;
+                    }
+                    break n;
+                }
+            }
+        };
+        self.total += n as u64;
+        if self.total > self.max {
+            return Err(HttpError::TooLarge("request body"));
+        }
+        Ok(n)
+    }
+
+    /// Parses the next chunk-size line; `0` is the terminal chunk (its
+    /// trailer section is consumed too, leaving the stream at the next
+    /// request head).
+    fn next_chunk(&mut self) -> Result<u64, HttpError> {
+        let mut line = Vec::with_capacity(16);
+        read_line_bounded(self.inner, &mut line, 256).map_err(|e| match e {
+            HttpError::Closed => HttpError::Malformed("truncated chunked body".into()),
+            other => other,
+        })?;
+        let line = trim_crlf(&line);
+        let text =
+            std::str::from_utf8(line).map_err(|_| HttpError::Malformed("bad chunk size".into()))?;
+        let size_hex = text.split(';').next().unwrap_or("").trim();
+        let size = u64::from_str_radix(size_hex, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size `{text}`")))?;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then a blank.
+            loop {
+                let mut t = Vec::with_capacity(16);
+                read_line_bounded(self.inner, &mut t, 1024).map_err(|e| match e {
+                    HttpError::Closed => HttpError::Malformed("truncated trailer".into()),
+                    other => other,
+                })?;
+                if trim_crlf(&t).is_empty() {
+                    break;
+                }
+            }
+            self.state = BodyState::Done;
+        }
+        Ok(size)
+    }
+
+    fn expect_crlf(&mut self) -> Result<(), HttpError> {
+        let mut line = Vec::with_capacity(2);
+        read_line_bounded(self.inner, &mut line, 2).map_err(|e| match e {
+            HttpError::Closed => HttpError::Malformed("truncated chunk terminator".into()),
+            other => other,
+        })?;
+        if !trim_crlf(&line).is_empty() {
+            return Err(HttpError::Malformed("missing chunk terminator".into()));
+        }
+        Ok(())
+    }
+
+    /// Reads the whole (bounded) body into memory.
+    pub fn read_all(&mut self) -> Result<Vec<u8>, HttpError> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.read_some(&mut buf)? {
+                0 => return Ok(out),
+                n => out.extend_from_slice(&buf[..n]),
+            }
+        }
+    }
+
+    /// Consumes and discards the rest of the body (keep-alive hygiene
+    /// after an early response). Gives up — signalling the connection
+    /// should close instead — if the remainder would bust the budget.
+    pub fn discard_rest(&mut self) -> Result<(), HttpError> {
+        let mut buf = [0u8; 8192];
+        while self.read_some(&mut buf)? != 0 {}
+        Ok(())
+    }
+}
+
+/// Line-oriented view over a [`BodyReader`], for streaming NDJSON
+/// intake: yields one event line at a time without ever buffering the
+/// whole body, enforcing [`MAX_LINE_BYTES`] per line.
+pub struct BodyLines<'a, R: BufRead> {
+    body: BodyReader<'a, R>,
+    buf: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a, R: BufRead> BodyLines<'a, R> {
+    /// Wraps `body` for line-at-a-time reading.
+    pub fn new(body: BodyReader<'a, R>) -> Self {
+        BodyLines {
+            body,
+            buf: Vec::with_capacity(8192),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Total body bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.body.bytes_read()
+    }
+
+    /// The next line with its terminator and any trailing `\r` stripped;
+    /// `Ok(None)` at end of body. A final unterminated line is yielded.
+    pub fn next_line(&mut self) -> Result<Option<String>, HttpError> {
+        loop {
+            if let Some(i) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + i;
+                let line = trim_crlf(&self.buf[self.pos..end]).to_vec();
+                self.pos = end + 1;
+                return Self::to_utf8(line).map(Some);
+            }
+            if self.done {
+                if self.pos >= self.buf.len() {
+                    return Ok(None);
+                }
+                let line = trim_crlf(&self.buf[self.pos..]).to_vec();
+                self.pos = self.buf.len();
+                return Self::to_utf8(line).map(Some);
+            }
+            // Compact, then pull more body bytes.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(HttpError::TooLarge("event line"));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.body.read_some(&mut chunk)? {
+                0 => self.done = true,
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    fn to_utf8(line: Vec<u8>) -> Result<String, HttpError> {
+        String::from_utf8(line).map_err(|_| HttpError::Malformed("event line is not UTF-8".into()))
+    }
+
+    /// Unwraps back to the underlying [`BodyReader`] (to discard the
+    /// rest of the body after an early response). Any buffered-but-not-
+    /// yet-yielded bytes are dropped — callers only do this when they are
+    /// done consuming lines.
+    pub fn into_body(self) -> BodyReader<'a, R> {
+        self.body
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response with `Content-Length` framing.
+pub fn write_response<W: Write>(
+    out: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, String)],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let req = parse(
+            b"POST /v1/sessions/a/events?prune=0&x HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sessions/a/events");
+        assert_eq!(req.query_param("prune"), Some("0"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(body_kind(&req).unwrap(), BodyKind::Sized(3));
+    }
+
+    #[test]
+    fn torn_frames_are_malformed_not_panics() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(parse(b"GET"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nHost: x"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"\xff\xfe\x00 / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut big = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
+        big.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(matches!(parse(&big), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn sized_body_reads_and_detects_truncation() {
+        let limits = HttpLimits::default();
+        let mut r = BufReader::new(&b"hello"[..]);
+        let mut body = BodyReader::new(&mut r, BodyKind::Sized(5), &limits);
+        assert_eq!(body.read_all().unwrap(), b"hello");
+
+        let mut r = BufReader::new(&b"hel"[..]);
+        let mut body = BodyReader::new(&mut r, BodyKind::Sized(5), &limits);
+        assert!(matches!(body.read_all(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn chunked_body_dechunks() {
+        let limits = HttpLimits::default();
+        let wire = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let mut body = BodyReader::new(&mut r, BodyKind::Chunked, &limits);
+        assert_eq!(body.read_all().unwrap(), b"hello world");
+
+        let wire = b"zz\r\nhello\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let mut body = BodyReader::new(&mut r, BodyKind::Chunked, &limits);
+        assert!(matches!(body.read_all(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn body_budget_is_enforced() {
+        let limits = HttpLimits {
+            max_body_bytes: 4,
+            ..HttpLimits::default()
+        };
+        let mut r = BufReader::new(&b"hello"[..]);
+        let mut body = BodyReader::new(&mut r, BodyKind::Sized(5), &limits);
+        assert!(matches!(body.read_all(), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn body_lines_handles_crlf_and_final_fragment() {
+        let limits = HttpLimits::default();
+        let mut r = BufReader::new(&b"a\r\nb\n\nc"[..]);
+        let body = BodyReader::new(&mut r, BodyKind::Sized(7), &limits);
+        let mut lines = BodyLines::new(body);
+        assert_eq!(lines.next_line().unwrap().as_deref(), Some("a"));
+        assert_eq!(lines.next_line().unwrap().as_deref(), Some("b"));
+        assert_eq!(lines.next_line().unwrap().as_deref(), Some(""));
+        assert_eq!(lines.next_line().unwrap().as_deref(), Some("c"));
+        assert_eq!(lines.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            b"{}",
+            &[("Retry-After", "1".into())],
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,42 @@
+//! `awdit serve` — a multi-tenant network daemon for online isolation
+//! checking.
+//!
+//! This crate puts the streaming checker behind a TCP socket: clients
+//! stream NDJSON events into named tenants (`POST
+//! /v1/sessions/{id}/events`), upload whole histories for one-shot batch
+//! verdicts (`POST /v1/check`), and retrieve violations as they are
+//! found (`GET /v1/sessions/{id}/violations`, with long-polling).
+//! Everything is hand-rolled on `std` — the HTTP/1.1 subset in
+//! [`http`], the `signal(2)` bridge in [`signal`] — because the engine
+//! itself has no dependencies and its front door should not either.
+//!
+//! The architecture is three layers:
+//!
+//! * [`http`] — request framing: bounded heads, `Content-Length` and
+//!   chunked bodies, NDJSON line iteration, response writing. Malformed
+//!   input of any shape maps to a clean 4xx, never a panic.
+//! * [`session`] — multi-tenant state: one
+//!   [`OnlineChecker`](awdit_stream::OnlineChecker) per tenant with its
+//!   own watermark GC, an append-only violation log with monotone
+//!   sequence numbers for retrieval, staging-budget backpressure, and a
+//!   warm checker pool so reconnecting tenants recycle allocations.
+//! * [`server`] — the daemon: a thread-per-core accept pool over one
+//!   shared listener, request routing, graceful drain on
+//!   [`ShutdownToken`](awdit_stream::ShutdownToken) trigger (every open
+//!   tenant is finalized and its terminal summary returned).
+
+#![deny(unsafe_code)] // sole exception: the `signal(2)` island in `signal`
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod session;
+pub mod signal;
+
+pub use http::{HttpError, HttpLimits};
+pub use server::{summary_json, ServeConfig, ServeSummary, Server};
+pub use session::{
+    valid_session_id, IntakeOutcome, IntakeStats, SessionHub, SessionSummary, Tenant,
+    ViolationRecord,
+};
+pub use signal::install_signal_handlers;

@@ -1,0 +1,83 @@
+//! SIGTERM/SIGINT → [`ShutdownToken`] bridging, without crates.io.
+//!
+//! std has no signal API, so this module registers a C `signal(2)`
+//! handler directly (the crate's only `unsafe` island). The handler does
+//! the one thing async-signal-safety allows — a relaxed atomic store into
+//! a process-global flag — and a tiny watcher thread forwards the flag to
+//! the [`ShutdownToken`] so the rest of the system stays signal-free.
+//! A second signal while shutdown is already underway falls back to the
+//! default disposition, so a stuck drain can still be killed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use awdit_stream::ShutdownToken;
+
+/// Set by the signal handler; polled by the watcher thread.
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNAL_FLAG.store(true, Ordering::Relaxed);
+}
+
+/// Registers SIGINT/SIGTERM handlers that trigger `token`, plus the
+/// watcher thread that forwards the flag. Returns `false` when handlers
+/// could not be installed (non-unix targets; the watcher still runs so a
+/// programmatic `token.trigger()` keeps working).
+pub fn install_signal_handlers(token: ShutdownToken) -> bool {
+    let installed = install_raw_handlers();
+    let watcher = std::thread::Builder::new()
+        .name("awdit-signal-watch".into())
+        .spawn(move || loop {
+            if SIGNAL_FLAG.load(Ordering::Relaxed) {
+                token.trigger();
+                restore_default_handlers();
+                return;
+            }
+            if token.is_triggered() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    installed && watcher.is_ok()
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+fn install_raw_handlers() -> bool {
+    // `signal(2)` with a plain function pointer: the handler body is one
+    // atomic store, which is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_ERR: usize = usize::MAX;
+    unsafe {
+        let a = signal(SIGINT, on_signal as *const () as usize);
+        let b = signal(SIGTERM, on_signal as *const () as usize);
+        a != SIG_ERR && b != SIG_ERR
+    }
+}
+
+#[cfg(not(unix))]
+fn install_raw_handlers() -> bool {
+    false
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+fn restore_default_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(2, SIG_DFL);
+        signal(15, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_default_handlers() {}

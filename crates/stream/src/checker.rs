@@ -57,6 +57,7 @@ use std::sync::Arc;
 use crate::dag::{DagEdge, IncrementalDag};
 use crate::event::Event;
 use crate::index::{StreamIndex, TxnMeta};
+use crate::shutdown::ShutdownToken;
 use crate::stats::StreamStats;
 
 /// Errors that poison a stream (mirroring
@@ -438,6 +439,7 @@ pub struct OnlineChecker {
     stats: StreamStats,
     obs: Obs,
     metrics: Option<StreamMetrics>,
+    shutdown: ShutdownToken,
 }
 
 impl OnlineChecker {
@@ -477,6 +479,7 @@ impl OnlineChecker {
             stats: StreamStats::default(),
             obs: Obs::disabled(),
             metrics: None,
+            shutdown: ShutdownToken::new(),
         }
     }
 
@@ -518,6 +521,30 @@ impl OnlineChecker {
     /// [`StreamStats::violations`]).
     pub fn drain_violations(&mut self) -> Vec<StreamViolation> {
         std::mem::take(&mut self.violations)
+    }
+
+    /// The checker's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Attaches a shared [`ShutdownToken`]: feed loops poll
+    /// [`shutdown_requested`](Self::shutdown_requested) at their batch
+    /// boundaries and finalize through [`drain`](Self::drain) when it
+    /// trips. The checker itself never stops early — violations detected
+    /// between the trigger and the drain are still reported.
+    pub fn set_shutdown(&mut self, token: ShutdownToken) {
+        self.shutdown = token;
+    }
+
+    /// The attached shutdown token (untriggered and unshared by default).
+    pub fn shutdown_token(&self) -> &ShutdownToken {
+        &self.shutdown
+    }
+
+    /// Whether the attached [`ShutdownToken`] has been triggered.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.is_triggered()
     }
 
     /// Applies one event. Errors are sticky: the stream is poisoned after
@@ -1280,6 +1307,66 @@ impl OnlineChecker {
     /// reads as thin-air, surfaces `so ∪ wr` deadlocks as cycle violations,
     /// and returns the overall outcome.
     pub fn finish(mut self) -> Result<StreamOutcome, StreamError> {
+        self.finish_in_place()
+    }
+
+    /// [`finish`](Self::finish), then [`reset`](Self::reset): finalizes the
+    /// stream in place and leaves the checker empty but *warm* — the big
+    /// hash maps, index slabs, and graph adjacency keep their capacity, so
+    /// the next stream fed through the same checker allocates almost
+    /// nothing. This is the drain hook long-running hosts use (`awdit
+    /// serve` tenant pools, `watch --follow` on a [`ShutdownToken`]): the
+    /// terminal summary comes out, the allocations stay in.
+    pub fn drain(&mut self) -> Result<StreamOutcome, StreamError> {
+        let outcome = self.finish_in_place();
+        self.reset();
+        outcome
+    }
+
+    /// Clears all per-stream state — transactions, value maps, index,
+    /// clocks, DAG, violations, statistics, any sticky error — while
+    /// retaining allocation capacity where the underlying structures allow
+    /// it. The configuration and observability handles survive.
+    pub fn reset(&mut self) {
+        self.error = None;
+        self.session_ids.clear();
+        self.sessions.clear();
+        self.key_ids.clear();
+        self.key_names.clear();
+        self.writes.clear();
+        self.pruned_writes.clear();
+        self.txn_states.clear();
+        self.staged.clear();
+        self.waiting_value.clear();
+        self.waiting_txn.clear();
+        self.ready.clear();
+        self.index.clear();
+        self.tracker.reset();
+        // The RC kernel's scratch is round-stamped per reader and carries
+        // no cross-transaction state, so it is reusable as-is; the RA
+        // kernel's per-session latest-writer table is not.
+        self.ra.reset();
+        self.dag.clear();
+        self.reported_cycles.clear();
+        self.cycle_reports = 0;
+        self.violations.clear();
+        self.processed_since_gc = 0;
+        self.stats = StreamStats::default();
+        if let Some(m) = &self.metrics {
+            m.staged.set(0.0);
+            m.live.set(0.0);
+            m.live_edges.set(0.0);
+        }
+    }
+
+    /// [`reset`](Self::reset) with a new configuration — how a pooled
+    /// checker is re-issued to a tenant with different tuning.
+    pub fn reconfigure(&mut self, cfg: StreamConfig) {
+        self.reset();
+        self.cfg = cfg;
+    }
+
+    fn finish_in_place(&mut self) -> Result<StreamOutcome, StreamError> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }

@@ -49,6 +49,21 @@ impl IncrementalDag {
         Self::default()
     }
 
+    /// Removes every node and edge for a fresh stream. The slot arrays and
+    /// their adjacency lists keep their capacity; order values stay
+    /// monotone across the clear (the no-alias guarantee extends across
+    /// streams for free).
+    pub fn clear(&mut self) {
+        for v in &mut self.out {
+            v.clear();
+        }
+        for v in &mut self.inn {
+            v.clear();
+        }
+        self.alive.iter_mut().for_each(|a| *a = false);
+        self.edges = 0;
+    }
+
     /// Registers slot `v` as a fresh node at the end of the current order.
     /// Must be called before `v` appears in any edge; reuses freed slots.
     pub fn ensure_node(&mut self, v: u32) {

@@ -76,6 +76,16 @@ impl StreamIndex {
         self.live
     }
 
+    /// Empties the index for a fresh stream, retaining the slab's and the
+    /// write map's allocation capacity.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        self.num_sessions = 0;
+        self.writes_by_key.clear();
+    }
+
     /// Tracks that `k` sessions exist.
     pub fn ensure_sessions(&mut self, k: usize) {
         self.num_sessions = self.num_sessions.max(k);

@@ -52,6 +52,7 @@ pub mod checker;
 pub mod dag;
 pub mod event;
 pub mod index;
+pub mod shutdown;
 pub mod stats;
 
 pub use checker::{
@@ -60,4 +61,5 @@ pub use checker::{
 pub use dag::{DagEdge, IncrementalDag};
 pub use event::{events_of_history, for_each_event, Event};
 pub use index::{StreamIndex, TxnMeta};
+pub use shutdown::ShutdownToken;
 pub use stats::StreamStats;

@@ -1,0 +1,58 @@
+//! Cooperative shutdown signalling for long-running monitors.
+//!
+//! A [`ShutdownToken`] is a cheap, cloneable flag shared between the
+//! party that decides to stop (a signal handler, a server accept loop, a
+//! test harness) and the feed loops that should wind down. Triggering is
+//! idempotent and sticky; observers poll
+//! [`ShutdownToken::is_triggered`] at their natural batch boundaries —
+//! per event line, per accepted connection — and then finalize through
+//! [`OnlineChecker::drain`](crate::OnlineChecker::drain) so the terminal
+//! summary (thin-air reads, `so ∪ wr` deadlocks) is still emitted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, sticky stop flag.
+///
+/// All clones share one flag: any clone may [`ShutdownToken::trigger`]
+/// it, and every clone observes the change.
+/// The token carries no callback and allocates nothing beyond one shared
+/// atomic, so it is safe to hand to signal handlers (the trigger is a
+/// single async-signal-safe atomic store).
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether any clone has triggered shutdown.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = ShutdownToken::new();
+        let c = t.clone();
+        assert!(!t.is_triggered() && !c.is_triggered());
+        c.trigger();
+        assert!(t.is_triggered() && c.is_triggered());
+        c.trigger(); // idempotent
+        assert!(t.is_triggered());
+    }
+}

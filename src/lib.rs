@@ -24,6 +24,10 @@
 //! * [`stream`] — the online checker: incremental
 //!   saturation over transaction event streams with watermark-based
 //!   pruning and bounded memory.
+//! * [`serve`] — a multi-tenant network daemon over the online checker:
+//!   a std-only HTTP/1.1 layer, per-tenant sessions with staging-budget
+//!   backpressure and warm checker pooling, batch uploads, and
+//!   Prometheus metrics (`awdit serve`).
 //! * [`obs`] — zero-dependency observability: tracing spans
 //!   with Chrome `trace_event` export, a sharded metrics registry with
 //!   Prometheus text export, and phase-level profiling hooks wired
@@ -59,6 +63,7 @@ pub use awdit_formats as formats;
 pub use awdit_obs as obs;
 pub use awdit_reductions as reductions;
 pub use awdit_sat as sat;
+pub use awdit_serve as serve;
 pub use awdit_simdb as simdb;
 pub use awdit_stream as stream;
 pub use awdit_workloads as workloads;
