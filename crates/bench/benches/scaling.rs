@@ -1,16 +1,40 @@
 //! Criterion benches for the Fig. 9 scaling axes (transactions, sessions,
-//! transaction size) at micro scale, plus thread scaling of the sharded
-//! CC saturation engine.
+//! transaction size) at micro scale, plus per-stage thread scaling of the
+//! parallelized pipeline: CC saturation, the clock-table wavefront, SCC
+//! decomposition, and the streaming watermark GC.
 //!
 //! `AWDIT_BENCH_TXNS` (optional) overrides the thread-scaling history
-//! size, so CI can smoke-run the perf path with a tiny budget.
+//! size, and `AWDIT_BENCH_THREADS` (comma-separated, default `1,2,4,8`)
+//! the swept thread counts, so CI can smoke-run the perf path with a tiny
+//! budget. Every swept stage is bit-identical across thread counts — only
+//! wall-clock should move.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use awdit_bench::make_history;
-use awdit_core::{check, saturate_cc_with, CcStrategy, HistoryIndex, IsolationLevel};
+use awdit_core::{
+    base_commit_graph, check, compute_hb_wavefront_into, saturate_cc_with, CcStrategy, ClockTable,
+    CommitGraph, EdgeKind, HistoryIndex, IsolationLevel, Key,
+};
 use awdit_simdb::{collect_history, DbIsolation, SimConfig};
+use awdit_stream::{OnlineChecker, StreamConfig};
 use awdit_workloads::{Benchmark, Uniform};
+
+/// Thread counts for the per-stage sweeps: `AWDIT_BENCH_THREADS=1,2,8`.
+fn thread_counts() -> Vec<usize> {
+    std::env::var("AWDIT_BENCH_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn scaling_txns(default: usize) -> usize {
+    std::env::var("AWDIT_BENCH_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn bench_txn_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale-txns-cc");
@@ -62,16 +86,13 @@ fn bench_txn_size_scaling(c: &mut Criterion) {
 fn bench_cc_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale-threads-cc-saturation");
     group.sample_size(10);
-    let txns: usize = std::env::var("AWDIT_BENCH_TXNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+    let txns = scaling_txns(20_000);
     let config = SimConfig::new(DbIsolation::Causal, 64, 11).with_max_lag(16);
     let mut w = Uniform::default();
     let h = collect_history(config, &mut w, txns).expect("history builds");
     let index = HistoryIndex::new(&h);
     group.throughput(Throughput::Elements(index.num_committed() as u64));
-    for threads in [1usize, 2, 4, 8] {
+    for threads in thread_counts() {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &index, |b, index| {
             b.iter(|| {
                 saturate_cc_with(index, CcStrategy::BinarySearch, threads)
@@ -83,11 +104,99 @@ fn bench_cc_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread scaling of the clock-table wavefront alone (the `ComputeHB`
+/// pass the CC saturators run before inference), over the identical
+/// index and topological order.
+fn bench_clock_wavefront_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-threads-clock-pass");
+    group.sample_size(10);
+    let txns = scaling_txns(20_000);
+    let config = SimConfig::new(DbIsolation::Causal, 64, 13).with_max_lag(16);
+    let mut w = Uniform::default();
+    let h = collect_history(config, &mut w, txns).expect("history builds");
+    let index = HistoryIndex::new(&h);
+    let topo = base_commit_graph(&index)
+        .topological_order()
+        .expect("acyclic base");
+    group.throughput(Throughput::Elements(index.num_committed() as u64));
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &index, |b, index| {
+            let mut table = ClockTable::new();
+            b.iter(|| {
+                compute_hb_wavefront_into(index, &topo, threads, &mut table);
+                table.row(topo[topo.len() - 1])[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Thread scaling of the forward–backward SCC decomposition on one giant
+/// strongly connected component (the worst case for trimming: nothing
+/// peels, everything goes through the reachability rounds).
+fn bench_scc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-threads-sccs");
+    group.sample_size(10);
+    let n = scaling_txns(50_000) as u32;
+    let mut g = CommitGraph::new(n as usize);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n, EdgeKind::SessionOrder);
+    }
+    for v in (0..n).step_by(5) {
+        g.add_edge(v, (v + n / 3) % n, EdgeKind::Inferred(Key(0)));
+    }
+    group.throughput(Throughput::Elements(n as u64));
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &g, |b, g| {
+            b.iter(|| g.sccs_with(threads).len())
+        });
+    }
+    group.finish();
+}
+
+/// Thread scaling of the streaming watermark GC: an all-overwriting
+/// multi-session stream whose prune sweeps carry hundreds of candidates
+/// through the parallel boundary scan.
+fn bench_stream_gc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale-threads-stream-gc");
+    group.sample_size(10);
+    let rounds = (scaling_txns(20_000) / 8) as u64;
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let mut c = OnlineChecker::with_config(StreamConfig {
+                        level: IsolationLevel::Causal,
+                        prune: true,
+                        prune_interval: 512,
+                        threads,
+                        ..StreamConfig::default()
+                    });
+                    for round in 0..rounds {
+                        for s in 0..8u64 {
+                            c.begin(s).unwrap();
+                            c.write(s, s, round + 1).unwrap();
+                            c.commit(s).unwrap();
+                        }
+                    }
+                    c.finish().unwrap().stats().retired_txns
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_txn_scaling,
     bench_session_scaling,
     bench_txn_size_scaling,
-    bench_cc_thread_scaling
+    bench_cc_thread_scaling,
+    bench_clock_wavefront_scaling,
+    bench_scc_scaling,
+    bench_stream_gc_scaling
 );
 criterion_main!(benches);

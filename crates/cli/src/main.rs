@@ -93,9 +93,9 @@ USAGE:
                 [--witnesses N] [--cc-strategy STRAT] [--no-prune]
                 [--trace FILE] [--metrics FILE|-] [--stats-interval SECS]
                 [--follow] FILE|-   (NDJSON event stream)
-    awdit serve [--addr HOST:PORT] [--threads N] [--isolation rc|ra|cc]
-                [--no-prune] [--interval N] [--staging-budget N]
-                [--max-body BYTES] [--timeout SECS]
+    awdit serve [--addr HOST:PORT] [--threads N] [--check-threads N]
+                [--isolation rc|ra|cc] [--no-prune] [--interval N]
+                [--staging-budget N] [--max-body BYTES] [--timeout SECS]
                 [--trace FILE] [--metrics FILE|-]
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats [--report text|json] FILE
@@ -108,8 +108,10 @@ FORMATS: native (default), plume, dbcop, cobra, auto (check/stats only);
          binary columnar .awb form (magic-sniffed, mmap-loaded)
 BENCHMARKS: tpcc, ctwitter, rubis, uniform
 DB MODES: ser, causal, ra, rc
-THREADS: saturation worker threads (1 = sequential, 0 = all cores);
-         the verdict and witnesses are identical for every value;
+THREADS: saturation worker threads (1 = sequential, 0 = auto: all
+         available cores, resolved once when the engine starts and
+         reported in stats//healthz); the verdict and witnesses are
+         identical for every value;
          at 1 thread `check` streams each file straight into the
          engine's recycled ingest arenas (lowest peak memory);
          above 1, text files also parse in parallel byte-range
@@ -135,7 +137,10 @@ SERVE: a multi-tenant daemon over the online checker — stream NDJSON
          into named sessions (POST /v1/sessions/ID/events), upload whole
          histories for a batch verdict (POST /v1/check), poll violations
          (GET /v1/sessions/ID/violations), scrape GET /metrics and
-         /healthz; port 0 picks an ephemeral port (printed on stdout);
+         /healthz; --threads sets the accept/worker threads and
+         --check-threads the batch-check engine behind POST /v1/check
+         (both 0 = all cores); port 0 picks an ephemeral port (printed
+         on stdout);
          SIGINT/SIGTERM drains every open session and prints its final
          summary; exits 1 if any drained session was inconsistent
 CONVERT: streams IN (any supported format, auto-detected) to OUT via the
@@ -974,6 +979,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         .map(|w| w.parse().map_err(|_| "bad --threads value".to_string()))
         .transpose()?
         .unwrap_or(0usize);
+    let check_threads = flags
+        .get("check-threads")
+        .map(|w| {
+            w.parse()
+                .map_err(|_| "bad --check-threads value".to_string())
+        })
+        .transpose()?
+        .unwrap_or(0usize);
 
     // The /metrics endpoint is the point of running a daemon, so metrics
     // stay on even without --metrics; --trace/--metrics additionally get
@@ -994,6 +1007,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let server = Server::bind(ServeConfig {
         addr,
         threads,
+        check_threads,
         stream,
         staging_budget,
         limits: HttpLimits {

@@ -26,6 +26,8 @@
 //!   search the write lists. `O(n·(k + log n))` time, live-clock memory
 //!   only.
 
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
 use crate::graph::{base_commit_graph, base_commit_graph_into, CommitGraph, Cycle, EdgeKind};
 use crate::incremental::{EdgeSink, FnvMap};
 use crate::index::{HistoryIndex, NONE};
@@ -237,6 +239,183 @@ pub fn compute_hb_into(index: &HistoryIndex, topo: &[u32], table: &mut ClockTabl
     }
 }
 
+/// Work handed out per cursor grab inside a wavefront level — large
+/// enough to amortize the atomic, small enough to balance skewed rows.
+const WAVEFRONT_GRAIN: usize = 8;
+
+/// One wavefront row, written into `out`: seed from the session
+/// predecessor's sealed row (zeros for a session head), max-join each
+/// external-read writer's sealed row, then advance the own-session entry
+/// to the inclusive position. These are exactly the values
+/// [`ClockTable::compute_row`] produces — the session frontier a
+/// sequential pass seeds from *is* the predecessor's stored row, and the
+/// max-join is idempotent so its repeated-writer dedup is unnecessary.
+fn wavefront_row(index: &HistoryIndex, k: usize, rows: &[AtomicU32], t: u32, out: &mut [u32]) {
+    let s = index.session_of(t) as usize;
+    let pos = index.committed_pos(t);
+    if pos > 0 {
+        let pred = index.session_committed(SessionId(s as u32))[pos as usize - 1] as usize;
+        for (o, v) in out.iter_mut().zip(&rows[pred * k..pred * k + k]) {
+            *o = v.load(Ordering::Relaxed);
+        }
+    } else {
+        out.fill(0);
+    }
+    for r in index.ext_reads(t) {
+        let w = r.writer as usize;
+        for (o, v) in out.iter_mut().zip(&rows[w * k..w * k + k]) {
+            let v = v.load(Ordering::Relaxed);
+            if *o < v {
+                *o = v;
+            }
+        }
+    }
+    let inclusive = pos + 1;
+    if out[s] < inclusive {
+        out[s] = inclusive;
+    }
+}
+
+/// [`compute_hb_into`] on up to `threads` workers (`0` = all cores): a
+/// level-synchronous wavefront over the happens-before DAG, so the clock
+/// table fills on every core instead of serializing ahead of the sharded
+/// inference.
+///
+/// Each clock row is a pure join of already-sealed rows (the session
+/// predecessor's, plus each external-read writer's) followed by advancing
+/// the transaction's own session entry. Levels are longest-path depths in
+/// `so ∪ wr`: a transaction at level `l` reads only rows at levels `< l`,
+/// and levels strictly increase along a session, so a level holds at most
+/// one row per session and all of its writes are disjoint. Workers sweep
+/// the levels behind a barrier, splitting each level through an atomic
+/// cursor in `WAVEFRONT_GRAIN`-row chunks; every written value is a
+/// pure function of sealed rows, so the resulting table is bit-identical
+/// to the sequential pass for every thread count and schedule (the rows
+/// land in identity slots rather than the sequential allocation order —
+/// [`ClockTable::row`] resolves both).
+///
+/// Falls back to the sequential [`compute_hb_into`] when `threads <= 1`,
+/// the history is below [`parallel::SEQUENTIAL_CUTOFF`], or there is only
+/// one session (level width is capped by the session count).
+pub fn compute_hb_wavefront_into(
+    index: &HistoryIndex,
+    topo: &[u32],
+    threads: usize,
+    table: &mut ClockTable,
+) {
+    let threads = parallel::effective_threads(threads);
+    let m = index.num_committed();
+    let k = index.num_sessions();
+    if threads <= 1 || m < parallel::SEQUENTIAL_CUTOFF || k < 2 {
+        compute_hb_into(index, topo, table);
+        return;
+    }
+    let obs = awdit_obs::current();
+    let _span = obs.span("cc_clock_pass");
+    table.begin(k, m);
+    // Full-table identity layout: slot `t` holds `t`'s row.
+    table.rows.resize(m * k, 0);
+    for (t, slot) in table.slot_of.iter_mut().enumerate() {
+        *slot = t as u32;
+    }
+
+    // Level assignment: one cheap sequential sweep along the topological
+    // order (level = 1 + max over happens-before predecessors).
+    let mut level = vec![0u32; m];
+    let mut num_levels = 0usize;
+    for &t in topo {
+        let s = index.session_of(t) as usize;
+        let pos = index.committed_pos(t);
+        let mut lv = 0u32;
+        if pos > 0 {
+            let pred = index.session_committed(SessionId(s as u32))[pos as usize - 1];
+            lv = level[pred as usize] + 1;
+        }
+        for r in index.ext_reads(t) {
+            lv = lv.max(level[r.writer as usize] + 1);
+        }
+        level[t as usize] = lv;
+        num_levels = num_levels.max(lv as usize + 1);
+    }
+
+    // Stable counting sort of the topological order into level buckets —
+    // within a level, transactions keep their topological order.
+    let mut starts = vec![0u32; num_levels + 1];
+    for &t in topo {
+        starts[level[t as usize] as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    let mut by_level = vec![0u32; topo.len()];
+    let mut cursor = starts.clone();
+    for &t in topo {
+        let l = level[t as usize] as usize;
+        by_level[cursor[l] as usize] = t;
+        cursor[l] += 1;
+    }
+
+    // The wavefront fills an atomic image of the row buffer: writes at the
+    // current level hit disjoint rows, reads touch only rows sealed at
+    // lower levels, and the per-level barrier publishes them — relaxed
+    // atomics (plain loads/stores on every real ISA) add no ordering cost.
+    let scratch: Vec<AtomicU32> = (0..m * k).map(|_| AtomicU32::new(0)).collect();
+    let grab: Vec<AtomicUsize> = starts[..num_levels]
+        .iter()
+        .map(|&s| AtomicUsize::new(s as usize))
+        .collect();
+    let workers = threads.min(k);
+    let barrier = std::sync::Barrier::new(workers);
+    let timed = obs.enabled();
+    let pool_start = timed.then(std::time::Instant::now);
+    let mut busy_total = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let _ctx = awdit_obs::set_current(&obs);
+                    let _span = obs.span("pool_worker");
+                    let mut busy = 0u64;
+                    let mut out = vec![0u32; k];
+                    for l in 0..num_levels {
+                        let end = starts[l + 1] as usize;
+                        let t0 = timed.then(std::time::Instant::now);
+                        loop {
+                            let i = grab[l].fetch_add(WAVEFRONT_GRAIN, Ordering::Relaxed);
+                            if i >= end {
+                                break;
+                            }
+                            for &t in &by_level[i..end.min(i + WAVEFRONT_GRAIN)] {
+                                wavefront_row(index, k, &scratch, t, &mut out);
+                                let r = t as usize * k;
+                                for (dst, &v) in scratch[r..r + k].iter().zip(out.iter()) {
+                                    dst.store(v, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        if let Some(t0) = t0 {
+                            busy += t0.elapsed().as_nanos() as u64;
+                        }
+                        barrier.wait();
+                    }
+                    busy
+                })
+            })
+            .collect();
+        for h in handles {
+            busy_total += h.join().expect("clock wavefront worker panicked");
+        }
+    });
+    if let (Some(start), Some(metrics)) = (pool_start, obs.metrics()) {
+        let capacity_ns = (start.elapsed().as_nanos() as u64).saturating_mul(workers as u64);
+        parallel::record_pool_metrics(metrics, "cc_clock_pass", busy_total, capacity_ns);
+    }
+    // Publish the sealed image into the table's row arena.
+    for (dst, src) in table.rows.iter_mut().zip(&scratch) {
+        *dst = src.load(Ordering::Relaxed);
+    }
+}
+
 /// Saturates the minimal commit relation for Causal Consistency.
 ///
 /// # Errors
@@ -250,8 +429,9 @@ pub fn saturate_cc(index: &HistoryIndex, strategy: CcStrategy) -> Result<CommitG
 
 /// [`saturate_cc`] on up to `threads` worker threads (`0` = all cores).
 ///
-/// Happens-before clocks are computed in one sequential topological pass;
-/// the inference over them is read-only per transaction, so it shards —
+/// Happens-before clocks fill on every worker via the level-synchronous
+/// [`compute_hb_wavefront_into`] pass; the inference over them is
+/// read-only per transaction, so it shards —
 /// contiguous chunks of the topological order for
 /// [`CcStrategy::BinarySearch`], contiguous session groups for
 /// [`CcStrategy::PointerScan`] — with thread-local edge sinks concatenated
@@ -307,7 +487,7 @@ pub fn saturate_cc_scratch(
     let topo_span = obs.span("cc_topo_order");
     let topo = match g.topological_order() {
         Some(t) => t,
-        None => return Err(g.find_cycles(usize::MAX)),
+        None => return Err(g.find_cycles_with(usize::MAX, threads)),
     };
     drop(topo_span);
     let threads = parallel::effective_threads(threads);
@@ -401,10 +581,10 @@ fn pointer_scan_par(
     threads: usize,
     clocks: &mut ClockTable,
 ) {
-    compute_hb_into(index, topo, clocks);
+    compute_hb_wavefront_into(index, topo, threads, clocks);
     let clocks = &*clocks;
     let groups = parallel::session_groups(index, threads * 2);
-    let sinks = parallel::map_shards(threads, &groups, |_, sessions| {
+    let sinks = parallel::map_shards(threads, "cc_pointer_scan", &groups, |_, sessions| {
         let mut sink = parallel::EdgeBuf::new();
         for s in sessions.clone() {
             pointer_scan_session(index, clocks, s as u32, &mut sink);
@@ -415,7 +595,7 @@ fn pointer_scan_par(
 }
 
 /// Sharded `BinarySearch` strategy: the clock table is materialized by the
-/// sequential [`compute_hb_into`] pass, then contiguous chunks of the
+/// wavefront [`compute_hb_wavefront_into`] pass, then contiguous chunks of the
 /// topological order run [`infer_cc_edges`] on workers, merged in chunk
 /// order (identical emission to the sequential on-the-fly variant, which
 /// also processes transactions in topological order).
@@ -426,10 +606,10 @@ fn binary_search_par(
     threads: usize,
     clocks: &mut ClockTable,
 ) {
-    compute_hb_into(index, topo, clocks);
+    compute_hb_wavefront_into(index, topo, threads, clocks);
     let clocks = &*clocks;
     let shards = parallel::split_even(topo.len(), threads * 4);
-    let sinks = parallel::map_shards(threads, &shards, |_, range| {
+    let sinks = parallel::map_shards(threads, "cc_binary_search", &shards, |_, range| {
         let mut sink = parallel::EdgeBuf::new();
         for &t3 in &topo[range.start as usize..range.end as usize] {
             crate::incremental::infer_cc_edges(index, t3, clocks.row(t3), &mut sink);

@@ -269,6 +269,11 @@ pub struct EngineStats {
     /// Current heap footprint of the handle's arenas (index + graph +
     /// clock table + ingest), in bytes (capacities, not lengths).
     pub arena_bytes: usize,
+    /// The resolved worker-thread count this engine runs with. A config
+    /// of `0` ("all cores") is resolved against the machine's available
+    /// parallelism when the engine is built, so this is always concrete
+    /// (≥ 1) — what `/healthz` and capacity dashboards report.
+    pub threads: usize,
 }
 
 /// The per-check scratch arenas: a [`HistoryIndex`], a [`CommitGraph`],
@@ -346,7 +351,12 @@ impl Engine {
     }
 
     /// An engine with an explicit config.
-    pub fn with_config(cfg: EngineConfig) -> Self {
+    ///
+    /// A `threads` knob of `0` ("use all cores") is resolved here, once,
+    /// against [`parallel::available_threads`] — every later fork–join
+    /// sees the concrete count, and [`stats`](Self::stats) reports it.
+    pub fn with_config(mut cfg: EngineConfig) -> Self {
+        cfg.threads = parallel::effective_threads(cfg.threads);
         Engine {
             cfg,
             scratch: Scratch::new(),
@@ -371,9 +381,13 @@ impl Engine {
         &self.cfg
     }
 
-    /// Usage counters, including the arena-growth accounting.
+    /// Usage counters, including the arena-growth accounting and the
+    /// resolved thread count.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            threads: self.cfg.threads,
+            ..self.stats
+        }
     }
 
     /// The engine's observability handle ([`Obs::disabled`] unless one
@@ -475,9 +489,13 @@ impl Engine {
         let obs = self.obs.clone();
         let _ctx = awdit_obs::set_current(&obs);
         let _batch = obs.span("check_many");
-        let outcomes = parallel::map_shards_with(threads, &items, Scratch::new, |scratch, _, h| {
-            check_with_scratch(&cfg, scratch, h, level)
-        });
+        let outcomes = parallel::map_shards_with(
+            threads,
+            "check_many",
+            &items,
+            Scratch::new,
+            |scratch, _, h| check_with_scratch(&cfg, scratch, h, level),
+        );
         self.stats.histories += outcomes.len() as u64;
         self.stats.checks += outcomes.len() as u64;
         if let Some(metrics) = obs.metrics() {
@@ -528,7 +546,14 @@ impl Engine {
         let threads = parallel::effective_threads(self.cfg.threads);
         source.set_threads(threads);
         if threads > 1 {
-            let sourced = collect_source(source)?;
+            // Sources with a parallel drain (the file sources) parse
+            // their inputs through the pool; everything else collects
+            // sequentially (each history still parsing sharded via the
+            // `set_threads` hint above).
+            let sourced = match source.collect_parallel(threads) {
+                Some(result) => result?,
+                None => collect_source(source)?,
+            };
             let outcomes = self.check_many(sourced.iter().map(|s| &s.history));
             return Ok(sourced.into_iter().map(|s| s.name).zip(outcomes).collect());
         }
@@ -1084,7 +1109,7 @@ fn finish_graph(
     stats.inferred_edges = g.num_inferred_edges();
     let cycles = {
         let _s = obs.span("cycle_extraction");
-        g.find_cycles(cfg.max_cycles)
+        g.find_cycles_with(cfg.max_cycles, cfg.threads)
     };
     if cycles.is_empty() {
         if cfg.want_commit_order {
@@ -1164,6 +1189,26 @@ pub trait HistorySource {
     /// that can parse sharded (the file sources in `awdit-formats`)
     /// honor it; the default ignores it.
     fn set_threads(&mut self, _threads: usize) {}
+
+    /// Drains every remaining history at once, parsing inputs **in
+    /// parallel** where the source supports it. `None` (the default)
+    /// means the source has no parallel drain — callers fall back to the
+    /// sequential [`collect_source`].
+    ///
+    /// Implementations must match the sequential drain exactly: histories
+    /// in input order, bit-identical contents at every thread count, and
+    /// on failure the error the sequential drain would have hit *first*
+    /// (even if a later input also failed, or failed sooner in wall
+    /// time). The file sources in `awdit-formats` implement this by
+    /// splitting the thread budget between file-level work-stealing and
+    /// intra-file sharded parsing, so a fleet of a few huge files and a
+    /// pile of small ones both saturate the pool.
+    fn collect_parallel(
+        &mut self,
+        _threads: usize,
+    ) -> Option<Result<Vec<SourcedHistory>, SourceError>> {
+        None
+    }
 }
 
 /// Every iterator of `Result<SourcedHistory, SourceError>` is a source —

@@ -94,8 +94,8 @@ pub mod vector_clock;
 pub mod witness;
 
 pub use cc::{
-    causality_cycles, compute_hb, compute_hb_into, saturate_cc, saturate_cc_scratch,
-    saturate_cc_with, CcStrategy, ClockTable,
+    causality_cycles, compute_hb, compute_hb_into, compute_hb_wavefront_into, saturate_cc,
+    saturate_cc_scratch, saturate_cc_with, CcStrategy, ClockTable,
 };
 pub use checker::{
     check, check_all_levels, check_all_levels_with, check_with, CheckOptions, CheckStats, Outcome,

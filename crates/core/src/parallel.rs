@@ -49,15 +49,19 @@ pub fn effective_threads(requested: usize) -> usize {
 /// contract). Shards are handed out dynamically (an atomic cursor), so
 /// uneven shards still balance.
 ///
+/// `stage` names the pipeline stage for the per-stage pool metrics
+/// (`awdit_pool_stage_busy_ns_total{stage="..."}`), so a metrics snapshot
+/// shows *which* stage saturates the pool, not just that something did.
+///
 /// With `threads <= 1` or a single shard this degenerates to a plain
 /// sequential loop — no threads are spawned.
-pub fn map_shards<S, R, F>(threads: usize, shards: &[S], f: F) -> Vec<R>
+pub fn map_shards<S, R, F>(threads: usize, stage: &'static str, shards: &[S], f: F) -> Vec<R>
 where
     S: Sync,
     R: Send,
     F: Fn(usize, &S) -> R + Sync,
 {
-    map_shards_with(threads, shards, || (), |(), i, s| f(i, s))
+    map_shards_with(threads, stage, shards, || (), |(), i, s| f(i, s))
 }
 
 /// [`map_shards`] with **worker-local state**: each worker thread builds
@@ -67,7 +71,13 @@ where
 /// per worker instead of once per shard. Results are still returned in
 /// shard order; the sequential path (`threads <= 1` or a single shard)
 /// uses a single `T` for all shards, matching what one worker would do.
-pub fn map_shards_with<S, T, R, Init, F>(threads: usize, shards: &[S], init: Init, f: F) -> Vec<R>
+pub fn map_shards_with<S, T, R, Init, F>(
+    threads: usize,
+    stage: &'static str,
+    shards: &[S],
+    init: Init,
+    f: F,
+) -> Vec<R>
 where
     S: Sync,
     R: Send,
@@ -130,17 +140,41 @@ where
         // Capacity = wall time × workers; utilization is the fraction of
         // that capacity the shard kernels actually ran for.
         let capacity_ns = (start.elapsed().as_nanos() as u64).saturating_mul(workers as u64);
-        metrics.counter("awdit_pool_forks_total").inc();
-        metrics.counter("awdit_pool_busy_ns_total").add(busy_ns);
-        metrics.counter("awdit_pool_wall_ns_total").add(capacity_ns);
-        if capacity_ns > 0 {
-            metrics
-                .gauge("awdit_pool_utilization")
-                .set(busy_ns as f64 / capacity_ns as f64);
-        }
+        record_pool_metrics(metrics, stage, busy_ns, capacity_ns);
     }
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Emits one fork–join's pool metrics: the aggregate counters plus the
+/// per-stage labeled series (the labeled busy counters partition the
+/// aggregate, so a snapshot shows *which* stage saturates the pool).
+/// Shared by [`map_shards_with`] and custom fork–joins (the CC clock
+/// wavefront) whose loop shape doesn't fit `map_shards`.
+pub(crate) fn record_pool_metrics(
+    metrics: &awdit_obs::metrics::MetricsRegistry,
+    stage: &'static str,
+    busy_ns: u64,
+    capacity_ns: u64,
+) {
+    metrics.counter("awdit_pool_forks_total").inc();
+    metrics.counter("awdit_pool_busy_ns_total").add(busy_ns);
+    metrics.counter("awdit_pool_wall_ns_total").add(capacity_ns);
+    if capacity_ns > 0 {
+        metrics
+            .gauge("awdit_pool_utilization")
+            .set(busy_ns as f64 / capacity_ns as f64);
+    }
+    metrics
+        .counter(&format!(
+            "awdit_pool_stage_forks_total{{stage=\"{stage}\"}}"
+        ))
+        .inc();
+    metrics
+        .counter(&format!(
+            "awdit_pool_stage_busy_ns_total{{stage=\"{stage}\"}}"
+        ))
+        .add(busy_ns);
 }
 
 /// Splits `0..n` into up to `parts` contiguous, near-equal ranges (none
@@ -332,8 +366,8 @@ mod tests {
     #[test]
     fn map_shards_preserves_shard_order() {
         let shards: Vec<usize> = (0..37).collect();
-        let seq = map_shards(1, &shards, |i, &s| (i, s * 2));
-        let par = map_shards(8, &shards, |i, &s| (i, s * 2));
+        let seq = map_shards(1, "test_stage", &shards, |i, &s| (i, s * 2));
+        let par = map_shards(8, "test_stage", &shards, |i, &s| (i, s * 2));
         assert_eq!(seq, par);
         for (i, &(j, v)) in par.iter().enumerate() {
             assert_eq!(i, j);

@@ -98,7 +98,7 @@ pub fn saturate_ra_into(index: &HistoryIndex, threads: usize, g: &mut CommitGrap
         return;
     }
     let groups = crate::parallel::session_groups(index, threads * 2);
-    let sinks = crate::parallel::map_shards(threads, &groups, |_, sessions| {
+    let sinks = crate::parallel::map_shards(threads, "saturate_ra", &groups, |_, sessions| {
         let mut kernel = crate::incremental::RaKernel::new();
         let mut sink = crate::parallel::EdgeBuf::new();
         for s in sessions.clone() {

@@ -70,7 +70,7 @@ pub fn saturate_rc_into(index: &HistoryIndex, threads: usize, g: &mut CommitGrap
         return;
     }
     let shards = parallel::split_even(m, threads * 4);
-    let sinks = parallel::map_shards(threads, &shards, |_, range| {
+    let sinks = parallel::map_shards(threads, "saturate_rc", &shards, |_, range| {
         let mut kernel = RcKernel::new();
         let mut sink = parallel::EdgeBuf::new();
         for t3 in range.clone() {

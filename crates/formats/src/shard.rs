@@ -85,7 +85,7 @@ pub fn read_sharded_at<S: HistorySink + ?Sized>(
     let obs = awdit_obs::current();
     let stages: Vec<Option<Stage>> = {
         let _span = obs.span("ingest_shard_parse");
-        parallel::map_shards(threads, &ranges, |i, range| {
+        parallel::map_shards(threads, "ingest_shard_parse", &ranges, |i, range| {
             stage_shard(&data[range.clone()], format, i == 0)
         })
     };

@@ -236,6 +236,60 @@ impl HistorySource for FilesSource {
     fn set_threads(&mut self, threads: usize) {
         self.threads = awdit_core::parallel::effective_threads(threads);
     }
+
+    /// The cross-file parallel drain: the thread budget is split into
+    /// `W = min(threads, files)` file workers that steal whole files from
+    /// a shared cursor, each parsing its file in `threads / W` shards —
+    /// so a pile of small files parallelizes across files, a fleet of a
+    /// few huge ones still shards within each file, and the two compose
+    /// for everything in between. Histories come back in path order and
+    /// are bit-identical to the sequential drain; on failure the
+    /// first-failing file *in path order* wins, matching
+    /// [`collect_source`](awdit_core::collect_source)'s fail-fast
+    /// semantics.
+    fn collect_parallel(
+        &mut self,
+        threads: usize,
+    ) -> Option<Result<Vec<SourcedHistory>, SourceError>> {
+        let threads = awdit_core::parallel::effective_threads(threads);
+        let paths = &self.paths[self.pos.min(self.paths.len())..];
+        if threads <= 1 || paths.len() <= 1 {
+            // The sequential drain already shards within each file via
+            // `self.threads` — nothing to gain here.
+            return None;
+        }
+        let workers = threads.min(paths.len());
+        let shard_threads = (threads / workers).max(1);
+        let format = self.format;
+        let results = awdit_core::parallel::map_shards_with(
+            workers,
+            "fleet_parse",
+            paths,
+            Vec::new,
+            |buf: &mut Vec<u8>, _, path| {
+                let origin = path.display().to_string();
+                let mut b = HistoryBuilder::new();
+                read_path_into(path, format, shard_threads, buf, &mut b).map_err(|message| {
+                    SourceError {
+                        origin: origin.clone(),
+                        message,
+                    }
+                })?;
+                let history = b.finish().map_err(|e| SourceError {
+                    origin: origin.clone(),
+                    message: e.to_string(),
+                })?;
+                Ok(SourcedHistory {
+                    name: origin,
+                    history,
+                })
+            },
+        );
+        self.pos = self.paths.len();
+        // Results are in path order, so the first `Err` here is the one
+        // the sequential drain would have stopped at.
+        Some(results.into_iter().collect())
+    }
 }
 
 /// A [`HistorySource`] over every regular file of a directory, sorted by
@@ -313,6 +367,13 @@ impl HistorySource for DirSource {
 
     fn set_threads(&mut self, threads: usize) {
         self.inner.set_threads(threads);
+    }
+
+    fn collect_parallel(
+        &mut self,
+        threads: usize,
+    ) -> Option<Result<Vec<SourcedHistory>, SourceError>> {
+        self.inner.collect_parallel(threads)
     }
 }
 
@@ -427,6 +488,58 @@ mod tests {
         let err = src.next_history().unwrap().unwrap_err();
         assert!(err.message.contains("cannot read"), "{err}");
         assert!(src.next_history().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn parallel_collect_matches_sequential_drain() {
+        let dir = tmpdir("par");
+        let h = committed_sample();
+        for i in 0..7 {
+            std::fs::write(
+                dir.join(format!("h{i}.awdit")),
+                crate::write_history(&h, Format::Native),
+            )
+            .unwrap();
+        }
+        let expected = collect_source(&mut DirSource::new(&dir).unwrap()).unwrap();
+        for threads in [2, 3, 8, 32] {
+            let got = DirSource::new(&dir)
+                .unwrap()
+                .collect_parallel(threads)
+                .expect("multi-file source has a parallel drain")
+                .unwrap();
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.name, e.name);
+                assert_eq!(g.history, e.history);
+            }
+        }
+        // One file or one thread: no parallel drain (callers fall back).
+        let mut one = FilesSource::new([dir.join("h0.awdit")]);
+        assert!(one.collect_parallel(8).is_none());
+        let mut seq = DirSource::new(&dir).unwrap();
+        assert!(seq.collect_parallel(1).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn parallel_collect_fails_on_first_bad_file_in_path_order() {
+        let dir = tmpdir("par-err");
+        let h = committed_sample();
+        std::fs::write(
+            dir.join("a.awdit"),
+            crate::write_history(&h, Format::Native),
+        )
+        .unwrap();
+        std::fs::write(dir.join("b.awdit"), "first bad file\n").unwrap();
+        std::fs::write(dir.join("c.awdit"), "second bad file\n").unwrap();
+        let err = DirSource::new(&dir)
+            .unwrap()
+            .collect_parallel(4)
+            .unwrap()
+            .unwrap_err();
+        assert!(err.origin.ends_with("b.awdit"), "{err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

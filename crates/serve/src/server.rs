@@ -54,6 +54,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// Accept/worker threads (`0` = all cores).
     pub threads: usize,
+    /// Worker threads for the shared batch-check engine behind
+    /// `POST /v1/check` (`0` = all cores). Independent of the accept
+    /// threads *and* of the per-tenant stream config: a one-shot batch
+    /// check can saturate the box even when online tenants are tuned
+    /// down.
+    pub check_threads: usize,
     /// Default per-tenant stream configuration (level, pruning, …).
     pub stream: StreamConfig,
     /// Default per-tenant staging budget: intake returns `429` while a
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             threads: 0,
+            check_threads: 0,
             stream: StreamConfig::default(),
             staging_budget: 4096,
             limits: HttpLimits::default(),
@@ -188,7 +195,7 @@ impl Server {
         let threads = parallel::effective_threads(cfg.threads);
         let engine_cfg = EngineConfig {
             level: cfg.stream.level,
-            threads: cfg.stream.threads,
+            threads: cfg.check_threads,
             ..EngineConfig::default()
         };
         let mut engine = Engine::with_config(engine_cfg);
@@ -418,7 +425,8 @@ impl Server {
         let body = format!(
             "{{\"status\":\"{}\",\"sessions\":{{\"open\":{},\"finished\":{},\"pooled\":{}}},\
              \"stream\":{{{}}},\
-             \"engine\":{{\"histories\":{},\"checks\":{},\"arena_growths\":{},\"arena_bytes\":{}}},\
+             \"engine\":{{\"histories\":{},\"checks\":{},\"arena_growths\":{},\"arena_bytes\":{},\
+             \"threads\":{}}},\
              \"tenants\":[{}]}}",
             status,
             open,
@@ -429,6 +437,7 @@ impl Server {
             es.checks,
             es.arena_growths,
             es.arena_bytes,
+            es.threads,
             tenants,
         );
         write_response(writer, 200, "application/json", body.as_bytes(), &[], true)?;

@@ -513,6 +513,14 @@ impl OnlineChecker {
         self.tracker.watermark()
     }
 
+    /// The retained (not yet pruned) committed transactions, sorted — the
+    /// thread-count differential suites compare this live set after GC.
+    pub fn live_txn_ids(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self.index.live_slots().map(|(_, m)| m.txn_id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Takes the violations emitted since the last drain (for live
     /// reporting). Draining keeps a long-running monitor's memory bounded:
     /// drained violations are handed to the caller and no longer retained,
@@ -1151,7 +1159,7 @@ impl OnlineChecker {
         let session = meta.session;
         let shards =
             parallel::split_even(pairs.len(), threads.min(pairs.len() / MIN_PAIRS_PER_SHARD));
-        let sinks = parallel::map_shards(threads, &shards, |_, r| {
+        let sinks = parallel::map_shards(threads, "stream_infer_cc", &shards, |_, r| {
             let mut sink = parallel::EdgeBuf::new();
             let chunk = &pairs[r.start as usize..r.end as usize];
             infer_cc_pairs(index, session, chunk, clock.entries(), &mut sink);
@@ -1210,30 +1218,57 @@ impl OnlineChecker {
             .collect();
         candidates.sort_unstable();
 
-        for (_, slot) in candidates {
-            // Keep boundary writers: the latest retained writer of each
-            // (session, key) must survive so later CC lookups below the
-            // watermark still find their visible writer.
-            let (session, pos, keys) = {
-                let m = self.index.meta(slot);
-                (m.session, m.committed_pos, m.keys_written.clone())
-            };
-            let bound = wm.get(session as usize);
-            let is_boundary = keys.iter().any(|&key| {
-                let list = self.index.session_key_writers(session, key);
+        // Keep boundary writers: the latest retained writer of each
+        // (session, key) must survive so later CC lookups below the
+        // watermark still find their visible writer. The check is
+        // read-only per candidate, so it fans out over the pool ahead of
+        // the sequential retire sweep. Precomputing every verdict before
+        // any retire matches the interleaved sequential sweep exactly:
+        // candidates run in DAG order, which within one (session, key)
+        // writer list is session-position order, so a retire only ever
+        // removes writers *before* a later candidate in its list — the
+        // successor entry its check reads is untouched, and boundary
+        // writers themselves are never retired.
+        const MIN_CANDIDATES_PER_SHARD: usize = 32;
+        let index = &self.index;
+        let check = |slot: u32| -> bool {
+            let m = index.meta(slot);
+            let bound = wm.get(m.session as usize);
+            debug_assert!(m.committed_pos < bound);
+            m.keys_written.iter().any(|&key| {
+                let list = index.session_key_writers(m.session, key);
                 let i = list
                     .iter()
                     .position(|&w| w == slot)
                     .expect("writer listed for its key");
                 match list.get(i + 1) {
-                    Some(&next) => self.index.meta(next).committed_pos >= bound,
+                    Some(&next) => index.meta(next).committed_pos >= bound,
                     None => true,
                 }
+            })
+        };
+        let threads = parallel::effective_threads(self.cfg.threads);
+        let boundary: Vec<bool> = if threads <= 1 || candidates.len() < 2 * MIN_CANDIDATES_PER_SHARD
+        {
+            candidates.iter().map(|&(_, slot)| check(slot)).collect()
+        } else {
+            let shards = parallel::split_even(
+                candidates.len(),
+                threads.min(candidates.len() / MIN_CANDIDATES_PER_SHARD),
+            );
+            let verdicts = parallel::map_shards(threads, "stream_gc", &shards, |_, r| {
+                candidates[r.start as usize..r.end as usize]
+                    .iter()
+                    .map(|&(_, slot)| check(slot))
+                    .collect::<Vec<bool>>()
             });
+            verdicts.concat()
+        };
+
+        for (&(_, slot), &is_boundary) in candidates.iter().zip(&boundary) {
             if is_boundary {
                 continue;
             }
-            debug_assert!(pos < bound);
             self.retire(slot);
         }
     }

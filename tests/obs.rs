@@ -192,6 +192,73 @@ fn engine_metrics_reconcile_with_engine_stats() {
     }
 }
 
+/// The per-stage pool series must partition the aggregate pool counters:
+/// every fork is attributed to exactly one named stage, and the labeled
+/// busy-time counters sum to `awdit_pool_busy_ns_total` exactly.
+#[test]
+fn pool_stage_series_partition_the_aggregates() {
+    let obs = Obs::new();
+    let mut engine = Engine::builder()
+        .level(IsolationLevel::Causal)
+        .threads(8)
+        .obs(obs.clone())
+        .build();
+    // Big enough to clear the sequential cutoff so the sharded stages
+    // (clock wavefront included) actually fork; staleness 0 keeps the
+    // history repeatable-read-clean, so the RA level reaches saturation
+    // instead of stopping at the precheck.
+    let h = random_plausible_history(
+        5,
+        GenParams {
+            sessions: 8,
+            txns: 2000,
+            keys: 24,
+            max_txn_ops: 4,
+            staleness: 0.0,
+            ..GenParams::default()
+        },
+    );
+    engine.check_all_levels(&h);
+
+    let series = awdit::obs::metrics::parse_prometheus(&obs.export_prometheus()).unwrap();
+    let sum_of = |name: &str| -> f64 {
+        series
+            .iter()
+            .filter(|(n, _)| n.starts_with(&format!("{name}{{stage=\"")))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let total = |name: &str| -> f64 {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .expect("aggregate series present")
+    };
+    for stage in [
+        "saturate_rc",
+        "saturate_ra",
+        "cc_binary_search",
+        "cc_clock_pass",
+    ] {
+        let name = format!("awdit_pool_stage_forks_total{{stage=\"{stage}\"}}");
+        assert!(
+            series.iter().any(|(n, v)| *n == name && *v > 0.0),
+            "missing stage series {name}"
+        );
+    }
+    assert_eq!(
+        sum_of("awdit_pool_stage_forks_total"),
+        total("awdit_pool_forks_total"),
+        "stage forks must partition the aggregate"
+    );
+    assert_eq!(
+        sum_of("awdit_pool_stage_busy_ns_total"),
+        total("awdit_pool_busy_ns_total"),
+        "stage busy time must partition the aggregate"
+    );
+}
+
 #[test]
 fn stream_metrics_reconcile_with_stream_stats() {
     for (name, h) in gen_histories() {

@@ -12,7 +12,10 @@
 use awdit::baselines::{random_noisy_history, random_plausible_history, GenParams};
 use awdit::core::cc::CcStrategy;
 use awdit::core::parallel::SEQUENTIAL_CUTOFF;
-use awdit::core::{saturate_cc_with, HistoryIndex};
+use awdit::core::{
+    base_commit_graph, compute_hb_into, compute_hb_wavefront_into, saturate_cc_with, ClockTable,
+    CommitGraph, EdgeKind, HistoryIndex,
+};
 use awdit::{check_with, CheckOptions, DbIsolation, History, IsolationLevel};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -174,6 +177,212 @@ fn online_checker_is_thread_invariant_on_wide_commits() {
             run(threads),
             "stream diverged at {threads} threads"
         );
+    }
+}
+
+/// Per-stage differential: the wavefront clock pass must produce the
+/// exact clock table of the sequential `ComputeHB`, row for row (rows
+/// land in different *slots* — identity vs allocation order — so the
+/// comparison goes through [`ClockTable::row`], never raw buffers).
+#[test]
+fn wavefront_clock_pass_matches_sequential_rows() {
+    let mut cases = vec![
+        ("wide", wide_uniform_history(64, 1600, 7)),
+        (
+            "noisy",
+            random_noisy_history(
+                11,
+                GenParams {
+                    sessions: 8,
+                    txns: SEQUENTIAL_CUTOFF + 400,
+                    keys: 16,
+                    ..GenParams::default()
+                },
+            ),
+        ),
+    ];
+    // One session: the wavefront has no width — the fallback must still
+    // produce identical rows.
+    cases.push((
+        "one-session",
+        random_plausible_history(
+            3,
+            GenParams {
+                sessions: 1,
+                txns: SEQUENTIAL_CUTOFF + 100,
+                keys: 8,
+                ..GenParams::default()
+            },
+        ),
+    ));
+    for (label, h) in &cases {
+        let index = HistoryIndex::new(h);
+        let g = base_commit_graph(&index);
+        let Some(topo) = g.topological_order() else {
+            panic!("[{label}] base graph must be acyclic");
+        };
+        let mut seq = ClockTable::new();
+        compute_hb_into(&index, &topo, &mut seq);
+        for threads in [2usize, 8] {
+            let mut par = ClockTable::new();
+            compute_hb_wavefront_into(&index, &topo, threads, &mut par);
+            for &t in &topo {
+                assert_eq!(
+                    seq.row(t),
+                    par.row(t),
+                    "clock row of t{t} diverged [{label}] at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Per-stage differential: the forward–backward SCC decomposition must
+/// produce the same canonical partition *and* the same witness cycles as
+/// single-threaded Tarjan, on graph shapes chosen to stress it: one
+/// giant SCC (trim peels nothing), a pure path (trim peels everything),
+/// and a deterministic random mix of small SCCs inside a DAG.
+#[test]
+fn parallel_sccs_and_cycles_match_tarjan() {
+    let giant = {
+        // A 3000-cycle plus deterministic chords: one SCC spanning every
+        // node, well above the FW-BW engagement cutoff.
+        let n = 3000u32;
+        let mut g = CommitGraph::new(n as usize);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n, EdgeKind::SessionOrder);
+        }
+        for v in (0..n).step_by(7) {
+            g.add_edge(v, (v + 997) % n, EdgeKind::Inferred(awdit::core::Key(0)));
+        }
+        g
+    };
+    let path = {
+        let n = 2500u32;
+        let mut g = CommitGraph::new(n as usize);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1, EdgeKind::SessionOrder);
+        }
+        g
+    };
+    let mixed = {
+        // Forward DAG edges (v -> v + step) keep it mostly acyclic; every
+        // 16th node gets a short back edge, closing a small local SCC.
+        let n = 4000u32;
+        let mut g = CommitGraph::new(n as usize);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for v in 0..n {
+            for _ in 0..2 {
+                let step = 1 + rng() % 40;
+                if v + step < n {
+                    g.add_edge(v, v + step, EdgeKind::WriteRead(awdit::core::Key(0)));
+                }
+            }
+            if v % 16 == 0 && v >= 8 {
+                g.add_edge(v, v - 8, EdgeKind::Inferred(awdit::core::Key(1)));
+            }
+        }
+        g
+    };
+    for (label, g) in [("giant", &giant), ("path", &path), ("mixed", &mixed)] {
+        let sccs_ref = g.sccs_with(1);
+        let cycles_ref = g.find_cycles_with(usize::MAX, 1);
+        let n: usize = sccs_ref.iter().map(Vec::len).sum();
+        assert_eq!(n, g.num_nodes(), "[{label}] partition must cover the graph");
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sccs_ref,
+                g.sccs_with(threads),
+                "[{label}] SCC partition diverged at {threads} threads"
+            );
+            assert_eq!(
+                cycles_ref,
+                g.find_cycles_with(usize::MAX, threads),
+                "[{label}] witness cycles diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Per-stage differential: the parallel watermark-GC boundary scan must
+/// retire the exact transactions the sequential sweep retires — checked
+/// through the retained live set and the full stream stats, on an
+/// all-retirable workload (every write overwritten, watermark chasing
+/// the stream) and a single-session one.
+#[test]
+fn parallel_stream_gc_matches_sequential_live_set() {
+    use awdit::stream::{OnlineChecker, StreamConfig};
+
+    // Every session overwrites the same tiny key set round after round
+    // and reads its peers' latest values, so the watermark advances and
+    // each sweep sees hundreds of retirable candidates.
+    let run_all_retirable = |threads: usize| {
+        let mut c = OnlineChecker::with_config(StreamConfig {
+            level: IsolationLevel::Causal,
+            prune: true,
+            prune_interval: 256,
+            threads,
+            ..StreamConfig::default()
+        });
+        let sessions = 4u64;
+        let keys = 3u64;
+        for round in 0..200u64 {
+            for s in 0..sessions {
+                c.begin(s).unwrap();
+                for k in 0..keys {
+                    c.write(s, k, (round * sessions + s) * keys + k + 1)
+                        .unwrap();
+                }
+                c.commit(s).unwrap();
+            }
+        }
+        let live = c.live_txn_ids();
+        let outcome = c.finish().unwrap();
+        (
+            live,
+            format!("{:?}|{:?}", outcome.violations(), outcome.stats()),
+        )
+    };
+    // One session: every write is its own session's latest until
+    // overwritten; the candidate list is long and entirely local.
+    let run_one_session = |threads: usize| {
+        let mut c = OnlineChecker::with_config(StreamConfig {
+            level: IsolationLevel::Causal,
+            prune: true,
+            prune_interval: 128,
+            threads,
+            ..StreamConfig::default()
+        });
+        for i in 0..1200u64 {
+            c.begin(0).unwrap();
+            c.write(0, i % 5, i + 1).unwrap();
+            c.commit(0).unwrap();
+        }
+        let live = c.live_txn_ids();
+        let outcome = c.finish().unwrap();
+        (
+            live,
+            format!("{:?}|{:?}", outcome.violations(), outcome.stats()),
+        )
+    };
+    for (label, run) in [
+        ("all-retirable", &run_all_retirable as &dyn Fn(usize) -> _),
+        ("one-session", &run_one_session),
+    ] {
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                reference,
+                run(threads),
+                "[{label}] GC diverged at {threads} threads"
+            );
+        }
     }
 }
 

@@ -467,6 +467,48 @@ fn batch_check_endpoint_round_trips_reports() {
     ts.stop();
 }
 
+/// `check_threads` tunes the shared batch engine behind `POST /v1/check`
+/// independently of the accept threads: verdicts are identical across
+/// engine thread counts, and `/healthz` reports the resolved count
+/// (`0` = auto resolves to the machine's available parallelism).
+#[test]
+fn batch_check_engine_honors_check_threads() {
+    use awdit::formats::Report;
+
+    let h = random_noisy_history(
+        0xBEEF,
+        GenParams {
+            sessions: 3,
+            txns: 48,
+            keys: 4,
+            ..GenParams::default()
+        },
+    );
+    let body = ndjson(&events_of_history(&h));
+    let batch = check(&h, IsolationLevel::Causal);
+    for check_threads in [1usize, 4] {
+        let ts = TestServer::start(ServeConfig {
+            check_threads,
+            ..exact_causal_config()
+        });
+        let (status, json) = request(ts.addr, "POST", "/v1/check?isolation=cc", &body);
+        assert_eq!(status, 200, "{json}");
+        let report = Report::from_json(&json).expect("valid report schema");
+        let verdict = &report.histories[0].levels[0].verdict;
+        assert_eq!(verdict == "consistent", batch.is_consistent());
+        let (status, health) = request(ts.addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(json_u64(&health, "threads"), check_threads as u64);
+        ts.stop();
+    }
+    // The auto default resolves to a concrete count (≥ 1) at bind time.
+    let ts = TestServer::start(exact_causal_config());
+    let (status, health) = request(ts.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(json_u64(&health, "threads") >= 1, "{health}");
+    ts.stop();
+}
+
 /// Violation retrieval: `since` pages through the log and long-polling
 /// wakes on new violations.
 #[test]
