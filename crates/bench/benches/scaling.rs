@@ -12,6 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use awdit_bench::make_history;
+use awdit_core::parallel::{map_shards, Pool};
 use awdit_core::{
     base_commit_graph, check, compute_hb_wavefront_into, saturate_cc_with, CcStrategy, ClockTable,
     CommitGraph, EdgeKind, HistoryIndex, IsolationLevel, Key,
@@ -189,8 +190,65 @@ fn bench_stream_gc_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pure dispatch overhead: forking and joining a trivial shard set via a
+/// fresh `std::thread::scope` spawn per iteration versus a single warm
+/// [`Pool`]. The shard work is near-zero on purpose — the measurement is
+/// the fork–join machinery itself, which is what every narrow pipeline
+/// stage pays per call. The warm pool should win by well over the 5×
+/// the roadmap asks for once `threads > 1` (at `threads = 1` both paths
+/// degenerate to an inline loop).
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch-overhead");
+    let shards: Vec<u64> = (0..64).collect();
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("scoped-spawn", threads),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    // What every stage used to do: spawn, deal, join.
+                    let workers = threads.min(shards.len()).max(1);
+                    if workers <= 1 {
+                        return shards.iter().map(|&x| x ^ 1).sum::<u64>();
+                    }
+                    let next = std::sync::atomic::AtomicUsize::new(0);
+                    let total = std::sync::atomic::AtomicU64::new(0);
+                    std::thread::scope(|s| {
+                        for _ in 0..workers {
+                            s.spawn(|| {
+                                let mut sum = 0u64;
+                                loop {
+                                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    let Some(&x) = shards.get(i) else { break };
+                                    sum += x ^ 1;
+                                }
+                                total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    total.load(std::sync::atomic::Ordering::Relaxed)
+                })
+            },
+        );
+        let pool = Pool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("warm-pool", threads),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    map_shards(&pool, threads, "test_stage", shards, |_, &x| x ^ 1)
+                        .iter()
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_dispatch_overhead,
     bench_txn_scaling,
     bench_session_scaling,
     bench_txn_size_scaling,

@@ -95,8 +95,8 @@ USAGE:
                 [--follow] FILE|-   (NDJSON event stream)
     awdit serve [--addr HOST:PORT] [--threads N] [--check-threads N]
                 [--isolation rc|ra|cc] [--no-prune] [--interval N]
-                [--staging-budget N] [--max-body BYTES] [--timeout SECS]
-                [--trace FILE] [--metrics FILE|-]
+                [--staging-budget N] [--warm-pool N] [--max-body BYTES]
+                [--timeout SECS] [--trace FILE] [--metrics FILE|-]
     awdit shrink [--isolation rc|ra|cc] [--format FMT] [-o OUT] FILE
     awdit stats [--report text|json] FILE
     awdit convert [--format FMT] [--to FMT] IN [OUT]
@@ -139,8 +139,9 @@ SERVE: a multi-tenant daemon over the online checker — stream NDJSON
          (GET /v1/sessions/ID/violations), scrape GET /metrics and
          /healthz; --threads sets the accept/worker threads and
          --check-threads the batch-check engine behind POST /v1/check
-         (both 0 = all cores); port 0 picks an ephemeral port (printed
-         on stdout);
+         (both 0 = all cores); --warm-pool caps the finished checkers
+         parked for tenant reuse (default 32, surfaced in /healthz);
+         port 0 picks an ephemeral port (printed on stdout);
          SIGINT/SIGTERM drains every open session and prints its final
          summary; exits 1 if any drained session was inconsistent
 CONVERT: streams IN (any supported format, auto-detected) to OUT via the
@@ -987,6 +988,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         })
         .transpose()?
         .unwrap_or(0usize);
+    let warm_pool = flags
+        .get("warm-pool")
+        .map(|w| w.parse().map_err(|_| "bad --warm-pool value".to_string()))
+        .transpose()?
+        .unwrap_or(32usize);
 
     // The /metrics endpoint is the point of running a daemon, so metrics
     // stay on even without --metrics; --trace/--metrics additionally get
@@ -1010,6 +1016,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         check_threads,
         stream,
         staging_budget,
+        warm_pool,
         limits: HttpLimits {
             max_body_bytes,
             read_timeout: std::time::Duration::from_secs(timeout_secs.max(1)),

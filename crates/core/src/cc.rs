@@ -26,7 +26,7 @@
 //!   search the write lists. `O(n·(k + log n))` time, live-clock memory
 //!   only.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::graph::{base_commit_graph, base_commit_graph_into, CommitGraph, Cycle, EdgeKind};
 use crate::incremental::{EdgeSink, FnvMap};
@@ -286,13 +286,15 @@ fn wavefront_row(index: &HistoryIndex, k: usize, rows: &[AtomicU32], t: u32, out
 /// the transaction's own session entry. Levels are longest-path depths in
 /// `so ∪ wr`: a transaction at level `l` reads only rows at levels `< l`,
 /// and levels strictly increase along a session, so a level holds at most
-/// one row per session and all of its writes are disjoint. Workers sweep
-/// the levels behind a barrier, splitting each level through an atomic
-/// cursor in `WAVEFRONT_GRAIN`-row chunks; every written value is a
-/// pure function of sealed rows, so the resulting table is bit-identical
-/// to the sequential pass for every thread count and schedule (the rows
-/// land in identity slots rather than the sequential allocation order —
-/// [`ClockTable::row`] resolves both).
+/// one row per session and all of its writes are disjoint. The caller
+/// sweeps the levels in order, dispatching each wide level to the pool
+/// (an atomic cursor deals `WAVEFRONT_GRAIN`-row chunks) and running
+/// narrow levels inline — the scoped dispatch's drain barrier seals a
+/// level before the next one starts, replacing the old fixed-width thread
+/// barrier. Every written value is a pure function of sealed rows, so the
+/// resulting table is bit-identical to the sequential pass for every
+/// thread count and schedule (the rows land in identity slots rather than
+/// the sequential allocation order — [`ClockTable::row`] resolves both).
 ///
 /// Falls back to the sequential [`compute_hb_into`] when `threads <= 1`,
 /// the history is below [`parallel::SEQUENTIAL_CUTOFF`], or there is only
@@ -303,7 +305,22 @@ pub fn compute_hb_wavefront_into(
     threads: usize,
     table: &mut ClockTable,
 ) {
-    let threads = parallel::effective_threads(threads);
+    compute_hb_wavefront_pool(&parallel::Pool::new(threads), index, topo, threads, table);
+}
+
+/// [`compute_hb_wavefront_into`] dispatching on a caller-owned [`Pool`]
+/// (the [`Engine`](crate::Engine)'s shared one) instead of an ephemeral
+/// one.
+///
+/// [`Pool`]: parallel::Pool
+pub fn compute_hb_wavefront_pool(
+    pool: &parallel::Pool,
+    index: &HistoryIndex,
+    topo: &[u32],
+    threads: usize,
+    table: &mut ClockTable,
+) {
+    let threads = parallel::effective_threads(threads).min(pool.width());
     let m = index.num_committed();
     let k = index.num_sessions();
     if threads <= 1 || m < parallel::SEQUENTIAL_CUTOFF || k < 2 {
@@ -357,58 +374,68 @@ pub fn compute_hb_wavefront_into(
 
     // The wavefront fills an atomic image of the row buffer: writes at the
     // current level hit disjoint rows, reads touch only rows sealed at
-    // lower levels, and the per-level barrier publishes them — relaxed
+    // lower levels, and the scoped dispatch's drain barrier (the pool
+    // lock) publishes a level before the next one starts — relaxed
     // atomics (plain loads/stores on every real ISA) add no ordering cost.
     let scratch: Vec<AtomicU32> = (0..m * k).map(|_| AtomicU32::new(0)).collect();
-    let grab: Vec<AtomicUsize> = starts[..num_levels]
-        .iter()
-        .map(|&s| AtomicUsize::new(s as usize))
-        .collect();
     let workers = threads.min(k);
-    let barrier = std::sync::Barrier::new(workers);
     let timed = obs.enabled();
     let pool_start = timed.then(std::time::Instant::now);
-    let mut busy_total = 0u64;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _ctx = awdit_obs::set_current(&obs);
-                    let _span = obs.span("pool_worker");
-                    let mut busy = 0u64;
-                    let mut out = vec![0u32; k];
-                    for l in 0..num_levels {
-                        let end = starts[l + 1] as usize;
-                        let t0 = timed.then(std::time::Instant::now);
-                        loop {
-                            let i = grab[l].fetch_add(WAVEFRONT_GRAIN, Ordering::Relaxed);
-                            if i >= end {
-                                break;
-                            }
-                            for &t in &by_level[i..end.min(i + WAVEFRONT_GRAIN)] {
-                                wavefront_row(index, k, &scratch, t, &mut out);
-                                let r = t as usize * k;
-                                for (dst, &v) in scratch[r..r + k].iter().zip(out.iter()) {
-                                    dst.store(v, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                        if let Some(t0) = t0 {
-                            busy += t0.elapsed().as_nanos() as u64;
-                        }
-                        barrier.wait();
-                    }
-                    busy
-                })
-            })
-            .collect();
-        for h in handles {
-            busy_total += h.join().expect("clock wavefront worker panicked");
+    let busy_total = AtomicU64::new(0);
+    let mut seq_out = vec![0u32; k];
+    for l in 0..num_levels {
+        let lo = starts[l] as usize;
+        let end = starts[l + 1] as usize;
+        let width = end - lo;
+        if width < WAVEFRONT_GRAIN * 2 {
+            // Narrow level: a pool wake costs more than the rows do. Run
+            // inline on the caller; the next dispatch's publish still
+            // orders these stores before any worker reads them.
+            let t0 = timed.then(std::time::Instant::now);
+            for &t in &by_level[lo..end] {
+                wavefront_row(index, k, &scratch, t, &mut seq_out);
+                let r = t as usize * k;
+                for (dst, &v) in scratch[r..r + k].iter().zip(seq_out.iter()) {
+                    dst.store(v, Ordering::Relaxed);
+                }
+            }
+            if let Some(t0) = t0 {
+                busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            continue;
         }
-    });
+        let grab = AtomicUsize::new(lo);
+        let parts = workers.min(width.div_ceil(WAVEFRONT_GRAIN));
+        pool.scope(parts, |_| {
+            let mut out = vec![0u32; k];
+            let t0 = timed.then(std::time::Instant::now);
+            loop {
+                let i = grab.fetch_add(WAVEFRONT_GRAIN, Ordering::Relaxed);
+                if i >= end {
+                    break;
+                }
+                for &t in &by_level[i..end.min(i + WAVEFRONT_GRAIN)] {
+                    wavefront_row(index, k, &scratch, t, &mut out);
+                    let r = t as usize * k;
+                    for (dst, &v) in scratch[r..r + k].iter().zip(out.iter()) {
+                        dst.store(v, Ordering::Relaxed);
+                    }
+                }
+            }
+            if let Some(t0) = t0 {
+                busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        });
+    }
     if let (Some(start), Some(metrics)) = (pool_start, obs.metrics()) {
         let capacity_ns = (start.elapsed().as_nanos() as u64).saturating_mul(workers as u64);
-        parallel::record_pool_metrics(metrics, "cc_clock_pass", busy_total, capacity_ns);
+        parallel::record_pool_metrics(
+            metrics,
+            "cc_clock_pass",
+            busy_total.load(Ordering::Relaxed),
+            capacity_ns,
+        );
+        pool.publish_metrics(metrics);
     }
     // Publish the sealed image into the table's row arena.
     for (dst, src) in table.rows.iter_mut().zip(&scratch) {
@@ -479,6 +506,32 @@ pub fn saturate_cc_scratch(
     g: &mut CommitGraph,
     clocks: &mut ClockTable,
 ) -> Result<(), Vec<Cycle>> {
+    saturate_cc_pool(
+        &parallel::Pool::new(threads),
+        index,
+        strategy,
+        threads,
+        g,
+        clocks,
+    )
+}
+
+/// [`saturate_cc_scratch`] dispatching on a caller-owned
+/// [`Pool`](parallel::Pool) — the form the [`Engine`](crate::Engine)
+/// runs, so every CC stage (clock wavefront, inference shards, cycle
+/// extraction on failure) reuses the engine's parked workers.
+///
+/// # Errors
+///
+/// As [`saturate_cc`].
+pub fn saturate_cc_pool(
+    pool: &parallel::Pool,
+    index: &HistoryIndex,
+    strategy: CcStrategy,
+    threads: usize,
+    g: &mut CommitGraph,
+    clocks: &mut ClockTable,
+) -> Result<(), Vec<Cycle>> {
     let obs = awdit_obs::current();
     {
         let _span = obs.span("cc_base_graph");
@@ -487,7 +540,7 @@ pub fn saturate_cc_scratch(
     let topo_span = obs.span("cc_topo_order");
     let topo = match g.topological_order() {
         Some(t) => t,
-        None => return Err(g.find_cycles_with(usize::MAX, threads)),
+        None => return Err(g.find_cycles_pool(pool, usize::MAX, threads)),
     };
     drop(topo_span);
     let threads = parallel::effective_threads(threads);
@@ -499,8 +552,8 @@ pub fn saturate_cc_scratch(
         return Ok(());
     }
     match strategy {
-        CcStrategy::PointerScan => pointer_scan_par(index, g, &topo, threads, clocks),
-        CcStrategy::BinarySearch => binary_search_par(index, g, &topo, threads, clocks),
+        CcStrategy::PointerScan => pointer_scan_par(pool, index, g, &topo, threads, clocks),
+        CcStrategy::BinarySearch => binary_search_par(pool, index, g, &topo, threads, clocks),
     }
     Ok(())
 }
@@ -575,16 +628,17 @@ fn pointer_scan(index: &HistoryIndex, g: &mut CommitGraph, topo: &[u32], clocks:
 /// Sharded [`pointer_scan`]: contiguous session groups (weighted by their
 /// transaction counts) across workers, merged in group order.
 fn pointer_scan_par(
+    pool: &parallel::Pool,
     index: &HistoryIndex,
     g: &mut CommitGraph,
     topo: &[u32],
     threads: usize,
     clocks: &mut ClockTable,
 ) {
-    compute_hb_wavefront_into(index, topo, threads, clocks);
+    compute_hb_wavefront_pool(pool, index, topo, threads, clocks);
     let clocks = &*clocks;
     let groups = parallel::session_groups(index, threads * 2);
-    let sinks = parallel::map_shards(threads, "cc_pointer_scan", &groups, |_, sessions| {
+    let sinks = parallel::map_shards(pool, threads, "cc_pointer_scan", &groups, |_, sessions| {
         let mut sink = parallel::EdgeBuf::new();
         for s in sessions.clone() {
             pointer_scan_session(index, clocks, s as u32, &mut sink);
@@ -600,16 +654,17 @@ fn pointer_scan_par(
 /// order (identical emission to the sequential on-the-fly variant, which
 /// also processes transactions in topological order).
 fn binary_search_par(
+    pool: &parallel::Pool,
     index: &HistoryIndex,
     g: &mut CommitGraph,
     topo: &[u32],
     threads: usize,
     clocks: &mut ClockTable,
 ) {
-    compute_hb_wavefront_into(index, topo, threads, clocks);
+    compute_hb_wavefront_pool(pool, index, topo, threads, clocks);
     let clocks = &*clocks;
     let shards = parallel::split_even(topo.len(), threads * 4);
-    let sinks = parallel::map_shards(threads, "cc_binary_search", &shards, |_, range| {
+    let sinks = parallel::map_shards(pool, threads, "cc_binary_search", &shards, |_, range| {
         let mut sink = parallel::EdgeBuf::new();
         for &t3 in &topo[range.start as usize..range.end as usize] {
             crate::incremental::infer_cc_edges(index, t3, clocks.row(t3), &mut sink);

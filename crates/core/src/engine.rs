@@ -51,7 +51,9 @@
 //! # }
 //! ```
 
-use crate::cc::{saturate_cc_scratch, CcStrategy, ClockTable};
+use std::sync::Arc;
+
+use crate::cc::{saturate_cc_pool, CcStrategy, ClockTable};
 use crate::checker::{CheckOptions, CheckStats, Outcome};
 use crate::graph::CommitGraph;
 use crate::history::{replay_history, BuildError, History, HistoryBuilder, HistorySink};
@@ -336,6 +338,11 @@ pub struct Engine {
     stats: EngineStats,
     /// Observability handle; disabled by default.
     obs: Obs,
+    /// The persistent worker pool every parallel stage dispatches on —
+    /// created once at build (or shared in via
+    /// [`with_config_pool`](Self::with_config_pool)), workers parked
+    /// between forks. Width 1 owns no threads at all.
+    pool: Arc<parallel::Pool>,
 }
 
 impl Default for Engine {
@@ -355,7 +362,17 @@ impl Engine {
     /// A `threads` knob of `0` ("use all cores") is resolved here, once,
     /// against [`parallel::available_threads`] — every later fork–join
     /// sees the concrete count, and [`stats`](Self::stats) reports it.
-    pub fn with_config(mut cfg: EngineConfig) -> Self {
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        let pool = Arc::new(parallel::Pool::new(cfg.threads));
+        Engine::with_config_pool(cfg, pool)
+    }
+
+    /// [`with_config`](Self::with_config) dispatching on a caller-owned
+    /// [`Pool`](parallel::Pool) — how `awdit serve` shares one pool
+    /// between its batch engine and every stream checker. The engine's
+    /// per-dispatch budget is still `cfg.threads`; the pool's width caps
+    /// it.
+    pub fn with_config_pool(mut cfg: EngineConfig, pool: Arc<parallel::Pool>) -> Self {
         cfg.threads = parallel::effective_threads(cfg.threads);
         Engine {
             cfg,
@@ -368,7 +385,14 @@ impl Engine {
             ingested_bytes: 0,
             stats: EngineStats::default(),
             obs: Obs::disabled(),
+            pool,
         }
+    }
+
+    /// The engine's worker pool (shareable; see
+    /// [`with_config_pool`](Self::with_config_pool)).
+    pub fn pool(&self) -> &Arc<parallel::Pool> {
+        &self.pool
     }
 
     /// Starts a fluent [`EngineBuilder`].
@@ -414,7 +438,8 @@ impl Engine {
     pub fn check_level(&mut self, history: &History, level: IsolationLevel) -> Outcome {
         let obs = self.obs.clone();
         let _ctx = awdit_obs::set_current(&obs);
-        let out = check_with_scratch(&self.cfg, &mut self.scratch, history, level);
+        let pool = Arc::clone(&self.pool);
+        let out = check_with_scratch(&pool, &self.cfg, &mut self.scratch, history, level);
         self.account(1, 1);
         out
     }
@@ -439,8 +464,10 @@ impl Engine {
             index.rebuild(history);
         }
         let cfg = self.cfg;
-        let out = IsolationLevel::ALL
-            .map(|level| check_prepared_into(&cfg, index, &read_consistency, level, graph, clocks));
+        let pool = Arc::clone(&self.pool);
+        let out = IsolationLevel::ALL.map(|level| {
+            check_prepared_into(&pool, &cfg, index, &read_consistency, level, graph, clocks)
+        });
         self.account(1, 3);
         out
     }
@@ -489,12 +516,14 @@ impl Engine {
         let obs = self.obs.clone();
         let _ctx = awdit_obs::set_current(&obs);
         let _batch = obs.span("check_many");
+        let pool = Arc::clone(&self.pool);
         let outcomes = parallel::map_shards_with(
+            &pool,
             threads,
             "check_many",
             &items,
             Scratch::new,
-            |scratch, _, h| check_with_scratch(&cfg, scratch, h, level),
+            |scratch, _, h| check_with_scratch(&pool, &cfg, scratch, h, level),
         );
         self.stats.histories += outcomes.len() as u64;
         self.stats.checks += outcomes.len() as u64;
@@ -617,6 +646,7 @@ impl Engine {
         ];
 
         let cfg = self.cfg;
+        let pool = Arc::clone(&self.pool);
         let scratch = &mut self.scratch;
         let work: parallel::HandoffSlot<(String, ArenaSink)> = parallel::HandoffSlot::new();
         let done: parallel::HandoffSlot<ArenaSink> = parallel::HandoffSlot::new();
@@ -630,7 +660,7 @@ impl Engine {
                 let mut busy = std::time::Duration::ZERO;
                 while let Some((name, sink)) = work.recv() {
                     let t = Instant::now();
-                    let outcome = check_with_scratch(&cfg, scratch, &sink.arena, cfg.level);
+                    let outcome = check_with_scratch(&pool, &cfg, scratch, &sink.arena, cfg.level);
                     busy += t.elapsed();
                     out.push((name, outcome));
                     if done.send(sink).is_err() {
@@ -963,6 +993,7 @@ impl HistorySink for ArenaSink {
 /// workers, and the overlapped [`check_source`](Engine::check_source)
 /// checker thread.
 fn check_with_scratch(
+    pool: &parallel::Pool,
     cfg: &EngineConfig,
     scratch: &mut Scratch,
     history: &History,
@@ -983,14 +1014,16 @@ fn check_with_scratch(
         let _s = obs.span("index_rebuild");
         index.rebuild(history);
     }
-    check_prepared_into(cfg, index, &read_consistency, level, graph, clocks)
+    check_prepared_into(pool, cfg, index, &read_consistency, level, graph, clocks)
 }
 
 /// The per-level check over a pre-built index and pre-computed Read
 /// Consistency violations, saturating into the caller's graph arena —
 /// the single code path behind every engine entry point *and* the legacy
 /// free functions.
+#[allow(clippy::too_many_arguments)] // the one shared body behind every entry point
 fn check_prepared_into(
+    pool: &parallel::Pool,
     cfg: &EngineConfig,
     index: &HistoryIndex,
     read_consistency: &[ReadConsistencyViolation],
@@ -1016,9 +1049,10 @@ fn check_prepared_into(
         IsolationLevel::ReadCommitted => {
             {
                 let _s = obs.span("saturate_rc");
-                saturate_rc_into(index, cfg.threads, graph);
+                saturate_rc_into(pool, index, cfg.threads, graph);
             }
             finish_graph(
+                pool,
                 index,
                 graph,
                 level,
@@ -1043,9 +1077,10 @@ fn check_prepared_into(
                 if rr.is_empty() {
                     {
                         let _s = obs.span("saturate_ra");
-                        saturate_ra_into(index, cfg.threads, graph);
+                        saturate_ra_into(pool, index, cfg.threads, graph);
                     }
                     finish_graph(
+                        pool,
                         index,
                         graph,
                         level,
@@ -1062,10 +1097,11 @@ fn check_prepared_into(
         IsolationLevel::Causal => {
             let sat = {
                 let _s = obs.span("saturate_cc");
-                saturate_cc_scratch(index, cfg.cc_strategy, cfg.threads, graph, clocks)
+                saturate_cc_pool(pool, index, cfg.cc_strategy, cfg.threads, graph, clocks)
             };
             match sat {
                 Ok(()) => finish_graph(
+                    pool,
                     index,
                     graph,
                     level,
@@ -1088,7 +1124,9 @@ fn check_prepared_into(
     Outcome::from_parts(level, violations, commit_order, stats)
 }
 
+#[allow(clippy::too_many_arguments)] // one-caller helper of check_prepared_into
 fn finish_graph(
+    pool: &parallel::Pool,
     index: &HistoryIndex,
     g: &mut CommitGraph,
     level: IsolationLevel,
@@ -1109,7 +1147,7 @@ fn finish_graph(
     stats.inferred_edges = g.num_inferred_edges();
     let cycles = {
         let _s = obs.span("cycle_extraction");
-        g.find_cycles_with(cfg.max_cycles, cfg.threads)
+        g.find_cycles_pool(pool, cfg.max_cycles, cfg.threads)
     };
     if cycles.is_empty() {
         if cfg.want_commit_order {

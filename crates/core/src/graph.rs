@@ -266,6 +266,13 @@ impl CommitGraph {
     /// every thread count — the sequential path (`threads <= 1` or a small
     /// graph) runs iterative Tarjan and canonicalizes the same way.
     pub fn sccs_with(&self, threads: usize) -> Vec<Vec<u32>> {
+        self.sccs_pool(&parallel::Pool::new(threads), threads)
+    }
+
+    /// [`sccs_with`](Self::sccs_with) dispatching on a caller-owned
+    /// [`Pool`](parallel::Pool) — the [`Engine`](crate::Engine)'s shared
+    /// one — instead of an ephemeral pool.
+    pub fn sccs_pool(&self, pool: &parallel::Pool, threads: usize) -> Vec<Vec<u32>> {
         let threads = parallel::effective_threads(threads);
         let comp_of = if threads <= 1 || self.n < parallel::SEQUENTIAL_CUTOFF {
             let mut comp_of = vec![u32::MAX; self.n];
@@ -273,7 +280,7 @@ impl CommitGraph {
             self.tarjan_assign(&mut comp_of, &mut next_comp);
             comp_of
         } else {
-            self.fwbw_comp_of(threads)
+            self.fwbw_comp_of(pool, threads)
         };
         self.canonical_sccs(&comp_of)
     }
@@ -359,7 +366,7 @@ impl CommitGraph {
     /// dissolves acyclic regions without any reachability sweep. Only the
     /// partition matters (labels are canonicalized afterwards), so claim
     /// races inside the parallel BFS are harmless.
-    fn fwbw_comp_of(&self, threads: usize) -> Vec<u32> {
+    fn fwbw_comp_of(&self, pool: &parallel::Pool, threads: usize) -> Vec<u32> {
         const RETIRED: u32 = u32::MAX;
         let n = self.n;
         let mut comp_of = vec![u32::MAX; n];
@@ -461,6 +468,7 @@ impl CommitGraph {
             epoch += 1;
             let pivot = nodes[0];
             self.fwbw_bfs(
+                pool,
                 &rev_offsets,
                 &rev_edges,
                 false,
@@ -472,6 +480,7 @@ impl CommitGraph {
                 threads,
             );
             self.fwbw_bfs(
+                pool,
                 &rev_offsets,
                 &rev_edges,
                 true,
@@ -537,6 +546,7 @@ impl CommitGraph {
     #[allow(clippy::too_many_arguments)] // one-caller helper of fwbw_comp_of
     fn fwbw_bfs(
         &self,
+        pool: &parallel::Pool,
         rev_offsets: &[u32],
         rev_edges: &[u32],
         backward: bool,
@@ -586,7 +596,7 @@ impl CommitGraph {
                 frontier = next;
             } else {
                 let chunks = parallel::split_even(frontier.len(), threads * 4);
-                let parts = parallel::map_shards(threads, "cycle_sccs", &chunks, |_, r| {
+                let parts = parallel::map_shards(pool, threads, "cycle_sccs", &chunks, |_, r| {
                     let mut next = Vec::new();
                     for &v in &frontier[r.start as usize..r.end as usize] {
                         expand(v, &mut next);
@@ -692,6 +702,19 @@ impl CommitGraph {
     /// — the common consistent-history case — is dismissed by one linear
     /// Kahn pass before any SCC work.
     pub fn find_cycles_with(&self, max: usize, threads: usize) -> Vec<Cycle> {
+        self.find_cycles_pool(&parallel::Pool::new(threads), max, threads)
+    }
+
+    /// [`find_cycles_with`](Self::find_cycles_with) dispatching on a
+    /// caller-owned [`Pool`](parallel::Pool) — the
+    /// [`Engine`](crate::Engine)'s shared one — instead of an ephemeral
+    /// pool.
+    pub fn find_cycles_pool(
+        &self,
+        pool: &parallel::Pool,
+        max: usize,
+        threads: usize,
+    ) -> Vec<Cycle> {
         if max == 0 {
             return Vec::new();
         }
@@ -700,7 +723,7 @@ impl CommitGraph {
         }
         let n = self.n;
         let mut comp_of = vec![u32::MAX; n];
-        let sccs = self.sccs_with(threads);
+        let sccs = self.sccs_pool(pool, threads);
         let mut cycles = Vec::new();
         for (ci, comp) in sccs.iter().enumerate() {
             for &v in comp {

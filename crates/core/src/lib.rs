@@ -68,7 +68,7 @@
 //! drives the same kernels one commit at a time to check histories online
 //! with bounded memory.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // sole exception: the lifetime-erased task island in `parallel`
 #![warn(missing_docs)]
 
 pub mod cc;
@@ -94,8 +94,9 @@ pub mod vector_clock;
 pub mod witness;
 
 pub use cc::{
-    causality_cycles, compute_hb, compute_hb_into, compute_hb_wavefront_into, saturate_cc,
-    saturate_cc_scratch, saturate_cc_with, CcStrategy, ClockTable,
+    causality_cycles, compute_hb, compute_hb_into, compute_hb_wavefront_into,
+    compute_hb_wavefront_pool, saturate_cc, saturate_cc_pool, saturate_cc_scratch,
+    saturate_cc_with, CcStrategy, ClockTable,
 };
 pub use checker::{
     check, check_all_levels, check_all_levels_with, check_with, CheckOptions, CheckStats, Outcome,
@@ -118,6 +119,7 @@ pub use index::{DenseId, ExtRead, HistoryIndex, NONE};
 pub use isolation::{IsolationLevel, ParseIsolationLevelError};
 pub use linearize::{commit_order_from_graph, validate_commit_order, CommitOrderError};
 pub use op::{Op, ReadSource};
+pub use parallel::{Pool, PoolStats};
 pub use ra::{check_ra_single_session, check_repeatable_reads, saturate_ra, saturate_ra_with};
 pub use rc::{g1_cycles, saturate_rc, saturate_rc_with};
 pub use read_consistency::check_read_consistency;

@@ -1,4 +1,4 @@
-//! A small scoped-thread fork–join pool for the sharded saturation engine.
+//! A persistent parked worker pool for the sharded saturation engine.
 //!
 //! The checkers parallelize by **sharding a canonical processing sequence
 //! into contiguous chunks**: each worker runs the per-transaction kernel
@@ -10,12 +10,21 @@
 //! sequential emission for *any* partition — so verdicts, witnesses, and
 //! violation order are bit-identical for every thread count, including 1.
 //!
-//! Built on [`std::thread::scope`] only — no extra dependencies, no
-//! long-lived pool. Thread spawn cost is amortized by a work threshold at
-//! the call sites ([`SEQUENTIAL_CUTOFF`]).
+//! Dispatch runs on a long-lived [`Pool`]: `width − 1` OS threads are
+//! spawned lazily on the first parallel dispatch and then **parked** on a
+//! `Mutex`+`Condvar`, woken by a generation counter when a job is
+//! published. A fork–join on a warm pool is therefore one lock + wake
+//! instead of `W` thread spawns + joins — the per-stage fork cost that
+//! used to dominate small levels. Built on `std` only — no extra
+//! dependencies. Work below a threshold ([`SEQUENTIAL_CUTOFF`]) still
+//! skips dispatch entirely at the call sites, and a pool of width 1
+//! ([`Pool::new`] with one thread) never spawns anything: every dispatch
+//! runs inline on the caller.
 
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::graph::EdgeKind;
 use crate::incremental::EdgeSink;
@@ -23,8 +32,8 @@ use crate::index::HistoryIndex;
 use crate::types::SessionId;
 
 /// Below this many work items (committed transactions), the saturators
-/// skip thread spawning entirely: a fork–join over a tiny history costs
-/// more than the saturation itself.
+/// skip parallel dispatch entirely: even a warm-pool wake over a tiny
+/// history costs more than the saturation itself.
 pub const SEQUENTIAL_CUTOFF: usize = 512;
 
 /// The machine's available hardware parallelism (≥ 1).
@@ -44,34 +53,442 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
-/// Runs `f` over every shard, on up to `threads` scoped worker threads,
-/// and returns the results **in shard order** (the deterministic-merge
-/// contract). Shards are handed out dynamically (an atomic cursor), so
-/// uneven shards still balance.
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A long-lived worker pool with parked threads and scoped dispatch.
+///
+/// `Pool::new(w)` fixes the pool's *width* — the maximum number of
+/// participants (caller + workers) any single dispatch can use; `0`
+/// resolves to all cores. The `w − 1` worker threads are spawned lazily
+/// on the first dispatch that wants them and then parked on a condvar
+/// between jobs, so an idle pool costs nothing but parked threads and a
+/// width-1 pool never spawns at all.
+///
+/// [`Pool::scope`] is the dispatch primitive: it publishes a borrowed
+/// closure to the workers, runs the closure itself as participant 0, and
+/// before returning revokes every unclaimed participant slot and waits
+/// until no worker is still inside the closure — mirroring
+/// [`std::thread::scope`]'s guarantee that borrows can't outlive the
+/// call. A worker panic is caught, parked, and re-raised on the
+/// dispatching caller; the worker itself survives and goes back to
+/// parking, so one poisoned job can't wedge the pool.
+///
+/// Dispatches may nest (a `fleet_parse` participant forking intra-file
+/// shard parses): the inner caller always participates itself, so
+/// progress never depends on a free worker existing.
+#[derive(Debug)]
+pub struct Pool {
+    /// `None` when the width is 1 — the pool is a pure pass-through and
+    /// owns no threads, locks, or counters.
+    inner: Option<Arc<Inner>>,
+    width: usize,
+}
+
+/// A snapshot of the pool's lifetime counters (see the
+/// `awdit_pool_{parks,wakes,steals,spawned_threads}_total` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Times a worker parked on the condvar (no claimable job).
+    pub parks: u64,
+    /// Times a parked worker woke to claim a job.
+    pub wakes: u64,
+    /// Shard-range halves stolen from another participant's slot.
+    pub steals: u64,
+    /// Worker threads spawned over the pool's lifetime (lazy; ≤ width−1).
+    pub spawned_threads: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<Shared>,
+    /// Workers park here; woken by a generation-counter bump.
+    work: Condvar,
+    /// Dispatchers wait here for their job's active participants to drain.
+    done: Condvar,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    steals: AtomicU64,
+    spawned: AtomicU64,
+    /// Jobs currently queued (the `awdit_pool_queue_depth` gauge).
+    queue_depth: AtomicU64,
+    /// Watermarks of what [`Pool::publish_metrics`] has already exported,
+    /// so counters drain into the registry exactly once without resetting
+    /// the lifetime totals that [`Pool::stats`] reports.
+    published: [AtomicU64; 4],
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Published jobs with unclaimed participant tickets, oldest first.
+    queue: VecDeque<Arc<Job>>,
+    /// Bumped on every publish and on shutdown; parked workers recheck
+    /// the queue when it moves. Wrapping is harmless: a worker only
+    /// compares for *inequality* against the value it parked on.
+    generation: u64,
+    shutdown: bool,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One scoped dispatch, shared between the caller and the workers that
+/// claim a ticket for it.
+struct Job {
+    task: TaskPtr,
+    /// The dispatcher's obs context, re-installed inside each worker so
+    /// nested instrumented code finds it via `awdit_obs::current()`.
+    obs: awdit_obs::Obs,
+    /// Unclaimed participant slots. Claimed and revoked only under the
+    /// pool lock (atomic only so `Job` is `Sync`).
+    tickets: AtomicUsize,
+    /// Next participant index to hand out; 0 is the dispatcher.
+    next_part: AtomicUsize,
+    /// Workers currently inside the task. Incremented/decremented under
+    /// the pool lock, paired with the `done` condvar.
+    active: AtomicUsize,
+    /// First worker panic, re-raised on the dispatcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("tickets", &self.tickets)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A borrowed task pointer with its lifetime erased. Soundness rests on
+/// [`Pool::scope`]: the pointee lives on the dispatcher's stack, and
+/// `scope` does not return until every unclaimed ticket is revoked and
+/// `active == 0` under the pool lock — after which no worker can reach
+/// the pointer. This is one of the repo's three `unsafe` islands
+/// (alongside the mmap window in `awdit-formats` and the `signal(2)`
+/// shim in `awdit-serve`).
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and the pointer
+// is only dereferenced between job publish and the scope's drain barrier,
+// while the dispatcher's stack frame is pinned inside `Pool::scope`.
+#[allow(unsafe_code)]
+unsafe impl Send for TaskPtr {}
+#[allow(unsafe_code)]
+unsafe impl Sync for TaskPtr {}
+
+impl Pool {
+    /// A pool of the given width (`0` → all cores). Width 1 is a
+    /// pass-through: no threads, no locks, every dispatch inline.
+    pub fn new(threads: usize) -> Self {
+        let width = effective_threads(threads);
+        if width <= 1 {
+            return Pool {
+                inner: None,
+                width: 1,
+            };
+        }
+        Pool {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(Shared {
+                    queue: VecDeque::new(),
+                    generation: 0,
+                    shutdown: false,
+                    workers: Vec::new(),
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                parks: AtomicU64::new(0),
+                wakes: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                spawned: AtomicU64::new(0),
+                queue_depth: AtomicU64::new(0),
+                published: [const { AtomicU64::new(0) }; 4],
+            })),
+            width,
+        }
+    }
+
+    /// The pool's participant cap (≥ 1).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Worker threads spawned so far (0 until the first parallel
+    /// dispatch; always 0 for a width-1 pool).
+    pub fn spawned_threads(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.spawned.load(Ordering::Relaxed))
+    }
+
+    /// Lifetime counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let Some(inner) = &self.inner else {
+            return PoolStats::default();
+        };
+        PoolStats {
+            parks: inner.parks.load(Ordering::Relaxed),
+            wakes: inner.wakes.load(Ordering::Relaxed),
+            steals: inner.steals.load(Ordering::Relaxed),
+            spawned_threads: inner.spawned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f(participant)` on up to `max_participants` threads — the
+    /// caller as participant 0 plus any pool workers that claim a ticket
+    /// before the caller finishes — and returns once **no thread** is
+    /// still inside `f`. Participant indices are dense in
+    /// `0..max_participants` but a given index may never run: callers
+    /// must treat them as slot ids (e.g. steal targets), never as a
+    /// completeness guarantee. The caller always participates, so the
+    /// dispatch makes progress even if every worker is busy (this is what
+    /// makes nested dispatch deadlock-free). Panics inside `f` — on any
+    /// participant — are re-raised here after the drain barrier.
+    pub fn scope<F>(&self, max_participants: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = max_participants.min(self.width);
+        let inner = match &self.inner {
+            Some(inner) if workers > 1 => inner,
+            _ => {
+                f(0);
+                return;
+            }
+        };
+        let task: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: erases `task`'s borrow of the current stack frame. The
+        // frame outlives every dereference: workers only reach the
+        // pointer between the publish below and the drain barrier at the
+        // end of this function (unclaimed tickets revoked + `active == 0`
+        // observed under the pool lock), and this function does not
+        // return before that barrier — including on panic paths, which
+        // are funneled through `catch_unwind` first.
+        #[allow(unsafe_code)]
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        });
+        let job = Arc::new(Job {
+            task,
+            obs: awdit_obs::current(),
+            tickets: AtomicUsize::new(workers - 1),
+            next_part: AtomicUsize::new(1),
+            active: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = inner.state.lock().unwrap();
+            // Lazily grow the worker set to what this dispatch can use.
+            while st.workers.len() < workers - 1 {
+                let arc = Arc::clone(inner);
+                let handle = std::thread::Builder::new()
+                    .name("awdit-pool".into())
+                    .spawn(move || worker_loop(&arc))
+                    .expect("spawn pool worker");
+                st.workers.push(handle);
+                inner.spawned.fetch_add(1, Ordering::Relaxed);
+            }
+            st.queue.push_back(Arc::clone(&job));
+            inner
+                .queue_depth
+                .store(st.queue.len() as u64, Ordering::Relaxed);
+            st.generation = st.generation.wrapping_add(1);
+            inner.work.notify_all();
+        }
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        // Drain barrier: revoke every unclaimed ticket so no new worker
+        // can join, then wait out the ones already inside the task.
+        {
+            let mut st = inner.state.lock().unwrap();
+            if job.tickets.swap(0, Ordering::Relaxed) > 0 {
+                if let Some(pos) = st.queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+                    st.queue.remove(pos);
+                    inner
+                        .queue_depth
+                        .store(st.queue.len() as u64, Ordering::Relaxed);
+                }
+            }
+            while job.active.load(Ordering::Relaxed) > 0 {
+                st = inner.done.wait(st).unwrap();
+            }
+        }
+        let worker_panic = job.panic.lock().unwrap().take();
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Drains the pool counters into the metrics registry (exactly-once
+    /// via published watermarks) and refreshes the queue-depth gauge.
+    pub fn publish_metrics(&self, metrics: &awdit_obs::metrics::MetricsRegistry) {
+        let Some(inner) = &self.inner else { return };
+        let series: [(&str, &AtomicU64); 4] = [
+            ("awdit_pool_parks_total", &inner.parks),
+            ("awdit_pool_wakes_total", &inner.wakes),
+            ("awdit_pool_steals_total", &inner.steals),
+            ("awdit_pool_spawned_threads_total", &inner.spawned),
+        ];
+        for (i, (name, total)) in series.iter().enumerate() {
+            let delta = drain_watermark(total, &inner.published[i]);
+            if delta > 0 {
+                metrics.counter(name).add(delta);
+            }
+        }
+        metrics
+            .gauge("awdit_pool_queue_depth")
+            .set(inner.queue_depth.load(Ordering::Relaxed) as f64);
+    }
+
+    fn note_steals(&self, n: u64) {
+        if n > 0 {
+            if let Some(inner) = &self.inner {
+                inner.steals.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let Some(inner) = &self.inner else { return };
+        let handles = {
+            let mut st = inner.state.lock().unwrap();
+            st.shutdown = true;
+            st.generation = st.generation.wrapping_add(1);
+            inner.work.notify_all();
+            std::mem::take(&mut st.workers)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Advances `published` to `total` with a CAS and returns the step, so
+/// concurrent publishers never double-export a delta.
+fn drain_watermark(total: &AtomicU64, published: &AtomicU64) -> u64 {
+    loop {
+        let cur = total.load(Ordering::Relaxed);
+        let prev = published.load(Ordering::Relaxed);
+        if cur <= prev {
+            return 0;
+        }
+        if published
+            .compare_exchange(prev, cur, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return cur - prev;
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut st = inner.state.lock().unwrap();
+    let mut just_woke = false;
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claimable = st
+            .queue
+            .iter()
+            .position(|j| j.tickets.load(Ordering::Relaxed) > 0);
+        let Some(pos) = claimable else {
+            let parked_gen = st.generation;
+            inner.parks.fetch_add(1, Ordering::Relaxed);
+            // Loop-free wait is fine: the top of the loop re-derives the
+            // predicate (shutdown / claimable job) from scratch, so a
+            // spurious wakeup just parks again.
+            st = inner.work.wait(st).unwrap();
+            just_woke = st.generation != parked_gen;
+            continue;
+        };
+        if just_woke {
+            inner.wakes.fetch_add(1, Ordering::Relaxed);
+            just_woke = false;
+        }
+        let job = Arc::clone(&st.queue[pos]);
+        let remaining = job.tickets.load(Ordering::Relaxed) - 1;
+        job.tickets.store(remaining, Ordering::Relaxed);
+        if remaining == 0 {
+            st.queue.remove(pos);
+            inner
+                .queue_depth
+                .store(st.queue.len() as u64, Ordering::Relaxed);
+        }
+        let participant = job.next_part.fetch_add(1, Ordering::Relaxed);
+        job.active.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        run_participant(&job, participant);
+        st = inner.state.lock().unwrap();
+        job.active.fetch_sub(1, Ordering::Relaxed);
+        // Under the lock, paired with the dispatcher's `done` wait — no
+        // missed wakeup is possible.
+        inner.done.notify_all();
+    }
+}
+
+fn run_participant(job: &Job, participant: usize) {
+    let _ctx = awdit_obs::set_current(&job.obs);
+    let _span = job.obs.span("pool_worker");
+    // SAFETY: the dispatcher is blocked inside `Pool::scope` until this
+    // participant's `active` decrement, so the pointee is alive (see
+    // `TaskPtr`).
+    #[allow(unsafe_code)]
+    let task = unsafe { &*job.task.0 };
+    if let Err(payload) =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(participant)))
+    {
+        let mut slot = job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard dispatch on the pool
+// ---------------------------------------------------------------------------
+
+/// Runs `f` over every shard, on up to `threads` pool participants, and
+/// returns the results **in shard order** (the deterministic-merge
+/// contract). `threads` is the per-dispatch budget; the pool's width caps
+/// it. Shards are dealt as contiguous per-participant ranges with
+/// upper-half chunk-stealing, so uneven shards still balance.
 ///
 /// `stage` names the pipeline stage for the per-stage pool metrics
 /// (`awdit_pool_stage_busy_ns_total{stage="..."}`), so a metrics snapshot
 /// shows *which* stage saturates the pool, not just that something did.
 ///
-/// With `threads <= 1` or a single shard this degenerates to a plain
-/// sequential loop — no threads are spawned.
-pub fn map_shards<S, R, F>(threads: usize, stage: &'static str, shards: &[S], f: F) -> Vec<R>
+/// With `threads <= 1`, a width-1 pool, or a single shard this
+/// degenerates to a plain sequential loop — no dispatch at all.
+pub fn map_shards<S, R, F>(
+    pool: &Pool,
+    threads: usize,
+    stage: &'static str,
+    shards: &[S],
+    f: F,
+) -> Vec<R>
 where
     S: Sync,
     R: Send,
     F: Fn(usize, &S) -> R + Sync,
 {
-    map_shards_with(threads, stage, shards, || (), |(), i, s| f(i, s))
+    map_shards_with(pool, threads, stage, shards, || (), |(), i, s| f(i, s))
 }
 
-/// [`map_shards`] with **worker-local state**: each worker thread builds
-/// one `T` via `init` and reuses it across every shard it steals, so
-/// per-shard scratch (kernels, edge buffers, whole checker arenas in
+/// [`map_shards`] with **participant-local state**: each participant
+/// builds one `T` via `init` and reuses it across every shard it claims,
+/// so per-shard scratch (kernels, edge buffers, whole checker arenas in
 /// [`Engine::check_many`](crate::Engine::check_many)) is allocated once
-/// per worker instead of once per shard. Results are still returned in
-/// shard order; the sequential path (`threads <= 1` or a single shard)
-/// uses a single `T` for all shards, matching what one worker would do.
+/// per participant instead of once per shard. Results are still returned
+/// in shard order; the sequential path uses a single `T` for all shards,
+/// matching what one participant would do.
 pub fn map_shards_with<S, T, R, Init, F>(
+    pool: &Pool,
     threads: usize,
     stage: &'static str,
     shards: &[S],
@@ -84,7 +501,7 @@ where
     Init: Fn() -> T + Sync,
     F: Fn(&mut T, usize, &S) -> R + Sync,
 {
-    let workers = threads.min(shards.len());
+    let workers = threads.min(pool.width()).min(shards.len());
     if workers <= 1 {
         let mut state = init();
         return shards
@@ -93,63 +510,128 @@ where
             .map(|(i, s)| f(&mut state, i, s))
             .collect();
     }
-    // The fork–join is instrumented through the *calling thread's* obs
-    // context: workers are fresh scoped threads with no thread-locals of
-    // their own, so the pool captures the caller's handle and re-installs
-    // it inside each worker (nested instrumented code — the CC clock
-    // pass, whole checks under `Engine::check_many` — then finds it via
-    // `awdit_obs::current()`). Per-shard busy timing only runs when the
-    // handle is enabled; the disabled path adds one branch per shard.
+    debug_assert!(shards.len() <= u32::MAX as usize, "shard count fits u32");
+    // The dispatch is instrumented through the *dispatcher's* obs
+    // context: workers re-install it before running (nested instrumented
+    // code — the CC clock pass, whole checks under `Engine::check_many` —
+    // then finds it via `awdit_obs::current()`). Per-shard busy timing
+    // only runs when the handle is enabled.
     let obs = awdit_obs::current();
     let timed = obs.enabled();
     let pool_start = timed.then(std::time::Instant::now);
-    let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(shards.len());
-    let mut busy_ns = 0u64;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _ctx = awdit_obs::set_current(&obs);
-                    let _span = obs.span("pool_worker");
-                    let mut state = init();
-                    let mut local = Vec::new();
-                    let mut busy = 0u64;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(shard) = shards.get(i) else {
-                            break;
-                        };
-                        let t = timed.then(std::time::Instant::now);
-                        local.push((i, f(&mut state, i, shard)));
-                        if let Some(t) = t {
-                            busy += t.elapsed().as_nanos() as u64;
-                        }
-                    }
-                    (local, busy)
-                })
+    // Each participant owns a packed (start, end) range slot; it pops its
+    // own front, and when empty steals the upper half of another slot.
+    let slots: Vec<AtomicU64> = {
+        let ranges = split_even(shards.len(), workers);
+        (0..workers)
+            .map(|p| {
+                let r = ranges.get(p).cloned().unwrap_or(0..0);
+                AtomicU64::new(pack_range(r.start, r.end))
             })
-            .collect();
-        for h in handles {
-            let (local, busy) = h.join().expect("saturation worker panicked");
-            tagged.extend(local);
-            busy_ns += busy;
+            .collect()
+    };
+    let stolen = AtomicU64::new(0);
+    let busy_ns = AtomicU64::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(shards.len()));
+    pool.scope(workers, |p| {
+        let mut state = init();
+        let mut local: Vec<(usize, R)> = Vec::new();
+        let mut busy = 0u64;
+        while let Some(i) = claim_shard(&slots, p, &stolen) {
+            let t = timed.then(std::time::Instant::now);
+            local.push((i, f(&mut state, i, &shards[i])));
+            if let Some(t) = t {
+                busy += t.elapsed().as_nanos() as u64;
+            }
+        }
+        if busy > 0 {
+            busy_ns.fetch_add(busy, Ordering::Relaxed);
+        }
+        if !local.is_empty() {
+            collected.lock().unwrap().extend(local);
         }
     });
+    pool.note_steals(stolen.load(Ordering::Relaxed));
     if let (Some(start), Some(metrics)) = (pool_start, obs.metrics()) {
-        // Capacity = wall time × workers; utilization is the fraction of
-        // that capacity the shard kernels actually ran for.
+        // Capacity = wall time × participants; utilization is the
+        // fraction of that capacity the shard kernels actually ran for.
         let capacity_ns = (start.elapsed().as_nanos() as u64).saturating_mul(workers as u64);
-        record_pool_metrics(metrics, stage, busy_ns, capacity_ns);
+        record_pool_metrics(metrics, stage, busy_ns.load(Ordering::Relaxed), capacity_ns);
+        pool.publish_metrics(metrics);
     }
+    let mut tagged = collected.into_inner().unwrap();
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+fn pack_range(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+fn unpack_range(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+/// Claims the next shard index for participant `p`: pop the front of its
+/// own range, else steal the upper half of another participant's range
+/// (the stolen remainder parks in `p`'s own — empty — slot). Every range
+/// is either in a slot (stealable) or held by a live participant that
+/// will drain it, so the dispatch completes even when some participant
+/// slots are never claimed by a worker. CAS races are benign: ranges only
+/// shrink and ranges from disjoint index regions never repeat, so there
+/// is no ABA.
+fn claim_shard(slots: &[AtomicU64], p: usize, stolen: &AtomicU64) -> Option<usize> {
+    let own = &slots[p];
+    loop {
+        let cur = own.load(Ordering::Relaxed);
+        let (start, end) = unpack_range(cur);
+        if start >= end {
+            break;
+        }
+        if own
+            .compare_exchange_weak(
+                cur,
+                pack_range(start + 1, end),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            return Some(start as usize);
+        }
+    }
+    let k = slots.len();
+    for off in 1..k {
+        let victim = &slots[(p + off) % k];
+        loop {
+            let cur = victim.load(Ordering::Relaxed);
+            let (start, end) = unpack_range(cur);
+            if start >= end {
+                break;
+            }
+            let mid = start + (end - start) / 2;
+            if victim
+                .compare_exchange(
+                    cur,
+                    pack_range(start, mid),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                stolen.fetch_add(1, Ordering::Relaxed);
+                own.store(pack_range(mid + 1, end), Ordering::Relaxed);
+                return Some(mid as usize);
+            }
+        }
+    }
+    None
 }
 
 /// Emits one fork–join's pool metrics: the aggregate counters plus the
 /// per-stage labeled series (the labeled busy counters partition the
 /// aggregate, so a snapshot shows *which* stage saturates the pool).
-/// Shared by [`map_shards_with`] and custom fork–joins (the CC clock
+/// Shared by [`map_shards_with`] and custom dispatches (the CC clock
 /// wavefront) whose loop shape doesn't fit `map_shards`.
 pub(crate) fn record_pool_metrics(
     metrics: &awdit_obs::metrics::MetricsRegistry,
@@ -366,13 +848,60 @@ mod tests {
     #[test]
     fn map_shards_preserves_shard_order() {
         let shards: Vec<usize> = (0..37).collect();
-        let seq = map_shards(1, "test_stage", &shards, |i, &s| (i, s * 2));
-        let par = map_shards(8, "test_stage", &shards, |i, &s| (i, s * 2));
+        let seq_pool = Pool::new(1);
+        let par_pool = Pool::new(8);
+        let seq = map_shards(&seq_pool, 1, "test_stage", &shards, |i, &s| (i, s * 2));
+        let par = map_shards(&par_pool, 8, "test_stage", &shards, |i, &s| (i, s * 2));
         assert_eq!(seq, par);
         for (i, &(j, v)) in par.iter().enumerate() {
             assert_eq!(i, j);
             assert_eq!(v, i * 2);
         }
+    }
+
+    #[test]
+    fn width_one_pool_never_spawns() {
+        let pool = Pool::new(1);
+        let shards: Vec<usize> = (0..100).collect();
+        let out = map_shards(&pool, 8, "test_stage", &shards, |_, &s| s + 1);
+        assert_eq!(out.len(), 100);
+        assert_eq!(pool.spawned_threads(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_dispatches() {
+        let pool = Pool::new(4);
+        for round in 0..16 {
+            let shards: Vec<usize> = (0..64).collect();
+            let out = map_shards(&pool, 4, "test_stage", &shards, move |_, &s| s * 2 + round);
+            assert_eq!(out.len(), 64);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i * 2 + round);
+            }
+        }
+        // Lazy spawn happens once; later dispatches reuse the parked set.
+        assert!(pool.spawned_threads() <= 3);
+    }
+
+    #[test]
+    fn claim_shard_drains_every_index_exactly_once() {
+        let ranges = split_even(97, 4);
+        let slots: Vec<AtomicU64> = (0..4)
+            .map(|p| {
+                let r = ranges.get(p).cloned().unwrap_or(0..0);
+                AtomicU64::new(pack_range(r.start, r.end))
+            })
+            .collect();
+        let stolen = AtomicU64::new(0);
+        // A single participant must still drain all slots (steals).
+        let mut seen = [false; 97];
+        while let Some(i) = claim_shard(&slots, 2, &stolen) {
+            assert!(!seen[i], "index {i} claimed twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(stolen.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -77,14 +77,19 @@ pub fn saturate_ra(index: &HistoryIndex) -> CommitGraph {
 /// session-major sweep for every thread count.
 pub fn saturate_ra_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
     let mut g = CommitGraph::new(0);
-    saturate_ra_into(index, threads, &mut g);
+    saturate_ra_into(&crate::parallel::Pool::new(threads), index, threads, &mut g);
     g
 }
 
 /// [`saturate_ra_with`] into a caller-owned graph arena (reset and
 /// refilled; see [`CommitGraph::reset`]) — the [`Engine`](crate::Engine)'s
-/// allocation-recycling path.
-pub fn saturate_ra_into(index: &HistoryIndex, threads: usize, g: &mut CommitGraph) {
+/// allocation-recycling path, dispatching on the engine's shared pool.
+pub fn saturate_ra_into(
+    pool: &crate::parallel::Pool,
+    index: &HistoryIndex,
+    threads: usize,
+    g: &mut CommitGraph,
+) {
     crate::graph::base_commit_graph_into(index, g);
     let k = index.num_sessions();
     let threads = crate::parallel::effective_threads(threads);
@@ -98,16 +103,17 @@ pub fn saturate_ra_into(index: &HistoryIndex, threads: usize, g: &mut CommitGrap
         return;
     }
     let groups = crate::parallel::session_groups(index, threads * 2);
-    let sinks = crate::parallel::map_shards(threads, "saturate_ra", &groups, |_, sessions| {
-        let mut kernel = crate::incremental::RaKernel::new();
-        let mut sink = crate::parallel::EdgeBuf::new();
-        for s in sessions.clone() {
-            for &t3 in index.session_committed(SessionId(s as u32)) {
-                kernel.process(index, t3, &mut sink);
+    let sinks =
+        crate::parallel::map_shards(pool, threads, "saturate_ra", &groups, |_, sessions| {
+            let mut kernel = crate::incremental::RaKernel::new();
+            let mut sink = crate::parallel::EdgeBuf::new();
+            for s in sessions.clone() {
+                for &t3 in index.session_committed(SessionId(s as u32)) {
+                    kernel.process(index, t3, &mut sink);
+                }
             }
-        }
-        sink
-    });
+            sink
+        });
     crate::parallel::merge_sinks(g, sinks);
 }
 

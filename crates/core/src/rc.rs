@@ -51,14 +51,19 @@ pub fn saturate_rc(index: &HistoryIndex) -> CommitGraph {
 /// thread count.
 pub fn saturate_rc_with(index: &HistoryIndex, threads: usize) -> CommitGraph {
     let mut g = CommitGraph::new(0);
-    saturate_rc_into(index, threads, &mut g);
+    saturate_rc_into(&parallel::Pool::new(threads), index, threads, &mut g);
     g
 }
 
 /// [`saturate_rc_with`] into a caller-owned graph arena (reset and
 /// refilled; see [`CommitGraph::reset`]) — the [`Engine`](crate::Engine)'s
-/// allocation-recycling path.
-pub fn saturate_rc_into(index: &HistoryIndex, threads: usize, g: &mut CommitGraph) {
+/// allocation-recycling path, dispatching on the engine's shared pool.
+pub fn saturate_rc_into(
+    pool: &parallel::Pool,
+    index: &HistoryIndex,
+    threads: usize,
+    g: &mut CommitGraph,
+) {
     base_commit_graph_into(index, g);
     let m = index.num_committed();
     let threads = parallel::effective_threads(threads);
@@ -70,7 +75,7 @@ pub fn saturate_rc_into(index: &HistoryIndex, threads: usize, g: &mut CommitGrap
         return;
     }
     let shards = parallel::split_even(m, threads * 4);
-    let sinks = parallel::map_shards(threads, "saturate_rc", &shards, |_, range| {
+    let sinks = parallel::map_shards(pool, threads, "saturate_rc", &shards, |_, range| {
         let mut kernel = RcKernel::new();
         let mut sink = parallel::EdgeBuf::new();
         for t3 in range.clone() {

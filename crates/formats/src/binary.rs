@@ -472,6 +472,12 @@ mod mmap {
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    /// `MADV_WILLNEED` — same value on Linux, macOS, and Android.
+    const MADV_WILLNEED: c_int = 3;
+    /// `POSIX_FADV_SEQUENTIAL` (Linux/Android; macOS has no
+    /// `posix_fadvise`).
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const POSIX_FADV_SEQUENTIAL: c_int = 2;
 
     extern "C" {
         fn mmap(
@@ -483,6 +489,9 @@ mod mmap {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        fn posix_fadvise(fd: c_int, offset: i64, len: i64, advice: c_int) -> c_int;
     }
 
     pub(crate) struct Mapping {
@@ -511,6 +520,21 @@ mod mmap {
             };
             if ptr as isize == -1 {
                 return Err(io::Error::last_os_error());
+            }
+            // Readahead hints: the decoder walks the file front to back
+            // exactly once, so tell the kernel to start faulting pages in
+            // now rather than on first touch. Purely advisory — a failure
+            // changes nothing about correctness, so both results are
+            // ignored.
+            // SAFETY: `ptr..ptr+len` is the live mapping created above;
+            // madvise only tunes paging for that region.
+            unsafe {
+                let _ = madvise(ptr, len, MADV_WILLNEED);
+            }
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            // SAFETY: plain fd-based advisory syscall on the open file.
+            unsafe {
+                let _ = posix_fadvise(file.as_raw_fd(), 0, len as i64, POSIX_FADV_SEQUENTIAL);
             }
             Ok(Mapping { ptr, len })
         }
@@ -597,6 +621,29 @@ mod tests {
         let mut b = HistoryBuilder::new();
         read_awb_path_into(&path, &mut b).unwrap();
         assert_eq!(b.finish().unwrap(), h);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The hinted mmap load and the plain bulk-read decode must produce
+    /// byte-identical histories — madvise/fadvise are advisory only.
+    #[test]
+    fn mmap_load_matches_bulk_read() {
+        let h = sample();
+        let bytes = write_awb(&h);
+        let dir = std::env::temp_dir().join("awdit_binary_hint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hinted.awb");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut via_path = HistoryBuilder::new();
+        read_awb_path_into(&path, &mut via_path).unwrap();
+        let mut via_bytes = HistoryBuilder::new();
+        decode_awb_into_sink(&bytes, &mut via_bytes).unwrap();
+
+        let via_path = via_path.finish().unwrap();
+        let via_bytes = via_bytes.finish().unwrap();
+        assert_eq!(via_path, via_bytes);
+        assert_eq!(write_awb(&via_path), write_awb(&via_bytes));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -81,7 +81,9 @@ pub use report::{
     PhaseTimingReport, Report, ReportSink, TextSink, ViolationReport, MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
 };
-pub use shard::{read_sharded, read_sharded_at, SHARD_MIN_BYTES};
+pub use shard::{
+    read_sharded, read_sharded_at, read_sharded_at_pool, read_sharded_pool, SHARD_MIN_BYTES,
+};
 pub use source::{events_into_sink, history_of_events, DirSource, FilesSource};
 pub use stream::{
     parse_event, parse_events, read_events, write_event, write_event_to, write_events,

@@ -49,12 +49,29 @@ pub fn read_sharded<S: HistorySink + ?Sized>(
     threads: usize,
     sink: &mut S,
 ) -> Result<(), ParseError> {
+    read_sharded_pool(&parallel::Pool::new(threads), data, format, threads, sink)
+}
+
+/// [`read_sharded`] dispatching on a caller-owned
+/// [`Pool`](parallel::Pool) — how [`FilesSource`](crate::FilesSource)
+/// parses a whole fleet of files on one persistent worker set.
+///
+/// # Errors
+///
+/// As [`read_sharded`].
+pub fn read_sharded_pool<S: HistorySink + ?Sized>(
+    pool: &parallel::Pool,
+    data: &[u8],
+    format: Format,
+    threads: usize,
+    sink: &mut S,
+) -> Result<(), ParseError> {
     if threads <= 1 || data.len() < 2 * SHARD_MIN_BYTES {
         return read_sequential(data, format, sink);
     }
     let shards = threads.min(data.len() / SHARD_MIN_BYTES).max(2);
     let cuts: Vec<usize> = (1..shards).map(|i| i * data.len() / shards).collect();
-    read_sharded_at(data, format, &cuts, threads, sink)
+    read_sharded_at_pool(pool, data, format, &cuts, threads, sink)
 }
 
 /// [`read_sharded`] with explicit proposed cut positions — the test and
@@ -66,6 +83,30 @@ pub fn read_sharded<S: HistorySink + ?Sized>(
 ///
 /// As [`read_sharded`].
 pub fn read_sharded_at<S: HistorySink + ?Sized>(
+    data: &[u8],
+    format: Format,
+    cuts: &[usize],
+    threads: usize,
+    sink: &mut S,
+) -> Result<(), ParseError> {
+    read_sharded_at_pool(
+        &parallel::Pool::new(threads),
+        data,
+        format,
+        cuts,
+        threads,
+        sink,
+    )
+}
+
+/// [`read_sharded_at`] dispatching on a caller-owned
+/// [`Pool`](parallel::Pool).
+///
+/// # Errors
+///
+/// As [`read_sharded`].
+pub fn read_sharded_at_pool<S: HistorySink + ?Sized>(
+    pool: &parallel::Pool,
     data: &[u8],
     format: Format,
     cuts: &[usize],
@@ -85,7 +126,7 @@ pub fn read_sharded_at<S: HistorySink + ?Sized>(
     let obs = awdit_obs::current();
     let stages: Vec<Option<Stage>> = {
         let _span = obs.span("ingest_shard_parse");
-        parallel::map_shards(threads, "ingest_shard_parse", &ranges, |i, range| {
+        parallel::map_shards(pool, threads, "ingest_shard_parse", &ranges, |i, range| {
             stage_shard(&data[range.clone()], format, i == 0)
         })
     };

@@ -9,7 +9,9 @@
 
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use awdit_core::parallel::Pool;
 use awdit_core::{
     History, HistoryBuilder, HistorySink, HistorySource, SourceError, SourcedHistory,
 };
@@ -18,7 +20,7 @@ use awdit_stream::Event;
 use crate::binary::read_awb_path_into;
 use crate::detect::{detect_bytes, detect_extension, looks_binary, read_prefix, Detected};
 use crate::reader::LineReader;
-use crate::shard::read_sharded;
+use crate::shard::read_sharded_pool;
 use crate::stream::{read_events_lines, EventReplayer};
 use crate::{read_history_lines, Format, ParseError};
 
@@ -68,6 +70,7 @@ pub fn history_of_events(events: &[Event]) -> Result<History, String> {
 /// stream line by line (`threads <= 1`, no full-file buffer anywhere) or
 /// parse in parallel shards through the recycled `buf`.
 fn read_path_into(
+    pool: &Pool,
     path: &Path,
     format: Option<Format>,
     threads: usize,
@@ -117,7 +120,7 @@ fn read_path_into(
             buf.clear();
             file.read_to_end(buf)
                 .map_err(|e| format!("cannot read: {e}"))?;
-            read_sharded(buf, f, threads, sink).map_err(|e| e.to_string())?;
+            read_sharded_pool(pool, buf, f, threads, sink).map_err(|e| e.to_string())?;
             buf.len() as u64
         }
         Detected::History(f) => {
@@ -150,6 +153,12 @@ pub struct FilesSource {
     /// Whole-file buffer for sharded parsing, recycled across files
     /// (empty and unused while `threads <= 1`).
     buf: Vec<u8>,
+    /// Lazily-created worker pool shared by the cross-file drain and
+    /// every intra-file shard parse, so a fleet of files costs one set of
+    /// parked threads instead of per-file spawns. Recreated only when the
+    /// thread budget changes width; `None` until the first parallel use
+    /// (a width-1 budget never creates one with workers).
+    pool: Option<Arc<Pool>>,
 }
 
 impl FilesSource {
@@ -165,6 +174,23 @@ impl FilesSource {
             pos: 0,
             threads: 1,
             buf: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// The source's worker pool at width `threads`, created on first use
+    /// and kept warm across files (recreated only when the width
+    /// changes).
+    fn pool_for(&mut self, threads: usize) -> Arc<Pool> {
+        match &self.pool {
+            Some(pool) if pool.width() == awdit_core::parallel::effective_threads(threads) => {
+                Arc::clone(pool)
+            }
+            _ => {
+                let pool = Arc::new(Pool::new(threads));
+                self.pool = Some(Arc::clone(&pool));
+                pool
+            }
         }
     }
 
@@ -193,7 +219,8 @@ impl FilesSource {
         sink: &mut (impl HistorySink + ?Sized),
     ) -> Result<String, SourceError> {
         let origin = path.display().to_string();
-        read_path_into(path, self.format, self.threads, &mut self.buf, sink).map_err(
+        let pool = self.pool_for(self.threads);
+        read_path_into(&pool, path, self.format, self.threads, &mut self.buf, sink).map_err(
             |message| SourceError {
                 origin: origin.clone(),
                 message,
@@ -261,7 +288,10 @@ impl HistorySource for FilesSource {
         let workers = threads.min(paths.len());
         let shard_threads = (threads / workers).max(1);
         let format = self.format;
+        let pool = self.pool_for(threads);
+        let paths = &self.paths[self.pos.min(self.paths.len())..];
         let results = awdit_core::parallel::map_shards_with(
+            &pool,
             workers,
             "fleet_parse",
             paths,
@@ -269,12 +299,12 @@ impl HistorySource for FilesSource {
             |buf: &mut Vec<u8>, _, path| {
                 let origin = path.display().to_string();
                 let mut b = HistoryBuilder::new();
-                read_path_into(path, format, shard_threads, buf, &mut b).map_err(|message| {
-                    SourceError {
+                read_path_into(&pool, path, format, shard_threads, buf, &mut b).map_err(
+                    |message| SourceError {
                         origin: origin.clone(),
                         message,
-                    }
-                })?;
+                    },
+                )?;
                 let history = b.finish().map_err(|e| SourceError {
                     origin: origin.clone(),
                     message: e.to_string(),

@@ -65,6 +65,9 @@ pub struct ServeConfig {
     /// Default per-tenant staging budget: intake returns `429` while a
     /// tenant holds this many staged (dependency-blocked) transactions.
     pub staging_budget: u64,
+    /// Cap on warm checkers parked for tenant reuse (beyond it, finished
+    /// checkers are dropped).
+    pub warm_pool: usize,
     /// HTTP framing limits (body cap, read timeout).
     pub limits: HttpLimits,
     /// Observability handle; `/metrics` serves its Prometheus export.
@@ -79,6 +82,7 @@ impl Default for ServeConfig {
             check_threads: 0,
             stream: StreamConfig::default(),
             staging_budget: 4096,
+            warm_pool: 32,
             limits: HttpLimits::default(),
             obs: Obs::new(),
         }
@@ -193,18 +197,30 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let threads = parallel::effective_threads(cfg.threads);
+        // One worker pool for the whole daemon, wide enough for the
+        // widest dispatcher: the batch engine and every tenant checker
+        // share its parked threads instead of spawning their own.
+        let pool_width = parallel::effective_threads(cfg.check_threads)
+            .max(parallel::effective_threads(cfg.stream.threads));
+        let pool = Arc::new(parallel::Pool::new(pool_width));
         let engine_cfg = EngineConfig {
             level: cfg.stream.level,
             threads: cfg.check_threads,
             ..EngineConfig::default()
         };
-        let mut engine = Engine::with_config(engine_cfg);
+        let mut engine = Engine::with_config_pool(engine_cfg, Arc::clone(&pool));
         engine.set_obs(cfg.obs.clone());
         let metrics = ServeMetrics::new(&cfg.obs);
         Ok(Server {
             listener,
             local_addr,
-            hub: SessionHub::new(cfg.stream, cfg.staging_budget.max(1), cfg.obs.clone()),
+            hub: SessionHub::new(
+                cfg.stream,
+                cfg.staging_budget.max(1),
+                cfg.warm_pool,
+                pool,
+                cfg.obs.clone(),
+            ),
             engine: Mutex::new(engine),
             shutdown: ShutdownToken::new(),
             threads,
@@ -423,7 +439,8 @@ impl Server {
         }
         let es = self.engine.lock().unwrap().stats();
         let body = format!(
-            "{{\"status\":\"{}\",\"sessions\":{{\"open\":{},\"finished\":{},\"pooled\":{}}},\
+            "{{\"status\":\"{}\",\"sessions\":{{\"open\":{},\"finished\":{},\"pooled\":{},\
+             \"warm_cap\":{}}},\
              \"stream\":{{{}}},\
              \"engine\":{{\"histories\":{},\"checks\":{},\"arena_growths\":{},\"arena_bytes\":{},\
              \"threads\":{}}},\
@@ -432,6 +449,7 @@ impl Server {
             open,
             finished,
             self.hub.pooled(),
+            self.hub.warm_cap(),
             stream_stats_json(&agg),
             es.histories,
             es.checks,

@@ -19,13 +19,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use awdit_core::parallel::Pool;
 use awdit_core::IsolationLevel;
 use awdit_obs::Obs;
 use awdit_stream::{OnlineChecker, StreamConfig, StreamStats, StreamViolation};
-
-/// Cap on pooled warm checkers (beyond it, finished checkers are simply
-/// dropped).
-const POOL_CAP: usize = 32;
 
 /// Tenant ids are path segments; keep them boring.
 pub fn valid_session_id(id: &str) -> bool {
@@ -223,17 +220,34 @@ pub struct SessionHub {
     pool: Mutex<Vec<OnlineChecker>>,
     defaults: StreamConfig,
     default_budget: u64,
+    /// Cap on pooled warm checkers (beyond it, finished checkers are
+    /// simply dropped).
+    warm_cap: usize,
+    /// The server-wide worker pool every tenant checker dispatches on —
+    /// one set of parked threads for the whole daemon, not one per
+    /// tenant.
+    worker_pool: Arc<Pool>,
     obs: Obs,
 }
 
 impl SessionHub {
-    /// A hub whose tenants default to `defaults` and `staging_budget`.
-    pub fn new(defaults: StreamConfig, staging_budget: u64, obs: Obs) -> Self {
+    /// A hub whose tenants default to `defaults` and `staging_budget`,
+    /// parks at most `warm_cap` finished checkers for reuse, and runs
+    /// every checker on the shared `worker_pool`.
+    pub fn new(
+        defaults: StreamConfig,
+        staging_budget: u64,
+        warm_cap: usize,
+        worker_pool: Arc<Pool>,
+        obs: Obs,
+    ) -> Self {
         SessionHub {
             tenants: Mutex::new(HashMap::new()),
             pool: Mutex::new(Vec::new()),
             defaults,
             default_budget: staging_budget,
+            warm_cap,
+            worker_pool,
             obs,
         }
     }
@@ -253,8 +267,13 @@ impl SessionHub {
         self.pool.lock().unwrap().len()
     }
 
+    /// The warm-pool cap this hub was configured with.
+    pub fn warm_cap(&self) -> usize {
+        self.warm_cap
+    }
+
     /// A warm checker from the pool (reconfigured for `cfg`), or a fresh
-    /// one.
+    /// one on the shared worker pool.
     fn checker_for(&self, cfg: StreamConfig) -> OnlineChecker {
         match self.pool.lock().unwrap().pop() {
             Some(mut c) => {
@@ -262,7 +281,7 @@ impl SessionHub {
                 c
             }
             None => {
-                let mut c = OnlineChecker::with_config(cfg);
+                let mut c = OnlineChecker::with_config_pool(cfg, Arc::clone(&self.worker_pool));
                 c.set_obs(self.obs.clone());
                 c
             }
@@ -347,7 +366,7 @@ impl SessionHub {
         };
         {
             let mut pool = self.pool.lock().unwrap();
-            if pool.len() < POOL_CAP {
+            if pool.len() < self.warm_cap {
                 pool.push(checker);
             }
         }
@@ -370,7 +389,13 @@ mod tests {
     use awdit_stream::Event;
 
     fn hub() -> SessionHub {
-        SessionHub::new(StreamConfig::default(), 1024, Obs::disabled())
+        SessionHub::new(
+            StreamConfig::default(),
+            1024,
+            32,
+            Arc::new(Pool::new(1)),
+            Obs::disabled(),
+        )
     }
 
     #[test]

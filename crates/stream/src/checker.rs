@@ -440,6 +440,12 @@ pub struct OnlineChecker {
     obs: Obs,
     metrics: Option<StreamMetrics>,
     shutdown: ShutdownToken,
+    /// The persistent worker pool the sharded stages (CC inference, GC
+    /// boundary scan) dispatch on. Created at build, or shared in via
+    /// [`with_config_pool`](Self::with_config_pool) (`awdit serve` hands
+    /// every checker the server-wide pool); survives
+    /// [`reconfigure`](Self::reconfigure). Width 1 owns no threads.
+    pool: Arc<parallel::Pool>,
 }
 
 impl OnlineChecker {
@@ -453,8 +459,19 @@ impl OnlineChecker {
 
     /// A checker with explicit configuration.
     pub fn with_config(cfg: StreamConfig) -> Self {
+        let pool = Arc::new(parallel::Pool::new(cfg.threads));
+        Self::with_config_pool(cfg, pool)
+    }
+
+    /// [`with_config`](Self::with_config) dispatching on a caller-owned
+    /// [`Pool`](parallel::Pool) — how `awdit serve` shares one pool
+    /// across every tenant checker and its batch engine. The checker's
+    /// per-dispatch budget is still `cfg.threads`; the pool's width caps
+    /// it.
+    pub fn with_config_pool(cfg: StreamConfig, pool: Arc<parallel::Pool>) -> Self {
         OnlineChecker {
             cfg,
+            pool,
             error: None,
             session_ids: HashMap::new(),
             sessions: Vec::new(),
@@ -1143,7 +1160,7 @@ impl OnlineChecker {
     }
 
     /// The per-commit CC inference: sequential for narrow commits, the
-    /// `(key, writer)` pairs sharded across scoped workers for wide ones
+    /// `(key, writer)` pairs sharded across the worker pool for wide ones
     /// (edge sinks merged in pair order — bit-identical to sequential).
     fn infer_cc(&self, slot: u32, clock: &VectorClock, edges: &mut Vec<(u32, u32, EdgeKind)>) {
         /// Sharding a handful of pairs costs more than inferring them.
@@ -1159,12 +1176,13 @@ impl OnlineChecker {
         let session = meta.session;
         let shards =
             parallel::split_even(pairs.len(), threads.min(pairs.len() / MIN_PAIRS_PER_SHARD));
-        let sinks = parallel::map_shards(threads, "stream_infer_cc", &shards, |_, r| {
-            let mut sink = parallel::EdgeBuf::new();
-            let chunk = &pairs[r.start as usize..r.end as usize];
-            infer_cc_pairs(index, session, chunk, clock.entries(), &mut sink);
-            sink
-        });
+        let sinks =
+            parallel::map_shards(&self.pool, threads, "stream_infer_cc", &shards, |_, r| {
+                let mut sink = parallel::EdgeBuf::new();
+                let chunk = &pairs[r.start as usize..r.end as usize];
+                infer_cc_pairs(index, session, chunk, clock.entries(), &mut sink);
+                sink
+            });
         parallel::merge_sinks(edges, sinks);
     }
 
@@ -1256,12 +1274,13 @@ impl OnlineChecker {
                 candidates.len(),
                 threads.min(candidates.len() / MIN_CANDIDATES_PER_SHARD),
             );
-            let verdicts = parallel::map_shards(threads, "stream_gc", &shards, |_, r| {
-                candidates[r.start as usize..r.end as usize]
-                    .iter()
-                    .map(|&(_, slot)| check(slot))
-                    .collect::<Vec<bool>>()
-            });
+            let verdicts =
+                parallel::map_shards(&self.pool, threads, "stream_gc", &shards, |_, r| {
+                    candidates[r.start as usize..r.end as usize]
+                        .iter()
+                        .map(|&(_, slot)| check(slot))
+                        .collect::<Vec<bool>>()
+                });
             verdicts.concat()
         };
 
@@ -1395,7 +1414,9 @@ impl OnlineChecker {
     }
 
     /// [`reset`](Self::reset) with a new configuration — how a pooled
-    /// checker is re-issued to a tenant with different tuning.
+    /// checker is re-issued to a tenant with different tuning. The worker
+    /// pool is kept (that's the point of warm reuse): the new `threads`
+    /// budget dispatches on it, capped by its width.
     pub fn reconfigure(&mut self, cfg: StreamConfig) {
         self.reset();
         self.cfg = cfg;
